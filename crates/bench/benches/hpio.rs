@@ -1,0 +1,29 @@
+//! Fig. 11 micro-bench: HPIO runs per scheme and process count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mha_bench::workloads::{self, Scale};
+use mha_core::schemes::{evaluate_scheme, Scheme};
+use storage_model::IoOp;
+
+fn bench(c: &mut Criterion) {
+    let cluster = workloads::paper_cluster();
+    let mut group = c.benchmark_group("hpio");
+    group.sample_size(10);
+    for procs in [16u32, 32] {
+        let trace = workloads::hpio_trace(procs, IoOp::Write, Scale::Quick);
+        let ctx = workloads::context_for(&trace, &cluster);
+        for scheme in [Scheme::Def, Scheme::Harl, Scheme::Mha] {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), procs),
+                &trace,
+                |b, trace| {
+                    b.iter(|| evaluate_scheme(scheme, trace, &cluster, &ctx).bandwidth_mbps())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

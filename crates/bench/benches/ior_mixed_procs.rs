@@ -1,0 +1,29 @@
+//! Fig. 9 micro-bench: IOR mixed-process-count runs per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mha_bench::workloads::{self, Scale};
+use mha_core::schemes::{evaluate_scheme, Scheme};
+use storage_model::IoOp;
+
+fn bench(c: &mut Criterion) {
+    let cluster = workloads::paper_cluster();
+    let mut group = c.benchmark_group("ior_mixed_procs");
+    group.sample_size(10);
+    for (label, procs) in [("8+32", &[8u32, 32][..]), ("16+64", &[16, 64][..])] {
+        let trace = workloads::ior_mixed_procs(procs, IoOp::Write, Scale::Quick);
+        let ctx = workloads::context_for(&trace, &cluster);
+        for scheme in [Scheme::Def, Scheme::Mha] {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), label),
+                &trace,
+                |b, trace| {
+                    b.iter(|| evaluate_scheme(scheme, trace, &cluster, &ctx).bandwidth_mbps())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

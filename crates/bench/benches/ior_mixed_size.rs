@@ -1,0 +1,32 @@
+//! Fig. 7 micro-bench: IOR mixed-request-size bandwidth per scheme.
+//! Each benchmark measures the wall-clock cost of plan + replay; the
+//! *simulated* bandwidth shape (MHA ≥ HARL ≥ AAL/DEF) is reported by the
+//! `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mha_bench::workloads::{self, Scale};
+use mha_core::schemes::{evaluate_scheme, Scheme};
+use storage_model::IoOp;
+
+fn bench(c: &mut Criterion) {
+    let cluster = workloads::paper_cluster();
+    let mut group = c.benchmark_group("ior_mixed_size");
+    group.sample_size(10);
+    for (label, sizes) in [("128+256", &[128u64, 256][..]), ("64+512", &[64, 512][..])] {
+        let trace = workloads::ior_mixed_sizes(sizes, IoOp::Write, Scale::Quick);
+        let ctx = workloads::context_for(&trace, &cluster);
+        for scheme in Scheme::all() {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), label),
+                &trace,
+                |b, trace| {
+                    b.iter(|| evaluate_scheme(scheme, trace, &cluster, &ctx).bandwidth_mbps())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Off-line planner micro-benches: Algorithm 1 (grouping), Algorithm 2
+//! (RSSD) and the full MHA plan. The paper argues these costs are
+//! acceptable because planning runs once, off-line — these benches
+//! quantify that claim on the reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mha_bench::workloads::{self, Scale};
+use mha_core::cost::views_of;
+use mha_core::schemes::{LayoutPlanner, MhaPlanner};
+use mha_core::{group_requests, rssd, GroupingConfig, ReqFeature};
+
+fn bench(c: &mut Criterion) {
+    let cluster = workloads::paper_cluster();
+    let trace = workloads::lanl_trace(Scale::Quick);
+    let ctx = workloads::context_for(&trace, &cluster);
+    let views = views_of(&trace);
+    let feats: Vec<ReqFeature> = views.iter().map(ReqFeature::of).collect();
+
+    let mut group = c.benchmark_group("planner");
+    group.sample_size(10);
+
+    for k in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("grouping", k), &feats, |b, feats| {
+            let cfg = GroupingConfig { k, ..Default::default() };
+            b.iter(|| group_requests(feats, &cfg))
+        });
+    }
+
+    group.bench_function("rssd_region", |b| {
+        b.iter(|| rssd(&views, &ctx.params, &ctx.rssd))
+    });
+
+    group.bench_function("mha_full_plan", |b| {
+        b.iter(|| MhaPlanner.plan(&trace, &ctx))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Fig. 14 micro-bench: the real (host wall-clock) cost of the
+//! redirection machinery — DRT range translation and kvstore-backed
+//! table operations — justifying the simulated per-lookup latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotrace::FileId;
+use mha_core::region::{Drt, DrtEntry};
+
+fn build_drt(entries: u64) -> Drt {
+    let mut drt = Drt::new();
+    for i in 0..entries {
+        drt.insert(DrtEntry {
+            o_file: FileId(0),
+            o_offset: i * 262_144,
+            r_file: FileId((1 << 20) + (i % 8) as u32),
+            r_offset: i * 4096,
+            length: 262_144,
+        });
+    }
+    drt
+}
+
+fn bench(c: &mut Criterion) {
+    let drt = build_drt(4096);
+
+    c.bench_function("drt_translate_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            std::hint::black_box(drt.translate(FileId(0), i * 262_144, 262_144))
+        })
+    });
+
+    c.bench_function("drt_translate_straddle", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4000;
+            // Crosses two entries and needs a split.
+            std::hint::black_box(drt.translate(FileId(0), i * 262_144 + 100_000, 262_144))
+        })
+    });
+
+    c.bench_function("drt_translate_miss", |b| {
+        b.iter(|| std::hint::black_box(drt.translate(FileId(9), 0, 4096)))
+    });
+
+    let path = std::env::temp_dir().join(format!("bench-kv-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let store = kvstore::Store::open(
+        &path,
+        kvstore::StoreOptions { sync_on_write: false, ..Default::default() },
+    )
+    .expect("open store");
+    drt.save(&store).expect("save");
+
+    c.bench_function("kvstore_get_hot", |b| {
+        let drt2 = Drt::load(&store).expect("load");
+        b.iter(|| std::hint::black_box(drt2.len()))
+    });
+
+    c.bench_function("drt_save_4096_entries", |b| {
+        b.iter(|| {
+            let p = std::env::temp_dir().join(format!("bench-kv2-{}", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            let s = kvstore::Store::open(
+                &p,
+                kvstore::StoreOptions { sync_on_write: false, ..Default::default() },
+            )
+            .expect("open");
+            drt.save(&s).expect("save");
+            let _ = std::fs::remove_file(&p);
+        })
+    });
+
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figs. 12b/13 micro-bench: application trace replays per scheme
+//! (LANL, LU, Cholesky — BTIO is exercised by the `figures` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iotrace::Trace;
+use mha_bench::workloads::{self, Scale};
+use mha_core::schemes::{evaluate_scheme, Scheme};
+
+fn bench(c: &mut Criterion) {
+    let cluster = workloads::paper_cluster();
+    let traces: [(&str, Trace); 3] = [
+        ("lanl", workloads::lanl_trace(Scale::Quick)),
+        ("lu", workloads::lu_trace(Scale::Quick)),
+        ("cholesky", workloads::cholesky_trace(Scale::Quick)),
+    ];
+    let mut group = c.benchmark_group("traces");
+    group.sample_size(10);
+    for (name, trace) in &traces {
+        let ctx = workloads::context_for(trace, &cluster);
+        for scheme in [Scheme::Def, Scheme::Harl, Scheme::Mha] {
+            group.bench_with_input(BenchmarkId::new(*name, scheme.name()), trace, |b, trace| {
+                b.iter(|| evaluate_scheme(scheme, trace, &cluster, &ctx).bandwidth_mbps())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p mha-bench --release --bin figures -- all
+//! cargo run -p mha-bench --release --bin figures -- fig7 fig8 --quick
+//! cargo run -p mha-bench --release --bin figures -- all --json results/
+//! ```
+
+use mha_bench::experiments;
+use mha_bench::workloads::Scale;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(a.as_str()) != json_dir.as_deref())
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
+        experiments::all_ids().to_vec()
+    } else {
+        ids
+    };
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        let figs = experiments::run(id, scale);
+        for fig in &figs {
+            writeln!(out, "{fig}").expect("stdout");
+            summarize(&mut out, fig);
+            if let Some(dir) = &json_dir {
+                std::fs::create_dir_all(dir).expect("create json dir");
+                let path = std::path::Path::new(dir).join(format!("{}.json", fig.id));
+                std::fs::write(&path, fig.to_json()).expect("write json");
+            }
+        }
+        writeln!(out, "  [{id} took {:.1}s]\n", t0.elapsed().as_secs_f64()).expect("stdout");
+    }
+}
+
+/// Print MHA-vs-baseline improvements when the figure has scheme series.
+fn summarize(out: &mut impl std::io::Write, fig: &mha_bench::Figure) {
+    if !fig.series.iter().any(|s| s == "MHA") {
+        return;
+    }
+    for base in ["DEF", "AAL", "HARL"] {
+        let ratios: Vec<String> = fig
+            .rows
+            .iter()
+            .filter_map(|r| {
+                let ratio = fig.ratio(&r.label, "MHA", base)?;
+                Some(format!("{}: {:+.1}%", r.label, (ratio - 1.0) * 100.0))
+            })
+            .collect();
+        if !ratios.is_empty() {
+            writeln!(out, "  MHA vs {base}:  {}", ratios.join("  ")).expect("stdout");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # mha-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (§V) against the simulated substrate:
+//!
+//! | id | artifact |
+//! |----|----------|
+//! | `fig3` | LANL per-loop request sizes |
+//! | `fig7` | IOR bandwidth, mixed request sizes (read/write) |
+//! | `fig8` | per-server I/O time under each scheme |
+//! | `fig9` | IOR bandwidth, mixed process counts (read/write) |
+//! | `fig10` | IOR bandwidth vs H:S server ratio (read/write) |
+//! | `fig11` | HPIO bandwidth vs process count |
+//! | `fig12a` | BTIO aggregate bandwidth |
+//! | `fig12b` | LANL trace replay |
+//! | `fig13a` | LU decomposition replay |
+//! | `fig13b` | sparse Cholesky replay |
+//! | `fig14` | redirection overhead |
+//! | `tab1` | calibrated cost-model parameters (Table I) |
+//! | `ovh` | DRT meta-data space overhead (§V-E.2) |
+//!
+//! Run `cargo run -p mha-bench --release --bin figures -- all` (add
+//! `--quick` for smaller workloads). Criterion micro-benches live in
+//! `benches/`.
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use report::{FigRow, Figure};

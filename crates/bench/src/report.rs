@@ -1,0 +1,146 @@
+//! Figure/table report structures with aligned text rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One reproduced figure or table: labelled rows × named series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier (`fig7r`, `tab1`, ...).
+    pub id: String,
+    /// Human title, matching the paper's caption.
+    pub title: String,
+    /// Series (column) names, e.g. the four schemes.
+    pub series: Vec<String>,
+    /// Unit of the values (e.g. "MB/s").
+    pub unit: String,
+    /// Data rows.
+    pub rows: Vec<FigRow>,
+}
+
+/// One row of a figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigRow {
+    /// X-axis label ("128+256", "9 procs", ...).
+    pub label: String,
+    /// One value per series.
+    pub values: Vec<f64>,
+}
+
+impl Figure {
+    /// New empty figure.
+    pub fn new(id: &str, title: &str, series: &[&str], unit: &str) -> Self {
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            series: series.iter().map(ToString::to_string).collect(),
+            unit: unit.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// If the value count does not match the series count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len(), "row width mismatch");
+        self.rows.push(FigRow { label: label.into(), values });
+    }
+
+    /// Value at (row label, series name), if present.
+    pub fn value(&self, label: &str, series: &str) -> Option<f64> {
+        let col = self.series.iter().position(|s| s == series)?;
+        let row = self.rows.iter().find(|r| r.label == label)?;
+        row.values.get(col).copied()
+    }
+
+    /// Ratio of two series on one row (`a / b`), e.g. MHA-over-DEF.
+    pub fn ratio(&self, label: &str, a: &str, b: &str) -> Option<f64> {
+        Some(self.value(label, a)? / self.value(label, b)?)
+    }
+
+    /// JSON encoding for machine consumption.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure serializes")
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {}  ({})", self.id, self.title, self.unit)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(4))
+            .max()
+            .expect("nonempty iterator");
+        let col_w = self
+            .series
+            .iter()
+            .map(|s| s.len().max(10))
+            .collect::<Vec<_>>();
+        write!(f, "  {:label_w$}", "")?;
+        for (s, w) in self.series.iter().zip(&col_w) {
+            write!(f, "  {s:>w$}", w = w)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "  {:label_w$}", row.label)?;
+            for (v, w) in row.values.iter().zip(&col_w) {
+                if v.abs() >= 1e6 || (v.abs() < 1e-3 && *v != 0.0) {
+                    write!(f, "  {v:>w$.3e}", w = w)?;
+                } else {
+                    write!(f, "  {v:>w$.2}", w = w)?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut fig = Figure::new("fig7r", "IOR read", &["DEF", "MHA"], "MB/s");
+        fig.push_row("128+256", vec![100.0, 180.0]);
+        fig.push_row("64+512", vec![120.0, 200.0]);
+        fig
+    }
+
+    #[test]
+    fn value_and_ratio_lookup() {
+        let f = sample();
+        assert_eq!(f.value("128+256", "MHA"), Some(180.0));
+        assert_eq!(f.value("nope", "MHA"), None);
+        assert_eq!(f.value("128+256", "HARL"), None);
+        assert!((f.ratio("128+256", "MHA", "DEF").unwrap() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let text = sample().to_string();
+        assert!(text.contains("128+256"));
+        assert!(text.contains("DEF"));
+        assert!(text.contains("180.00"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let f = sample();
+        let back: Figure = serde_json::from_str(&f.to_json()).unwrap();
+        assert_eq!(back.rows.len(), 2);
+        assert_eq!(back.series, f.series);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut f = sample();
+        f.push_row("bad", vec![1.0]);
+    }
+}

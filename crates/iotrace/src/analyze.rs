@@ -1,0 +1,266 @@
+//! Access-pattern analysis: classify how each (file, rank, op) stream
+//! moves through the file.
+//!
+//! MHA's premise is that HPC access patterns are *predictable* — mostly
+//! determined by the numerical method, not the input (§III-A). This
+//! module makes that checkable: it classifies each stream as sequential,
+//! strided, mostly-strided or random, and reports the dominant request
+//! size. The dynamic controller and diagnostics build on it.
+
+use crate::record::{FileId, Rank};
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use storage_model::IoOp;
+
+/// Spatial classification of one access stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpatialPattern {
+    /// Each request starts where the previous one ended.
+    Sequential,
+    /// Constant start-to-start distance.
+    Strided {
+        /// The constant stride, bytes.
+        stride: u64,
+    },
+    /// One stride dominates but is not universal (fraction in per-mille).
+    MostlyStrided {
+        /// The dominant stride, bytes.
+        stride: u64,
+        /// Fraction of deltas matching it, per-mille.
+        permille: u16,
+    },
+    /// No dominant structure.
+    Random,
+}
+
+/// Analysis of one (file, rank, op) stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamPattern {
+    /// File accessed.
+    pub file: FileId,
+    /// Issuing rank.
+    pub rank: Rank,
+    /// Operation of the stream.
+    pub op: IoOp,
+    /// Number of requests.
+    pub requests: usize,
+    /// Spatial classification.
+    pub pattern: SpatialPattern,
+    /// Request size covering ≥ half the stream, if any.
+    pub dominant_size: Option<u64>,
+}
+
+/// Threshold for "mostly" strided: ≥ 80 % of deltas share a stride.
+const MOSTLY_PERMILLE: u16 = 800;
+
+/// Classify every (file, rank, op) stream of a trace, in stream order.
+pub fn analyze(trace: &Trace) -> Vec<StreamPattern> {
+    let mut streams: BTreeMap<(FileId, Rank, bool), Vec<(u64, u64)>> = BTreeMap::new();
+    for r in trace.records() {
+        streams
+            .entry((r.file, r.rank, r.op == IoOp::Write))
+            .or_default()
+            .push((r.offset, r.len));
+    }
+    streams
+        .into_iter()
+        .map(|((file, rank, is_write), reqs)| {
+            let op = if is_write { IoOp::Write } else { IoOp::Read };
+            StreamPattern {
+                file,
+                rank,
+                op,
+                requests: reqs.len(),
+                pattern: classify(&reqs),
+                dominant_size: dominant_size(&reqs),
+            }
+        })
+        .collect()
+}
+
+fn classify(reqs: &[(u64, u64)]) -> SpatialPattern {
+    if reqs.len() < 2 {
+        return SpatialPattern::Sequential;
+    }
+    // Sequential: every request starts at the previous end.
+    if reqs.windows(2).all(|w| w[0].0 + w[0].1 == w[1].0) {
+        return SpatialPattern::Sequential;
+    }
+    // Stride histogram over start-to-start deltas (signed deltas are
+    // folded: backward jumps count as distinct strides).
+    let mut counts: BTreeMap<i128, usize> = BTreeMap::new();
+    for w in reqs.windows(2) {
+        let delta = i128::from(w[1].0) - i128::from(w[0].0);
+        *counts.entry(delta).or_insert(0) += 1;
+    }
+    let total = reqs.len() - 1;
+    let (&mode, &mode_count) = counts
+        .iter()
+        .max_by_key(|&(_, &c)| c)
+        .expect("at least one delta");
+    if mode <= 0 {
+        return SpatialPattern::Random;
+    }
+    let permille = (mode_count * 1000 / total) as u16;
+    if mode_count == total {
+        SpatialPattern::Strided { stride: mode as u64 }
+    } else if permille >= MOSTLY_PERMILLE {
+        SpatialPattern::MostlyStrided { stride: mode as u64, permille }
+    } else {
+        SpatialPattern::Random
+    }
+}
+
+fn dominant_size(reqs: &[(u64, u64)]) -> Option<u64> {
+    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+    for &(_, len) in reqs {
+        *counts.entry(len).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(_, c)| c)
+        .filter(|&(_, c)| c * 2 >= reqs.len())
+        .map(|(len, _)| len)
+}
+
+/// Aggregate: does the whole trace look predictable (every stream
+/// sequential or strided)?
+pub fn is_predictable(trace: &Trace) -> bool {
+    analyze(trace).iter().all(|s| {
+        matches!(
+            s.pattern,
+            SpatialPattern::Sequential
+                | SpatialPattern::Strided { .. }
+                | SpatialPattern::MostlyStrided { .. }
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{ior, lanl, lu};
+    use crate::record::TraceRecord;
+    use simrt::SimTime;
+
+    fn stream(offsets_lens: &[(u64, u64)]) -> Vec<(u64, u64)> {
+        offsets_lens.to_vec()
+    }
+
+    #[test]
+    fn sequential_stream_detected() {
+        let s = stream(&[(0, 100), (100, 100), (200, 50), (250, 100)]);
+        assert_eq!(classify(&s), SpatialPattern::Sequential);
+    }
+
+    #[test]
+    fn strided_stream_detected() {
+        let s = stream(&[(0, 100), (1000, 100), (2000, 100), (3000, 100)]);
+        assert_eq!(classify(&s), SpatialPattern::Strided { stride: 1000 });
+    }
+
+    #[test]
+    fn mostly_strided_tolerates_outliers() {
+        // 9 strides of 1000 and one outlier = 900 permille.
+        let mut s: Vec<(u64, u64)> = (0..10).map(|i| (i * 1000, 100)).collect();
+        s.push((50_000, 100));
+        match classify(&s) {
+            SpatialPattern::MostlyStrided { stride: 1000, permille } => {
+                assert!(permille >= 800);
+            }
+            other => panic!("expected mostly-strided, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_stream_detected() {
+        let s = stream(&[(0, 10), (5000, 10), (100, 10), (90_000, 10), (7, 10), (1234, 10)]);
+        assert_eq!(classify(&s), SpatialPattern::Random);
+    }
+
+    #[test]
+    fn single_request_counts_as_sequential() {
+        assert_eq!(classify(&[(42, 10)]), SpatialPattern::Sequential);
+    }
+
+    #[test]
+    fn dominant_size_requires_majority() {
+        assert_eq!(dominant_size(&[(0, 10), (0, 10), (0, 20)]), Some(10));
+        assert_eq!(dominant_size(&[(0, 10), (0, 20), (0, 30)]), None);
+    }
+
+    #[test]
+    fn lu_streams_are_strided_and_predictable() {
+        let t = lu::generate(&lu::LuConfig { procs: 2, steps: 32 });
+        let analysis = analyze(&t);
+        // Per rank: one read stream and one write stream per file.
+        assert_eq!(analysis.len(), 4);
+        for s in &analysis {
+            match (s.op, s.pattern) {
+                // Slab writes tile the file back to back: sequential.
+                (IoOp::Write, SpatialPattern::Sequential) => {
+                    assert_eq!(s.dominant_size, Some(lu::WRITE_SIZE));
+                }
+                (IoOp::Read, SpatialPattern::Strided { .. })
+                | (IoOp::Read, SpatialPattern::MostlyStrided { .. }) => {
+                    // Panel reads shrink by an integer-rounded amount per
+                    // step, so deltas are near-constant.
+                }
+                other => panic!("unexpected LU stream {other:?}"),
+            }
+        }
+        assert!(is_predictable(&t));
+    }
+
+    #[test]
+    fn lanl_streams_are_predictable() {
+        let t = lanl::generate(&lanl::LanlConfig::paper(4, IoOp::Write));
+        // Each rank cycles three request sizes through strided slots: the
+        // per-stream deltas cycle, so streams are not singly-strided, but
+        // the trace is structured — verify analysis runs and finds the
+        // right stream count (8 ranks) and no dominant size (three sizes
+        // tie at 1/3 each).
+        let analysis = analyze(&t);
+        assert_eq!(analysis.len(), 8);
+        for s in &analysis {
+            assert_eq!(s.dominant_size, None, "three equal size classes");
+        }
+    }
+
+    #[test]
+    fn random_ior_is_not_predictable() {
+        let mut cfg = ior::IorConfig::default_run(IoOp::Write);
+        cfg.reqs_per_proc = 32;
+        let t = ior::generate(&cfg);
+        assert!(!is_predictable(&t), "random-offset IOR must classify random");
+    }
+
+    #[test]
+    fn streams_split_by_op() {
+        let recs = vec![
+            TraceRecord {
+                pid: 0,
+                rank: Rank(0),
+                file: FileId(0),
+                op: IoOp::Read,
+                offset: 0,
+                len: 10,
+                ts: SimTime::ZERO,
+                phase: 0,
+            },
+            TraceRecord {
+                pid: 0,
+                rank: Rank(0),
+                file: FileId(0),
+                op: IoOp::Write,
+                offset: 100,
+                len: 10,
+                ts: SimTime::ZERO,
+                phase: 0,
+            },
+        ];
+        let analysis = analyze(&Trace::from_records(recs));
+        assert_eq!(analysis.len(), 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! IOR-like workload generator (LLNL parallel file system benchmark).
+//!
+//! The paper runs IOR through MPI-IO on a shared file, modified to issue
+//! *mixed request sizes* (Fig. 7), *mixed process counts* (Fig. 9) and
+//! small/large mixes for the overhead study (Fig. 14). Requests are
+//! random-offset within the shared file, one request per active process
+//! per phase, with the size (or the number of active processes) cycling
+//! between the configured mix values by file region — reproducing the
+//! paper's "large at one file chunk, small at another" heterogeneity.
+
+use crate::gen::PhaseClock;
+use crate::record::{FileId, Rank, TraceRecord};
+use crate::trace::Trace;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simrt::SeedSeq;
+use storage_model::IoOp;
+
+/// IOR run configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IorConfig {
+    /// Number of processes in each interleaved process group. Fig. 7 uses
+    /// one entry (e.g. `[32]`); Fig. 9 mixes entries (e.g. `[8, 32]`).
+    pub proc_mix: Vec<u32>,
+    /// Request sizes cycled across file chunks (bytes). Fig. 7 mixes e.g.
+    /// `[128 KiB, 256 KiB]`; uniform runs use one entry.
+    pub size_mix: Vec<u64>,
+    /// Shared file size, bytes.
+    pub file_size: u64,
+    /// Requests issued per process.
+    pub reqs_per_proc: usize,
+    /// Operation type of the run (IOR does separate read and write passes).
+    pub op: IoOp,
+    /// Random (true, the paper's setting) or sequential offsets.
+    pub random_offsets: bool,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl IorConfig {
+    /// The paper's default: 16 processes, 64 KiB transfers, shared file.
+    pub fn default_run(op: IoOp) -> Self {
+        IorConfig {
+            proc_mix: vec![16],
+            size_mix: vec![64 * 1024],
+            file_size: 16 << 30,
+            reqs_per_proc: 64,
+            op,
+            random_offsets: true,
+            seed: 0x10b,
+        }
+    }
+
+    /// Fig. 7 configuration: 32 processes, mixed request sizes, 16 GB file.
+    pub fn mixed_sizes(sizes: &[u64], op: IoOp) -> Self {
+        IorConfig {
+            proc_mix: vec![32],
+            size_mix: sizes.to_vec(),
+            file_size: 16 << 30,
+            reqs_per_proc: 64,
+            op,
+            random_offsets: true,
+            seed: 0x10b,
+        }
+    }
+
+    /// Fig. 9 configuration: 256 KiB requests, mixed process counts.
+    pub fn mixed_procs(procs: &[u32], op: IoOp) -> Self {
+        IorConfig {
+            proc_mix: procs.to_vec(),
+            size_mix: vec![256 * 1024],
+            file_size: 16 << 30,
+            reqs_per_proc: 64,
+            op,
+            random_offsets: true,
+            seed: 0x10b,
+        }
+    }
+}
+
+/// Generate an IOR trace.
+///
+/// The file is split into as many chunks as there are mix combinations;
+/// chunk `c` is accessed with `size_mix[c % sizes]` by
+/// `proc_mix[c % procs]` processes, so pattern heterogeneity is tied to
+/// file location exactly as in the paper's modified IOR.
+pub fn generate(cfg: &IorConfig) -> Trace {
+    assert!(!cfg.proc_mix.is_empty() && !cfg.size_mix.is_empty(), "empty mix");
+    assert!(cfg.file_size > 0, "empty file");
+    let mut rng = SeedSeq::new(cfg.seed).derive("ior").rng();
+    let mut clock = PhaseClock::new();
+    let mut records = Vec::new();
+
+    let variants = cfg.proc_mix.len().max(cfg.size_mix.len());
+    // Partition the file into one contiguous chunk per pattern variant.
+    let chunk = cfg.file_size / variants as u64;
+    let max_procs = *cfg.proc_mix.iter().max().expect("nonempty");
+
+    for iter in 0..cfg.reqs_per_proc {
+        let variant = iter % variants;
+        let procs = cfg.proc_mix[variant % cfg.proc_mix.len()];
+        let size = cfg.size_mix[variant % cfg.size_mix.len()];
+        let lo = variant as u64 * chunk;
+        let span = chunk.saturating_sub(size).max(1);
+        let (phase, ts) = clock.tick();
+        for p in 0..procs {
+            let offset = if cfg.random_offsets {
+                // Align to the request size like IOR's transferSize blocks.
+                let slot = rng.gen_range(0..span / size.max(1) + 1);
+                lo + slot * size
+            } else {
+                lo + (iter as u64 * u64::from(max_procs) + u64::from(p)) * size
+            };
+            records.push(TraceRecord {
+                pid: 1000 + p,
+                rank: Rank(p),
+                file: FileId(0),
+                op: cfg.op,
+                offset: offset.min(cfg.file_size.saturating_sub(size)),
+                len: size,
+                ts,
+                phase,
+            });
+        }
+    }
+    Trace::from_records(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn default_run_is_uniform() {
+        let t = generate(&IorConfig::default_run(IoOp::Write));
+        let s = TraceStats::of(&t);
+        assert_eq!(s.distinct_sizes, 1);
+        assert_eq!(s.max_request, 64 * 1024);
+        assert_eq!(s.requests, 16 * 64);
+        assert!(!s.is_heterogeneous());
+    }
+
+    #[test]
+    fn mixed_sizes_produces_both_sizes() {
+        let t = generate(&IorConfig::mixed_sizes(&[128 << 10, 256 << 10], IoOp::Read));
+        let s = TraceStats::of(&t);
+        assert_eq!(s.distinct_sizes, 2);
+        assert!(s.is_heterogeneous());
+        assert_eq!(s.max_request, 256 << 10);
+    }
+
+    #[test]
+    fn sizes_are_tied_to_file_chunks() {
+        let cfg = IorConfig::mixed_sizes(&[128 << 10, 256 << 10], IoOp::Read);
+        let t = generate(&cfg);
+        let half = cfg.file_size / 2;
+        for r in t.records() {
+            if r.offset < half {
+                assert_eq!(r.len, 128 << 10, "small chunk holds small requests");
+            } else {
+                assert_eq!(r.len, 256 << 10);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_procs_varies_concurrency() {
+        let t = generate(&IorConfig::mixed_procs(&[8, 32], IoOp::Write));
+        let conc = t.concurrency();
+        let mut distinct: Vec<u32> = conc.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct, vec![8, 32]);
+    }
+
+    #[test]
+    fn offsets_stay_in_file() {
+        let cfg = IorConfig::mixed_sizes(&[256 << 10, 1 << 20], IoOp::Write);
+        let t = generate(&cfg);
+        for r in t.records() {
+            assert!(r.end() <= cfg.file_size, "request escapes file: {r:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = IorConfig::default_run(IoOp::Read);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = IorConfig::default_run(IoOp::Read);
+        let a = generate(&cfg);
+        cfg.seed = 999;
+        let b = generate(&cfg);
+        assert_ne!(a.records(), b.records());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mix")]
+    fn empty_mix_rejected() {
+        let mut cfg = IorConfig::default_run(IoOp::Read);
+        cfg.size_mix.clear();
+        generate(&cfg);
+    }
+}

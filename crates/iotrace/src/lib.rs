@@ -1,0 +1,32 @@
+//! # iotrace — I/O traces, collection, and workload generation
+//!
+//! MHA is trace-driven: the first run of an application is profiled by an
+//! IOSIG-like collector, and the resulting trace feeds the layout
+//! optimizer. This crate provides:
+//!
+//! * [`TraceRecord`] / [`Trace`] — the record schema IOSIG captures
+//!   (process id, MPI rank, file descriptor, operation, offset, size,
+//!   timestamp) plus an explicit I/O *phase* used to compute request
+//!   concurrency,
+//! * [`Collector`] — the online profiler the middleware drives,
+//! * [`gen`] — six workload generators standing in for the paper's
+//!   benchmarks and application traces (IOR, HPIO, BTIO, LANL App2,
+//!   out-of-core LU, sparse Cholesky),
+//! * [`stats`] — trace summaries (size histogram, r_max, byte totals),
+//! * [`tsv`] — a line-oriented interchange format plus JSON via serde.
+
+pub mod analyze;
+pub mod collector;
+pub mod gen;
+pub mod record;
+pub mod stats;
+pub mod trace;
+pub mod tsv;
+
+pub use analyze::{analyze, is_predictable, SpatialPattern, StreamPattern};
+pub use collector::Collector;
+pub use record::{FileId, Rank, TraceRecord};
+pub use stats::TraceStats;
+pub use trace::Trace;
+
+pub use storage_model::IoOp;

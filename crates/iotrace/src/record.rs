@@ -1,0 +1,107 @@
+//! The trace record schema.
+
+use serde::{Deserialize, Serialize};
+use simrt::SimTime;
+use storage_model::IoOp;
+
+/// MPI rank of the issuing process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rank(pub u32);
+
+/// Identifier of a logical file within a trace (the collector maps file
+/// descriptors to stable ids at record time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+/// One file operation, as captured by the IOSIG-like collector.
+///
+/// This mirrors the information the paper lists in §III-C: process ID, MPI
+/// rank, file descriptor, request type, file offset, request size, and
+/// time stamp. We additionally materialize the I/O `phase`: requests that
+/// the application issues simultaneously (one per rank in a parallel I/O
+/// call) share a phase, which is what the paper's "request concurrency"
+/// feature counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulated OS process id of the issuer.
+    pub pid: u32,
+    /// MPI rank of the issuer.
+    pub rank: Rank,
+    /// Logical file the request targets.
+    pub file: FileId,
+    /// Read or write.
+    pub op: IoOp,
+    /// Byte offset within the file.
+    pub offset: u64,
+    /// Request length in bytes.
+    pub len: u64,
+    /// Issue timestamp.
+    pub ts: SimTime,
+    /// I/O phase index: requests issued concurrently share a phase.
+    pub phase: u32,
+}
+
+impl TraceRecord {
+    /// One-past-the-end byte of the request.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// True if this request's byte range overlaps `other`'s on the same
+    /// file. Zero-length requests cover no bytes and never overlap.
+    pub fn overlaps(&self, other: &TraceRecord) -> bool {
+        self.len > 0
+            && other.len > 0
+            && self.file == other.file
+            && self.offset < other.end()
+            && other.offset < self.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(file: u32, offset: u64, len: u64) -> TraceRecord {
+        TraceRecord {
+            pid: 1,
+            rank: Rank(0),
+            file: FileId(file),
+            op: IoOp::Read,
+            offset,
+            len,
+            ts: SimTime::ZERO,
+            phase: 0,
+        }
+    }
+
+    #[test]
+    fn end_is_exclusive() {
+        assert_eq!(rec(0, 10, 5).end(), 15);
+    }
+
+    #[test]
+    fn overlap_requires_same_file() {
+        let a = rec(0, 0, 10);
+        let b = rec(1, 0, 10);
+        assert!(!a.overlaps(&b));
+        let c = rec(0, 5, 10);
+        assert!(a.overlaps(&c));
+    }
+
+    #[test]
+    fn touching_ranges_do_not_overlap() {
+        let a = rec(0, 0, 10);
+        let b = rec(0, 10, 10);
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+    }
+
+    #[test]
+    fn zero_length_never_overlaps() {
+        let a = rec(0, 5, 0);
+        let b = rec(0, 0, 10);
+        assert!(!a.overlaps(&b));
+    }
+}

@@ -1,0 +1,148 @@
+//! Trace summaries used in reports and by the layout planners.
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use simrt::stats::{Log2Histogram, OnlineStats};
+use storage_model::IoOp;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Record count.
+    pub requests: usize,
+    /// Read record count.
+    pub reads: usize,
+    /// Write record count.
+    pub writes: usize,
+    /// Total bytes moved.
+    pub total_bytes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Largest request, bytes (`r_max`).
+    pub max_request: u64,
+    /// Smallest request, bytes.
+    pub min_request: u64,
+    /// Mean request size, bytes.
+    pub mean_request: f64,
+    /// Request-size coefficient of variation — the paper's notion of
+    /// "heterogeneous request sizes" corresponds to a large value here.
+    pub size_cv: f64,
+    /// Number of distinct I/O phases.
+    pub phases: u32,
+    /// Maximum per-phase concurrency.
+    pub max_concurrency: u32,
+    /// log2 histogram of request sizes.
+    pub size_histogram: Log2Histogram,
+    /// Number of distinct request sizes.
+    pub distinct_sizes: usize,
+}
+
+impl TraceStats {
+    /// Compute statistics for `trace`.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let mut sizes = OnlineStats::new();
+        let mut hist = Log2Histogram::new();
+        let mut distinct: Vec<u64> = Vec::new();
+        let mut reads = 0usize;
+        let mut writes = 0usize;
+        for r in trace.records() {
+            sizes.push(r.len as f64);
+            hist.record(r.len);
+            distinct.push(r.len);
+            match r.op {
+                IoOp::Read => reads += 1,
+                IoOp::Write => writes += 1,
+            }
+        }
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mean = sizes.mean();
+        TraceStats {
+            requests: trace.len(),
+            reads,
+            writes,
+            total_bytes: trace.total_bytes(),
+            read_bytes: trace.bytes_for(IoOp::Read),
+            write_bytes: trace.bytes_for(IoOp::Write),
+            max_request: trace.max_request_size(),
+            min_request: trace.records().iter().map(|r| r.len).min().unwrap_or(0),
+            mean_request: mean,
+            size_cv: if mean > 0.0 { sizes.stddev() / mean } else { 0.0 },
+            phases: trace.phase_count(),
+            max_concurrency: trace.concurrency().into_iter().max().unwrap_or(0),
+            size_histogram: hist,
+            distinct_sizes: distinct.len(),
+        }
+    }
+
+    /// Heuristic: does this trace exhibit heterogeneous access patterns
+    /// (multiple distinct sizes or notable size dispersion)?
+    pub fn is_heterogeneous(&self) -> bool {
+        self.distinct_sizes > 1 && self.size_cv > 0.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FileId, Rank, TraceRecord};
+    use simrt::SimTime;
+
+    fn rec(off: u64, len: u64, phase: u32, op: IoOp) -> TraceRecord {
+        TraceRecord {
+            pid: 0,
+            rank: Rank(0),
+            file: FileId(0),
+            op,
+            offset: off,
+            len,
+            ts: SimTime::from_nanos(phase as u64),
+            phase,
+        }
+    }
+
+    #[test]
+    fn stats_of_uniform_trace() {
+        let t = Trace::from_records(vec![
+            rec(0, 64, 0, IoOp::Read),
+            rec(64, 64, 0, IoOp::Read),
+            rec(128, 64, 1, IoOp::Write),
+        ]);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.total_bytes, 192);
+        assert_eq!(s.max_request, 64);
+        assert_eq!(s.min_request, 64);
+        assert_eq!(s.distinct_sizes, 1);
+        assert_eq!(s.size_cv, 0.0);
+        assert!(!s.is_heterogeneous());
+        assert_eq!(s.max_concurrency, 2);
+    }
+
+    #[test]
+    fn stats_of_mixed_trace_flags_heterogeneity() {
+        let t = Trace::from_records(vec![
+            rec(0, 16, 0, IoOp::Write),
+            rec(16, 131_056, 1, IoOp::Write),
+            rec(131_072, 131_072, 2, IoOp::Write),
+        ]);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.distinct_sizes, 3);
+        assert!(s.is_heterogeneous());
+        assert_eq!(s.max_request, 131_072);
+        assert_eq!(s.min_request, 16);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zeroed() {
+        let s = TraceStats::of(&Trace::new());
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.mean_request, 0.0);
+        assert_eq!(s.size_cv, 0.0);
+        assert!(!s.is_heterogeneous());
+    }
+}

@@ -1,0 +1,247 @@
+//! A trace: an ordered collection of records plus derived views.
+
+use crate::record::{FileId, TraceRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use storage_model::IoOp;
+
+/// An application I/O trace in issue order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace { records: Vec::new() }
+    }
+
+    /// Build from records already in issue order.
+    pub fn from_records(records: Vec<TraceRecord>) -> Self {
+        Trace { records }
+    }
+
+    /// Append one record (must not be earlier than the last — issue order).
+    pub fn push(&mut self, rec: TraceRecord) {
+        debug_assert!(
+            self.records.last().map_or(true, |l| rec.ts >= l.ts),
+            "trace records must be appended in issue order"
+        );
+        self.records.push(rec);
+    }
+
+    /// Records in issue order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records were captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records sorted ascending by (file, offset) — the order the paper's
+    /// collector emits for the layout-optimization phases (§III-C).
+    pub fn sorted_by_offset(&self) -> Vec<TraceRecord> {
+        let mut v = self.records.clone();
+        v.sort_by_key(|r| (r.file, r.offset, r.ts, r.rank));
+        v
+    }
+
+    /// Largest request size in the trace (the `r_max` of Algorithm 2);
+    /// zero for an empty trace.
+    pub fn max_request_size(&self) -> u64 {
+        self.records.iter().map(|r| r.len).max().unwrap_or(0)
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.len).sum()
+    }
+
+    /// Total bytes moved by `op` requests.
+    pub fn bytes_for(&self, op: IoOp) -> u64 {
+        self.records.iter().filter(|r| r.op == op).map(|r| r.len).sum()
+    }
+
+    /// Distinct files touched, in id order.
+    pub fn files(&self) -> Vec<FileId> {
+        let mut v: Vec<FileId> = self.records.iter().map(|r| r.file).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Required size of each file (max end offset), keyed by file.
+    pub fn file_extents(&self) -> BTreeMap<FileId, u64> {
+        let mut m = BTreeMap::new();
+        for r in &self.records {
+            let e = m.entry(r.file).or_insert(0u64);
+            *e = (*e).max(r.end());
+        }
+        m
+    }
+
+    /// Per-record concurrency: for record `i`, the number of records that
+    /// share its phase (including itself). This is the paper's "request
+    /// concurrency" feature — the number of requests simultaneously issued
+    /// to the file.
+    pub fn concurrency(&self) -> Vec<u32> {
+        let mut phase_count: BTreeMap<(FileId, u32), u32> = BTreeMap::new();
+        for r in &self.records {
+            *phase_count.entry((r.file, r.phase)).or_insert(0) += 1;
+        }
+        self.records
+            .iter()
+            .map(|r| phase_count[&(r.file, r.phase)])
+            .collect()
+    }
+
+    /// Number of distinct phases.
+    pub fn phase_count(&self) -> u32 {
+        self.records
+            .iter()
+            .map(|r| r.phase)
+            .max()
+            .map_or(0, |p| p + 1)
+    }
+
+    /// Restrict to one file.
+    pub fn for_file(&self, file: FileId) -> Trace {
+        Trace {
+            records: self.records.iter().filter(|r| r.file == file).copied().collect(),
+        }
+    }
+
+    /// Concatenate another trace after this one (phases are shifted so they
+    /// stay distinct).
+    pub fn extend_with(&mut self, other: &Trace) {
+        let shift = self.phase_count();
+        for r in &other.records {
+            let mut r = *r;
+            r.phase += shift;
+            self.records.push(r);
+        }
+        self.records.sort_by_key(|r| (r.ts, r.phase, r.rank, r.offset));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Rank;
+    use simrt::SimTime;
+
+    fn rec(file: u32, off: u64, len: u64, phase: u32, op: IoOp) -> TraceRecord {
+        TraceRecord {
+            pid: 1,
+            rank: Rank(0),
+            file: FileId(file),
+            op,
+            offset: off,
+            len,
+            ts: SimTime::from_nanos(phase as u64),
+            phase,
+        }
+    }
+
+    #[test]
+    fn totals_and_rmax() {
+        let t = Trace::from_records(vec![
+            rec(0, 0, 100, 0, IoOp::Read),
+            rec(0, 100, 300, 0, IoOp::Write),
+            rec(0, 400, 200, 1, IoOp::Read),
+        ]);
+        assert_eq!(t.total_bytes(), 600);
+        assert_eq!(t.max_request_size(), 300);
+        assert_eq!(t.bytes_for(IoOp::Read), 300);
+        assert_eq!(t.bytes_for(IoOp::Write), 300);
+    }
+
+    #[test]
+    fn sorted_by_offset_orders_per_file() {
+        let t = Trace::from_records(vec![
+            rec(1, 500, 10, 0, IoOp::Read),
+            rec(0, 900, 10, 0, IoOp::Read),
+            rec(0, 100, 10, 1, IoOp::Read),
+        ]);
+        let s = t.sorted_by_offset();
+        assert_eq!(
+            s.iter().map(|r| (r.file.0, r.offset)).collect::<Vec<_>>(),
+            vec![(0, 100), (0, 900), (1, 500)]
+        );
+    }
+
+    #[test]
+    fn concurrency_counts_phase_mates() {
+        let t = Trace::from_records(vec![
+            rec(0, 0, 10, 0, IoOp::Read),
+            rec(0, 10, 10, 0, IoOp::Read),
+            rec(0, 20, 10, 0, IoOp::Read),
+            rec(0, 30, 10, 1, IoOp::Read),
+        ]);
+        assert_eq!(t.concurrency(), vec![3, 3, 3, 1]);
+        assert_eq!(t.phase_count(), 2);
+    }
+
+    #[test]
+    fn concurrency_is_per_file() {
+        let t = Trace::from_records(vec![
+            rec(0, 0, 10, 0, IoOp::Read),
+            rec(1, 0, 10, 0, IoOp::Read),
+        ]);
+        assert_eq!(t.concurrency(), vec![1, 1]);
+    }
+
+    #[test]
+    fn file_extents_track_max_end() {
+        let t = Trace::from_records(vec![
+            rec(0, 0, 10, 0, IoOp::Read),
+            rec(0, 90, 10, 0, IoOp::Read),
+            rec(2, 5, 5, 0, IoOp::Read),
+        ]);
+        let e = t.file_extents();
+        assert_eq!(e[&FileId(0)], 100);
+        assert_eq!(e[&FileId(2)], 10);
+        assert_eq!(t.files(), vec![FileId(0), FileId(2)]);
+    }
+
+    #[test]
+    fn extend_with_shifts_phases() {
+        let mut a = Trace::from_records(vec![rec(0, 0, 10, 0, IoOp::Read)]);
+        let b = Trace::from_records(vec![rec(0, 10, 10, 0, IoOp::Read)]);
+        a.extend_with(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.phase_count(), 2);
+        // Both singleton phases → concurrency 1 each.
+        assert_eq!(a.concurrency(), vec![1, 1]);
+    }
+
+    #[test]
+    fn for_file_filters_records() {
+        let t = Trace::from_records(vec![
+            rec(0, 0, 10, 0, IoOp::Read),
+            rec(1, 0, 20, 0, IoOp::Read),
+            rec(0, 10, 30, 1, IoOp::Write),
+        ]);
+        let f0 = t.for_file(FileId(0));
+        assert_eq!(f0.len(), 2);
+        assert_eq!(f0.total_bytes(), 40);
+        assert!(t.for_file(FileId(9)).is_empty());
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.max_request_size(), 0);
+        assert_eq!(t.phase_count(), 0);
+        assert!(t.concurrency().is_empty());
+    }
+}

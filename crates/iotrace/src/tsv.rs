@@ -1,0 +1,168 @@
+//! Line-oriented trace interchange (tab-separated), mirroring the trace
+//! files IOSIG writes, plus JSON via serde on [`Trace`] itself.
+//!
+//! Format, one record per line:
+//! `pid<TAB>rank<TAB>file<TAB>op<TAB>offset<TAB>len<TAB>ts_ns<TAB>phase`
+//! Lines starting with `#` are comments.
+
+use crate::record::{FileId, Rank, TraceRecord};
+use crate::trace::Trace;
+use simrt::SimTime;
+use std::fmt::Write as _;
+use storage_model::IoOp;
+
+/// Error parsing a TSV trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a trace to TSV.
+pub fn to_tsv(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 48 + 64);
+    out.push_str("# pid\trank\tfile\top\toffset\tlen\tts_ns\tphase\n");
+    for r in trace.records() {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.pid,
+            r.rank.0,
+            r.file.0,
+            r.op.name(),
+            r.offset,
+            r.len,
+            r.ts.as_nanos(),
+            r.phase
+        );
+    }
+    out
+}
+
+/// Parse a trace from TSV.
+pub fn from_tsv(text: &str) -> Result<Trace, ParseError> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 8 {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("expected 8 fields, found {}", fields.len()),
+            });
+        }
+        let num = |s: &str, what: &str| -> Result<u64, ParseError> {
+            s.parse::<u64>().map_err(|e| ParseError {
+                line: lineno,
+                message: format!("bad {what} '{s}': {e}"),
+            })
+        };
+        let op = match fields[3] {
+            "read" => IoOp::Read,
+            "write" => IoOp::Write,
+            other => {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("bad op '{other}' (expected read/write)"),
+                })
+            }
+        };
+        records.push(TraceRecord {
+            pid: num(fields[0], "pid")? as u32,
+            rank: Rank(num(fields[1], "rank")? as u32),
+            file: FileId(num(fields[2], "file")? as u32),
+            op,
+            offset: num(fields[4], "offset")?,
+            len: num(fields[5], "len")?,
+            ts: SimTime::from_nanos(num(fields[6], "ts")?),
+            phase: num(fields[7], "phase")? as u32,
+        });
+    }
+    Ok(Trace::from_records(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::from_records(vec![
+            TraceRecord {
+                pid: 11,
+                rank: Rank(0),
+                file: FileId(0),
+                op: IoOp::Write,
+                offset: 0,
+                len: 16,
+                ts: SimTime::from_nanos(100),
+                phase: 0,
+            },
+            TraceRecord {
+                pid: 12,
+                rank: Rank(1),
+                file: FileId(0),
+                op: IoOp::Read,
+                offset: 16,
+                len: 131_056,
+                ts: SimTime::from_nanos(200),
+                phase: 1,
+            },
+        ])
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let t = sample();
+        let text = to_tsv(&t);
+        let back = from_tsv(&text).unwrap();
+        assert_eq!(back.records(), t.records());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n11\t0\t0\twrite\t0\t16\t100\t0\n";
+        let t = from_tsv(text).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn bad_field_count_reports_line() {
+        let err = from_tsv("1\t2\t3\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("8 fields"));
+    }
+
+    #[test]
+    fn bad_op_rejected() {
+        let err = from_tsv("1\t0\t0\tappend\t0\t16\t0\t0\n").unwrap_err();
+        assert!(err.message.contains("bad op"));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let err = from_tsv("x\t0\t0\tread\t0\t16\t0\t0\n").unwrap_err();
+        assert!(err.message.contains("bad pid"));
+    }
+
+    #[test]
+    fn json_round_trip_via_serde() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records(), t.records());
+    }
+}

@@ -1,0 +1,71 @@
+//! Byte-level encoding helpers: little-endian integers and CRC32
+//! (IEEE 802.3 polynomial, table-driven), implemented locally so the store
+//! has no checksum dependency.
+
+/// CRC32 lookup table for polynomial 0xEDB88320 (reflected IEEE).
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC32 of `data` (IEEE, as used by zlib/Ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append a `u32` little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u32` little-endian at `pos`, if in bounds.
+pub fn get_u32(buf: &[u8], pos: usize) -> Option<u32> {
+    let bytes = buf.get(pos..pos + 4)?;
+    Some(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: "123456789" -> 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let a = crc32(b"hello world");
+        let b = crc32(b"hello worle");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u32(&mut buf, 7);
+        assert_eq!(get_u32(&buf, 0), Some(0xDEAD_BEEF));
+        assert_eq!(get_u32(&buf, 4), Some(7));
+        assert_eq!(get_u32(&buf, 5), None);
+    }
+}

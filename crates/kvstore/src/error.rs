@@ -1,0 +1,65 @@
+//! Error type for store operations.
+
+use std::fmt;
+use std::io;
+
+/// Store error.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A log record failed its integrity check somewhere other than the
+    /// tail (tail corruption is silently truncated as a torn write).
+    Corrupt {
+        /// Byte offset of the bad record.
+        offset: u64,
+        /// Description of the failure.
+        reason: String,
+    },
+    /// Key or value exceeds the encodable maximum (`u32::MAX` bytes).
+    TooLarge,
+}
+
+/// Store result.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "kvstore I/O error: {e}"),
+            Error::Corrupt { offset, reason } => {
+                write!(f, "kvstore corruption at offset {offset}: {reason}")
+            }
+            Error::TooLarge => write!(f, "kvstore key/value too large"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::Corrupt { offset: 42, reason: "bad crc".into() };
+        assert!(e.to_string().contains("42"));
+        let e: Error = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(Error::TooLarge.to_string().contains("large"));
+    }
+}

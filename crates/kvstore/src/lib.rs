@@ -1,0 +1,28 @@
+//! # kvstore — embedded durable hash key-value store
+//!
+//! The paper implements MHA's two metadata tables — the Data Reordering
+//! Table (DRT) and the Region Stripe Table (RST) — on Berkeley DB,
+//! configured as a hash table of key-value records, with in-memory hashing
+//! of hot entries and synchronous write-through so the tables survive
+//! power failures (§IV-A). This crate is the from-scratch substitute:
+//!
+//! * a write-ahead log (WAL) with per-record CRC32, synced on every
+//!   mutation (write-through durability),
+//! * an in-memory hash index over the log,
+//! * an LRU-bounded value cache (the paper's "list of frequently accessed
+//!   reordering entries"); cold values are re-read from the log,
+//! * crash recovery that replays the log and truncates a torn tail,
+//! * compaction that rewrites the log with only live records.
+//!
+//! Concurrency: the store is `Sync`; a single [`parking_lot::Mutex`]
+//! serializes mutations, mirroring the page-level locking Berkeley DB
+//! would provide for this workload.
+
+pub mod codec;
+pub mod error;
+pub mod lru;
+pub mod store;
+pub mod wal;
+
+pub use error::{Error, Result};
+pub use store::{Store, StoreOptions, StoreStats};

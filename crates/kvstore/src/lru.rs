@@ -1,0 +1,161 @@
+//! A small LRU tracker: keys ordered by recency with O(1) amortized touch.
+//!
+//! Implemented as a monotonically-stamped map plus a lazy min-heap sweep:
+//! each touch assigns a fresh stamp; eviction pops the entry with the
+//! lowest *current* stamp, skipping stale heap entries. This keeps the
+//! implementation compact without an intrusive linked list.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+
+/// LRU recency tracker over keys of type `K`.
+#[derive(Debug)]
+pub struct LruTracker<K: Eq + Hash + Clone> {
+    stamps: HashMap<K, u64>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    keys: Vec<Option<K>>,
+    by_key: HashMap<K, usize>,
+    clock: u64,
+}
+
+impl<K: Eq + Hash + Clone> Default for LruTracker<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> LruTracker<K> {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        LruTracker {
+            stamps: HashMap::new(),
+            heap: BinaryHeap::new(),
+            keys: Vec::new(),
+            by_key: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// Mark `key` as most recently used (inserting it if new).
+    pub fn touch(&mut self, key: K) {
+        self.clock += 1;
+        let stamp = self.clock;
+        self.stamps.insert(key.clone(), stamp);
+        let slot = match self.by_key.get(&key) {
+            Some(&s) => {
+                self.keys[s] = Some(key);
+                s
+            }
+            None => {
+                self.keys.push(Some(key.clone()));
+                let s = self.keys.len() - 1;
+                self.by_key.insert(key, s);
+                s
+            }
+        };
+        self.heap.push(Reverse((stamp, slot)));
+    }
+
+    /// Stop tracking `key`.
+    pub fn remove(&mut self, key: &K) {
+        self.stamps.remove(key);
+        if let Some(slot) = self.by_key.remove(key) {
+            self.keys[slot] = None;
+        }
+    }
+
+    /// Evict and return the least recently used key, if any.
+    pub fn pop_lru(&mut self) -> Option<K> {
+        while let Some(Reverse((stamp, slot))) = self.heap.pop() {
+            let Some(key) = self.keys[slot].clone() else { continue };
+            match self.stamps.get(&key) {
+                // Only the entry carrying the key's *latest* stamp is live.
+                Some(&cur) if cur == stamp => {
+                    self.stamps.remove(&key);
+                    self.by_key.remove(&key);
+                    self.keys[slot] = None;
+                    return Some(key);
+                }
+                _ => continue, // stale heap entry
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_recency_order() {
+        let mut lru = LruTracker::new();
+        lru.touch("a");
+        lru.touch("b");
+        lru.touch("c");
+        assert_eq!(lru.pop_lru(), Some("a"));
+        assert_eq!(lru.pop_lru(), Some("b"));
+        assert_eq!(lru.pop_lru(), Some("c"));
+        assert_eq!(lru.pop_lru(), None);
+    }
+
+    #[test]
+    fn touch_refreshes_recency() {
+        let mut lru = LruTracker::new();
+        lru.touch(1);
+        lru.touch(2);
+        lru.touch(1); // 1 becomes MRU
+        assert_eq!(lru.pop_lru(), Some(2));
+        assert_eq!(lru.pop_lru(), Some(1));
+    }
+
+    #[test]
+    fn remove_prevents_eviction() {
+        let mut lru = LruTracker::new();
+        lru.touch("x");
+        lru.touch("y");
+        lru.remove(&"x");
+        assert_eq!(lru.pop_lru(), Some("y"));
+        assert_eq!(lru.pop_lru(), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn len_counts_live_keys() {
+        let mut lru = LruTracker::new();
+        for i in 0..10 {
+            lru.touch(i % 3); // only 3 distinct keys
+        }
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        let mut lru = LruTracker::new();
+        for round in 0..100u32 {
+            for k in 0..50u32 {
+                lru.touch(k);
+            }
+            // Evict half each round.
+            for expect in 0..25u32 {
+                let got = lru.pop_lru().expect("nonempty");
+                // After touching 0..50 in order, LRU order is 0, 1, ...
+                assert_eq!(got, expect, "round {round}");
+            }
+            for k in 0..25u32 {
+                lru.touch(k);
+            }
+        }
+    }
+}

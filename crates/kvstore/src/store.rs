@@ -1,0 +1,549 @@
+//! The store: WAL-backed hash map with an LRU value cache.
+
+use crate::error::Result;
+use crate::lru::LruTracker;
+use crate::wal::{self, WalRecord};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Store tuning knobs.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// fsync after every mutation (the paper's write-through durability).
+    /// Disable only for bulk loads followed by an explicit [`Store::sync`].
+    pub sync_on_write: bool,
+    /// Maximum number of values kept in memory; older values are evicted
+    /// to the log and re-read on demand. `usize::MAX` disables eviction.
+    pub max_cached_values: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { sync_on_write: true, max_cached_values: 1 << 16 }
+    }
+}
+
+/// Operation counters for overhead reporting (Fig. 14 instrumentation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Completed put operations.
+    pub puts: u64,
+    /// Completed get operations.
+    pub gets: u64,
+    /// Completed delete operations.
+    pub deletes: u64,
+    /// Gets served from the in-memory cache.
+    pub cache_hits: u64,
+    /// Gets that had to re-read the log.
+    pub cache_misses: u64,
+    /// Current log length in bytes.
+    pub log_bytes: u64,
+    /// Live (non-deleted) keys.
+    pub live_entries: u64,
+}
+
+/// Where a live value can be found.
+#[derive(Debug, Clone)]
+struct ValueLoc {
+    /// Offset of the value bytes within the log.
+    offset: u64,
+    /// Value length.
+    len: u32,
+    /// In-memory copy, if cached.
+    cached: Option<Bytes>,
+}
+
+struct Inner {
+    file: File,
+    log_len: u64,
+    index: HashMap<Vec<u8>, ValueLoc>,
+    lru: LruTracker<Vec<u8>>,
+    cached_count: usize,
+    stats: StoreStats,
+}
+
+/// A durable hash key-value store (see crate docs).
+pub struct Store {
+    path: PathBuf,
+    opts: StoreOptions,
+    inner: Mutex<Inner>,
+}
+
+impl Store {
+    /// Open (creating if absent) the store at `path`, recovering from the
+    /// existing log. A torn tail from a crash is truncated away.
+    pub fn open(path: impl AsRef<Path>, opts: StoreOptions) -> Result<Store> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        let mut buf = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut buf)?;
+        let scan = wal::scan(&buf);
+        if scan.torn {
+            // Drop the torn tail so future appends start on a record edge.
+            file.set_len(scan.valid_len)?;
+            file.sync_data()?;
+        }
+        let mut index: HashMap<Vec<u8>, ValueLoc> = HashMap::new();
+        for WalRecord { offset, key, value } in scan.records {
+            match value {
+                Some(v) => {
+                    let loc = ValueLoc {
+                        offset: offset + wal::HEADER as u64 + key.len() as u64,
+                        len: v.len() as u32,
+                        cached: None,
+                    };
+                    index.insert(key, loc);
+                }
+                None => {
+                    index.remove(&key);
+                }
+            }
+        }
+        let live = index.len() as u64;
+        Ok(Store {
+            path,
+            opts,
+            inner: Mutex::new(Inner {
+                file,
+                log_len: scan.valid_len,
+                index,
+                lru: LruTracker::new(),
+                cached_count: 0,
+                stats: StoreStats {
+                    log_bytes: scan.valid_len,
+                    live_entries: live,
+                    ..StoreStats::default()
+                },
+            }),
+        })
+    }
+
+    /// Open with default options.
+    pub fn open_default(path: impl AsRef<Path>) -> Result<Store> {
+        Self::open(path, StoreOptions::default())
+    }
+
+    /// Path of the backing log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Insert or overwrite `key` with `value`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let rec = wal::encode_put(key, value)?;
+        let mut g = self.inner.lock();
+        let offset = g.log_len;
+        g.file.write_all(&rec)?;
+        if self.opts.sync_on_write {
+            g.file.sync_data()?;
+        }
+        g.log_len += rec.len() as u64;
+        let value_off = offset + wal::HEADER as u64 + key.len() as u64;
+        let was_cached = g
+            .index
+            .get(key)
+            .is_some_and(|l| l.cached.is_some());
+        if g.index
+            .insert(
+                key.to_vec(),
+                ValueLoc {
+                    offset: value_off,
+                    len: value.len() as u32,
+                    cached: Some(Bytes::copy_from_slice(value)),
+                },
+            )
+            .is_none()
+        {
+            g.stats.live_entries += 1;
+        }
+        if !was_cached {
+            g.cached_count += 1;
+        }
+        g.lru.touch(key.to_vec());
+        g.stats.puts += 1;
+        g.stats.log_bytes = g.log_len;
+        Self::enforce_cache_cap(&mut g, self.opts.max_cached_values);
+        Ok(())
+    }
+
+    /// Look up `key`. Cold values are re-read from the log and re-cached.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut g = self.inner.lock();
+        g.stats.gets += 1;
+        let Some(loc) = g.index.get(key) else {
+            return Ok(None);
+        };
+        if let Some(v) = &loc.cached {
+            let out = v.to_vec();
+            g.stats.cache_hits += 1;
+            g.lru.touch(key.to_vec());
+            return Ok(Some(out));
+        }
+        // Cache miss: read the value back from the log.
+        let (offset, len) = (loc.offset, loc.len as usize);
+        let mut buf = vec![0u8; len];
+        g.file.seek(SeekFrom::Start(offset))?;
+        g.file.read_exact(&mut buf)?;
+        g.stats.cache_misses += 1;
+        if let Some(loc) = g.index.get_mut(key) {
+            loc.cached = Some(Bytes::copy_from_slice(&buf));
+        }
+        g.cached_count += 1;
+        g.lru.touch(key.to_vec());
+        Self::enforce_cache_cap(&mut g, self.opts.max_cached_values);
+        Ok(Some(buf))
+    }
+
+    /// Remove `key`. Returns whether it existed.
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        let mut g = self.inner.lock();
+        if !g.index.contains_key(key) {
+            return Ok(false);
+        }
+        let rec = wal::encode_delete(key)?;
+        g.file.write_all(&rec)?;
+        if self.opts.sync_on_write {
+            g.file.sync_data()?;
+        }
+        g.log_len += rec.len() as u64;
+        if let Some(loc) = g.index.remove(key) {
+            if loc.cached.is_some() {
+                g.cached_count -= 1;
+            }
+        }
+        g.lru.remove(&key.to_vec());
+        g.stats.deletes += 1;
+        g.stats.live_entries -= 1;
+        g.stats.log_bytes = g.log_len;
+        Ok(true)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.inner.lock().index.contains_key(key)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    /// True when no live keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All live keys (unordered).
+    pub fn keys(&self) -> Vec<Vec<u8>> {
+        self.inner.lock().index.keys().cloned().collect()
+    }
+
+    /// Live keys starting with `prefix`, sorted. Tables sharing one store
+    /// namespace themselves with key prefixes (`drt:`, `rst:`), so bulk
+    /// loads scan only their own records.
+    pub fn keys_with_prefix(&self, prefix: &[u8]) -> Vec<Vec<u8>> {
+        let mut keys: Vec<Vec<u8>> = self
+            .inner
+            .lock()
+            .index
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Current operation counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats
+    }
+
+    /// Force all buffered data to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.inner.lock().file.sync_data()?;
+        Ok(())
+    }
+
+    /// Rewrite the log with only live records, atomically replacing it.
+    /// Reclaims space from overwritten and deleted entries.
+    pub fn compact(&self) -> Result<()> {
+        let mut g = self.inner.lock();
+        let tmp_path = self.path.with_extension("compact");
+        let mut tmp = File::create(&tmp_path)?;
+        // Deterministic order keeps compaction reproducible.
+        let mut keys: Vec<Vec<u8>> = g.index.keys().cloned().collect();
+        keys.sort_unstable();
+        let mut new_len = 0u64;
+        let mut new_locs: HashMap<Vec<u8>, ValueLoc> = HashMap::new();
+        for key in keys {
+            let loc = g.index.get(&key).expect("key just listed").clone();
+            let value = match &loc.cached {
+                Some(v) => v.to_vec(),
+                None => {
+                    let mut buf = vec![0u8; loc.len as usize];
+                    g.file.seek(SeekFrom::Start(loc.offset))?;
+                    g.file.read_exact(&mut buf)?;
+                    buf
+                }
+            };
+            let rec = wal::encode_put(&key, &value)?;
+            tmp.write_all(&rec)?;
+            new_locs.insert(
+                key.clone(),
+                ValueLoc {
+                    offset: new_len + wal::HEADER as u64 + key.len() as u64,
+                    len: value.len() as u32,
+                    cached: loc.cached.clone(),
+                },
+            );
+            new_len += rec.len() as u64;
+        }
+        tmp.sync_data()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.path)?;
+        let file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        g.file = file;
+        g.log_len = new_len;
+        g.index = new_locs;
+        g.stats.log_bytes = new_len;
+        Ok(())
+    }
+
+    /// Evict cached values beyond the cap (LRU first).
+    fn enforce_cache_cap(g: &mut Inner, cap: usize) {
+        while g.cached_count > cap {
+            let Some(victim) = g.lru.pop_lru() else { break };
+            if let Some(loc) = g.index.get_mut(&victim) {
+                if loc.cached.take().is_some() {
+                    g.cached_count -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kvstore-test-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn put_get_delete_cycle() {
+        let path = tmp_path("basic");
+        let s = Store::open_default(&path).unwrap();
+        assert!(s.is_empty());
+        s.put(b"k1", b"v1").unwrap();
+        s.put(b"k2", b"v2").unwrap();
+        assert_eq!(s.get(b"k1").unwrap().as_deref(), Some(&b"v1"[..]));
+        assert_eq!(s.len(), 2);
+        assert!(s.delete(b"k1").unwrap());
+        assert!(!s.delete(b"k1").unwrap());
+        assert_eq!(s.get(b"k1").unwrap(), None);
+        assert_eq!(s.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let path = tmp_path("overwrite");
+        let s = Store::open_default(&path).unwrap();
+        s.put(b"k", b"old").unwrap();
+        s.put(b"k", b"new").unwrap();
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"new"[..]));
+        assert_eq!(s.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_recovers_state() {
+        let path = tmp_path("reopen");
+        {
+            let s = Store::open_default(&path).unwrap();
+            s.put(b"a", b"1").unwrap();
+            s.put(b"b", b"2").unwrap();
+            s.delete(b"a").unwrap();
+            s.put(b"c", b"3").unwrap();
+        }
+        let s = Store::open_default(&path).unwrap();
+        assert_eq!(s.get(b"a").unwrap(), None);
+        assert_eq!(s.get(b"b").unwrap().as_deref(), Some(&b"2"[..]));
+        assert_eq!(s.get(b"c").unwrap().as_deref(), Some(&b"3"[..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = tmp_path("torn");
+        {
+            let s = Store::open_default(&path).unwrap();
+            s.put(b"good", b"data").unwrap();
+        }
+        // Simulate a torn write: append garbage.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xAB; 7]).unwrap();
+        }
+        let s = Store::open_default(&path).unwrap();
+        assert_eq!(s.get(b"good").unwrap().as_deref(), Some(&b"data"[..]));
+        assert_eq!(s.len(), 1);
+        // And the store keeps working after truncation.
+        s.put(b"more", b"stuff").unwrap();
+        drop(s);
+        let s = Store::open_default(&path).unwrap();
+        assert_eq!(s.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cache_eviction_still_serves_reads() {
+        let path = tmp_path("evict");
+        let s = Store::open(
+            &path,
+            StoreOptions { sync_on_write: false, max_cached_values: 2 },
+        )
+        .unwrap();
+        for i in 0..20u32 {
+            s.put(format!("key{i}").as_bytes(), format!("val{i}").as_bytes()).unwrap();
+        }
+        for i in 0..20u32 {
+            let got = s.get(format!("key{i}").as_bytes()).unwrap().unwrap();
+            assert_eq!(got, format!("val{i}").as_bytes());
+        }
+        let st = s.stats();
+        assert!(st.cache_misses > 0, "eviction must force log reads");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_shrinks_log_and_preserves_data() {
+        let path = tmp_path("compact");
+        let s = Store::open(
+            &path,
+            StoreOptions { sync_on_write: false, ..StoreOptions::default() },
+        )
+        .unwrap();
+        for round in 0..10u32 {
+            for i in 0..50u32 {
+                s.put(format!("k{i}").as_bytes(), format!("r{round}v{i}").as_bytes())
+                    .unwrap();
+            }
+        }
+        let before = s.stats().log_bytes;
+        s.compact().unwrap();
+        let after = s.stats().log_bytes;
+        assert!(after < before / 5, "before={before} after={after}");
+        for i in 0..50u32 {
+            assert_eq!(
+                s.get(format!("k{i}").as_bytes()).unwrap().unwrap(),
+                format!("r9v{i}").as_bytes()
+            );
+        }
+        // Post-compaction appends and reopen still work.
+        s.put(b"post", b"compact").unwrap();
+        drop(s);
+        let s = Store::open_default(&path).unwrap();
+        assert_eq!(s.len(), 51);
+        assert_eq!(s.get(b"post").unwrap().as_deref(), Some(&b"compact"[..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let path = tmp_path("stats");
+        let s = Store::open_default(&path).unwrap();
+        s.put(b"a", b"1").unwrap();
+        s.get(b"a").unwrap();
+        s.get(b"missing").unwrap();
+        s.delete(b"a").unwrap();
+        let st = s.stats();
+        assert_eq!(st.puts, 1);
+        assert_eq!(st.gets, 2);
+        assert_eq!(st.deletes, 1);
+        assert_eq!(st.live_entries, 0);
+        assert_eq!(st.cache_hits, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_key() {
+        let path = tmp_path("reinsert");
+        let s = Store::open_default(&path).unwrap();
+        s.put(b"k", b"v1").unwrap();
+        s.delete(b"k").unwrap();
+        s.put(b"k", b"v2").unwrap();
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
+        assert_eq!(s.len(), 1);
+        drop(s);
+        let s = Store::open_default(&path).unwrap();
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn contains_and_empty_flags() {
+        let path = tmp_path("flags");
+        let s = Store::open_default(&path).unwrap();
+        assert!(s.is_empty());
+        assert!(!s.contains(b"x"));
+        s.put(b"x", b"").unwrap();
+        assert!(s.contains(b"x"));
+        assert!(!s.is_empty());
+        assert_eq!(s.get(b"x").unwrap().as_deref(), Some(&b""[..]), "empty values are legal");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn prefix_scan_isolates_namespaces() {
+        let path = tmp_path("prefix");
+        let s = Store::open_default(&path).unwrap();
+        s.put(b"drt:a", b"1").unwrap();
+        s.put(b"drt:b", b"2").unwrap();
+        s.put(b"rst:a", b"3").unwrap();
+        let drt_keys = s.keys_with_prefix(b"drt:");
+        assert_eq!(drt_keys, vec![b"drt:a".to_vec(), b"drt:b".to_vec()]);
+        assert_eq!(s.keys_with_prefix(b"rst:").len(), 1);
+        assert!(s.keys_with_prefix(b"zzz:").is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let path = tmp_path("threads");
+        let s = std::sync::Arc::new(Store::open(
+            &path,
+            StoreOptions { sync_on_write: false, ..StoreOptions::default() },
+        ).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    let k = format!("t{t}-{i}");
+                    s.put(k.as_bytes(), k.as_bytes()).unwrap();
+                    assert_eq!(s.get(k.as_bytes()).unwrap().unwrap(), k.as_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 400);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,361 @@
+//! The data access cost model: Table I parameters and Eq. 2.
+//!
+//! The cost of a request under a candidate `<h, s>` stripe pair is the
+//! *maximum* over the involved servers of an affine service estimate —
+//! the request is only done when its slowest sub-request is done:
+//!
+//! ```text
+//! T_R(r, h, s) = max{ p_i·α_h  + s_i·(t + β_h),
+//!                     p_j·α_sr + s_j·(t + β_sr) | i ∈ H, j ∈ S }      (Eq. 2)
+//! ```
+//!
+//! with `p` the number of I/O startups a server pays during the request's
+//! phase and `s` the bytes it must move. Writes use `(α_sw, β_sw)`.
+//!
+//! Like the paper, we extend the per-request view with **I/O concurrency**:
+//! a request with phase concurrency `c` shares its servers with `c − 1`
+//! similar simultaneous requests, whose expected per-server load (startup
+//! probability × α + expected bytes × (t + β)) is added before taking the
+//! max. The model deliberately ignores what the simulator knows —
+//! network flow serialization, HDD head locality, SSD garbage collection —
+//! so planner and ground truth stay separate.
+
+use iotrace::Trace;
+use netsim::LinkParams;
+use pfs_sim::{LayoutSpec, ServerId};
+use serde::{Deserialize, Serialize};
+use simrt::SeedSeq;
+use storage_model::{calibrate, Device, HddModel, HddParams, IoOp, SsdModel, SsdParams};
+
+/// Table I: the parameters of the cost model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostParams {
+    /// `M` — number of HServers.
+    pub m: usize,
+    /// `N` — number of SServers.
+    pub n: usize,
+    /// `t` — unit data network transfer time, seconds/byte.
+    pub t: f64,
+    /// `α_h` — average storage startup time on an HServer, seconds.
+    pub alpha_h: f64,
+    /// `β_h` — unit data transfer time on an HServer, seconds/byte.
+    pub beta_h: f64,
+    /// `α_sr` — average read startup time on an SServer, seconds.
+    pub alpha_sr: f64,
+    /// `β_sr` — unit read transfer time on an SServer, seconds/byte.
+    pub beta_sr: f64,
+    /// `α_sw` — average write startup time on an SServer, seconds.
+    pub alpha_sw: f64,
+    /// `β_sw` — unit write transfer time on an SServer, seconds/byte.
+    pub beta_sw: f64,
+}
+
+impl CostParams {
+    /// Calibrate the parameters by probing fresh device models — the
+    /// in-simulation analogue of the paper measuring its servers. `m`/`n`
+    /// give the cluster shape; `t` comes from the NIC parameters.
+    pub fn calibrate(m: usize, n: usize, hdd: &HddParams, ssd: &SsdParams, link: &LinkParams) -> Self {
+        let sizes = calibrate::default_probe_sizes();
+        let seed = SeedSeq::new(0xCA11B);
+        let extent = 64 << 30;
+        let mut hdev = HddModel::new(hdd.clone());
+        // Probe the HDD under a realistic locality mix (half the striped
+        // sub-requests a data server sees continue the previous one) —
+        // see `calibrate_with_locality`.
+        let hfit = calibrate::calibrate_with_locality(
+            &mut hdev,
+            IoOp::Read,
+            &sizes,
+            24,
+            extent,
+            seed,
+            0.5,
+        );
+        let mut sdev = SsdModel::new(ssd.clone());
+        let srfit = calibrate::calibrate(&mut sdev, IoOp::Read, &sizes, 24, extent, seed);
+        sdev.reset();
+        let swfit = calibrate::calibrate(&mut sdev, IoOp::Write, &sizes, 24, extent, seed);
+        CostParams {
+            m,
+            n,
+            t: link.unit_transfer_time(),
+            alpha_h: hfit.alpha,
+            beta_h: hfit.beta,
+            alpha_sr: srfit.alpha,
+            beta_sr: srfit.beta,
+            alpha_sw: swfit.alpha,
+            beta_sw: swfit.beta,
+        }
+    }
+
+    /// Calibrated parameters for the paper's default testbed shape
+    /// (6 HServers, 2 SServers, Gigabit Ethernet).
+    pub fn paper_default() -> Self {
+        Self::calibrate(
+            6,
+            2,
+            &HddParams::sata2_250gb(),
+            &SsdParams::pcie_100gb(),
+            &LinkParams::gigabit_ethernet(),
+        )
+    }
+
+    /// Same parameters for a different server split.
+    pub fn with_shape(&self, m: usize, n: usize) -> Self {
+        CostParams { m, n, ..self.clone() }
+    }
+
+    /// Startup time on a server of the given class for `op`.
+    pub fn alpha(&self, hserver: bool, op: IoOp) -> f64 {
+        match (hserver, op) {
+            (true, _) => self.alpha_h,
+            (false, IoOp::Read) => self.alpha_sr,
+            (false, IoOp::Write) => self.alpha_sw,
+        }
+    }
+
+    /// Per-byte service time (network + storage) on a server class:
+    /// Eq. 2's `t + β` serial transfer term.
+    pub fn unit_time(&self, hserver: bool, op: IoOp) -> f64 {
+        let beta = match (hserver, op) {
+            (true, _) => self.beta_h,
+            (false, IoOp::Read) => self.beta_sr,
+            (false, IoOp::Write) => self.beta_sw,
+        };
+        self.t + beta
+    }
+
+    /// Build the layout a `<h, s>` pair denotes for this cluster shape.
+    /// Returns `None` for the degenerate all-zero pair.
+    pub fn layout_for(&self, h: u64, s: u64) -> Option<LayoutSpec> {
+        if (h == 0 || self.m == 0) && (s == 0 || self.n == 0) {
+            return None;
+        }
+        let hs: Vec<ServerId> = (0..self.m).map(ServerId).collect();
+        let ss: Vec<ServerId> = (self.m..self.m + self.n).map(ServerId).collect();
+        Some(LayoutSpec::hybrid(&hs, h, &ss, s))
+    }
+
+    /// Is server `i` (in the layout numbering) an HServer?
+    pub fn is_hserver(&self, server: ServerId) -> bool {
+        server.0 < self.m
+    }
+
+    /// Eq. 2 (and its write counterpart): access cost of one request under
+    /// the `<h, s>` layout, in seconds. `None`-layout pairs cost infinity.
+    pub fn request_cost(&self, req: &ReqView, h: u64, s: u64) -> f64 {
+        let Some(layout) = self.layout_for(h, s) else {
+            return f64::INFINITY;
+        };
+        self.request_cost_on(&layout, req)
+    }
+
+    /// Eq. 2 evaluated against an explicit layout.
+    pub fn request_cost_on(&self, layout: &LayoutSpec, req: &ReqView) -> f64 {
+        let round = layout.round_size() as f64;
+        let mates = req.concurrency.saturating_sub(1) as f64;
+        let mut worst: f64 = 0.0;
+        // Own, concrete decomposition: p_i = contiguous runs (startups),
+        // s_i = bytes, on each server this request actually touches.
+        for (server, bytes, runs) in layout.per_server_load(req.offset, req.len) {
+            let hserver = self.is_hserver(server);
+            let alpha = self.alpha(hserver, req.op);
+            let unit = self.unit_time(hserver, req.op);
+            let own = f64::from(runs) * alpha + bytes as f64 * unit;
+            let mate_load = self.expected_mate_load(layout, server, req, mates);
+            worst = worst.max(own + mate_load);
+        }
+        debug_assert!(round > 0.0);
+        worst
+    }
+
+    /// Expected queueing contribution of the `mates` concurrent similar
+    /// requests on `server`: each touches the server with probability
+    /// `min(1, (l + stripe/2)/round)`, paying one startup when it does,
+    /// and contributes `l·stripe/round` expected bytes.
+    ///
+    /// On the touch probability: a request of length `l` at a *uniformly
+    /// random* position on the round circle overlaps a `stripe`-long
+    /// segment with probability `(l + stripe)/round`; a request whose
+    /// start is *aligned to the stripe grid* touches exactly
+    /// `ceil(l/stripe)` segments, i.e. probability `≈ l/round`. Region
+    /// files pack extents step-aligned, so real placements sit between
+    /// the two — we use the midpoint. (The fully random form makes fine
+    /// striping look free and drives RSSD toward needless splitting.)
+    fn expected_mate_load(&self, layout: &LayoutSpec, server: ServerId, req: &ReqView, mates: f64) -> f64 {
+        if mates <= 0.0 {
+            return 0.0;
+        }
+        let round = layout.round_size() as f64;
+        let stripe = layout.stripe_of(server) as f64;
+        let l = req.len as f64;
+        let touch = ((l + stripe / 2.0) / round).min(1.0);
+        let bytes = l * stripe / round;
+        let hserver = self.is_hserver(server);
+        mates * (touch * self.alpha(hserver, req.op) + bytes * self.unit_time(hserver, req.op))
+    }
+}
+
+/// The planner's view of one request: where it will live, how big it is,
+/// its operation, and how many requests share its phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReqView {
+    /// Offset the request will have in the (region) file being planned.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Read or write.
+    pub op: IoOp,
+    /// Phase concurrency (≥ 1 for a real request).
+    pub concurrency: u32,
+}
+
+/// Extract [`ReqView`]s from a trace, using each record's own offsets
+/// (the *inherent* order — what DEF/AAL/HARL plan against).
+pub fn views_of(trace: &Trace) -> Vec<ReqView> {
+    let conc = trace.concurrency();
+    trace
+        .records()
+        .iter()
+        .zip(conc)
+        .map(|(r, c)| ReqView { offset: r.offset, len: r.len, op: r.op, concurrency: c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CostParams {
+        // Hand-set values: round numbers make assertions exact.
+        CostParams {
+            m: 2,
+            n: 2,
+            t: 1e-8,
+            alpha_h: 1e-2,
+            beta_h: 1e-8,
+            alpha_sr: 1e-4,
+            beta_sr: 1e-9,
+            alpha_sw: 2e-4,
+            beta_sw: 2e-9,
+        }
+    }
+
+    fn req(len: u64, op: IoOp, conc: u32) -> ReqView {
+        ReqView { offset: 0, len, op, concurrency: conc }
+    }
+
+    #[test]
+    fn single_server_request_costs_one_startup() {
+        let p = params();
+        // 4 KiB at offset 0 under <64K, 64K>: one run on HServer 0.
+        let c = p.request_cost(&req(4096, IoOp::Read, 1), 64 << 10, 64 << 10);
+        let expect = p.alpha_h + 4096.0 * (p.t + p.beta_h);
+        assert!((c - expect).abs() < 1e-12, "c={c} expect={expect}");
+    }
+
+    #[test]
+    fn cost_is_max_not_sum_over_servers() {
+        let p = params();
+        // A request spanning one full round of <h, s> = <10, 10>: every
+        // server gets 10 bytes, 1 run. Max = slowest class (HServer).
+        let c = p.request_cost(&req(40, IoOp::Read, 1), 10, 10);
+        let h_cost = p.alpha_h + 10.0 * (p.t + p.beta_h);
+        assert!((c - h_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_zero_layout_uses_only_sservers() {
+        let p = params();
+        let c = p.request_cost(&req(4096, IoOp::Read, 1), 0, 4096);
+        // One run on the first SServer.
+        let expect = p.alpha_sr + 4096.0 * (p.t + p.beta_sr);
+        assert!((c - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writes_cost_more_on_sservers() {
+        let p = params();
+        let r = p.request_cost(&req(4096, IoOp::Read, 1), 0, 64 << 10);
+        let w = p.request_cost(&req(4096, IoOp::Write, 1), 0, 64 << 10);
+        assert!(w > r);
+    }
+
+    #[test]
+    fn concurrency_raises_cost() {
+        let p = params();
+        let lone = p.request_cost(&req(64 << 10, IoOp::Read, 1), 16 << 10, 16 << 10);
+        let crowded = p.request_cost(&req(64 << 10, IoOp::Read, 16), 16 << 10, 16 << 10);
+        assert!(crowded > lone);
+    }
+
+    #[test]
+    fn degenerate_pair_is_infinite() {
+        let p = params();
+        assert!(p.request_cost(&req(4096, IoOp::Read, 1), 0, 0).is_infinite());
+        assert!(p.layout_for(0, 0).is_none());
+    }
+
+    #[test]
+    fn cost_monotone_in_request_size() {
+        let p = params();
+        let mut prev = 0.0;
+        for len in [4096u64, 8192, 65536, 1 << 20] {
+            let c = p.request_cost(&req(len, IoOp::Read, 4), 32 << 10, 96 << 10);
+            assert!(c > prev, "len={len}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn splitting_small_requests_over_hdds_is_penalized() {
+        let p = params();
+        let small = req(16 << 10, IoOp::Read, 8);
+        // <4K, 4K> scatters the 16 KiB over four servers (several HDD
+        // startups among them); <32K, 96K> keeps it on one server.
+        let scattered = p.request_cost(&small, 4 << 10, 4 << 10);
+        let compact = p.request_cost(&small, 32 << 10, 96 << 10);
+        assert!(compact < scattered, "compact={compact} scattered={scattered}");
+    }
+
+    #[test]
+    fn calibrated_params_have_hdd_ssd_gap() {
+        let p = CostParams::paper_default();
+        assert!(p.alpha_h > 10.0 * p.alpha_sr, "α_h={} α_sr={}", p.alpha_h, p.alpha_sr);
+        assert!(p.alpha_sw > p.alpha_sr);
+        assert!(p.beta_sw > p.beta_sr);
+        assert!(p.beta_h > p.beta_sr);
+        assert!((p.t - 1.0 / 117.0e6).abs() < 1e-12);
+        assert_eq!((p.m, p.n), (6, 2));
+    }
+
+    #[test]
+    fn alpha_and_unit_time_dispatch_by_class_and_op() {
+        let p = params();
+        assert_eq!(p.alpha(true, IoOp::Read), p.alpha_h);
+        assert_eq!(p.alpha(true, IoOp::Write), p.alpha_h);
+        assert_eq!(p.alpha(false, IoOp::Read), p.alpha_sr);
+        assert_eq!(p.alpha(false, IoOp::Write), p.alpha_sw);
+        assert_eq!(p.unit_time(false, IoOp::Read), p.t + p.beta_sr);
+        assert_eq!(p.unit_time(true, IoOp::Read), p.t + p.beta_h);
+    }
+
+    #[test]
+    fn layout_for_hserver_only_and_shape_override() {
+        let p = params().with_shape(3, 0);
+        assert_eq!((p.m, p.n), (3, 0));
+        let layout = p.layout_for(8192, 0).expect("H-only layout");
+        assert_eq!(layout.servers().count(), 3);
+        assert!(p.layout_for(0, 8192).is_none(), "no SServers to hold s");
+    }
+
+    #[test]
+    fn views_of_carries_concurrency() {
+        use iotrace::gen::lanl::{generate, LanlConfig};
+        let t = generate(&LanlConfig::paper(2, IoOp::Write));
+        let views = views_of(&t);
+        assert_eq!(views.len(), t.len());
+        assert!(views.iter().all(|v| v.concurrency == 8));
+        assert_eq!(views[0].len, 16);
+    }
+}

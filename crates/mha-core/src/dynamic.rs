@@ -1,0 +1,580 @@
+//! Dynamic (online) MHA — the paper's stated future work:
+//! *"We also intend to develop dynamic approaches to further improve the
+//! performance of those applications with unpredictable patterns."*
+//!
+//! The static pipeline needs a complete profiled trace before it can
+//! plan. The dynamic controller instead runs the application in
+//! **epochs** of a fixed number of I/O phases:
+//!
+//! * the first epoch runs unoptimized (default layout) while the
+//!   collector observes,
+//! * after each epoch the controller re-plans MHA from everything
+//!   observed so far — but only when the access pattern has *drifted*
+//!   since the last plan (mean request size or size dispersion moved by
+//!   more than a configurable factor), so stable workloads replan once,
+//! * adopting a new plan costs real I/O: every extent whose mapping
+//!   changed is **migrated** (read from its current location, written to
+//!   its new region), and that migration traffic is replayed against the
+//!   same cluster and charged to the application's clock.
+//!
+//! The report shows the resulting trade: dynamic MHA approaches the
+//! oracle (plan-from-full-trace) bandwidth on stable patterns and stays
+//! well above DEF on drifting ones, while paying visible migration time.
+
+use crate::region::{Drt, DrtEntry};
+use crate::schemes::{apply_plan, LayoutPlanner, MhaPlanner, Plan, PlanResolver, PlannerContext};
+use iotrace::record::Rank;
+use iotrace::{Trace, TraceRecord, TraceStats};
+use pfs_sim::{replay, Cluster, ClusterConfig, IdentityResolver, ReplayReport, Resolution, Resolver};
+use simrt::{SimDuration, SimTime};
+use storage_model::IoOp;
+
+/// Online placement state carried across epochs: the evolving DRT plus
+/// per-region append cursors, so **new writes are placed directly into
+/// the best-matching region** (no later migration needed — data that has
+/// never been written has no old home).
+#[derive(Debug, Clone)]
+struct OnlineState {
+    drt: Drt,
+    regions: Vec<OnlineRegion>,
+}
+
+#[derive(Debug, Clone)]
+struct OnlineRegion {
+    file: iotrace::FileId,
+    cursor: u64,
+    align: u64,
+    /// Mean migrated extent size — the online stand-in for the group
+    /// center (new requests join the region with the closest size).
+    mean_size: f64,
+}
+
+impl OnlineState {
+    /// Region with the mean extent size closest to `len` (log-scale).
+    fn nearest_region(&self, len: u64) -> usize {
+        let target = (len.max(1) as f64).ln();
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, r) in self.regions.iter().enumerate() {
+            let d = (r.mean_size.max(1.0).ln() - target).abs();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// The online resolver: translates through the evolving DRT and appends
+/// mappings for writes to bytes no region owns yet.
+struct OnlineResolver<'a> {
+    state: &'a mut OnlineState,
+    lookup: SimDuration,
+    appended_bytes: u64,
+}
+
+impl Resolver for OnlineResolver<'_> {
+    fn resolve(&mut self, rec: &TraceRecord) -> Resolution {
+        if rec.op == IoOp::Write {
+            // Claim any unmapped subranges for the best-matching region.
+            let gaps: Vec<(u64, u64)> = self
+                .state
+                .drt
+                .translate(rec.file, rec.offset, rec.len)
+                .into_iter()
+                .filter(|p| p.file == rec.file)
+                .map(|p| (p.offset, p.len))
+                .collect();
+            for (off, len) in gaps {
+                let idx = self.state.nearest_region(len);
+                let region = &mut self.state.regions[idx];
+                let inserted = self.state.drt.insert(DrtEntry {
+                    o_file: rec.file,
+                    o_offset: off,
+                    r_file: region.file,
+                    r_offset: region.cursor,
+                    length: len,
+                });
+                debug_assert!(inserted, "gap is uncovered by construction");
+                region.cursor = (region.cursor + len).div_ceil(region.align) * region.align;
+                self.appended_bytes += len;
+            }
+        }
+        Resolution {
+            extents: self.state.drt.translate(rec.file, rec.offset, rec.len),
+            overhead: self.lookup,
+        }
+    }
+}
+
+/// Dynamic controller configuration.
+#[derive(Debug, Clone)]
+pub struct DynamicConfig {
+    /// Phases per epoch (re-planning opportunity cadence).
+    pub epoch_phases: u32,
+    /// Relative change in mean request size or size CV that counts as
+    /// pattern drift (e.g. 0.25 = 25 %).
+    pub drift_threshold: f64,
+    /// Number of ranks used to carry migration traffic.
+    pub migration_ranks: u32,
+    /// Extents migrated per barrier phase of migration traffic.
+    pub migration_batch: usize,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            epoch_phases: 12,
+            drift_threshold: 0.25,
+            migration_ranks: 8,
+            migration_batch: 16,
+        }
+    }
+}
+
+/// Outcome of one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochStat {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Application requests replayed.
+    pub requests: usize,
+    /// Application bytes moved.
+    pub bytes: u64,
+    /// Epoch application I/O time.
+    pub io_time: SimDuration,
+    /// Whether a re-plan happened after this epoch.
+    pub replanned: bool,
+    /// Bytes migrated when adopting the new plan (0 otherwise).
+    pub migrated_bytes: u64,
+    /// Time spent migrating.
+    pub migration_time: SimDuration,
+}
+
+/// Outcome of a dynamic run.
+#[derive(Debug, Clone)]
+pub struct DynamicReport {
+    /// Per-epoch breakdown.
+    pub epochs: Vec<EpochStat>,
+    /// Total application bytes.
+    pub total_bytes: u64,
+    /// Total time: application I/O plus migration stalls.
+    pub total_time: SimDuration,
+    /// Number of re-plans performed.
+    pub replans: usize,
+    /// Total bytes migrated across all re-plans.
+    pub migrated_bytes: u64,
+}
+
+impl DynamicReport {
+    /// Effective application bandwidth including migration stalls, MB/s.
+    pub fn bandwidth_mbps(&self) -> f64 {
+        if self.total_time.is_zero() {
+            return 0.0;
+        }
+        self.total_bytes as f64 / 1e6 / self.total_time.as_secs_f64()
+    }
+}
+
+/// Run `trace` under the dynamic controller.
+pub fn run_dynamic(
+    cluster_cfg: &ClusterConfig,
+    trace: &Trace,
+    ctx: &PlannerContext,
+    cfg: &DynamicConfig,
+) -> DynamicReport {
+    let epochs = split_epochs(trace, cfg.epoch_phases);
+    let mut observed: Vec<TraceRecord> = Vec::new();
+    // Layouts accumulate across re-plans: region files from earlier plans
+    // keep holding carried-forward data, so their layouts stay installed.
+    let mut layout_book: Vec<(iotrace::FileId, pfs_sim::LayoutSpec)> = Vec::new();
+    let mut state: Option<OnlineState> = None;
+    let mut plan_stats: Option<TraceStats> = None;
+    let mut report = DynamicReport {
+        epochs: Vec::new(),
+        total_bytes: 0,
+        total_time: SimDuration::ZERO,
+        replans: 0,
+        migrated_bytes: 0,
+    };
+
+    for (e, epoch_trace) in epochs.iter().enumerate() {
+        // Replay the epoch under the current mapping; new writes are
+        // placed directly into regions by the online resolver.
+        let mut cluster = Cluster::new(cluster_cfg.clone());
+        for (file, layout) in &layout_book {
+            cluster.mds_mut().set_layout(*file, layout.clone());
+        }
+        let epoch_report: ReplayReport = match &mut state {
+            Some(st) => {
+                let mut resolver =
+                    OnlineResolver { state: st, lookup: ctx.lookup_cost, appended_bytes: 0 };
+                replay(&mut cluster, epoch_trace, &mut resolver)
+            }
+            None => replay(&mut cluster, epoch_trace, &mut IdentityResolver),
+        };
+        observed.extend_from_slice(epoch_trace.records());
+        report.total_bytes += epoch_report.total_bytes;
+        report.total_time += epoch_report.makespan;
+
+        // Decide whether to (re-)plan from everything observed so far.
+        let observed_trace = Trace::from_records(observed.clone());
+        let stats = TraceStats::of(&observed_trace);
+        let should_plan = match &plan_stats {
+            None => true, // first epoch completed: initial plan
+            Some(prev) => drifted(prev, &stats, cfg.drift_threshold),
+        };
+        let (mut replanned, mut migrated, mut mig_time) = (false, 0u64, SimDuration::ZERO);
+        if should_plan && !observed.is_empty() && e + 1 < epochs.len() {
+            // Fresh region-file id range per re-plan: carried-forward data
+            // keeps living in earlier plans' region files.
+            let mut plan_ctx = ctx.clone();
+            plan_ctx.region_file_base =
+                ctx.region_file_base + report.replans as u32 * 65_536;
+            let new_plan = MhaPlanner.plan(&observed_trace, &plan_ctx);
+            let adoption = adopt_plan(
+                &new_plan,
+                state.as_ref().map(|s| &s.drt),
+                &observed,
+                plan_ctx.region_file_base,
+                ctx.rssd.step.max(4096),
+            );
+            // Migrate only the hot extents (observed more than once): the
+            // controller must not pay to move data it has no evidence
+            // will be touched again.
+            let (bytes, time) = migrate(
+                cluster_cfg,
+                state.as_ref().map(|s| &s.drt),
+                &layout_book,
+                &new_plan,
+                &adoption.to_migrate,
+                cfg,
+            );
+            migrated = bytes;
+            mig_time = time;
+            report.replans += 1;
+            report.migrated_bytes += bytes;
+            report.total_time += time;
+            plan_stats = Some(stats);
+            layout_book.extend(new_plan.layouts.iter().cloned());
+            state = Some(adoption.state);
+            replanned = true;
+        }
+        report.epochs.push(EpochStat {
+            epoch: e,
+            requests: epoch_trace.len(),
+            bytes: epoch_report.total_bytes,
+            io_time: epoch_report.makespan,
+            replanned,
+            migrated_bytes: migrated,
+            migration_time: mig_time,
+        });
+    }
+    report
+}
+
+/// Result of adopting a new plan online.
+struct Adoption {
+    /// The pruned mapping + append cursors to run the next epochs with.
+    state: OnlineState,
+    /// Hot entries that must physically move (new home differs).
+    to_migrate: Vec<DrtEntry>,
+}
+
+/// Build the adopted mapping from a fresh plan:
+///
+/// * **hot** extents (observed ≥ 2 times) adopt the new plan's mapping
+///   and are scheduled for migration if their home changes,
+/// * **warm** extents (already region-resident from earlier placement)
+///   carry their existing mapping forward untouched,
+/// * **cold** extents (seen once, still in the original file) are not
+///   migrated — evidence says they may never be touched again.
+fn adopt_plan(
+    new_plan: &Plan,
+    old_drt: Option<&Drt>,
+    observed: &[TraceRecord],
+    region_file_base: u32,
+    step: u64,
+) -> Adoption {
+    let PlanResolver::Drt(new_drt) = &new_plan.resolver else {
+        return Adoption {
+            state: OnlineState { drt: Drt::new(), regions: Vec::new() },
+            to_migrate: Vec::new(),
+        };
+    };
+    // Access counts per exact extent.
+    let mut counts: std::collections::HashMap<(u32, u64, u64), u32> =
+        std::collections::HashMap::new();
+    for r in observed {
+        *counts.entry((r.file.0, r.offset, r.len)).or_insert(0) += 1;
+    }
+
+    let mut pruned = Drt::new();
+    let mut to_migrate = Vec::new();
+    for entry in new_drt.entries() {
+        let hot = counts
+            .get(&(entry.o_file.0, entry.o_offset, entry.length))
+            .is_some_and(|&c| c >= 2);
+        let old_home = old_drt.map(|d| d.translate(entry.o_file, entry.o_offset, entry.length));
+        let already_in_regions = old_home
+            .as_ref()
+            .is_some_and(|pieces| pieces.iter().all(|p| p.file != entry.o_file));
+        if hot {
+            pruned.insert(entry);
+            let unchanged = old_drt.is_some_and(|d| {
+                d.lookup_exact(entry.o_file, entry.o_offset, entry.length)
+                    == Some((entry.r_file, entry.r_offset))
+            });
+            if !unchanged {
+                to_migrate.push(entry);
+            }
+        } else if already_in_regions {
+            // Carry the existing placement forward.
+            let mut off = entry.o_offset;
+            for piece in old_home.expect("checked above") {
+                pruned.insert(DrtEntry {
+                    o_file: entry.o_file,
+                    o_offset: off,
+                    r_file: piece.file,
+                    r_offset: piece.offset,
+                    length: piece.len,
+                });
+                off += piece.len;
+            }
+        }
+        // Cold and never migrated: stays in the original file.
+    }
+
+    // Append cursors come from the new plan's regions (fresh files).
+    let regions = new_plan
+        .regions
+        .iter()
+        .filter(|r| r.file.0 >= region_file_base)
+        .map(|r| {
+            let mean = if r.extents > 0 { r.len as f64 / r.extents as f64 } else { step as f64 };
+            let align = new_plan
+                .rst
+                .get(r.file)
+                .map(|p| if mean >= p.s as f64 && p.s > 0 { p.s } else { step })
+                .unwrap_or(step)
+                .max(1);
+            OnlineRegion { file: r.file, cursor: r.len.max(1), align, mean_size: mean }
+        })
+        .collect();
+
+    Adoption { state: OnlineState { drt: pruned, regions }, to_migrate }
+}
+
+/// Split a trace into epochs of `epoch_phases` consecutive phases.
+fn split_epochs(trace: &Trace, epoch_phases: u32) -> Vec<Trace> {
+    let epoch_phases = epoch_phases.max(1);
+    let mut out: Vec<Vec<TraceRecord>> = Vec::new();
+    for rec in trace.records() {
+        let idx = (rec.phase / epoch_phases) as usize;
+        while out.len() <= idx {
+            out.push(Vec::new());
+        }
+        out[idx].push(*rec);
+    }
+    out.into_iter()
+        .filter(|v| !v.is_empty())
+        .map(Trace::from_records)
+        .collect()
+}
+
+/// Has the observed pattern drifted relative to the stats the current
+/// plan was built from?
+fn drifted(prev: &TraceStats, now: &TraceStats, threshold: f64) -> bool {
+    let rel = |a: f64, b: f64| -> f64 {
+        if a == 0.0 && b == 0.0 {
+            0.0
+        } else {
+            (a - b).abs() / a.abs().max(b.abs())
+        }
+    };
+    rel(prev.mean_request, now.mean_request) > threshold
+        || rel(prev.size_cv, now.size_cv) > threshold
+        || rel(f64::from(prev.max_concurrency), f64::from(now.max_concurrency)) > threshold
+}
+
+/// Simulate physically moving `entries` to their new homes: each is read
+/// from its current location (old mapping or the original file) and
+/// written to its new region position, replayed as real cluster traffic.
+fn migrate(
+    cluster_cfg: &ClusterConfig,
+    old_drt: Option<&Drt>,
+    layout_book: &[(iotrace::FileId, pfs_sim::LayoutSpec)],
+    new_plan: &Plan,
+    entries: &[DrtEntry],
+    cfg: &DynamicConfig,
+) -> (u64, SimDuration) {
+    // Records: one read from the current home + one write to the new.
+    let mut records: Vec<TraceRecord> = Vec::new();
+    let mut phase = 0u32;
+    let mut in_batch = 0usize;
+    let mut bytes = 0u64;
+    for entry in entries {
+        let rank = Rank((records.len() as u32 / 2) % cfg.migration_ranks.max(1));
+        let ts = SimTime::ZERO + SimDuration::from_millis(10) * u64::from(phase);
+        // Read from wherever the bytes currently live (old region or the
+        // original file) ...
+        let src = old_drt
+            .map(|d| d.translate(entry.o_file, entry.o_offset, entry.length))
+            .unwrap_or_default();
+        let srcs = if src.is_empty() {
+            vec![pfs_sim::PhysExtent {
+                file: entry.o_file,
+                offset: entry.o_offset,
+                len: entry.length,
+            }]
+        } else {
+            src
+        };
+        for s in srcs {
+            records.push(TraceRecord {
+                pid: 9000 + rank.0,
+                rank,
+                file: s.file,
+                op: IoOp::Read,
+                offset: s.offset,
+                len: s.len,
+                ts,
+                phase,
+            });
+        }
+        // ... and write into the new region.
+        records.push(TraceRecord {
+            pid: 9000 + rank.0,
+            rank,
+            file: entry.r_file,
+            op: IoOp::Write,
+            offset: entry.r_offset,
+            len: entry.length,
+            ts,
+            phase,
+        });
+        bytes += entry.length;
+        in_batch += 1;
+        if in_batch >= cfg.migration_batch {
+            in_batch = 0;
+            phase += 1;
+        }
+    }
+    if records.is_empty() {
+        return (0, SimDuration::ZERO);
+    }
+    records.sort_by_key(|r| (r.phase, r.rank, r.file, r.offset));
+    let migration_trace = Trace::from_records(records);
+    let mut cluster = Cluster::new(cluster_cfg.clone());
+    // Accumulated layouts govern reads of old regions; the new plan's
+    // layouts govern the writes.
+    for (file, layout) in layout_book {
+        cluster.mds_mut().set_layout(*file, layout.clone());
+    }
+    apply_plan(&mut cluster, new_plan);
+
+    let rep = replay(&mut cluster, &migration_trace, &mut IdentityResolver);
+    (bytes, rep.makespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{evaluate_scheme, Scheme};
+    use iotrace::gen::ior::{generate as gen_ior, IorConfig};
+    use iotrace::gen::lanl::{generate as gen_lanl, LanlConfig};
+
+    fn ctx(cfg: &ClusterConfig) -> PlannerContext {
+        PlannerContext::for_cluster(cfg)
+    }
+
+    #[test]
+    fn stable_pattern_plans_once_and_never_migrates_cold_data() {
+        let cluster = ClusterConfig::paper_default();
+        let c = ctx(&cluster);
+        let trace = gen_lanl(&LanlConfig::paper(24, IoOp::Write));
+        let rep = run_dynamic(&cluster, &trace, &c, &DynamicConfig::default());
+        assert_eq!(rep.replans, 1, "stable workload should plan exactly once");
+        // Every LANL extent is written exactly once: there is no evidence
+        // any will be touched again, so nothing is migrated — later
+        // writes are placed online instead.
+        assert_eq!(rep.migrated_bytes, 0);
+        assert_eq!(rep.total_bytes, trace.total_bytes());
+    }
+
+    #[test]
+    fn dynamic_beats_def_and_trails_oracle() {
+        let cluster = ClusterConfig::paper_default();
+        let c = ctx(&cluster);
+        let trace = gen_lanl(&LanlConfig::paper(48, IoOp::Write));
+        let dynamic = run_dynamic(&cluster, &trace, &c, &DynamicConfig::default());
+        let def = evaluate_scheme(Scheme::Def, &trace, &cluster, &c);
+        let oracle = evaluate_scheme(Scheme::Mha, &trace, &cluster, &c);
+        assert!(
+            dynamic.bandwidth_mbps() > def.bandwidth_mbps(),
+            "dynamic {} <= DEF {}",
+            dynamic.bandwidth_mbps(),
+            def.bandwidth_mbps()
+        );
+        assert!(
+            dynamic.bandwidth_mbps() <= oracle.bandwidth_mbps() * 1.02,
+            "dynamic {} cannot beat the oracle {}",
+            dynamic.bandwidth_mbps(),
+            oracle.bandwidth_mbps()
+        );
+    }
+
+    #[test]
+    fn drifting_pattern_replans() {
+        // First half: LANL writes; second half: large uniform IOR reads.
+        let cluster = ClusterConfig::paper_default();
+        let c = ctx(&cluster);
+        let mut trace = gen_lanl(&LanlConfig::paper(16, IoOp::Write));
+        let mut ior_cfg = IorConfig::default_run(IoOp::Read);
+        ior_cfg.size_mix = vec![1 << 20];
+        ior_cfg.reqs_per_proc = 48;
+        trace.extend_with(&gen_ior(&ior_cfg));
+        let rep = run_dynamic(&cluster, &trace, &c, &DynamicConfig::default());
+        assert!(rep.replans >= 2, "pattern change must trigger a re-plan: {rep:?}");
+    }
+
+    #[test]
+    fn epochs_partition_the_trace() {
+        let trace = gen_lanl(&LanlConfig::paper(10, IoOp::Write));
+        let epochs = split_epochs(&trace, 7);
+        let total: usize = epochs.iter().map(Trace::len).sum();
+        assert_eq!(total, trace.len());
+        assert!(epochs.len() >= 2);
+    }
+
+    #[test]
+    fn drift_detector_is_symmetric_and_thresholded() {
+        let trace = gen_lanl(&LanlConfig::paper(4, IoOp::Write));
+        let s = TraceStats::of(&trace);
+        assert!(!drifted(&s, &s, 0.25), "identical stats never drift");
+    }
+
+    #[test]
+    fn migration_moves_hot_data_and_accounts_time() {
+        // Two identical LANL write passes make every extent hot (accessed
+        // twice); the trailing large-read phase triggers a drift re-plan,
+        // which must migrate the hot extents and charge the time.
+        let cluster = ClusterConfig::paper_default();
+        let c = ctx(&cluster);
+        let mut trace = gen_lanl(&LanlConfig::paper(16, IoOp::Write));
+        trace.extend_with(&gen_lanl(&LanlConfig::paper(16, IoOp::Write)));
+        let mut ior_cfg = IorConfig::default_run(IoOp::Read);
+        ior_cfg.size_mix = vec![1 << 20];
+        ior_cfg.reqs_per_proc = 32;
+        trace.extend_with(&gen_ior(&ior_cfg));
+        let rep = run_dynamic(&cluster, &trace, &c, &DynamicConfig::default());
+        assert!(rep.replans >= 2, "drift must replan: {}", rep.replans);
+        assert!(rep.migrated_bytes > 0, "hot extents must migrate");
+        let mig_time: SimDuration = rep.epochs.iter().map(|e| e.migration_time).sum();
+        assert!(!mig_time.is_zero());
+        let app_time: SimDuration = rep.epochs.iter().map(|e| e.io_time).sum();
+        assert_eq!((app_time + mig_time).as_nanos(), rep.total_time.as_nanos());
+        assert_eq!(rep.total_bytes, trace.total_bytes());
+    }
+}

@@ -1,0 +1,300 @@
+//! Algorithm 1: iterative request grouping.
+//!
+//! A bounded k-means over (size, concurrency) feature points with the
+//! Eq. 1 normalized distance. Faithful to the paper:
+//!
+//! * if there are no more points than groups, every point seeds its own
+//!   group (the paper seeds centers from randomly selected requests),
+//! * otherwise centers refine iteratively — assign each point to its
+//!   nearest center, recompute centers — until the centers stop changing
+//!   or the iteration cap (3, per the paper) is hit,
+//! * `k` is capped to bound the number of regions and thus metadata
+//!   overhead (§III-D).
+
+use crate::pattern::{FeatureSpace, ReqFeature};
+use serde::{Deserialize, Serialize};
+use simrt::SeedSeq;
+
+/// Grouping configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupingConfig {
+    /// Upper bound on the number of groups (regions).
+    pub k: usize,
+    /// Refinement iteration cap (the paper uses 3).
+    pub max_iters: usize,
+    /// Seed for the initial center choice.
+    pub seed: u64,
+}
+
+impl Default for GroupingConfig {
+    fn default() -> Self {
+        GroupingConfig { k: 8, max_iters: 3, seed: 0x6120 }
+    }
+}
+
+/// Result of grouping: per-point group assignment plus group centers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Grouping {
+    /// `assignment[i]` is the group of point `i` (dense ids `0..groups`).
+    pub assignment: Vec<usize>,
+    /// Group centers, indexed by group id.
+    pub centers: Vec<ReqFeature>,
+    /// Refinement iterations actually performed.
+    pub iterations: usize,
+}
+
+impl Grouping {
+    /// Number of (non-empty) groups.
+    pub fn groups(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Indices of the points in group `g`, in point order.
+    pub fn members(&self, g: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == g)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Run Algorithm 1 on `points`.
+pub fn group_requests(points: &[ReqFeature], cfg: &GroupingConfig) -> Grouping {
+    assert!(cfg.k > 0, "need at least one group");
+    if points.is_empty() {
+        return Grouping { assignment: Vec::new(), centers: Vec::new(), iterations: 0 };
+    }
+    let space = FeatureSpace::fit(points);
+    if points.len() <= cfg.k {
+        // Fewer points than groups: each point is its own group.
+        return Grouping {
+            assignment: (0..points.len()).collect(),
+            centers: points.to_vec(),
+            iterations: 0,
+        };
+    }
+
+    let mut centers = initial_centers(points, cfg.k, cfg.seed, &space);
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for _ in 0..cfg.max_iters.max(1) {
+        iterations += 1;
+        // Assignment step: nearest center (Eq. 1 distance).
+        for (i, p) in points.iter().enumerate() {
+            assignment[i] = nearest(&centers, p, &space);
+        }
+        // Update step: centroid of each group.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); centers.len()];
+        for (i, p) in points.iter().enumerate() {
+            let s = &mut sums[assignment[i]];
+            s.0 += p.size;
+            s.1 += p.concurrency;
+            s.2 += 1;
+        }
+        let mut changed = false;
+        for (c, &(sx, sy, n)) in centers.iter_mut().zip(&sums) {
+            if n == 0 {
+                continue; // empty group keeps its center
+            }
+            let next = ReqFeature { size: sx / n as f64, concurrency: sy / n as f64 };
+            if space.distance(c, &next) > 1e-12 {
+                *c = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    compact(points, assignment, centers, iterations, &space)
+}
+
+/// Seed centers: k-means++-style — first center random, each next center
+/// the point farthest from its nearest chosen center. Deterministic given
+/// the seed.
+fn initial_centers(points: &[ReqFeature], k: usize, seed: u64, space: &FeatureSpace) -> Vec<ReqFeature> {
+    use rand::Rng;
+    let mut rng = SeedSeq::new(seed).derive("grouping").rng();
+    let mut centers = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..points.len())]);
+    while centers.len() < k {
+        let far = points
+            .iter()
+            .map(|p| {
+                let d = centers
+                    .iter()
+                    .map(|c| space.distance(p, c))
+                    .fold(f64::INFINITY, f64::min);
+                (p, d)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .map(|(p, d)| (*p, d))
+            .expect("points nonempty");
+        if far.1 <= 1e-12 {
+            break; // all remaining points coincide with a center
+        }
+        centers.push(far.0);
+    }
+    centers
+}
+
+fn nearest(centers: &[ReqFeature], p: &ReqFeature, space: &FeatureSpace) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (g, c) in centers.iter().enumerate() {
+        let d = space.distance(p, c);
+        if d < best_d {
+            best_d = d;
+            best = g;
+        }
+    }
+    best
+}
+
+/// Drop empty groups and renumber assignments densely; recompute final
+/// assignment against surviving centers.
+fn compact(
+    points: &[ReqFeature],
+    assignment: Vec<usize>,
+    centers: Vec<ReqFeature>,
+    iterations: usize,
+    _space: &FeatureSpace,
+) -> Grouping {
+    let mut used = vec![false; centers.len()];
+    for &a in &assignment {
+        used[a] = true;
+    }
+    let mut remap = vec![usize::MAX; centers.len()];
+    let mut kept = Vec::new();
+    for (old, c) in centers.into_iter().enumerate() {
+        if used[old] {
+            remap[old] = kept.len();
+            kept.push(c);
+        }
+    }
+    let assignment = assignment.into_iter().map(|a| remap[a]).collect();
+    let _ = points;
+    Grouping { assignment, centers: kept, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(size: f64, conc: f64) -> ReqFeature {
+        ReqFeature { size, concurrency: conc }
+    }
+
+    fn lanl_points(loops: usize) -> Vec<ReqFeature> {
+        // The LANL pattern: sizes 16 / 131056 / 131072 at concurrency 8.
+        let mut v = Vec::new();
+        for _ in 0..loops {
+            v.push(f(16.0, 8.0));
+            v.push(f(131_056.0, 8.0));
+            v.push(f(131_072.0, 8.0));
+        }
+        v
+    }
+
+    #[test]
+    fn lanl_pattern_separates_small_from_large() {
+        let pts = lanl_points(20);
+        let g = group_requests(&pts, &GroupingConfig { k: 2, ..Default::default() });
+        assert_eq!(g.groups(), 2);
+        // All 16-byte requests share a group; the two ~128K sizes share
+        // the other (they are within 16 bytes of each other).
+        let small_group = g.assignment[0];
+        for (i, p) in pts.iter().enumerate() {
+            if p.size < 1000.0 {
+                assert_eq!(g.assignment[i], small_group);
+            } else {
+                assert_ne!(g.assignment[i], small_group);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_requests_collapse_to_one_group() {
+        let pts = vec![f(65536.0, 16.0); 100];
+        let g = group_requests(&pts, &GroupingConfig { k: 8, ..Default::default() });
+        assert_eq!(g.groups(), 1, "identical points need one region");
+        assert!(g.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn few_points_get_singleton_groups() {
+        let pts = vec![f(1.0, 1.0), f(2.0, 2.0)];
+        let g = group_requests(&pts, &GroupingConfig { k: 8, ..Default::default() });
+        assert_eq!(g.groups(), 2);
+        assert_eq!(g.assignment, vec![0, 1]);
+        assert_eq!(g.iterations, 0);
+    }
+
+    #[test]
+    fn group_count_never_exceeds_k() {
+        use rand::Rng;
+        let mut rng = SeedSeq::new(7).rng();
+        let pts: Vec<ReqFeature> = (0..500)
+            .map(|_| f(rng.gen_range(1.0..1e7), rng.gen_range(1.0..64.0)))
+            .collect();
+        for k in [1, 2, 4, 8] {
+            let g = group_requests(&pts, &GroupingConfig { k, ..Default::default() });
+            assert!(g.groups() <= k, "k={k} got {}", g.groups());
+            assert!(g.groups() >= 1);
+            assert_eq!(g.assignment.len(), pts.len());
+        }
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        use rand::Rng;
+        let mut rng = SeedSeq::new(9).rng();
+        let pts: Vec<ReqFeature> = (0..200)
+            .map(|_| f(rng.gen_range(1.0..1e6), rng.gen_range(1.0..32.0)))
+            .collect();
+        let g = group_requests(&pts, &GroupingConfig { k: 4, max_iters: 3, seed: 1 });
+        assert!(g.iterations <= 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = lanl_points(10);
+        let cfg = GroupingConfig::default();
+        let a = group_requests(&pts, &cfg);
+        let b = group_requests(&pts, &cfg);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn members_partitions_points() {
+        let pts = lanl_points(5);
+        let g = group_requests(&pts, &GroupingConfig { k: 3, ..Default::default() });
+        let mut seen = vec![false; pts.len()];
+        for grp in 0..g.groups() {
+            for m in g.members(grp) {
+                assert!(!seen[m], "point in two groups");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every point in some group");
+    }
+
+    #[test]
+    fn empty_input_is_empty_grouping() {
+        let g = group_requests(&[], &GroupingConfig::default());
+        assert_eq!(g.groups(), 0);
+        assert!(g.assignment.is_empty());
+    }
+
+    #[test]
+    fn concurrency_dimension_separates_equal_sizes() {
+        // Same size, two distinct concurrency levels (the Fig. 9 mix).
+        let mut pts = vec![f(262_144.0, 8.0); 50];
+        pts.extend(vec![f(262_144.0, 32.0); 50]);
+        let g = group_requests(&pts, &GroupingConfig { k: 2, ..Default::default() });
+        assert_eq!(g.groups(), 2);
+        assert_ne!(g.assignment[0], g.assignment[99]);
+    }
+}

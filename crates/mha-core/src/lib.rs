@@ -1,0 +1,45 @@
+//! # mha-core — the paper's contribution
+//!
+//! MHA (Migratory Heterogeneity-Aware data layout) and its baselines,
+//! implemented over the `pfs-sim` substrate:
+//!
+//! * [`pattern`] — request features and the normalized Euclidean distance
+//!   of Eq. 1,
+//! * [`grouping`] — Algorithm 1: iterative request grouping (bounded
+//!   k-means on (size, concurrency)),
+//! * [`cost`] — Table I parameters and the Eq. 2 access cost model,
+//!   calibrated from device/network models,
+//! * [`rssd`] — Algorithm 2: Region Stripe Size Determination (exhaustive
+//!   `<h, s>` search with adaptive bounds),
+//! * [`region`] — region construction, the Data Reordering Table (DRT)
+//!   and Region Stripe Table (RST), with kvstore persistence,
+//! * [`redirect`] — the runtime I/O redirector (a [`pfs_sim::Resolver`]),
+//! * [`schemes`] — the four planners evaluated in the paper: DEF, AAL,
+//!   HARL and MHA, behind one [`schemes::LayoutPlanner`] trait.
+//!
+//! The intended flow (the paper's five phases):
+//!
+//! ```text
+//! trace (iotrace) ──► planner.plan() ──► Plan { layouts, resolver }
+//!                                          │ install into Cluster MDS
+//!                                          ▼
+//!                               pfs_sim::replay(cluster, trace, resolver)
+//! ```
+
+pub mod cost;
+pub mod dynamic;
+pub mod grouping;
+pub mod pattern;
+pub mod redirect;
+pub mod region;
+pub mod rssd;
+pub mod schemes;
+
+pub use cost::{CostParams, ReqView};
+pub use dynamic::{run_dynamic, DynamicConfig, DynamicReport};
+pub use grouping::{group_requests, Grouping, GroupingConfig};
+pub use pattern::{FeatureSpace, ReqFeature};
+pub use redirect::DrtResolver;
+pub use region::{Drt, DrtEntry, Rst};
+pub use rssd::{rssd, RssdConfig, StripePair};
+pub use schemes::{apply_plan, LayoutPlanner, Plan, PlanResolver, Scheme};

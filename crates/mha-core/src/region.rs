@@ -1,0 +1,668 @@
+//! Regions, the Data Reordering Table (DRT) and the Region Stripe Table
+//! (RST).
+//!
+//! The *Data Reorganizer* turns a grouping into concrete regions: each
+//! group's request extents are packed, ordered by their offsets in the
+//! original file, into a fresh physical *region file*. The DRT records
+//! every relocation as the paper's five-field entry
+//! `(O_file, O_offset) → (R_file, R_offset, Length)` and supports the
+//! range translation the *Redirector* needs at runtime. The RST maps each
+//! region file to its optimized `<h, s>` stripe pair. Both tables
+//! persist through [`kvstore`] (the Berkeley DB substitute), one record
+//! per entry, synchronously written as the paper requires.
+
+use crate::cost::ReqView;
+use crate::grouping::Grouping;
+use crate::rssd::StripePair;
+use iotrace::{FileId, Trace};
+use pfs_sim::PhysExtent;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One DRT entry (the paper's five variables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrtEntry {
+    /// Original file.
+    pub o_file: FileId,
+    /// Offset in the original file.
+    pub o_offset: u64,
+    /// Region (reordered) file.
+    pub r_file: FileId,
+    /// Offset in the region file.
+    pub r_offset: u64,
+    /// Extent length, bytes.
+    pub length: u64,
+}
+
+/// The Data Reordering Table: original extents → region extents.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Drt {
+    /// Per original file: start offset → (length, region file, region offset).
+    map: BTreeMap<FileId, BTreeMap<u64, (u64, FileId, u64)>>,
+    entries: usize,
+}
+
+impl Drt {
+    /// Empty table.
+    pub fn new() -> Self {
+        Drt::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when no data has been reordered.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Insert an entry. Returns `false` (and inserts nothing) if the new
+    /// extent would overlap an existing entry for the same original file —
+    /// overlapping relocations would make translation ambiguous.
+    pub fn insert(&mut self, e: DrtEntry) -> bool {
+        if e.length == 0 {
+            return false;
+        }
+        let per_file = self.map.entry(e.o_file).or_default();
+        // Check the neighbour below and the first entry at/above.
+        if let Some((&lo, &(llen, _, _))) = per_file.range(..=e.o_offset).next_back() {
+            if lo + llen > e.o_offset {
+                return false;
+            }
+        }
+        if let Some((&hi, _)) = per_file.range(e.o_offset..).next() {
+            if hi < e.o_offset + e.length {
+                return false;
+            }
+        }
+        per_file.insert(e.o_offset, (e.length, e.r_file, e.r_offset));
+        self.entries += 1;
+        true
+    }
+
+    /// Exact-extent lookup (fast path for replayed traces, which repeat
+    /// the profiled requests verbatim).
+    pub fn lookup_exact(&self, file: FileId, offset: u64, len: u64) -> Option<(FileId, u64)> {
+        let (l, rf, ro) = self.map.get(&file)?.get(&offset)?;
+        (*l == len).then_some((*rf, *ro))
+    }
+
+    /// Translate an arbitrary extent into physical extents: relocated
+    /// pieces map to their region files; bytes with no DRT entry stay on
+    /// the original file. Pieces come back in logical (offset) order and
+    /// partition the request exactly.
+    pub fn translate(&self, file: FileId, offset: u64, len: u64) -> Vec<PhysExtent> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let end = offset + len;
+        let Some(per_file) = self.map.get(&file) else {
+            out.push(PhysExtent { file, offset, len });
+            return out;
+        };
+        let mut pos = offset;
+        // Start from the entry that could cover `offset` (the one at or
+        // before it), then walk forward.
+        let start_key = per_file
+            .range(..=pos)
+            .next_back()
+            .map(|(&k, _)| k)
+            .unwrap_or(pos);
+        for (&eo, &(elen, rf, ro)) in per_file.range(start_key..) {
+            if pos >= end {
+                break;
+            }
+            let e_end = eo + elen;
+            if e_end <= pos {
+                continue;
+            }
+            if eo >= end {
+                break;
+            }
+            if eo > pos {
+                // Uncovered gap before this entry.
+                out.push(PhysExtent { file, offset: pos, len: eo - pos });
+                pos = eo;
+            }
+            let take = e_end.min(end) - pos;
+            out.push(PhysExtent { file: rf, offset: ro + (pos - eo), len: take });
+            pos += take;
+        }
+        if pos < end {
+            out.push(PhysExtent { file, offset: pos, len: end - pos });
+        }
+        out
+    }
+
+    /// All entries, ordered by (original file, offset).
+    pub fn entries(&self) -> Vec<DrtEntry> {
+        let mut v = Vec::with_capacity(self.entries);
+        for (&o_file, per_file) in &self.map {
+            for (&o_offset, &(length, r_file, r_offset)) in per_file {
+                v.push(DrtEntry { o_file, o_offset, r_file, r_offset, length });
+            }
+        }
+        v
+    }
+
+    /// Persist every entry into `store` (key `(o_file, o_offset)`, value
+    /// `(length, r_file, r_offset)` — the paper's encoding under §IV-A).
+    pub fn save(&self, store: &kvstore::Store) -> kvstore::Result<()> {
+        for e in self.entries() {
+            store.put(&Self::key(e.o_file, e.o_offset), &Self::value(&e))?;
+        }
+        Ok(())
+    }
+
+    /// Load a table previously saved with [`Drt::save`]. Unparseable
+    /// records are skipped (they belong to other tables sharing the store).
+    pub fn load(store: &kvstore::Store) -> kvstore::Result<Drt> {
+        let mut drt = Drt::new();
+        for key in store.keys_with_prefix(b"drt:") {
+            let Some((o_file, o_offset)) = Self::decode_key(&key) else { continue };
+            let Some(value) = store.get(&key)? else { continue };
+            let Some((length, r_file, r_offset)) = Self::decode_value(&value) else { continue };
+            drt.insert(DrtEntry { o_file, o_offset, r_file, r_offset, length });
+        }
+        Ok(drt)
+    }
+
+    fn key(o_file: FileId, o_offset: u64) -> Vec<u8> {
+        let mut k = Vec::with_capacity(16);
+        k.extend_from_slice(b"drt:");
+        k.extend_from_slice(&o_file.0.to_le_bytes());
+        k.extend_from_slice(&o_offset.to_le_bytes());
+        k
+    }
+
+    fn decode_key(k: &[u8]) -> Option<(FileId, u64)> {
+        let rest = k.strip_prefix(b"drt:")?;
+        if rest.len() != 12 {
+            return None;
+        }
+        let file = u32::from_le_bytes(rest[..4].try_into().ok()?);
+        let off = u64::from_le_bytes(rest[4..].try_into().ok()?);
+        Some((FileId(file), off))
+    }
+
+    fn value(e: &DrtEntry) -> Vec<u8> {
+        let mut v = Vec::with_capacity(20);
+        v.extend_from_slice(&e.length.to_le_bytes());
+        v.extend_from_slice(&e.r_file.0.to_le_bytes());
+        v.extend_from_slice(&e.r_offset.to_le_bytes());
+        v
+    }
+
+    fn decode_value(v: &[u8]) -> Option<(u64, FileId, u64)> {
+        if v.len() != 20 {
+            return None;
+        }
+        let length = u64::from_le_bytes(v[..8].try_into().ok()?);
+        let r_file = u32::from_le_bytes(v[8..12].try_into().ok()?);
+        let r_offset = u64::from_le_bytes(v[12..].try_into().ok()?);
+        Some((length, FileId(r_file), r_offset))
+    }
+}
+
+/// The Region Stripe Table: region file → optimized stripe pair.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rst {
+    pairs: BTreeMap<FileId, StripePair>,
+}
+
+impl Rst {
+    /// Empty table.
+    pub fn new() -> Self {
+        Rst::default()
+    }
+
+    /// Record the pair for a region file.
+    pub fn set(&mut self, file: FileId, pair: StripePair) {
+        self.pairs.insert(file, pair);
+    }
+
+    /// Pair for `file`, if optimized.
+    pub fn get(&self, file: FileId) -> Option<StripePair> {
+        self.pairs.get(&file).copied()
+    }
+
+    /// All `(file, pair)` rows in file order.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, StripePair)> + '_ {
+        self.pairs.iter().map(|(&f, &p)| (f, p))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Persist into `store` under `rst:`-prefixed keys.
+    pub fn save(&self, store: &kvstore::Store) -> kvstore::Result<()> {
+        for (file, pair) in self.iter() {
+            let mut k = Vec::with_capacity(8);
+            k.extend_from_slice(b"rst:");
+            k.extend_from_slice(&file.0.to_le_bytes());
+            let mut v = Vec::with_capacity(16);
+            v.extend_from_slice(&pair.h.to_le_bytes());
+            v.extend_from_slice(&pair.s.to_le_bytes());
+            store.put(&k, &v)?;
+        }
+        Ok(())
+    }
+
+    /// Load a table previously saved with [`Rst::save`].
+    pub fn load(store: &kvstore::Store) -> kvstore::Result<Rst> {
+        let mut rst = Rst::new();
+        for key in store.keys_with_prefix(b"rst:") {
+            let Some(rest) = key.strip_prefix(b"rst:") else { continue };
+            let Ok(fb): Result<[u8; 4], _> = rest.try_into() else { continue };
+            let Some(value) = store.get(&key)? else { continue };
+            if value.len() != 16 {
+                continue;
+            }
+            let h = u64::from_le_bytes(value[..8].try_into().expect("8 bytes"));
+            let s = u64::from_le_bytes(value[8..].try_into().expect("8 bytes"));
+            rst.set(FileId(u32::from_le_bytes(fb)), StripePair { h, s });
+        }
+        Ok(rst)
+    }
+}
+
+/// One constructed region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionInfo {
+    /// The region's physical file id.
+    pub file: FileId,
+    /// Region length, bytes.
+    pub len: u64,
+    /// The grouping group this region holds.
+    pub group: usize,
+    /// Number of distinct extents migrated into the region.
+    pub extents: usize,
+}
+
+/// Output of the Data Reorganizer.
+#[derive(Debug, Clone)]
+pub struct RegionBuild {
+    /// Regions in group order.
+    pub regions: Vec<RegionInfo>,
+    /// The reordering table.
+    pub drt: Drt,
+    /// Per-region planner views: each group's requests with their
+    /// *region* offsets (what RSSD optimizes).
+    pub region_views: Vec<Vec<ReqView>>,
+    /// Trace indices whose extents could not be migrated (overlapping
+    /// non-identical extents stay in the original file).
+    pub residuals: Vec<usize>,
+}
+
+/// Build regions from a grouping over `trace`, aligning each migrated
+/// extent to a 4 KiB boundary in its region file. Region files get ids
+/// `region_file_base`, `region_file_base + 1`, … (callers pick a base
+/// beyond every original file id).
+pub fn build_regions(trace: &Trace, grouping: &Grouping, region_file_base: u32) -> RegionBuild {
+    build_regions_aligned(trace, grouping, region_file_base, 4 << 10)
+}
+
+/// [`build_regions`] with an explicit packing alignment.
+///
+/// Alignment matters: stripe sizes are multiples of the search step, so
+/// packing odd-sized extents back-to-back would make *every* request
+/// straddle stripe boundaries regardless of the `<h, s>` pair RSSD picks,
+/// paying an extra startup per request. Aligning each extent start to the
+/// step trades a sliver of space (< one step per extent) for clean
+/// decompositions — the same reason file systems align block allocations.
+///
+/// Two passes keep every byte **single-homed** even when requests overlap
+/// (read-modify-write patterns like LU's slab updates):
+///
+/// 1. *Migration*: groups are processed bulk-first (descending total
+///    bytes, so large extents claim their ranges whole); within a group,
+///    extents ordered by original-file offset (the paper's rule). Only
+///    the subranges not yet covered by the DRT migrate — an extent
+///    overlapping already-moved data reuses those mappings.
+/// 2. *Views*: every trace record is translated through the finished DRT;
+///    each piece landing in a region contributes a planner view to *that*
+///    region, so RSSD optimizes exactly the requests the region will
+///    serve at runtime. Records with any piece left in the original file
+///    are reported as residuals.
+pub fn build_regions_aligned(
+    trace: &Trace,
+    grouping: &Grouping,
+    region_file_base: u32,
+    align: u64,
+) -> RegionBuild {
+    build_regions_per_group(trace, grouping, region_file_base, &vec![align; grouping.groups()])
+}
+
+/// [`build_regions_aligned`] with a per-group packing alignment — used by
+/// the MHA planner's second pass, which repacks each region aligned to
+/// the stripe size RSSD chose for it so extents decompose on the stripe
+/// grid.
+pub fn build_regions_per_group(
+    trace: &Trace,
+    grouping: &Grouping,
+    region_file_base: u32,
+    aligns: &[u64],
+) -> RegionBuild {
+    build_regions_filtered(trace, grouping, region_file_base, aligns, &vec![true; grouping.groups()])
+}
+
+/// [`build_regions_per_group`] with a per-group include mask: excluded
+/// groups migrate nothing (their requests stay in the original files,
+/// reported as residuals) — the mechanism behind *selective* MHA, which
+/// the paper motivates by applying the scheme only to critical data
+/// sections.
+pub fn build_regions_filtered(
+    trace: &Trace,
+    grouping: &Grouping,
+    region_file_base: u32,
+    aligns: &[u64],
+    include: &[bool],
+) -> RegionBuild {
+    assert_eq!(aligns.len(), grouping.groups(), "one alignment per group");
+    assert_eq!(include.len(), grouping.groups(), "one include flag per group");
+    let records = trace.records();
+    let conc = trace.concurrency();
+    let groups = grouping.groups();
+    let mut drt = Drt::new();
+    let mut cursors = vec![0u64; groups];
+    let mut extent_counts = vec![0usize; groups];
+
+    // Pass 1 — migration, bulk groups first.
+    let mut group_bytes = vec![0u64; groups];
+    for (i, rec) in records.iter().enumerate() {
+        group_bytes[grouping.assignment[i]] += rec.len;
+    }
+    let mut order: Vec<usize> = (0..groups).collect();
+    order.sort_by_key(|&g| std::cmp::Reverse(group_bytes[g]));
+
+    for &g in &order {
+        if !include[g] {
+            continue;
+        }
+        let r_file = FileId(region_file_base + g as u32);
+        let mut members = grouping.members(g);
+        members.sort_by_key(|&i| (records[i].file, records[i].offset, i));
+        for &i in &members {
+            let rec = &records[i];
+            if rec.len == 0 {
+                continue;
+            }
+            // Migrate only the subranges no region owns yet.
+            let gaps: Vec<(u64, u64)> = drt
+                .translate(rec.file, rec.offset, rec.len)
+                .into_iter()
+                .filter(|p| p.file == rec.file)
+                .map(|p| (p.offset, p.len))
+                .collect();
+            for (off, len) in gaps {
+                let inserted = drt.insert(DrtEntry {
+                    o_file: rec.file,
+                    o_offset: off,
+                    r_file,
+                    r_offset: cursors[g],
+                    length: len,
+                });
+                debug_assert!(inserted, "translate gaps are uncovered by construction");
+                let align = aligns[g].max(1);
+                cursors[g] = (cursors[g] + len).div_ceil(align) * align;
+                extent_counts[g] += 1;
+            }
+        }
+    }
+
+    // Pass 2 — planner views from the finished table.
+    let mut region_views: Vec<Vec<ReqView>> = vec![Vec::new(); groups];
+    let mut residuals = Vec::new();
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len == 0 {
+            continue;
+        }
+        let mut any_original = false;
+        for piece in drt.translate(rec.file, rec.offset, rec.len) {
+            if piece.file.0 >= region_file_base {
+                let g = (piece.file.0 - region_file_base) as usize;
+                region_views[g].push(ReqView {
+                    offset: piece.offset,
+                    len: piece.len,
+                    op: rec.op,
+                    concurrency: conc[i],
+                });
+            } else {
+                any_original = true;
+            }
+        }
+        if any_original {
+            residuals.push(i);
+        }
+    }
+
+    let regions = (0..groups)
+        .map(|g| RegionInfo {
+            file: FileId(region_file_base + g as u32),
+            len: cursors[g],
+            group: g,
+            extents: extent_counts[g],
+        })
+        .collect();
+
+    RegionBuild { regions, drt, region_views, residuals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::{group_requests, GroupingConfig};
+    use crate::pattern::ReqFeature;
+    use iotrace::gen::lanl::{generate, LanlConfig};
+    use storage_model::IoOp;
+
+    fn e(of: u32, oo: u64, rf: u32, ro: u64, len: u64) -> DrtEntry {
+        DrtEntry {
+            o_file: FileId(of),
+            o_offset: oo,
+            r_file: FileId(rf),
+            r_offset: ro,
+            length: len,
+        }
+    }
+
+    #[test]
+    fn insert_rejects_overlap() {
+        let mut d = Drt::new();
+        assert!(d.insert(e(0, 100, 10, 0, 50)));
+        assert!(!d.insert(e(0, 120, 10, 50, 10)), "inside existing");
+        assert!(!d.insert(e(0, 90, 10, 50, 20)), "straddles start");
+        assert!(!d.insert(e(0, 140, 10, 50, 20)), "straddles end");
+        assert!(d.insert(e(0, 150, 10, 50, 10)), "touching is fine");
+        assert!(d.insert(e(1, 100, 11, 0, 50)), "other file independent");
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let mut d = Drt::new();
+        d.insert(e(0, 100, 10, 777, 50));
+        assert_eq!(d.lookup_exact(FileId(0), 100, 50), Some((FileId(10), 777)));
+        assert_eq!(d.lookup_exact(FileId(0), 100, 49), None);
+        assert_eq!(d.lookup_exact(FileId(0), 101, 50), None);
+        assert_eq!(d.lookup_exact(FileId(1), 100, 50), None);
+    }
+
+    #[test]
+    fn translate_exact_extent() {
+        let mut d = Drt::new();
+        d.insert(e(0, 100, 10, 777, 50));
+        let t = d.translate(FileId(0), 100, 50);
+        assert_eq!(t, vec![PhysExtent { file: FileId(10), offset: 777, len: 50 }]);
+    }
+
+    #[test]
+    fn translate_partial_and_gap() {
+        let mut d = Drt::new();
+        d.insert(e(0, 100, 10, 0, 50));
+        d.insert(e(0, 200, 11, 40, 50));
+        // Request [120, 230): tail of entry 1, gap [150,200), head of entry 2.
+        let t = d.translate(FileId(0), 120, 110);
+        assert_eq!(
+            t,
+            vec![
+                PhysExtent { file: FileId(10), offset: 20, len: 30 },
+                PhysExtent { file: FileId(0), offset: 150, len: 50 },
+                PhysExtent { file: FileId(11), offset: 40, len: 30 },
+            ]
+        );
+        let total: u64 = t.iter().map(|x| x.len).sum();
+        assert_eq!(total, 110);
+    }
+
+    #[test]
+    fn translate_unknown_file_passes_through() {
+        let d = Drt::new();
+        let t = d.translate(FileId(9), 5, 10);
+        assert_eq!(t, vec![PhysExtent { file: FileId(9), offset: 5, len: 10 }]);
+        assert!(d.translate(FileId(9), 5, 0).is_empty());
+    }
+
+    #[test]
+    fn drt_persistence_round_trip() {
+        let path = std::env::temp_dir().join(format!("drt-rt-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let store = kvstore::Store::open_default(&path).unwrap();
+        let mut d = Drt::new();
+        d.insert(e(0, 100, 10, 0, 50));
+        d.insert(e(0, 200, 11, 40, 50));
+        d.insert(e(3, 0, 12, 8, 16));
+        d.save(&store).unwrap();
+        let back = Drt::load(&store).unwrap();
+        assert_eq!(back, d);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rst_round_trip_shares_store_with_drt() {
+        let path = std::env::temp_dir().join(format!("rst-rt-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let store = kvstore::Store::open_default(&path).unwrap();
+        let mut d = Drt::new();
+        d.insert(e(0, 0, 10, 0, 64));
+        d.save(&store).unwrap();
+        let mut r = Rst::new();
+        r.set(FileId(10), StripePair { h: 0, s: 128 << 10 });
+        r.set(FileId(11), StripePair { h: 32 << 10, s: 96 << 10 });
+        r.save(&store).unwrap();
+        let rb = Rst::load(&store).unwrap();
+        assert_eq!(rb, r);
+        let db = Drt::load(&store).unwrap();
+        assert_eq!(db, d);
+        assert_eq!(rb.get(FileId(10)), Some(StripePair { h: 0, s: 128 << 10 }));
+        assert_eq!(rb.get(FileId(99)), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn lanl_build() -> (Trace, RegionBuild) {
+        let trace = generate(&LanlConfig::paper(6, IoOp::Write));
+        let views = crate::cost::views_of(&trace);
+        let feats: Vec<ReqFeature> = views.iter().map(ReqFeature::of).collect();
+        let grouping = group_requests(&feats, &GroupingConfig { k: 2, ..Default::default() });
+        let build = build_regions(&trace, &grouping, 1000);
+        (trace, build)
+    }
+
+    #[test]
+    fn lanl_regions_pack_similar_requests() {
+        let (trace, build) = lanl_build();
+        assert_eq!(build.regions.len(), 2);
+        assert!(build.residuals.is_empty());
+        // Region bytes cover the trace bytes, padded by at most one
+        // alignment unit per migrated extent.
+        let region_bytes: u64 = build.regions.iter().map(|r| r.len).sum();
+        let extents: usize = build.regions.iter().map(|r| r.extents).sum();
+        assert!(region_bytes >= trace.total_bytes());
+        assert!(region_bytes < trace.total_bytes() + extents as u64 * 4096);
+        // Each region is internally homogeneous in size class.
+        for views in &build.region_views {
+            let small = views.iter().filter(|v| v.len < 1000).count();
+            assert!(small == 0 || small == views.len(), "mixed region");
+        }
+    }
+
+    #[test]
+    fn region_views_are_aligned_and_tile_the_region() {
+        let (_, build) = lanl_build();
+        for (g, views) in build.region_views.iter().enumerate() {
+            // Views arrive in trace order; sorted by offset they must
+            // tile the region exactly (one aligned slot per extent).
+            let mut sorted: Vec<(u64, u64)> = views.iter().map(|v| (v.offset, v.len)).collect();
+            sorted.sort_unstable();
+            let mut cursor = 0u64;
+            for (off, len) in sorted {
+                assert_eq!(off % 4096, 0, "group {g}: extent start must be aligned");
+                assert_eq!(off, cursor, "group {g}: hole or overlap at {off}");
+                cursor = (off + len).div_ceil(4096) * 4096;
+            }
+            assert_eq!(cursor, build.regions[g].len, "group {g} length");
+        }
+    }
+
+    #[test]
+    fn custom_alignment_of_one_packs_densely() {
+        let trace = generate(&LanlConfig::paper(3, IoOp::Write));
+        let views = crate::cost::views_of(&trace);
+        let feats: Vec<ReqFeature> = views.iter().map(ReqFeature::of).collect();
+        let grouping = group_requests(&feats, &GroupingConfig { k: 2, ..Default::default() });
+        let build = build_regions_aligned(&trace, &grouping, 1000, 1);
+        let region_bytes: u64 = build.regions.iter().map(|r| r.len).sum();
+        assert_eq!(region_bytes, trace.total_bytes(), "align=1 wastes nothing");
+    }
+
+    #[test]
+    fn drt_translates_every_original_request() {
+        let (trace, build) = lanl_build();
+        for rec in trace.records() {
+            let t = build.drt.translate(rec.file, rec.offset, rec.len);
+            assert_eq!(t.len(), 1, "exact extents translate whole");
+            assert!(t[0].file.0 >= 1000, "must point into a region file");
+            assert_eq!(t[0].len, rec.len);
+        }
+    }
+
+    #[test]
+    fn repeated_extents_are_migrated_once() {
+        // A trace reading the same extent 5 times must produce one DRT
+        // entry and 5 region views at the same offset.
+        use iotrace::record::Rank;
+        use simrt::SimTime;
+        let recs: Vec<iotrace::TraceRecord> = (0..5)
+            .map(|i| iotrace::TraceRecord {
+                pid: 0,
+                rank: Rank(0),
+                file: FileId(0),
+                op: IoOp::Read,
+                offset: 4096,
+                len: 8192,
+                ts: SimTime::from_nanos(i as u64 * 20_000_000),
+                phase: i,
+            })
+            .collect();
+        let trace = Trace::from_records(recs);
+        let views = crate::cost::views_of(&trace);
+        let feats: Vec<ReqFeature> = views.iter().map(ReqFeature::of).collect();
+        let grouping = group_requests(&feats, &GroupingConfig { k: 4, ..Default::default() });
+        let build = build_regions(&trace, &grouping, 100);
+        assert_eq!(build.drt.len(), 1);
+        let total_views: usize = build.region_views.iter().map(Vec::len).sum();
+        assert_eq!(total_views, 5);
+        let region_bytes: u64 = build.regions.iter().map(|r| r.len).sum();
+        assert_eq!(region_bytes, 8192, "one copy of the data");
+    }
+}

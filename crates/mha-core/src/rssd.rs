@@ -1,0 +1,338 @@
+//! Algorithm 2: Region Stripe Size Determination (RSSD).
+//!
+//! Exhaustive search over candidate `<h, s>` stripe pairs in `step`
+//! increments, scoring each pair by the summed Eq. 2 cost of every request
+//! in the region, and keeping the cheapest. Faithful to the paper:
+//!
+//! * `h` starts at **0** — dispatching data only on SServers is a legal
+//!   extreme when it wins,
+//! * `s` starts at `h + step`, keeping the SServer stripe strictly larger
+//!   (SServers are faster; a smaller stripe there could only add
+//!   imbalance),
+//! * bounds adapt to the region's largest request `r_max`: small regions
+//!   search up to `r_max` on both classes (more candidates, bounded
+//!   space); large regions search up to `r_max/M` and `r_max/N`, which
+//!   keeps every server involved for big requests and prunes pointless
+//!   candidates,
+//! * the default `step` is 4 KiB and is user-configurable.
+//!
+//! The outer loop is data-parallel (rayon): candidate pairs are scored
+//! independently, with a deterministic reduction (min by cost, ties to
+//! the smaller pair) so parallelism never changes the result.
+
+use crate::cost::{CostParams, ReqView};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A `<h, s>` stripe pair, bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StripePair {
+    /// Stripe size on each HServer (0 = HServers excluded).
+    pub h: u64,
+    /// Stripe size on each SServer.
+    pub s: u64,
+}
+
+/// RSSD tuning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RssdConfig {
+    /// Search step, bytes (paper default 4 KiB).
+    pub step: u64,
+    /// Threshold multiplier for the adaptive bounds: regions with
+    /// `r_max < (M + N) * small_region_unit` use `r_max` as both bounds.
+    /// The paper uses 64 KiB.
+    pub small_region_unit: u64,
+    /// Use the adaptive bounds of the paper (true) or the plain
+    /// `r_max` bound of HARL (false) — the `ablation_bounds` knob.
+    pub adaptive_bounds: bool,
+    /// Replace the region's `r_max` with a fixed value before computing
+    /// bounds. HARL bounds its search by the *average* request size; MHA
+    /// leaves this `None` and uses the true maximum.
+    pub bound_override: Option<u64>,
+}
+
+impl Default for RssdConfig {
+    fn default() -> Self {
+        RssdConfig {
+            step: 4 << 10,
+            small_region_unit: 64 << 10,
+            adaptive_bounds: true,
+            bound_override: None,
+        }
+    }
+}
+
+/// Result of a stripe search.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RssdResult {
+    /// The winning pair.
+    pub pair: StripePair,
+    /// Its total region cost (sum of Eq. 2 over requests), seconds.
+    pub cost: f64,
+    /// Number of candidate pairs evaluated.
+    pub evaluated: u64,
+}
+
+/// Compute the search bounds `(B_h, B_s)` for a region with largest
+/// request `r_max`.
+pub fn bounds(r_max: u64, params: &CostParams, cfg: &RssdConfig) -> (u64, u64) {
+    let servers = (params.m + params.n) as u64;
+    if !cfg.adaptive_bounds || r_max < servers * cfg.small_region_unit {
+        (r_max, r_max)
+    } else {
+        (
+            r_max / (params.m.max(1) as u64),
+            r_max / (params.n.max(1) as u64),
+        )
+    }
+}
+
+/// Run RSSD over the region's requests. Returns `None` for an empty
+/// region (nothing to optimize).
+pub fn rssd(requests: &[ReqView], params: &CostParams, cfg: &RssdConfig) -> Option<RssdResult> {
+    if requests.is_empty() {
+        return None;
+    }
+    let r_max = cfg
+        .bound_override
+        .unwrap_or_else(|| requests.iter().map(|r| r.len).max().expect("nonempty"));
+    let step = cfg.step.max(1);
+    let (b_h, b_s) = bounds(r_max.max(step), params, cfg);
+    // Candidate h values: 0, step, 2·step, … ≤ B_h (h = 0 is the
+    // SServers-only extreme). When the cluster has no SServers the pair
+    // degenerates to <h, 0>, searched the same way with roles flipped.
+    let h_candidates: Vec<u64> = (0..=b_h / step).map(|i| i * step).collect();
+
+    let best = h_candidates
+        .into_par_iter()
+        .map(|h| {
+            let mut local_best: Option<(f64, StripePair)> = None;
+            let mut evaluated = 0u64;
+            let mut s = h + step;
+            while s <= b_s.max(h + step) {
+                let pair = StripePair { h, s };
+                let cost = region_cost(requests, params, pair);
+                evaluated += 1;
+                let better = match local_best {
+                    None => true,
+                    Some((c, _)) => cost < c,
+                };
+                if better && cost.is_finite() {
+                    local_best = Some((cost, pair));
+                }
+                if s >= b_s {
+                    break;
+                }
+                s += step;
+            }
+            (local_best, evaluated)
+        })
+        .reduce(
+            || (None, 0),
+            |a, b| {
+                let pick = match (a.0, b.0) {
+                    (None, x) => x,
+                    (x, None) => x,
+                    (Some((ca, pa)), Some((cb, pb))) => {
+                        // Deterministic: strictly-lower cost wins; ties go
+                        // to the lexicographically smaller pair.
+                        if cb < ca || (cb == ca && (pb.h, pb.s) < (pa.h, pa.s)) {
+                            Some((cb, pb))
+                        } else {
+                            Some((ca, pa))
+                        }
+                    }
+                };
+                (pick, a.1 + b.1)
+            },
+        );
+
+    let (opt, evaluated) = best;
+    let (cost, pair) = opt?;
+    Some(RssdResult { pair, cost, evaluated })
+}
+
+/// Total region cost: the sum of per-phase Eq. 2 costs.
+///
+/// This is the paper's cost model "extended by considering I/O
+/// concurrency" evaluated *exactly*: requests are walked in trace order
+/// and grouped into phases of `concurrency` consecutive requests (the
+/// requests issued simultaneously); every request in a phase is
+/// decomposed onto the candidate layout at its **actual** offset, and the
+/// phase costs `max_i(p_i·α_i + s_i·(t + β_i))` over the accumulated
+/// per-server startups `p_i` and bytes `s_i` — the phase finishes with
+/// its slowest server. Using actual offsets (rather than a statistical
+/// mates term) lets the search see alignment resonance: a stripe pair
+/// that systematically lands every request's large piece on the same
+/// server scores as badly as it will perform.
+///
+/// Concurrency-1 views (HARL's model predates the extension) degenerate
+/// to the plain per-request Eq. 2 sum.
+pub fn region_cost(requests: &[ReqView], params: &CostParams, pair: StripePair) -> f64 {
+    let Some(layout) = params.layout_for(pair.h, pair.s) else {
+        return f64::INFINITY;
+    };
+    // (startup_time_sum, byte_time_sum) per server, reused across phases.
+    let servers = params.m + params.n;
+    let mut acc = vec![0.0f64; servers];
+    let mut total = 0.0;
+    let mut i = 0;
+    while i < requests.len() {
+        let c = (requests[i].concurrency.max(1)) as usize;
+        let mut j = i;
+        let mut touched: Vec<usize> = Vec::new();
+        while j < requests.len() && j - i < c && requests[j].concurrency.max(1) as usize == c {
+            let req = &requests[j];
+            for (server, bytes, runs) in layout.per_server_load(req.offset, req.len) {
+                let hserver = params.is_hserver(server);
+                let cost = f64::from(runs) * params.alpha(hserver, req.op)
+                    + bytes as f64 * params.unit_time(hserver, req.op);
+                if acc[server.0] == 0.0 {
+                    touched.push(server.0);
+                }
+                acc[server.0] += cost;
+            }
+            j += 1;
+        }
+        let mut phase_max = 0.0f64;
+        for &s in &touched {
+            phase_max = phase_max.max(acc[s]);
+            acc[s] = 0.0;
+        }
+        total += phase_max;
+        i = j;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage_model::IoOp;
+
+    fn params() -> CostParams {
+        CostParams {
+            m: 6,
+            n: 2,
+            t: 1.0 / 117.0e6,
+            alpha_h: 12.7e-3,
+            beta_h: 1.0 / 90.0e6,
+            alpha_sr: 80.0e-6,
+            beta_sr: 1.0 / 700.0e6,
+            alpha_sw: 170.0e-6,
+            beta_sw: 1.0 / 450.0e6,
+        }
+    }
+
+    fn reqs(len: u64, op: IoOp, conc: u32, count: usize) -> Vec<ReqView> {
+        (0..count)
+            .map(|i| ReqView { offset: i as u64 * len, len, op, concurrency: conc })
+            .collect()
+    }
+
+    #[test]
+    fn empty_region_yields_none() {
+        assert!(rssd(&[], &params(), &RssdConfig::default()).is_none());
+    }
+
+    #[test]
+    fn result_respects_bounds_and_step() {
+        let p = params();
+        let cfg = RssdConfig::default();
+        let rs = reqs(256 << 10, IoOp::Write, 8, 32);
+        let r = rssd(&rs, &p, &cfg).unwrap();
+        let (bh, bs) = bounds(256 << 10, &p, &cfg);
+        assert!(r.pair.h <= bh);
+        assert!(r.pair.s <= bs.max(r.pair.h + cfg.step));
+        assert_eq!(r.pair.h % cfg.step, 0);
+        assert_eq!(r.pair.s % cfg.step, 0);
+        assert!(r.pair.s > r.pair.h);
+        assert!(r.evaluated > 0);
+    }
+
+    #[test]
+    fn small_requests_prefer_ssd_only() {
+        // 16 KiB requests: any positive h forces HDD startups; the h = 0
+        // extreme must win by a wide margin.
+        let p = params();
+        let r = rssd(&reqs(16 << 10, IoOp::Read, 8, 64), &p, &RssdConfig::default()).unwrap();
+        assert_eq!(r.pair.h, 0, "got {:?}", r.pair);
+    }
+
+    #[test]
+    fn large_requests_involve_hservers() {
+        // 8 MiB requests at low concurrency: HDD streaming bandwidth is
+        // worth the startup, so h > 0.
+        let p = params();
+        let r = rssd(&reqs(8 << 20, IoOp::Read, 1, 8), &p, &RssdConfig::default()).unwrap();
+        assert!(r.pair.h > 0, "got {:?}", r.pair);
+        assert!(r.pair.s > r.pair.h, "SServers get the bigger stripe");
+    }
+
+    #[test]
+    fn rssd_never_worse_than_def_under_the_model() {
+        let p = params();
+        for (len, conc) in [(16u64 << 10, 8u32), (256 << 10, 32), (1 << 20, 4)] {
+            let rs = reqs(len, IoOp::Write, conc, 24);
+            let opt = rssd(&rs, &p, &RssdConfig::default()).unwrap();
+            let def = region_cost(&rs, &p, StripePair { h: 64 << 10, s: 64 << 10 });
+            assert!(
+                opt.cost <= def + 1e-12,
+                "len={len} conc={conc}: opt={} def={def}",
+                opt.cost
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_bounds_switch() {
+        let p = params();
+        let cfg = RssdConfig::default();
+        // Small r_max: bounds collapse to r_max on both classes.
+        assert_eq!(bounds(128 << 10, &p, &cfg), (128 << 10, 128 << 10));
+        // Large r_max: divided by M and N.
+        let big = 16 << 20;
+        assert_eq!(bounds(big, &p, &cfg), (big / 6, big / 2));
+        // Non-adaptive (HARL-style) keeps r_max.
+        let harl = RssdConfig { adaptive_bounds: false, ..cfg };
+        assert_eq!(bounds(big, &p, &harl), (big, big));
+    }
+
+    #[test]
+    fn deterministic_under_parallelism() {
+        let p = params();
+        let rs: Vec<ReqView> = (0..50)
+            .map(|i| ReqView {
+                offset: i * 4096,
+                len: 4096 * (1 + i % 7),
+                op: if i % 3 == 0 { IoOp::Read } else { IoOp::Write },
+                concurrency: 1 + (i % 16) as u32,
+            })
+            .collect();
+        let a = rssd(&rs, &p, &RssdConfig::default()).unwrap();
+        let b = rssd(&rs, &p, &RssdConfig::default()).unwrap();
+        assert_eq!(a.pair, b.pair);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn finer_step_never_hurts() {
+        let p = params();
+        let rs = reqs(96 << 10, IoOp::Write, 16, 32);
+        let coarse = rssd(&rs, &p, &RssdConfig { step: 32 << 10, ..Default::default() }).unwrap();
+        let fine = rssd(&rs, &p, &RssdConfig { step: 4 << 10, ..Default::default() }).unwrap();
+        assert!(fine.cost <= coarse.cost + 1e-12);
+        assert!(fine.evaluated > coarse.evaluated);
+    }
+
+    #[test]
+    fn hserver_only_cluster_still_optimizes() {
+        // n = 0: the <h, s> pair degenerates; s candidates are dead
+        // (no SServers), so the layout is H-only and the search still
+        // returns a finite answer.
+        let p = CostParams { m: 4, n: 0, ..params() };
+        let r = rssd(&reqs(256 << 10, IoOp::Read, 4, 8), &p, &RssdConfig::default()).unwrap();
+        assert!(r.cost.is_finite());
+        assert!(r.pair.h > 0, "H-only cluster needs h > 0: {:?}", r.pair);
+    }
+}

@@ -1,0 +1,646 @@
+//! The four layout schemes the paper evaluates, behind one planner trait.
+//!
+//! | Scheme | Pattern-aware | Server-aware | Reordering |
+//! |--------|---------------|--------------|------------|
+//! | DEF    | no            | no           | no         |
+//! | AAL    | yes           | no           | no         |
+//! | HARL   | yes (per fixed region) | yes | no         |
+//! | MHA    | yes (per request group) | yes | **yes**   |
+//!
+//! * **DEF** — the file system default: fixed 64 KB stripes over all
+//!   servers; the plan is empty.
+//! * **AAL** (application-aware layout, [10]) — picks one stripe size per
+//!   file from the traced access pattern but assigns it uniformly to
+//!   every server, evaluating costs under a *homogeneous* model (all
+//!   servers treated as HServers) — server heterogeneity is ignored.
+//! * **HARL** ([8], the authors' prior work) — divides each file into
+//!   fixed offset-contiguous regions and runs the stripe search per
+//!   region against the *inherent* request order; no data migration, no
+//!   concurrency term, and search bounds from the average request size.
+//! * **MHA** — the paper's contribution: group requests by pattern
+//!   (Algorithm 1), migrate each group into its own region, run RSSD
+//!   (Algorithm 2) per region with the concurrency-aware cost model, and
+//!   redirect at runtime through the DRT.
+
+use crate::cost::{views_of, CostParams, ReqView};
+use crate::grouping::{group_requests, GroupingConfig};
+use crate::pattern::ReqFeature;
+use crate::redirect::DrtResolver;
+use crate::region::{Drt, DrtEntry, RegionInfo, Rst};
+use crate::rssd::{region_cost, rssd, RssdConfig, StripePair};
+use iotrace::{FileId, Trace};
+use pfs_sim::{Cluster, ClusterConfig, IdentityResolver, LayoutSpec, Resolver};
+use serde::{Deserialize, Serialize};
+use simrt::SimDuration;
+
+/// The schemes compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Default fixed striping.
+    Def,
+    /// Application-aware layout (heterogeneity-blind).
+    Aal,
+    /// Heterogeneity-aware region-level layout (no reordering).
+    Harl,
+    /// Migratory heterogeneity-aware layout (this paper).
+    Mha,
+}
+
+impl Scheme {
+    /// All schemes in the paper's presentation order.
+    pub fn all() -> [Scheme; 4] {
+        [Scheme::Def, Scheme::Aal, Scheme::Harl, Scheme::Mha]
+    }
+
+    /// Display name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Def => "DEF",
+            Scheme::Aal => "AAL",
+            Scheme::Harl => "HARL",
+            Scheme::Mha => "MHA",
+        }
+    }
+
+    /// The planner implementing this scheme.
+    pub fn planner(self) -> Box<dyn LayoutPlanner> {
+        match self {
+            Scheme::Def => Box::new(DefPlanner),
+            Scheme::Aal => Box::new(AalPlanner),
+            Scheme::Harl => Box::new(HarlPlanner),
+            Scheme::Mha => Box::new(MhaPlanner),
+        }
+    }
+}
+
+/// Everything a planner needs besides the trace.
+#[derive(Debug, Clone)]
+pub struct PlannerContext {
+    /// Calibrated cost model matching the target cluster's shape.
+    pub params: CostParams,
+    /// RSSD search configuration.
+    pub rssd: RssdConfig,
+    /// Request grouping configuration (MHA).
+    pub grouping: GroupingConfig,
+    /// Fixed region count per file for HARL.
+    pub harl_regions: u32,
+    /// First file id usable for region files (above all original ids).
+    pub region_file_base: u32,
+    /// Per-request DRT lookup cost charged by redirecting resolvers.
+    pub lookup_cost: SimDuration,
+    /// Packing alignment for migrated extents (defaults to the RSSD step
+    /// when `None`). Larger alignments trade padding for stripe-grid
+    /// friendliness of the extent pitch.
+    pub region_align: Option<u64>,
+    /// Selective application (§I: "not necessary to apply to the entire
+    /// file system, but rather to critical data sets and data sections"):
+    /// a group is only migrated when its model-predicted cost improvement
+    /// over the DEF layout exceeds this fraction. `0.0` migrates every
+    /// group (the default, matching the paper's evaluation).
+    pub selective_min_gain: f64,
+}
+
+impl PlannerContext {
+    /// Context calibrated for `cfg` (device probing happens here, once).
+    pub fn for_cluster(cfg: &ClusterConfig) -> Self {
+        PlannerContext {
+            params: CostParams::calibrate(cfg.hservers, cfg.sservers, &cfg.hdd, &cfg.ssd, &cfg.link),
+            rssd: RssdConfig::default(),
+            grouping: GroupingConfig::default(),
+            harl_regions: 8,
+            region_file_base: 1 << 20,
+            lookup_cost: SimDuration::from_micros(5),
+            region_align: None,
+            selective_min_gain: 0.0,
+        }
+    }
+
+    /// Adapt the RSSD step to a workload's largest request: the 4 KiB
+    /// default is kept for small-request workloads, while multi-megabyte
+    /// workloads (BTIO-class) coarsen the step so the candidate grid
+    /// stays tractable — the paper notes the step "can be configured by
+    /// the user". Returns `self` for chaining.
+    pub fn with_step_for(mut self, trace: &Trace) -> Self {
+        let r_max = trace.max_request_size();
+        let step = (r_max / 256).div_ceil(4096).max(1) * 4096;
+        self.rssd.step = step.max(4096);
+        self
+    }
+}
+
+/// How a plan resolves logical requests at runtime.
+#[derive(Debug, Clone)]
+pub enum PlanResolver {
+    /// Direct access (DEF, AAL).
+    Identity,
+    /// DRT-based redirection (HARL's region split, MHA's migration).
+    Drt(Drt),
+}
+
+/// A computed layout plan, ready to install on a cluster.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Which scheme produced this plan.
+    pub scheme: Scheme,
+    /// Layouts to install, per physical file.
+    pub layouts: Vec<(FileId, LayoutSpec)>,
+    /// Runtime resolution strategy.
+    pub resolver: PlanResolver,
+    /// The region stripe table (empty for DEF/AAL).
+    pub rst: Rst,
+    /// Regions created by the plan (empty for DEF/AAL).
+    pub regions: Vec<RegionInfo>,
+}
+
+impl Plan {
+    /// Build the runtime resolver for this plan.
+    pub fn make_resolver(&self, lookup_cost: SimDuration) -> Box<dyn Resolver> {
+        match &self.resolver {
+            PlanResolver::Identity => Box::new(IdentityResolver),
+            PlanResolver::Drt(drt) => Box::new(DrtResolver::new(drt.clone(), lookup_cost)),
+        }
+    }
+}
+
+/// A layout planner: turns a profiled trace into a [`Plan`].
+pub trait LayoutPlanner {
+    /// Scheme name.
+    fn name(&self) -> &'static str;
+    /// Compute the plan for `trace` under `ctx`.
+    fn plan(&self, trace: &Trace, ctx: &PlannerContext) -> Plan;
+}
+
+/// Install a plan's layouts into a cluster's metadata server.
+pub fn apply_plan(cluster: &mut Cluster, plan: &Plan) {
+    for (file, layout) in &plan.layouts {
+        cluster.mds_mut().set_layout(*file, layout.clone());
+    }
+}
+
+// ---------------------------------------------------------------- DEF --
+
+/// The file system default: nothing to plan.
+pub struct DefPlanner;
+
+impl LayoutPlanner for DefPlanner {
+    fn name(&self) -> &'static str {
+        "DEF"
+    }
+
+    fn plan(&self, _trace: &Trace, _ctx: &PlannerContext) -> Plan {
+        Plan {
+            scheme: Scheme::Def,
+            layouts: Vec::new(),
+            resolver: PlanResolver::Identity,
+            rst: Rst::new(),
+            regions: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- AAL --
+
+/// Application-aware layout: one traced-pattern-optimized stripe size per
+/// file, uniform across all servers (server heterogeneity ignored).
+pub struct AalPlanner;
+
+impl LayoutPlanner for AalPlanner {
+    fn name(&self) -> &'static str {
+        "AAL"
+    }
+
+    fn plan(&self, trace: &Trace, ctx: &PlannerContext) -> Plan {
+        // Heterogeneity-blind view: all M + N servers look like HServers.
+        let servers = ctx.params.m + ctx.params.n;
+        let homog = CostParams {
+            m: servers,
+            n: 0,
+            alpha_sr: ctx.params.alpha_h,
+            beta_sr: ctx.params.beta_h,
+            alpha_sw: ctx.params.alpha_h,
+            beta_sw: ctx.params.beta_h,
+            ..ctx.params.clone()
+        };
+        let views_all = views_of(trace);
+        let mut layouts = Vec::new();
+        for file in trace.files() {
+            let views: Vec<ReqView> = trace
+                .records()
+                .iter()
+                .zip(&views_all)
+                .filter(|(r, _)| r.file == file)
+                .map(|(_, v)| *v)
+                .collect();
+            if views.is_empty() {
+                continue;
+            }
+            let step = ctx.rssd.step.max(1);
+            let r_max = views.iter().map(|v| v.len).max().expect("nonempty");
+            // AAL sees the full application pattern (sizes *and*
+            // concurrency) — only the servers look identical to it.
+            let mut best: Option<(f64, u64)> = None;
+            let mut st = step;
+            while st <= r_max.max(step) {
+                let cost = region_cost(&views, &homog, StripePair { h: st, s: 0 });
+                if best.map_or(true, |(c, _)| cost < c) {
+                    best = Some((cost, st));
+                }
+                if st >= r_max {
+                    break;
+                }
+                st += step;
+            }
+            let (_, stripe) = best.expect("at least one candidate");
+            // The homogeneous layout assigns `stripe` to every real server.
+            layouts.push((
+                file,
+                ctx.params
+                    .layout_for(stripe, stripe)
+                    .expect("positive stripe is a valid layout"),
+            ));
+        }
+        Plan {
+            scheme: Scheme::Aal,
+            layouts,
+            resolver: PlanResolver::Identity,
+            rst: Rst::new(),
+            regions: Vec::new(),
+        }
+    }
+}
+
+// --------------------------------------------------------------- HARL --
+
+/// Heterogeneity-aware region-level layout: fixed offset regions, per-
+/// region stripe search on the inherent order, no migration.
+pub struct HarlPlanner;
+
+impl LayoutPlanner for HarlPlanner {
+    fn name(&self) -> &'static str {
+        "HARL"
+    }
+
+    fn plan(&self, trace: &Trace, ctx: &PlannerContext) -> Plan {
+        let mut layouts = Vec::new();
+        let mut drt = Drt::new();
+        let mut rst = Rst::new();
+        let mut regions = Vec::new();
+        let mut next_region_file = ctx.region_file_base;
+        let views_all = views_of(trace);
+        let step = ctx.rssd.step.max(1);
+
+        for (file, extent) in trace.file_extents() {
+            if extent == 0 {
+                continue;
+            }
+            // Fixed division: `harl_regions` equal regions, 4 KiB aligned.
+            let raw = extent.div_ceil(u64::from(ctx.harl_regions.max(1)));
+            let region_size = raw.div_ceil(step) * step;
+            let n_regions = extent.div_ceil(region_size);
+            // Per-region inherent requests (assigned by start offset),
+            // concurrency-free (HARL's model predates the extension).
+            let file_views: Vec<ReqView> = trace
+                .records()
+                .iter()
+                .zip(&views_all)
+                .filter(|(r, _)| r.file == file)
+                .map(|(_, v)| ReqView { concurrency: 1, ..*v })
+                .collect();
+            let avg = if file_views.is_empty() {
+                step
+            } else {
+                (file_views.iter().map(|v| v.len).sum::<u64>() / file_views.len() as u64).max(step)
+            };
+            let harl_rssd = RssdConfig {
+                adaptive_bounds: false,
+                bound_override: Some(avg),
+                ..ctx.rssd.clone()
+            };
+            for ridx in 0..n_regions {
+                let base = ridx * region_size;
+                let len = region_size.min(extent - base);
+                let region_file = FileId(next_region_file);
+                next_region_file += 1;
+                let inserted = drt.insert(DrtEntry {
+                    o_file: file,
+                    o_offset: base,
+                    r_file: region_file,
+                    r_offset: 0,
+                    length: len,
+                });
+                debug_assert!(inserted, "HARL regions are disjoint by construction");
+                // Requests of this region, shifted to region-local offsets.
+                let region_views: Vec<ReqView> = file_views
+                    .iter()
+                    .filter(|v| v.offset >= base && v.offset < base + len)
+                    .map(|v| ReqView { offset: v.offset - base, ..*v })
+                    .collect();
+                if let Some(result) = rssd(&region_views, &ctx.params, &harl_rssd) {
+                    rst.set(region_file, result.pair);
+                    if let Some(layout) = ctx.params.layout_for(result.pair.h, result.pair.s) {
+                        layouts.push((region_file, layout));
+                    }
+                }
+                regions.push(RegionInfo {
+                    file: region_file,
+                    len,
+                    group: ridx as usize,
+                    extents: 1,
+                });
+            }
+        }
+        Plan { scheme: Scheme::Harl, layouts, resolver: PlanResolver::Drt(drt), rst, regions }
+    }
+}
+
+// ---------------------------------------------------------------- MHA --
+
+/// The paper's scheme: group → migrate → per-region RSSD → redirect.
+pub struct MhaPlanner;
+
+impl LayoutPlanner for MhaPlanner {
+    fn name(&self) -> &'static str {
+        "MHA"
+    }
+
+    fn plan(&self, trace: &Trace, ctx: &PlannerContext) -> Plan {
+        let views = views_of(trace);
+        let feats: Vec<ReqFeature> = views.iter().map(ReqFeature::of).collect();
+        let grouping = group_requests(&feats, &ctx.grouping);
+        let base_align = ctx.region_align.unwrap_or(ctx.rssd.step.max(4096));
+
+        // Pass 1: pack step-aligned, search stripe pairs per region.
+        let build =
+            crate::region::build_regions_aligned(trace, &grouping, ctx.region_file_base, base_align);
+        let pairs: Vec<Option<StripePair>> = build
+            .region_views
+            .iter()
+            .map(|v| rssd(v, &ctx.params, &ctx.rssd).map(|r| r.pair))
+            .collect();
+
+        // Selective application: keep only groups whose optimized layout
+        // beats DEF's fixed 64 KB striping by the configured margin
+        // (under the cost model, on the pass-1 region offsets).
+        let include: Vec<bool> = build
+            .region_views
+            .iter()
+            .zip(&pairs)
+            .map(|(region_views, pair)| {
+                if ctx.selective_min_gain <= 0.0 {
+                    return true;
+                }
+                let Some(p) = pair else { return false };
+                let def_cost = crate::rssd::region_cost(
+                    region_views,
+                    &ctx.params,
+                    StripePair { h: 64 << 10, s: 64 << 10 },
+                );
+                let opt_cost = crate::rssd::region_cost(region_views, &ctx.params, *p);
+                def_cost.is_finite()
+                    && def_cost > 0.0
+                    && (def_cost - opt_cost) / def_cost >= ctx.selective_min_gain
+            })
+            .collect();
+
+        // Pass 2: repack each region aligned to its chosen SServer stripe
+        // (when extents are at least that big), so the extent pitch sits
+        // on the stripe grid and requests decompose without ragged tails;
+        // then re-run the search on the final offsets.
+        let aligns: Vec<u64> = build
+            .region_views
+            .iter()
+            .zip(&pairs)
+            .map(|(region_views, pair)| {
+                let max_len = region_views.iter().map(|v| v.len).max().unwrap_or(0);
+                match pair {
+                    Some(p) if ctx.region_align.is_none() && p.s > 0 && max_len >= p.s => p.s,
+                    _ => base_align,
+                }
+            })
+            .collect();
+        let build = crate::region::build_regions_filtered(
+            trace,
+            &grouping,
+            ctx.region_file_base,
+            &aligns,
+            &include,
+        );
+
+        let mut layouts = Vec::new();
+        let mut rst = Rst::new();
+        for (region, region_views) in build.regions.iter().zip(&build.region_views) {
+            if let Some(result) = rssd(region_views, &ctx.params, &ctx.rssd) {
+                rst.set(region.file, result.pair);
+                if let Some(layout) = ctx.params.layout_for(result.pair.h, result.pair.s) {
+                    layouts.push((region.file, layout));
+                }
+            }
+        }
+        Plan {
+            scheme: Scheme::Mha,
+            layouts,
+            resolver: PlanResolver::Drt(build.drt),
+            rst,
+            regions: build.regions,
+        }
+    }
+}
+
+// ---------------------------------------------------------- evaluation --
+
+/// End-to-end evaluation of one scheme on one workload: build a fresh
+/// cluster, profile-plan from the trace, install, and replay. This is the
+/// "subsequent run" of the paper's five-phase flow.
+pub fn evaluate_scheme(
+    scheme: Scheme,
+    trace: &Trace,
+    cluster_cfg: &ClusterConfig,
+    ctx: &PlannerContext,
+) -> pfs_sim::ReplayReport {
+    let mut cluster = Cluster::new(cluster_cfg.clone());
+    let plan = scheme.planner().plan(trace, ctx);
+    apply_plan(&mut cluster, &plan);
+    let mut resolver = plan.make_resolver(ctx.lookup_cost);
+    pfs_sim::replay(&mut cluster, trace, resolver.as_mut())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace::gen::ior::{generate as gen_ior, IorConfig};
+    use iotrace::gen::lanl::{generate as gen_lanl, LanlConfig};
+    use storage_model::IoOp;
+
+    fn ctx() -> PlannerContext {
+        PlannerContext::for_cluster(&ClusterConfig::paper_default())
+    }
+
+    fn mixed_ior() -> Trace {
+        let mut cfg = IorConfig::mixed_sizes(&[128 << 10, 256 << 10], IoOp::Write);
+        cfg.reqs_per_proc = 16;
+        cfg.proc_mix = vec![16];
+        gen_ior(&cfg)
+    }
+
+    #[test]
+    fn def_plan_is_empty() {
+        let p = DefPlanner.plan(&mixed_ior(), &ctx());
+        assert!(p.layouts.is_empty());
+        assert!(matches!(p.resolver, PlanResolver::Identity));
+        assert_eq!(p.scheme.name(), "DEF");
+    }
+
+    #[test]
+    fn aal_assigns_uniform_stripes() {
+        let c = ctx();
+        let p = AalPlanner.plan(&mixed_ior(), &c);
+        assert_eq!(p.layouts.len(), 1);
+        let (_, layout) = &p.layouts[0];
+        // Uniform: every server carries the same stripe.
+        let stripes: Vec<u64> = layout.servers().map(|s| layout.stripe_of(s)).collect();
+        assert_eq!(stripes.len(), 8);
+        assert!(stripes.windows(2).all(|w| w[0] == w[1]), "{stripes:?}");
+        assert!(stripes[0] > 0);
+    }
+
+    #[test]
+    fn harl_divides_file_into_fixed_regions() {
+        let c = ctx();
+        let t = mixed_ior();
+        let p = HarlPlanner.plan(&t, &c);
+        assert_eq!(p.regions.len(), 8, "harl_regions = 8");
+        let PlanResolver::Drt(drt) = &p.resolver else {
+            panic!("HARL must redirect")
+        };
+        // Every byte of the file extent is covered by exactly one region.
+        let extent = t.file_extents()[&FileId(0)];
+        let covered: u64 = drt.entries().iter().map(|e| e.length).sum();
+        assert_eq!(covered, {
+            let step = 4096;
+            let rsize = extent.div_ceil(8).div_ceil(step) * step;
+            (extent.div_ceil(rsize) - 1) * rsize + {
+                let last = extent % rsize;
+                if last == 0 {
+                    rsize
+                } else {
+                    last
+                }
+            }
+        });
+        assert!(!p.rst.is_empty());
+    }
+
+    #[test]
+    fn harl_stripe_pairs_differ_from_uniform() {
+        let c = ctx();
+        let p = HarlPlanner.plan(&mixed_ior(), &c);
+        for (_, pair) in p.rst.iter() {
+            assert!(pair.s > pair.h, "SServer stripe strictly larger: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn mha_builds_regions_and_rst() {
+        let c = ctx();
+        let t = gen_lanl(&LanlConfig::paper(10, IoOp::Write));
+        let p = MhaPlanner.plan(&t, &c);
+        assert!(!p.regions.is_empty());
+        assert_eq!(p.rst.len(), p.regions.len());
+        let PlanResolver::Drt(drt) = &p.resolver else {
+            panic!("MHA must redirect")
+        };
+        assert!(!drt.is_empty());
+        // Region bytes cover the trace bytes (plus alignment padding).
+        let bytes: u64 = p.regions.iter().map(|r| r.len).sum();
+        assert!(bytes >= t.total_bytes());
+    }
+
+    #[test]
+    fn mha_separates_lanl_size_classes_into_regions() {
+        let c = PlannerContext {
+            grouping: GroupingConfig { k: 2, ..Default::default() },
+            ..ctx()
+        };
+        let t = gen_lanl(&LanlConfig::paper(10, IoOp::Write));
+        let p = MhaPlanner.plan(&t, &c);
+        assert_eq!(p.regions.len(), 2);
+        // The small-request region holds 16-byte extents only, one
+        // aligned 4 KiB slot each: its length is loops · procs · 4096.
+        let lens: Vec<u64> = p.regions.iter().map(|r| r.len).collect();
+        let small = *lens.iter().min().expect("two regions");
+        assert_eq!(small, 10 * 8 * 4096);
+    }
+
+    #[test]
+    fn evaluate_runs_all_schemes() {
+        let c = ctx();
+        let t = gen_lanl(&LanlConfig::paper(4, IoOp::Write));
+        let cfg = ClusterConfig::paper_default();
+        for scheme in Scheme::all() {
+            let r = evaluate_scheme(scheme, &t, &cfg, &c);
+            assert!(r.bandwidth_mbps() > 0.0, "{}: zero bandwidth", scheme.name());
+            assert_eq!(r.total_bytes, t.total_bytes(), "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn mha_beats_def_on_heterogeneous_lanl() {
+        let c = ctx();
+        let t = gen_lanl(&LanlConfig::paper(12, IoOp::Write));
+        let cfg = ClusterConfig::paper_default();
+        let def = evaluate_scheme(Scheme::Def, &t, &cfg, &c);
+        let mha = evaluate_scheme(Scheme::Mha, &t, &cfg, &c);
+        assert!(
+            mha.bandwidth_mbps() > def.bandwidth_mbps(),
+            "MHA {} vs DEF {}",
+            mha.bandwidth_mbps(),
+            def.bandwidth_mbps()
+        );
+    }
+
+    #[test]
+    fn selective_zero_gain_migrates_everything() {
+        let c = ctx();
+        let t = gen_lanl(&LanlConfig::paper(8, IoOp::Write));
+        let p = MhaPlanner.plan(&t, &c);
+        let PlanResolver::Drt(drt) = &p.resolver else { panic!() };
+        assert!(!drt.is_empty());
+        assert!(p.regions.iter().all(|r| r.len > 0));
+    }
+
+    #[test]
+    fn selective_impossible_gain_migrates_nothing() {
+        let c = PlannerContext { selective_min_gain: 10.0, ..ctx() };
+        let t = gen_lanl(&LanlConfig::paper(8, IoOp::Write));
+        let p = MhaPlanner.plan(&t, &c);
+        let PlanResolver::Drt(drt) = &p.resolver else { panic!() };
+        assert!(drt.is_empty(), "no group can gain 1000%");
+        assert!(p.rst.is_empty());
+        // Replay still works: everything falls back to the original file.
+        let r = evaluate_scheme(Scheme::Mha, &t, &ClusterConfig::paper_default(), &c);
+        assert_eq!(r.total_bytes, t.total_bytes());
+    }
+
+    #[test]
+    fn selective_moderate_gain_keeps_high_value_regions() {
+        // LANL's large-request groups gain hugely over DEF; a moderate
+        // threshold keeps them while still migrating less than everything
+        // OR everything if all groups clear the bar — but never nothing.
+        let c = PlannerContext { selective_min_gain: 0.3, ..ctx() };
+        let t = gen_lanl(&LanlConfig::paper(8, IoOp::Write));
+        let p = MhaPlanner.plan(&t, &c);
+        let migrated: u64 = p.regions.iter().map(|r| r.len).sum();
+        assert!(migrated > 0, "high-gain regions must be kept");
+        let cfg = ClusterConfig::paper_default();
+        let sel = evaluate_scheme(Scheme::Mha, &t, &cfg, &c);
+        let def = evaluate_scheme(Scheme::Def, &t, &cfg, &ctx());
+        assert!(sel.bandwidth_mbps() > def.bandwidth_mbps());
+    }
+
+    #[test]
+    fn scheme_enum_roundtrip() {
+        for s in Scheme::all() {
+            assert_eq!(s.planner().name(), s.name());
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! # netsim — interconnect model
+//!
+//! The paper's cluster connects all nodes with Gigabit Ethernet through a
+//! non-blocking switch, and its cost model assumes every server offers the
+//! same network bandwidth (the `t` parameter of Table I: unit data network
+//! transfer time). We model a star fabric:
+//!
+//! * every node has one full-duplex NIC with finite bandwidth,
+//! * a transfer serializes on the sender's egress and the receiver's
+//!   ingress (FIFO), so concurrent flows into one server queue up,
+//! * the switch core is non-blocking (no shared backplane contention).
+//!
+//! This reproduces the client-side and server-side NIC contention that
+//! shapes the paper's multi-process results while keeping per-transfer
+//! cost O(1).
+
+use serde::{Deserialize, Serialize};
+use simrt::{FifoResource, SimDuration, SimTime};
+
+/// Identifier of a fabric endpoint (client or server node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Link parameters for one NIC.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// One-way message latency, seconds (switch + stack).
+    pub latency_s: f64,
+    /// Usable bandwidth, bytes/second.
+    pub bandwidth_bps: f64,
+}
+
+impl LinkParams {
+    /// Gigabit Ethernet with TCP/IP overheads: ~117 MB/s goodput, ~50 µs
+    /// one-way latency — the paper's interconnect class.
+    pub fn gigabit_ethernet() -> Self {
+        LinkParams { latency_s: 50.0e-6, bandwidth_bps: 117.0e6 }
+    }
+
+    /// Unit data transfer time `t` (seconds per byte) as used in the
+    /// paper's cost model.
+    pub fn unit_transfer_time(&self) -> f64 {
+        1.0 / self.bandwidth_bps
+    }
+
+    /// Wire time for `bytes` on an uncontended link.
+    pub fn wire_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.latency_s + bytes as f64 / self.bandwidth_bps)
+    }
+}
+
+/// A star fabric over `n` nodes.
+#[derive(Debug, Clone)]
+pub struct NetFabric {
+    params: LinkParams,
+    egress: Vec<FifoResource>,
+    ingress: Vec<FifoResource>,
+}
+
+impl NetFabric {
+    /// Fabric with `nodes` endpoints, all using `params` NICs.
+    pub fn new(nodes: usize, params: LinkParams) -> Self {
+        NetFabric {
+            params,
+            egress: vec![FifoResource::new(); nodes],
+            ingress: vec![FifoResource::new(); nodes],
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn nodes(&self) -> usize {
+        self.egress.len()
+    }
+
+    /// Link parameters.
+    pub fn params(&self) -> &LinkParams {
+        &self.params
+    }
+
+    /// Transfer `bytes` from `src` to `dst` starting no earlier than `now`.
+    /// Returns the completion time. The transfer occupies the sender's
+    /// egress and the receiver's ingress for its wire time.
+    pub fn transfer(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> SimTime {
+        assert!(src.0 < self.nodes() && dst.0 < self.nodes(), "node out of range");
+        if src == dst {
+            // Loopback: memory copy, modelled as free.
+            return now;
+        }
+        let service = self.params.wire_time(bytes);
+        // The flow cannot start until both NIC queues drain; model this by
+        // aligning the start on the later of the two and occupying both.
+        let start = now
+            .max(self.egress[src.0].next_free())
+            .max(self.ingress[dst.0].next_free());
+        let a = self.egress[src.0].submit(start, service);
+        let b = self.ingress[dst.0].submit(start, service);
+        debug_assert_eq!(a, b);
+        a
+    }
+
+    /// Busy time of a node's ingress NIC (server-side receive pressure).
+    pub fn ingress_busy(&self, node: NodeId) -> SimDuration {
+        self.ingress[node.0].busy_time()
+    }
+
+    /// Busy time of a node's egress NIC.
+    pub fn egress_busy(&self, node: NodeId) -> SimDuration {
+        self.egress[node.0].busy_time()
+    }
+
+    /// Clear all queue state (new measurement window).
+    pub fn reset(&mut self) {
+        for r in self.egress.iter_mut().chain(self.ingress.iter_mut()) {
+            r.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(n: usize) -> NetFabric {
+        NetFabric::new(n, LinkParams::gigabit_ethernet())
+    }
+
+    #[test]
+    fn single_transfer_is_latency_plus_wire_time() {
+        let mut f = fabric(2);
+        let done = f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 117_000_000);
+        // 1 s of wire time + 50 µs latency.
+        assert!((done.as_secs_f64() - 1.000050).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        let mut f = fabric(2);
+        let t = SimTime::from_nanos(123);
+        assert_eq!(f.transfer(t, NodeId(1), NodeId(1), 1 << 30), t);
+    }
+
+    #[test]
+    fn flows_into_same_destination_serialize() {
+        let mut f = fabric(3);
+        let bytes = 11_700_000; // 0.1 s wire time
+        let d1 = f.transfer(SimTime::ZERO, NodeId(0), NodeId(2), bytes);
+        let d2 = f.transfer(SimTime::ZERO, NodeId(1), NodeId(2), bytes);
+        assert!(d2 > d1, "second flow must queue behind the first");
+        assert!((d2.as_secs_f64() - 2.0 * (0.1 + 50.0e-6)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flows_to_distinct_destinations_run_in_parallel() {
+        let mut f = fabric(3);
+        let bytes = 11_700_000;
+        let d1 = f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes);
+        // Different source and destination: no shared NIC, no queueing.
+        let mut g = fabric(3);
+        let solo = g.transfer(SimTime::ZERO, NodeId(2), NodeId(1), bytes);
+        let d2 = f.transfer(SimTime::ZERO, NodeId(2), NodeId(1), bytes);
+        // d2 shares only the ingress of node 1 with d1 — it queues there.
+        assert!(d2 > solo);
+        assert_eq!(d1.as_nanos(), solo.as_nanos());
+    }
+
+    #[test]
+    fn distinct_pairs_do_not_interact() {
+        let mut f = fabric(4);
+        let bytes = 11_700_000;
+        let d1 = f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes);
+        let d2 = f.transfer(SimTime::ZERO, NodeId(2), NodeId(3), bytes);
+        assert_eq!(d1.as_nanos(), d2.as_nanos());
+    }
+
+    #[test]
+    fn busy_accounting_tracks_transfers() {
+        let mut f = fabric(2);
+        f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 117_000_000);
+        assert!(f.egress_busy(NodeId(0)).as_secs_f64() > 0.9);
+        assert!(f.ingress_busy(NodeId(1)).as_secs_f64() > 0.9);
+        assert_eq!(f.ingress_busy(NodeId(0)), SimDuration::ZERO);
+        f.reset();
+        assert_eq!(f.egress_busy(NodeId(0)), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn out_of_range_node_panics() {
+        let mut f = fabric(2);
+        f.transfer(SimTime::ZERO, NodeId(0), NodeId(9), 1);
+    }
+
+    #[test]
+    fn zero_byte_transfer_costs_latency_only() {
+        let mut f = fabric(2);
+        let done = f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 0);
+        assert!((done.as_secs_f64() - 50.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_transfer_time_matches_bandwidth() {
+        let p = LinkParams::gigabit_ethernet();
+        assert!((p.unit_transfer_time() - 1.0 / 117.0e6).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,209 @@
+//! Cluster assembly: servers + fabric + metadata service.
+
+use crate::layout::{LayoutSpec, ServerId};
+use crate::mds::MetadataServer;
+use crate::server::StorageServer;
+use netsim::{LinkParams, NetFabric, NodeId};
+use simrt::SimDuration;
+use storage_model::{DeviceKind, HddModel, HddParams, SsdModel, SsdParams};
+
+/// Cluster shape and hardware parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of HDD-backed servers.
+    pub hservers: usize,
+    /// Number of SSD-backed servers.
+    pub sservers: usize,
+    /// Number of compute (client) nodes.
+    pub clients: usize,
+    /// HDD model parameters.
+    pub hdd: HddParams,
+    /// SSD model parameters.
+    pub ssd: SsdParams,
+    /// NIC parameters (all nodes identical, per the paper's assumption).
+    pub link: LinkParams,
+    /// Metadata lookup service time.
+    pub mds_lookup: SimDuration,
+    /// Default stripe size for files without an optimized layout (the
+    /// paper's 64 KB default).
+    pub default_stripe: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed: 6 HServers, 2 SServers, 8 compute nodes,
+    /// Gigabit Ethernet, 64 KB default stripe.
+    pub fn paper_default() -> Self {
+        ClusterConfig {
+            hservers: 6,
+            sservers: 2,
+            clients: 8,
+            hdd: HddParams::sata2_250gb(),
+            ssd: SsdParams::pcie_100gb(),
+            link: LinkParams::gigabit_ethernet(),
+            mds_lookup: SimDuration::from_micros(300),
+            default_stripe: 64 << 10,
+        }
+    }
+
+    /// Same testbed with a different H:S server split (Fig. 10 sweeps
+    /// 7h:1s .. 4h:4s).
+    pub fn with_ratio(hservers: usize, sservers: usize) -> Self {
+        ClusterConfig { hservers, sservers, ..Self::paper_default() }
+    }
+
+    /// Total number of file servers.
+    pub fn servers(&self) -> usize {
+        self.hservers + self.sservers
+    }
+}
+
+/// An assembled hybrid PFS cluster.
+///
+/// Fabric node numbering: clients occupy nodes `0..clients`, servers
+/// `clients..clients+servers`, and the MDS the final node.
+pub struct Cluster {
+    config: ClusterConfig,
+    servers: Vec<StorageServer>,
+    fabric: NetFabric,
+    mds: MetadataServer,
+}
+
+impl Cluster {
+    /// Build a cluster per `config`. Servers `0..hservers` are HServers,
+    /// the rest SServers (matching the paper's S0–S5 = H, S6–S7 = S
+    /// numbering in Fig. 8).
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.servers() > 0, "cluster needs at least one server");
+        assert!(config.clients > 0, "cluster needs at least one client");
+        let nodes = config.clients + config.servers() + 1;
+        let fabric = NetFabric::new(nodes, config.link);
+        let mut servers = Vec::with_capacity(config.servers());
+        for i in 0..config.servers() {
+            let node = NodeId(config.clients + i);
+            let device: storage_model::BoxedDevice = if i < config.hservers {
+                Box::new(HddModel::new(config.hdd.clone()))
+            } else {
+                Box::new(SsdModel::new(config.ssd.clone()))
+            };
+            servers.push(StorageServer::new(ServerId(i), node, device));
+        }
+        let all: Vec<ServerId> = (0..config.servers()).map(ServerId).collect();
+        let mds = MetadataServer::new(
+            LayoutSpec::fixed(&all, config.default_stripe),
+            config.mds_lookup,
+        );
+        Cluster { config, servers, fabric, mds }
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// All server ids.
+    pub fn server_ids(&self) -> Vec<ServerId> {
+        self.servers.iter().map(StorageServer::id).collect()
+    }
+
+    /// HServer ids.
+    pub fn hserver_ids(&self) -> Vec<ServerId> {
+        (0..self.config.hservers).map(ServerId).collect()
+    }
+
+    /// SServer ids.
+    pub fn sserver_ids(&self) -> Vec<ServerId> {
+        (self.config.hservers..self.config.servers()).map(ServerId).collect()
+    }
+
+    /// Kind of server `id`.
+    pub fn server_kind(&self, id: ServerId) -> DeviceKind {
+        self.servers[id.0].kind()
+    }
+
+    /// Fabric node of the client with rank `rank` (ranks wrap around the
+    /// compute nodes, as when running more processes than nodes).
+    pub fn client_node(&self, rank: u32) -> NodeId {
+        NodeId(rank as usize % self.config.clients)
+    }
+
+    /// Shared access to the servers (reports).
+    pub fn servers(&self) -> &[StorageServer] {
+        &self.servers
+    }
+
+    /// Mutable pieces for the replay driver: servers, fabric, MDS.
+    pub fn parts_mut(&mut self) -> (&mut [StorageServer], &mut NetFabric, &mut MetadataServer) {
+        (&mut self.servers, &mut self.fabric, &mut self.mds)
+    }
+
+    /// The metadata server.
+    pub fn mds(&self) -> &MetadataServer {
+        &self.mds
+    }
+
+    /// Mutable metadata server (layout installation).
+    pub fn mds_mut(&mut self) -> &mut MetadataServer {
+        &mut self.mds
+    }
+
+    /// Reset all queues and device state, keeping installed layouts —
+    /// start a fresh measurement run on the same configuration.
+    pub fn reset(&mut self) {
+        for s in &mut self.servers {
+            s.reset();
+        }
+        self.fabric.reset();
+        self.mds.reset_queue();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let c = Cluster::new(ClusterConfig::paper_default());
+        assert_eq!(c.server_ids().len(), 8);
+        assert_eq!(c.hserver_ids().len(), 6);
+        assert_eq!(c.sserver_ids(), vec![ServerId(6), ServerId(7)]);
+        assert_eq!(c.server_kind(ServerId(0)), DeviceKind::Hdd);
+        assert_eq!(c.server_kind(ServerId(7)), DeviceKind::Ssd);
+    }
+
+    #[test]
+    fn node_numbering_is_disjoint() {
+        let c = Cluster::new(ClusterConfig::paper_default());
+        let client_max = (0..8).map(|r| c.client_node(r).0).max().unwrap();
+        let server_min = c.servers().iter().map(|s| s.node().0).min().unwrap();
+        assert!(client_max < server_min, "clients and servers share no node");
+    }
+
+    #[test]
+    fn ranks_wrap_over_clients() {
+        let c = Cluster::new(ClusterConfig::paper_default());
+        assert_eq!(c.client_node(0), c.client_node(8));
+        assert_ne!(c.client_node(0), c.client_node(1));
+    }
+
+    #[test]
+    fn ratio_builder_changes_split() {
+        let c = Cluster::new(ClusterConfig::with_ratio(4, 4));
+        assert_eq!(c.hserver_ids().len(), 4);
+        assert_eq!(c.sserver_ids().len(), 4);
+    }
+
+    #[test]
+    fn default_layout_spans_all_servers() {
+        let c = Cluster::new(ClusterConfig::paper_default());
+        let l = c.mds().layout(iotrace::FileId(0));
+        assert_eq!(l.servers().count(), 8);
+        assert_eq!(l.round_size(), 8 * (64 << 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_cluster_rejected() {
+        Cluster::new(ClusterConfig { hservers: 0, sservers: 0, ..ClusterConfig::paper_default() });
+    }
+}

@@ -1,0 +1,291 @@
+//! Striped data layouts and the request → sub-request decomposition.
+//!
+//! A layout is an ordered list of `(server, stripe_size)` assignments.
+//! One *round* of the layout covers `Σ stripe_i` consecutive file bytes:
+//! within a round, the first `stripe_0` bytes live on server 0, the next
+//! `stripe_1` on server 1, and so on; rounds repeat ad infinitum. With
+//! equal stripes this is the classic fixed-size round-robin of Fig. 1;
+//! with per-class sizes it is the varied-size striping of AAL/HARL/MHA
+//! (`<h, s>` stripe pairs, including the `h = 0` "SServers only" extreme).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a storage server within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub usize);
+
+/// One server's share of a layout round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Segment {
+    server: ServerId,
+    stripe: u64,
+    /// Byte offset of this segment within a round (prefix sum).
+    start: u64,
+}
+
+/// A piece of a file request mapped onto one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubExtent {
+    /// Target server.
+    pub server: ServerId,
+    /// Byte offset within the server's local object store.
+    pub server_offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// A striped layout over a set of servers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayoutSpec {
+    segments: Vec<Segment>,
+    round: u64,
+}
+
+impl LayoutSpec {
+    /// Fixed-size round-robin striping (the DEF scheme's shape).
+    ///
+    /// # Panics
+    /// If `servers` is empty or `stripe` is zero.
+    pub fn fixed(servers: &[ServerId], stripe: u64) -> Self {
+        assert!(stripe > 0, "stripe must be positive");
+        Self::from_assignments(servers.iter().map(|&s| (s, stripe)))
+    }
+
+    /// Hybrid `<h, s>` striping: stripe `h` on each HServer and `s` on
+    /// each SServer, round-robin HServers first (the paper's Fig. 2/4
+    /// shape). A zero stripe excludes that server class entirely — the
+    /// paper's `h = 0` extreme dispatches data only to SServers.
+    ///
+    /// # Panics
+    /// If no server ends up with a positive stripe.
+    pub fn hybrid(hservers: &[ServerId], h: u64, sservers: &[ServerId], s: u64) -> Self {
+        let assigns = hservers
+            .iter()
+            .map(|&sv| (sv, h))
+            .chain(sservers.iter().map(|&sv| (sv, s)))
+            .filter(|&(_, sz)| sz > 0);
+        Self::from_assignments(assigns)
+    }
+
+    /// Build from explicit `(server, stripe)` pairs in round-robin order.
+    ///
+    /// # Panics
+    /// If no pair has a positive stripe.
+    pub fn from_assignments(assigns: impl IntoIterator<Item = (ServerId, u64)>) -> Self {
+        let mut segments = Vec::new();
+        let mut start = 0u64;
+        for (server, stripe) in assigns {
+            if stripe == 0 {
+                continue;
+            }
+            segments.push(Segment { server, stripe, start });
+            start += stripe;
+        }
+        assert!(!segments.is_empty(), "layout must include at least one server");
+        LayoutSpec { segments, round: start }
+    }
+
+    /// Bytes covered by one round of the layout.
+    pub fn round_size(&self) -> u64 {
+        self.round
+    }
+
+    /// Servers participating in the layout, in round order.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.segments.iter().map(|s| s.server)
+    }
+
+    /// Stripe size assigned to `server` (0 if not participating).
+    pub fn stripe_of(&self, server: ServerId) -> u64 {
+        self.segments
+            .iter()
+            .find(|s| s.server == server)
+            .map_or(0, |s| s.stripe)
+    }
+
+    /// Decompose the file extent `[offset, offset + len)` into per-server
+    /// sub-extents, merging contiguous pieces that land on the same server
+    /// across adjacent rounds is NOT done — each round contributes its own
+    /// piece, mirroring how a PFS issues one contiguous server I/O per
+    /// stripe unit run. Pieces are returned in file order.
+    pub fn map_extent(&self, offset: u64, len: u64) -> Vec<SubExtent> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let round_idx = pos / self.round;
+            let within = pos % self.round;
+            let seg = self.segment_at(within);
+            let seg_end_in_round = seg.start + seg.stripe;
+            let take = (seg_end_in_round - within).min(end - pos);
+            let server_offset = round_idx * seg.stripe + (within - seg.start);
+            // Merge with the previous piece when it continues the same
+            // server-local run (happens when only one server participates).
+            if let Some(last) = out.last_mut() {
+                let last: &mut SubExtent = last;
+                if last.server == seg.server && last.server_offset + last.len == server_offset {
+                    last.len += take;
+                    pos += take;
+                    continue;
+                }
+            }
+            out.push(SubExtent { server: seg.server, server_offset, len: take });
+            pos += take;
+        }
+        out
+    }
+
+    /// Aggregate `map_extent` pieces per server: total bytes and number of
+    /// contiguous runs for each involved server. Used by cost models.
+    pub fn per_server_load(&self, offset: u64, len: u64) -> Vec<(ServerId, u64, u32)> {
+        let mut acc: Vec<(ServerId, u64, u32)> = Vec::new();
+        for piece in self.map_extent(offset, len) {
+            match acc.iter_mut().find(|(s, _, _)| *s == piece.server) {
+                Some((_, bytes, runs)) => {
+                    *bytes += piece.len;
+                    *runs += 1;
+                }
+                None => acc.push((piece.server, piece.len, 1)),
+            }
+        }
+        acc
+    }
+
+    fn segment_at(&self, within_round: u64) -> &Segment {
+        debug_assert!(within_round < self.round);
+        // Layouts have at most a few dozen segments; linear scan wins over
+        // binary search at this size.
+        self.segments
+            .iter()
+            .rev()
+            .find(|s| s.start <= within_round)
+            .expect("segment_at: within_round < round implies a segment exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: std::ops::Range<usize>) -> Vec<ServerId> {
+        v.map(ServerId).collect()
+    }
+
+    #[test]
+    fn fixed_round_robin_matches_fig1() {
+        // 4 servers, 64 KB stripes: offset 256K..512K covers each server once.
+        let l = LayoutSpec::fixed(&ids(0..4), 64 << 10);
+        assert_eq!(l.round_size(), 256 << 10);
+        let subs = l.map_extent(256 << 10, 256 << 10);
+        assert_eq!(subs.len(), 4);
+        for (i, s) in subs.iter().enumerate() {
+            assert_eq!(s.server, ServerId(i));
+            assert_eq!(s.len, 64 << 10);
+            assert_eq!(s.server_offset, 64 << 10); // second round
+        }
+    }
+
+    #[test]
+    fn hybrid_pair_assigns_class_stripes() {
+        let h = ids(0..2);
+        let s = ids(2..4);
+        let l = LayoutSpec::hybrid(&h, 32 << 10, &s, 96 << 10);
+        assert_eq!(l.round_size(), (32 + 32 + 96 + 96) << 10);
+        assert_eq!(l.stripe_of(ServerId(0)), 32 << 10);
+        assert_eq!(l.stripe_of(ServerId(3)), 96 << 10);
+    }
+
+    #[test]
+    fn zero_h_excludes_hservers() {
+        let l = LayoutSpec::hybrid(&ids(0..6), 0, &ids(6..8), 128 << 10);
+        let servers: Vec<_> = l.servers().collect();
+        assert_eq!(servers, vec![ServerId(6), ServerId(7)]);
+        assert_eq!(l.stripe_of(ServerId(0)), 0);
+        let subs = l.map_extent(0, 512 << 10);
+        assert!(subs.iter().all(|s| s.server.0 >= 6));
+    }
+
+    #[test]
+    fn map_extent_partitions_the_request() {
+        let l = LayoutSpec::hybrid(&ids(0..3), 10, &ids(3..5), 25);
+        // Arbitrary unaligned extent must be exactly partitioned.
+        let (off, len) = (7u64, 533u64);
+        let subs = l.map_extent(off, len);
+        let total: u64 = subs.iter().map(|s| s.len).sum();
+        assert_eq!(total, len);
+        assert!(subs.iter().all(|s| s.len > 0));
+    }
+
+    #[test]
+    fn server_offsets_are_dense_per_server() {
+        // Mapping the whole file prefix must produce contiguous,
+        // non-overlapping server-local extents starting at 0.
+        let l = LayoutSpec::hybrid(&ids(0..2), 8, &ids(2..3), 16);
+        let subs = l.map_extent(0, 320);
+        let mut per_server: std::collections::BTreeMap<ServerId, Vec<(u64, u64)>> =
+            std::collections::BTreeMap::new();
+        for s in subs {
+            per_server.entry(s.server).or_default().push((s.server_offset, s.len));
+        }
+        for (sid, mut spans) in per_server {
+            spans.sort_unstable();
+            let mut cursor = 0;
+            for (o, l) in spans {
+                assert_eq!(o, cursor, "hole in server {sid:?} object");
+                cursor = o + l;
+            }
+            // 320 bytes / round 32 = 10 rounds; server share = stripe * 10.
+            assert_eq!(cursor, l.stripe_of(sid) * 10);
+        }
+    }
+
+    #[test]
+    fn sub_extent_within_one_stripe_unit() {
+        let l = LayoutSpec::fixed(&ids(0..4), 64 << 10);
+        // A 16 KB request fits in one stripe on one server.
+        let subs = l.map_extent(100 << 10, 16 << 10);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].server, ServerId(1)); // 100K lies in [64K,128K)
+        assert_eq!(subs[0].len, 16 << 10);
+        assert_eq!(subs[0].server_offset, 36 << 10);
+    }
+
+    #[test]
+    fn single_server_runs_merge() {
+        let l = LayoutSpec::fixed(&[ServerId(5)], 4 << 10);
+        let subs = l.map_extent(1000, 100_000);
+        assert_eq!(subs.len(), 1, "single-server layout is one contiguous run");
+        assert_eq!(subs[0].server_offset, 1000);
+        assert_eq!(subs[0].len, 100_000);
+    }
+
+    #[test]
+    fn per_server_load_aggregates() {
+        let l = LayoutSpec::fixed(&ids(0..2), 10);
+        // 50 bytes from 0: rounds of 20; server0 gets 30 (3 runs), server1 20 (2 runs).
+        let load = l.per_server_load(0, 50);
+        assert_eq!(load, vec![(ServerId(0), 30, 3), (ServerId(1), 20, 2)]);
+    }
+
+    #[test]
+    fn zero_length_maps_to_nothing() {
+        let l = LayoutSpec::fixed(&ids(0..2), 10);
+        assert!(l.map_extent(5, 0).is_empty());
+        assert!(l.per_server_load(5, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn all_zero_stripes_rejected() {
+        LayoutSpec::hybrid(&ids(0..2), 0, &ids(2..4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe must be positive")]
+    fn fixed_zero_stripe_rejected() {
+        LayoutSpec::fixed(&ids(0..2), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pfs-sim — hybrid parallel file system simulator
+//!
+//! The OrangeFS substitute: a striped parallel file system over a mix of
+//! HDD-backed servers (HServers) and SSD-backed servers (SServers),
+//! connected to client nodes by a simulated Gigabit-Ethernet fabric.
+//!
+//! The pieces that matter for the paper's effects are modelled exactly:
+//!
+//! * **Striping** ([`layout`]): files are distributed round-robin with
+//!   either a fixed stripe size or a per-server-class `<h, s>` pair
+//!   (variable-size striping is what the AAL/HARL/MHA schemes configure).
+//! * **Request decomposition**: a client request is split into per-server
+//!   sub-requests by the layout map; the request completes when the
+//!   *slowest* sub-request completes — the load-imbalance mechanism that
+//!   motivates heterogeneity-aware layouts.
+//! * **Queueing** ([`server`]): each server serves sub-requests FIFO
+//!   through its stateful device model; each NIC serializes flows.
+//! * **Metadata service** ([`mds`]): layout lookups cost a round trip at
+//!   file open, as in OrangeFS.
+//! * **Replay** ([`replay`]): traces execute phase-by-phase with barrier
+//!   semantics (synchronous parallel I/O), producing aggregate bandwidth
+//!   and per-server I/O time reports.
+
+pub mod cluster;
+pub mod layout;
+pub mod mds;
+pub mod replay;
+pub mod server;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use layout::{LayoutSpec, ServerId, SubExtent};
+pub use mds::MetadataServer;
+pub use replay::{
+    replay, IdentityResolver, PhysExtent, ReplayReport, Resolution, Resolver, ServerIoStat,
+};
+pub use server::StorageServer;

@@ -1,0 +1,105 @@
+//! Metadata server: file → layout mapping with lookup-cost accounting.
+//!
+//! In OrangeFS a client contacts the metadata service at open to fetch a
+//! file's distribution before talking to data servers directly; MHA adds
+//! its Region Stripe Table on the same node (§III-G). We model the MDS as
+//! a map plus a FIFO service queue so heavy open traffic queues up.
+
+use crate::layout::LayoutSpec;
+use iotrace::FileId;
+use simrt::{FifoResource, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// The metadata server.
+pub struct MetadataServer {
+    layouts: BTreeMap<FileId, LayoutSpec>,
+    default_layout: LayoutSpec,
+    lookup_cost: SimDuration,
+    queue: FifoResource,
+}
+
+impl MetadataServer {
+    /// MDS with `default_layout` for files without an explicit entry and a
+    /// per-lookup service cost (an OrangeFS getattr round trip is a few
+    /// hundred microseconds on Gigabit Ethernet).
+    pub fn new(default_layout: LayoutSpec, lookup_cost: SimDuration) -> Self {
+        MetadataServer {
+            layouts: BTreeMap::new(),
+            default_layout,
+            lookup_cost,
+            queue: FifoResource::new(),
+        }
+    }
+
+    /// Register (or replace) the layout of `file`.
+    pub fn set_layout(&mut self, file: FileId, layout: LayoutSpec) {
+        self.layouts.insert(file, layout);
+    }
+
+    /// Layout of `file` without charging a lookup (planner-side access).
+    pub fn layout(&self, file: FileId) -> &LayoutSpec {
+        self.layouts.get(&file).unwrap_or(&self.default_layout)
+    }
+
+    /// Perform a client lookup at `now`: returns `(layout, completion)`.
+    /// Lookups serialize through the MDS queue.
+    pub fn lookup(&mut self, now: SimTime, file: FileId) -> (LayoutSpec, SimTime) {
+        let done = self.queue.submit(now, self.lookup_cost);
+        (self.layouts.get(&file).unwrap_or(&self.default_layout).clone(), done)
+    }
+
+    /// Number of lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.queue.served()
+    }
+
+    /// Files with explicit layout entries.
+    pub fn files(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.layouts.keys().copied()
+    }
+
+    /// Clear queue statistics (keeps layouts).
+    pub fn reset_queue(&mut self) {
+        self.queue.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ServerId;
+
+    fn mds() -> MetadataServer {
+        MetadataServer::new(
+            LayoutSpec::fixed(&[ServerId(0), ServerId(1)], 64 << 10),
+            SimDuration::from_micros(300),
+        )
+    }
+
+    #[test]
+    fn default_layout_for_unknown_files() {
+        let m = mds();
+        assert_eq!(m.layout(FileId(7)).round_size(), 128 << 10);
+    }
+
+    #[test]
+    fn explicit_layout_overrides_default() {
+        let mut m = mds();
+        m.set_layout(FileId(1), LayoutSpec::fixed(&[ServerId(0)], 4 << 10));
+        assert_eq!(m.layout(FileId(1)).round_size(), 4 << 10);
+        assert_eq!(m.layout(FileId(2)).round_size(), 128 << 10);
+        assert_eq!(m.files().collect::<Vec<_>>(), vec![FileId(1)]);
+    }
+
+    #[test]
+    fn lookups_serialize_and_cost_time() {
+        let mut m = mds();
+        let (_, t1) = m.lookup(SimTime::ZERO, FileId(0));
+        let (_, t2) = m.lookup(SimTime::ZERO, FileId(0));
+        assert_eq!(t1.as_nanos(), 300_000);
+        assert_eq!(t2.as_nanos(), 600_000);
+        assert_eq!(m.lookups(), 2);
+        m.reset_queue();
+        assert_eq!(m.lookups(), 0);
+    }
+}

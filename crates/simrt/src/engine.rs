@@ -1,0 +1,303 @@
+//! The discrete-event engine.
+//!
+//! A [`Model`] owns all mutable simulation state and interprets events; the
+//! [`Engine`] owns the event calendar and the clock. Events at equal
+//! timestamps are delivered in insertion order (FIFO), which makes runs
+//! deterministic and independent of heap internals.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation model: the state machine the engine drives.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handle one event at simulated time `now`, scheduling follow-ups
+    /// through `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Handle through which event handlers schedule future events.
+///
+/// Collected entries are merged into the engine calendar after each handler
+/// returns, preserving insertion order at equal timestamps.
+pub struct Scheduler<E> {
+    pending: Vec<(SimTime, E)>,
+    now: SimTime,
+}
+
+impl<E> Scheduler<E> {
+    fn new(now: SimTime) -> Self {
+        Scheduler { pending: Vec::new(), now }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire `delay` from now.
+    #[inline]
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Schedule `event` at absolute time `at`. Times in the past are
+    /// clamped to `now`: the calendar must never run backwards.
+    #[inline]
+    pub fn at(&mut self, at: SimTime, event: E) {
+        self.pending.push((at.max(self.now), event));
+    }
+
+    /// Schedule `event` to fire immediately (after already-queued events at
+    /// the current timestamp).
+    #[inline]
+    pub fn now_event(&mut self, event: E) {
+        self.pending.push((self.now, event));
+    }
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties FIFO.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Event calendar + clock. Generic over the model's event type.
+pub struct Engine<M: Model> {
+    heap: BinaryHeap<Entry<M::Event>>,
+    now: SimTime,
+    seq: u64,
+    events_processed: u64,
+}
+
+impl<M: Model> Default for Engine<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Model> Engine<M> {
+    /// Fresh engine at time zero with an empty calendar.
+    pub fn new() -> Self {
+        Engine {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last delivered event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events currently scheduled.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Seed the calendar with an event at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: M::Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at: at.max(self.now), seq, event });
+    }
+
+    /// Deliver a single event. Returns `false` when the calendar is empty.
+    pub fn step(&mut self, model: &mut M) -> bool {
+        let Some(entry) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now, "calendar ran backwards");
+        self.now = entry.at;
+        self.events_processed += 1;
+        let mut sched = Scheduler::new(self.now);
+        model.handle(self.now, entry.event, &mut sched);
+        for (at, ev) in sched.pending {
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Entry { at, seq, event: ev });
+        }
+        true
+    }
+
+    /// Run until the calendar drains. Returns the final simulated time.
+    pub fn run(&mut self, model: &mut M) -> SimTime {
+        while self.step(model) {}
+        self.now
+    }
+
+    /// Run until the calendar drains or the clock passes `deadline`,
+    /// whichever comes first. Events scheduled after the deadline stay in
+    /// the calendar.
+    pub fn run_until(&mut self, model: &mut M, deadline: SimTime) -> SimTime {
+        while let Some(head) = self.heap.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step(model);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that records delivery order and spawns chains.
+    struct Recorder {
+        delivered: Vec<(u64, u32)>,
+        chain_left: u32,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.delivered.push((now.as_nanos(), ev));
+            if ev == 100 && self.chain_left > 0 {
+                self.chain_left -= 1;
+                sched.after(SimDuration::from_nanos(10), 100);
+            }
+        }
+    }
+
+    #[test]
+    fn events_deliver_in_time_order() {
+        let mut eng: Engine<Recorder> = Engine::new();
+        let mut m = Recorder { delivered: vec![], chain_left: 0 };
+        eng.schedule(SimTime::from_nanos(30), 3);
+        eng.schedule(SimTime::from_nanos(10), 1);
+        eng.schedule(SimTime::from_nanos(20), 2);
+        eng.run(&mut m);
+        assert_eq!(m.delivered, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut eng: Engine<Recorder> = Engine::new();
+        let mut m = Recorder { delivered: vec![], chain_left: 0 };
+        for i in 0..100 {
+            eng.schedule(SimTime::from_nanos(5), i);
+        }
+        eng.run(&mut m);
+        let order: Vec<u32> = m.delivered.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut eng: Engine<Recorder> = Engine::new();
+        let mut m = Recorder { delivered: vec![], chain_left: 5 };
+        eng.schedule(SimTime::ZERO, 100);
+        let end = eng.run(&mut m);
+        assert_eq!(end.as_nanos(), 50);
+        assert_eq!(m.delivered.len(), 6);
+        assert_eq!(eng.events_processed(), 6);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut eng: Engine<Recorder> = Engine::new();
+        let mut m = Recorder { delivered: vec![], chain_left: 0 };
+        eng.schedule(SimTime::from_nanos(10), 1);
+        eng.schedule(SimTime::from_nanos(1000), 2);
+        eng.run_until(&mut m, SimTime::from_nanos(100));
+        assert_eq!(m.delivered, vec![(10, 1)]);
+        assert_eq!(eng.pending(), 1);
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        struct Clamper {
+            saw: Vec<u64>,
+        }
+        impl Model for Clamper {
+            type Event = u8;
+            fn handle(&mut self, now: SimTime, ev: u8, sched: &mut Scheduler<u8>) {
+                self.saw.push(now.as_nanos());
+                if ev == 0 {
+                    // Try to schedule in the past; must clamp to now.
+                    sched.at(SimTime::ZERO, 1);
+                }
+            }
+        }
+        let mut eng: Engine<Clamper> = Engine::new();
+        let mut m = Clamper { saw: vec![] };
+        eng.schedule(SimTime::from_nanos(50), 0);
+        eng.run(&mut m);
+        assert_eq!(m.saw, vec![50, 50]);
+    }
+
+    #[test]
+    fn interleaved_chains_preserve_time_order() {
+        struct Chain {
+            seen: Vec<(u64, u32)>,
+        }
+        impl Model for Chain {
+            type Event = u32;
+            fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.seen.push((now.as_nanos(), ev));
+                if ev < 100 {
+                    // Two children at staggered delays.
+                    sched.after(SimDuration::from_nanos(7), ev + 100);
+                    sched.after(SimDuration::from_nanos(3), ev + 200);
+                }
+            }
+        }
+        let mut eng: Engine<Chain> = Engine::new();
+        let mut m = Chain { seen: vec![] };
+        for i in 0..10 {
+            eng.schedule(SimTime::from_nanos(i), i as u32);
+        }
+        eng.run(&mut m);
+        // Global time order must be non-decreasing.
+        for w in m.seen.windows(2) {
+            assert!(w[0].0 <= w[1].0, "{:?} then {:?}", w[0], w[1]);
+        }
+        assert_eq!(m.seen.len(), 30);
+    }
+
+    #[test]
+    fn empty_run_is_noop() {
+        let mut eng: Engine<Recorder> = Engine::new();
+        let mut m = Recorder { delivered: vec![], chain_left: 0 };
+        assert_eq!(eng.run(&mut m), SimTime::ZERO);
+        assert!(!eng.step(&mut m));
+    }
+}

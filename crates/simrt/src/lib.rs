@@ -1,0 +1,27 @@
+//! # simrt — deterministic discrete-event simulation runtime
+//!
+//! This crate is the foundation of the MHA reproduction: a small,
+//! allocation-conscious discrete-event simulation (DES) kernel plus the
+//! supporting pieces every simulated subsystem needs:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//! * [`Engine`] / [`Model`] / [`Scheduler`] — the event loop,
+//! * [`resource`] — analytic FIFO resources (server queues) that avoid
+//!   per-byte event churn,
+//! * [`stats`] — online statistics, histograms and percentile helpers,
+//! * [`rng`] — deterministic, splittable seeding for reproducible workloads.
+//!
+//! Determinism is a hard requirement: two runs with the same seed must
+//! produce bit-identical results, so the event calendar breaks timestamp
+//! ties by insertion sequence number, never by pointer or hash order.
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, Model, Scheduler};
+pub use resource::FifoResource;
+pub use rng::SeedSeq;
+pub use time::{SimDuration, SimTime};

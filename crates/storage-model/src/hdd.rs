@@ -1,0 +1,275 @@
+//! Rotating-disk service-time model.
+//!
+//! Calibrated to the paper's testbed disks (250 GB SATA-II, 7200 rpm):
+//! ~8.5 ms average seek, ~4.17 ms average rotational latency, ~90 MB/s
+//! sustained streaming. The model is positional: a request landing where
+//! the head already is streams at full rate; a request elsewhere pays a
+//! distance-dependent seek plus half a revolution on average.
+
+use crate::device::{BoxedDevice, Device, DeviceKind, IoOp};
+use serde::{Deserialize, Serialize};
+use simrt::SimDuration;
+
+/// HDD model parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HddParams {
+    /// Capacity in bytes (seek distance is normalized by this).
+    pub capacity: u64,
+    /// Track-to-track (minimum) seek, seconds.
+    pub seek_min_s: f64,
+    /// Average seek, seconds.
+    pub seek_avg_s: f64,
+    /// Full-stroke (maximum) seek, seconds.
+    pub seek_max_s: f64,
+    /// Average rotational latency, seconds (half a revolution).
+    pub rot_latency_s: f64,
+    /// Sustained media transfer rate, bytes/second.
+    pub transfer_bps: f64,
+    /// Byte distance below which a move counts as a near-track reposition
+    /// (pays `seek_min_s` only, no rotational wait).
+    pub near_window: u64,
+    /// Rotational miss charged to a *synchronous write* that arrives at an
+    /// idle disk, even when it continues a sequential run: with the write
+    /// cache disabled (as on PFS data servers) the head has rotated past
+    /// the target sector during the gap and waits for the platter to come
+    /// around. Back-to-back queued writes stream and skip this. Reads are
+    /// exempt (drive read-ahead covers sequential gaps).
+    pub idle_write_miss_s: f64,
+}
+
+impl HddParams {
+    /// The paper's testbed disk: 250 GB SATA-II, 7200 rpm class.
+    pub fn sata2_250gb() -> Self {
+        HddParams {
+            capacity: 250 * 1_000_000_000,
+            seek_min_s: 0.8e-3,
+            seek_avg_s: 8.5e-3,
+            seek_max_s: 18.0e-3,
+            rot_latency_s: 4.17e-3,
+            transfer_bps: 90.0e6,
+            near_window: 1 << 20,
+            idle_write_miss_s: 4.17e-3,
+        }
+    }
+}
+
+/// Stateful HDD: remembers head position between requests.
+#[derive(Debug, Clone)]
+pub struct HddModel {
+    params: HddParams,
+    /// Byte address one past the end of the last serviced request, or
+    /// `None` when the head is parked (power-on state).
+    head: Option<u64>,
+}
+
+impl HddModel {
+    /// New disk with the given parameters, head parked.
+    pub fn new(params: HddParams) -> Self {
+        HddModel { params, head: None }
+    }
+
+    /// Convenience: the calibrated testbed disk.
+    pub fn sata2_250gb() -> Self {
+        Self::new(HddParams::sata2_250gb())
+    }
+
+    /// Access to the parameters (for calibration reports).
+    pub fn params(&self) -> &HddParams {
+        &self.params
+    }
+
+    /// Seek time for a head move of `dist` bytes.
+    ///
+    /// Uses the classic square-root seek curve: short moves cost the
+    /// track-to-track minimum, the average distance (1/3 stroke) costs
+    /// `seek_avg_s`, and a full stroke costs `seek_max_s`.
+    fn seek_time(&self, dist: u64) -> f64 {
+        let p = &self.params;
+        if dist == 0 {
+            return 0.0;
+        }
+        if dist <= p.near_window {
+            return p.seek_min_s;
+        }
+        let frac = (dist as f64 / p.capacity as f64).min(1.0);
+        // sqrt curve through (1/3, seek_avg) and (1, seek_max):
+        // seek(frac) = a + b*sqrt(frac), solve a, b from the two anchors.
+        let s3 = (1.0f64 / 3.0).sqrt();
+        let b = (p.seek_max_s - p.seek_avg_s) / (1.0 - s3);
+        let a = p.seek_max_s - b;
+        (a + b * frac.sqrt()).max(p.seek_min_s)
+    }
+}
+
+impl Device for HddModel {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Hdd
+    }
+
+    fn service_time(&mut self, op: IoOp, offset: u64, len: u64) -> SimDuration {
+        // No arrival context: assume back-to-back arrival (no idle miss).
+        self.service_time_arrival(op, offset, len, false)
+    }
+
+    fn service_time_arrival(
+        &mut self,
+        op: IoOp,
+        offset: u64,
+        len: u64,
+        idle_arrival: bool,
+    ) -> SimDuration {
+        let p = &self.params;
+        // (positioning cost, does it already include a rotational wait?)
+        let (positioning, rot_included) = match self.head {
+            // Sequential continuation: the head is already there.
+            Some(h) if h == offset => (0.0, false),
+            // Known position: distance-dependent seek + rotational wait
+            // (skip the rotational wait for a near-track nudge).
+            Some(h) => {
+                let dist = h.abs_diff(offset);
+                let seek = self.seek_time(dist);
+                if dist <= p.near_window {
+                    (seek, false)
+                } else {
+                    (seek + p.rot_latency_s, true)
+                }
+            }
+            // Parked head: average positioning cost.
+            None => (p.seek_avg_s + p.rot_latency_s, true),
+        };
+        // Synchronous write arriving at an idle disk: the rotational
+        // window was missed during the gap (see `idle_write_miss_s`).
+        let miss = if idle_arrival && op == IoOp::Write && !rot_included {
+            p.idle_write_miss_s
+        } else {
+            0.0
+        };
+        let transfer = len as f64 / p.transfer_bps;
+        self.head = Some(offset + len);
+        SimDuration::from_secs_f64(positioning + miss + transfer)
+    }
+
+    fn reset(&mut self) {
+        self.head = None;
+    }
+
+    fn clone_box(&self) -> BoxedDevice {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc(m: &mut HddModel, off: u64, len: u64) -> f64 {
+        m.service_time(IoOp::Read, off, len).as_secs_f64()
+    }
+
+    #[test]
+    fn first_access_pays_average_positioning() {
+        let mut m = HddModel::sata2_250gb();
+        let t = svc(&mut m, 0, 0);
+        assert!((t - (8.5e-3 + 4.17e-3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_run_streams() {
+        let mut m = HddModel::sata2_250gb();
+        svc(&mut m, 0, 65536); // position the head
+        let t = svc(&mut m, 65536, 65536);
+        // Pure transfer: 64 KiB / 90 MB/s ≈ 0.728 ms, no positioning.
+        let expect = 65536.0 / 90.0e6;
+        assert!((t - expect).abs() < 1e-9, "t={t} expect={expect}");
+    }
+
+    #[test]
+    fn random_access_is_much_slower_than_sequential() {
+        let mut m = HddModel::sata2_250gb();
+        svc(&mut m, 0, 4096);
+        let seq = svc(&mut m, 4096, 4096);
+        let rnd = svc(&mut m, 100_000_000_000, 4096);
+        assert!(rnd > 50.0 * seq, "rnd={rnd} seq={seq}");
+    }
+
+    #[test]
+    fn seek_grows_with_distance() {
+        let m = HddModel::sata2_250gb();
+        let near = m.seek_time(10 << 20);
+        let mid = m.seek_time(m.params.capacity / 3);
+        let far = m.seek_time(m.params.capacity);
+        assert!(near < mid && mid < far);
+        assert!((mid - m.params.seek_avg_s).abs() < 1e-9);
+        assert!((far - m.params.seek_max_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_window_pays_minimum_seek_only() {
+        let mut m = HddModel::sata2_250gb();
+        svc(&mut m, 0, 4096);
+        let t = svc(&mut m, 4096 + 1000, 4096); // 1000 B gap: near-track
+        let expect = m.params.seek_min_s + 4096.0 / m.params.transfer_bps;
+        assert!((t - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_parks_the_head() {
+        let mut m = HddModel::sata2_250gb();
+        svc(&mut m, 0, 4096);
+        m.reset();
+        let t = svc(&mut m, 4096, 0);
+        assert!((t - (8.5e-3 + 4.17e-3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_scales_linearly() {
+        let mut m = HddModel::sata2_250gb();
+        svc(&mut m, 0, 0);
+        let t1 = svc(&mut m, 0, 1 << 20);
+        let t2 = svc(&mut m, 1 << 20, 2 << 20);
+        assert!((t2 / t1 - 2.0).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod idle_miss_tests {
+    use super::*;
+
+    #[test]
+    fn idle_sequential_write_pays_rotational_miss() {
+        let mut m = HddModel::sata2_250gb();
+        m.service_time(IoOp::Write, 0, 65536);
+        let queued = m
+            .clone()
+            .service_time_arrival(IoOp::Write, 65536, 65536, false)
+            .as_secs_f64();
+        let idle = m
+            .service_time_arrival(IoOp::Write, 65536, 65536, true)
+            .as_secs_f64();
+        assert!((idle - queued - 4.17e-3).abs() < 1e-9, "idle={idle} queued={queued}");
+    }
+
+    #[test]
+    fn idle_sequential_read_is_free_of_miss() {
+        let mut m = HddModel::sata2_250gb();
+        m.service_time(IoOp::Read, 0, 65536);
+        let idle = m
+            .service_time_arrival(IoOp::Read, 65536, 65536, true)
+            .as_secs_f64();
+        assert!((idle - 65536.0 / 90.0e6).abs() < 1e-9, "read-ahead covers the gap");
+    }
+
+    #[test]
+    fn far_seek_never_double_charges_rotation() {
+        let mut a = HddModel::sata2_250gb();
+        a.service_time(IoOp::Write, 0, 4096);
+        let mut b = a.clone();
+        let idle = a
+            .service_time_arrival(IoOp::Write, 100_000_000_000, 4096, true)
+            .as_secs_f64();
+        let queued = b
+            .service_time_arrival(IoOp::Write, 100_000_000_000, 4096, false)
+            .as_secs_f64();
+        assert!((idle - queued).abs() < 1e-12, "seek already includes rotation");
+    }
+}

@@ -1,0 +1,63 @@
+//! Hybrid-cluster tuning study: how the H:S server ratio and the stripe
+//! pair interact — the design space behind the paper's Fig. 10.
+//!
+//! Sweeps the cluster's HDD:SSD split for a mixed IOR workload, showing
+//! per-server load balance (the paper's Fig. 8 lens) and the stripe
+//! pairs RSSD chooses as SSDs become more plentiful.
+//!
+//! ```text
+//! cargo run --release --example hybrid_tuning
+//! ```
+
+use mha::iotrace::gen::ior::{generate, IorConfig};
+use mha::prelude::*;
+use mha::simrt::stats::imbalance_cv;
+
+fn main() {
+    let mut cfg = IorConfig::mixed_sizes(&[128 << 10, 256 << 10], IoOp::Write);
+    cfg.reqs_per_proc = 32;
+    let trace = generate(&cfg);
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12} {:>16}",
+        "ratio", "DEF MB/s", "MHA MB/s", "DEF imbal.", "MHA imbal.", "sample <h, s>"
+    );
+    for (h, s) in [(7usize, 1usize), (6, 2), (5, 3), (4, 4)] {
+        let cluster = ClusterConfig::with_ratio(h, s);
+        let ctx = PlannerContext::for_cluster(&cluster);
+
+        let def = evaluate_scheme(Scheme::Def, &trace, &cluster, &ctx);
+        let mha = evaluate_scheme(Scheme::Mha, &trace, &cluster, &ctx);
+
+        // Load imbalance: coefficient of variation of per-server I/O time
+        // (0 = perfectly even). DEF's fixed stripes leave HServers as
+        // stragglers; MHA's variable stripes even the field.
+        let def_cv = imbalance_cv(&def.server_busy_secs());
+        let mha_cv = imbalance_cv(
+            &mha.server_busy_secs()
+                .into_iter()
+                .filter(|&b| b > 0.0)
+                .collect::<Vec<_>>(),
+        );
+
+        let plan = Scheme::Mha.planner().plan(&trace, &ctx);
+        let sample = plan
+            .rst
+            .iter()
+            .next()
+            .map(|(_, p)| format!("<{} KiB, {} KiB>", p.h >> 10, p.s >> 10))
+            .unwrap_or_else(|| "-".into());
+
+        println!(
+            "{:<8} {:>10.1} {:>10.1} {:>12.3} {:>12.3} {:>16}",
+            format!("{h}h:{s}s"),
+            def.bandwidth_mbps(),
+            mha.bandwidth_mbps(),
+            def_cv,
+            mha_cv,
+            sample
+        );
+    }
+
+    println!("\nimbal. = coefficient of variation of per-server busy time (lower is better)");
+}

@@ -1,0 +1,313 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning crates.
+
+use mha::mha_core::region::{Drt, DrtEntry};
+use mha::mha_core::{CostParams, ReqView};
+use mha::pfs_sim::{LayoutSpec, ServerId};
+use mha::storage_model::IoOp;
+use proptest::prelude::*;
+
+fn arb_layout() -> impl Strategy<Value = LayoutSpec> {
+    // 1..=6 HServers with stripe h, 0..=4 SServers with stripe s; at
+    // least one class non-empty with a positive stripe.
+    (1usize..=6, 1u64..=64, 0usize..=4, 1u64..=128).prop_map(|(m, h, n, s)| {
+        let hs: Vec<ServerId> = (0..m).map(ServerId).collect();
+        let ss: Vec<ServerId> = (m..m + n).map(ServerId).collect();
+        LayoutSpec::hybrid(&hs, h * 1024, &ss, s * 1024)
+    })
+}
+
+proptest! {
+    /// map_extent partitions any extent exactly: lengths sum to the
+    /// request and pieces are in file order with no zero-length pieces.
+    #[test]
+    fn striping_partitions_extents(
+        layout in arb_layout(),
+        offset in 0u64..(1 << 30),
+        len in 0u64..(8 << 20),
+    ) {
+        let subs = layout.map_extent(offset, len);
+        let total: u64 = subs.iter().map(|s| s.len).sum();
+        prop_assert_eq!(total, len);
+        prop_assert!(subs.iter().all(|s| s.len > 0));
+    }
+
+    /// Mapping a contiguous file prefix yields dense, non-overlapping
+    /// per-server objects (each server's pieces tile [0, share)).
+    #[test]
+    fn striping_server_objects_are_dense(
+        layout in arb_layout(),
+        rounds in 1u64..20,
+    ) {
+        let len = layout.round_size() * rounds;
+        let subs = layout.map_extent(0, len);
+        let mut per_server: std::collections::BTreeMap<ServerId, Vec<(u64, u64)>> =
+            Default::default();
+        for s in subs {
+            per_server.entry(s.server).or_default().push((s.server_offset, s.len));
+        }
+        for (server, mut spans) in per_server {
+            spans.sort_unstable();
+            let mut cursor = 0;
+            for (o, l) in spans {
+                prop_assert_eq!(o, cursor);
+                cursor = o + l;
+            }
+            prop_assert_eq!(cursor, layout.stripe_of(server) * rounds);
+        }
+    }
+
+    /// per_server_load agrees with map_extent.
+    #[test]
+    fn per_server_load_matches_map(
+        layout in arb_layout(),
+        offset in 0u64..(1 << 26),
+        len in 1u64..(4 << 20),
+    ) {
+        let loads = layout.per_server_load(offset, len);
+        let total: u64 = loads.iter().map(|(_, b, _)| *b).sum();
+        prop_assert_eq!(total, len);
+        let runs: u32 = loads.iter().map(|(_, _, r)| *r).sum();
+        prop_assert_eq!(runs as usize, layout.map_extent(offset, len).len());
+    }
+
+    /// DRT translation covers any queried extent exactly once, whatever
+    /// set of non-overlapping entries was inserted.
+    #[test]
+    fn drt_translation_partitions_queries(
+        entries in proptest::collection::vec((0u64..64, 1u64..32), 0..40),
+        query_off in 0u64..2048,
+        query_len in 1u64..512,
+    ) {
+        let mut drt = Drt::new();
+        let mut cursor = 0u64;
+        for (i, (gap, len)) in entries.iter().enumerate() {
+            // Build entries left to right with random gaps: never overlap.
+            let off = cursor + gap;
+            cursor = off + len;
+            drt.insert(DrtEntry {
+                o_file: mha::iotrace::FileId(0),
+                o_offset: off,
+                r_file: mha::iotrace::FileId(100 + (i as u32 % 5)),
+                r_offset: (i as u64) * 4096,
+                length: *len,
+            });
+        }
+        let pieces = drt.translate(mha::iotrace::FileId(0), query_off, query_len);
+        let total: u64 = pieces.iter().map(|p| p.len).sum();
+        prop_assert_eq!(total, query_len);
+        // Pieces are in logical order and contiguous in the logical space.
+        prop_assert!(pieces.iter().all(|p| p.len > 0));
+    }
+
+    /// Inserting random (possibly overlapping) entries never corrupts the
+    /// table: accepted entries stay exactly retrievable.
+    #[test]
+    fn drt_insert_accept_reject_is_consistent(
+        entries in proptest::collection::vec((0u64..256, 1u64..64), 1..60),
+    ) {
+        let mut drt = Drt::new();
+        let mut accepted: Vec<DrtEntry> = Vec::new();
+        for (i, (off, len)) in entries.iter().enumerate() {
+            let e = DrtEntry {
+                o_file: mha::iotrace::FileId(0),
+                o_offset: *off,
+                r_file: mha::iotrace::FileId(100),
+                r_offset: i as u64 * 128,
+                length: *len,
+            };
+            let overlaps_existing = accepted.iter().any(|a| {
+                a.o_offset < e.o_offset + e.length && e.o_offset < a.o_offset + a.length
+            });
+            let inserted = drt.insert(e);
+            prop_assert_eq!(inserted, !overlaps_existing);
+            if inserted {
+                accepted.push(e);
+            }
+        }
+        prop_assert_eq!(drt.len(), accepted.len());
+        for a in &accepted {
+            prop_assert_eq!(
+                drt.lookup_exact(a.o_file, a.o_offset, a.length),
+                Some((a.r_file, a.r_offset))
+            );
+        }
+    }
+
+    /// The Eq. 2 cost is monotone in request size and strictly positive.
+    #[test]
+    fn cost_monotone_and_positive(
+        len in 1u64..(4 << 20),
+        conc in 1u32..64,
+        h in 0u64..64,
+        s in 1u64..128,
+    ) {
+        let params = CostParams {
+            m: 6,
+            n: 2,
+            t: 1.0 / 117.0e6,
+            alpha_h: 12.7e-3,
+            beta_h: 1.0 / 90.0e6,
+            alpha_sr: 80.0e-6,
+            beta_sr: 1.0 / 700.0e6,
+            alpha_sw: 170.0e-6,
+            beta_sw: 1.0 / 450.0e6,
+        };
+        let (h, s) = (h * 4096, s * 4096);
+        let small = ReqView { offset: 0, len, op: IoOp::Read, concurrency: conc };
+        let big = ReqView { offset: 0, len: len * 2, op: IoOp::Read, concurrency: conc };
+        let cs = params.request_cost(&small, h, s);
+        let cb = params.request_cost(&big, h, s);
+        prop_assert!(cs > 0.0);
+        prop_assert!(cb >= cs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// kvstore: any sequence of puts/deletes replayed after reopen gives
+    /// the same final map (durability), even if garbage is appended to
+    /// the log (torn write).
+    #[test]
+    fn kvstore_durable_under_ops_and_torn_tail(
+        ops in proptest::collection::vec((0u8..16, 0u8..4, proptest::bool::ANY), 1..60),
+        garbage in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        use std::collections::HashMap;
+        let path = std::env::temp_dir().join(format!(
+            "mha-prop-{}-{:x}",
+            std::process::id(),
+            ops.len() * 1000 + garbage.len()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        {
+            let store = mha::kvstore::Store::open(
+                &path,
+                mha::kvstore::StoreOptions { sync_on_write: false, ..Default::default() },
+            ).expect("open");
+            for (k, v, is_put) in &ops {
+                let key = vec![*k];
+                if *is_put {
+                    let val = vec![*v; 3];
+                    store.put(&key, &val).expect("put");
+                    model.insert(key, val);
+                } else {
+                    store.delete(&key).expect("delete");
+                    model.remove(&key);
+                }
+            }
+            store.sync().expect("sync");
+        }
+        // Torn write at crash.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).expect("append");
+            f.write_all(&garbage).expect("garbage");
+        }
+        let store = mha::kvstore::Store::open_default(&path).expect("reopen");
+        prop_assert_eq!(store.len(), model.len());
+        for (k, v) in &model {
+            let got = store.get(k).expect("get");
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+proptest! {
+    /// Grouping invariants: every point assigned, group ids dense, count
+    /// bounded by k, deterministic.
+    #[test]
+    fn grouping_invariants(
+        sizes in proptest::collection::vec(1u64..(4 << 20), 1..200),
+        k in 1usize..12,
+    ) {
+        use mha::mha_core::{group_requests, GroupingConfig, ReqFeature};
+        let points: Vec<ReqFeature> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ReqFeature { size: s as f64, concurrency: (1 + i % 9) as f64 })
+            .collect();
+        let cfg = GroupingConfig { k, ..Default::default() };
+        let g = group_requests(&points, &cfg);
+        prop_assert_eq!(g.assignment.len(), points.len());
+        prop_assert!(g.groups() >= 1);
+        prop_assert!(g.groups() <= k.max(points.len().min(k)));
+        // Dense ids: every group id below groups() appears.
+        for gid in 0..g.groups() {
+            prop_assert!(g.assignment.iter().any(|&a| a == gid), "group {} empty", gid);
+        }
+        // Deterministic.
+        let g2 = group_requests(&points, &cfg);
+        prop_assert_eq!(g.assignment, g2.assignment);
+    }
+
+    /// WAL scan never panics on arbitrary bytes and never reports a valid
+    /// length beyond the buffer.
+    #[test]
+    fn wal_scan_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let scan = mha::kvstore::wal::scan(&bytes);
+        prop_assert!(scan.valid_len as usize <= bytes.len());
+        for rec in &scan.records {
+            prop_assert!((rec.offset as usize) < bytes.len().max(1));
+        }
+    }
+
+    /// Network fabric: transfer completion is monotone in size and never
+    /// earlier than the start time.
+    #[test]
+    fn fabric_transfer_monotone(bytes_a in 1u64..(1 << 24), extra in 0u64..(1 << 24)) {
+        use mha::netsim::{LinkParams, NetFabric, NodeId};
+        use mha::simrt::SimTime;
+        let mut f1 = NetFabric::new(2, LinkParams::gigabit_ethernet());
+        let mut f2 = NetFabric::new(2, LinkParams::gigabit_ethernet());
+        let t0 = SimTime::from_nanos(1000);
+        let small = f1.transfer(t0, NodeId(0), NodeId(1), bytes_a);
+        let large = f2.transfer(t0, NodeId(0), NodeId(1), bytes_a + extra);
+        prop_assert!(small > t0);
+        prop_assert!(large >= small);
+    }
+
+    /// HDD service time is monotone in request size at a fixed position
+    /// and never negative/zero for nonzero requests.
+    #[test]
+    fn hdd_service_monotone(len in 1u64..(8 << 20), offset in 0u64..(100 << 30)) {
+        use mha::storage_model::{Device, HddModel, IoOp};
+        let mut a = HddModel::sata2_250gb();
+        let mut b = HddModel::sata2_250gb();
+        let ta = a.service_time(IoOp::Read, offset, len);
+        let tb = b.service_time(IoOp::Read, offset, len * 2);
+        prop_assert!(ta.as_nanos() > 0);
+        prop_assert!(tb >= ta);
+    }
+
+    /// RSSD always returns a pair within bounds, on the step grid, with
+    /// s > h, for any nonempty uniform region.
+    #[test]
+    fn rssd_result_well_formed(
+        len in 1u64..(2 << 20),
+        conc in 1u32..32,
+        count in 1usize..24,
+    ) {
+        use mha::mha_core::{rssd, CostParams, ReqView, RssdConfig};
+        use mha::storage_model::IoOp;
+        let params = CostParams {
+            m: 6, n: 2,
+            t: 1.0 / 117.0e6,
+            alpha_h: 5.0e-3, beta_h: 1.1e-8,
+            alpha_sr: 1.0e-4, beta_sr: 1.4e-9,
+            alpha_sw: 2.0e-4, beta_sw: 2.2e-9,
+        };
+        let reqs: Vec<ReqView> = (0..count)
+            .map(|i| ReqView { offset: i as u64 * len, len, op: IoOp::Write, concurrency: conc })
+            .collect();
+        let cfg = RssdConfig::default();
+        let r = rssd(&reqs, &params, &cfg).expect("nonempty region");
+        prop_assert!(r.cost.is_finite() && r.cost > 0.0);
+        prop_assert!(r.pair.s > r.pair.h);
+        prop_assert_eq!(r.pair.h % cfg.step, 0);
+        prop_assert_eq!(r.pair.s % cfg.step, 0);
+    }
+}
