@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mha_bench::workloads::{self, Scale};
 use mha_core::cost::views_of;
 use mha_core::schemes::{LayoutPlanner, MhaPlanner};
-use mha_core::{group_requests, rssd, GroupingConfig, ReqFeature};
+use mha_core::{group_requests, rssd, GroupingConfig, ReqFeature, RssdConfig};
+use pfs_sim::{LayoutSpec, LoadScratch, ServerId};
 
 fn bench(c: &mut Criterion) {
     let cluster = workloads::paper_cluster();
@@ -30,8 +31,36 @@ fn bench(c: &mut Criterion) {
         b.iter(|| rssd(&views, &ctx.params, &ctx.rssd))
     });
 
+    // The same search with branch-and-bound off: isolates what the
+    // admissible pruning buys on top of the closed-form kernel (results
+    // are bit-identical either way — see planner_smoke).
+    group.bench_function("rssd_region_unpruned", |b| {
+        let cfg = RssdConfig { pruning: false, ..ctx.rssd.clone() };
+        b.iter(|| rssd(&views, &ctx.params, &cfg))
+    });
+
     group.bench_function("mha_full_plan", |b| {
         b.iter(|| MhaPlanner.plan(&trace, &ctx))
+    });
+
+    // The decomposition kernel itself, on the LANL body request under a
+    // fine candidate layout (32 stripe units per request — the case the
+    // closed form collapses to O(servers)): oracle walk vs closed form.
+    let layout = LayoutSpec::hybrid(
+        &(0..6).map(ServerId).collect::<Vec<_>>(),
+        4 << 10,
+        &(6..8).map(ServerId).collect::<Vec<_>>(),
+        8 << 10,
+    );
+    group.bench_function("per_server_load_oracle", |b| {
+        b.iter(|| layout.per_server_load(256 << 10, 128 << 10))
+    });
+    group.bench_function("per_server_load_closed_form", |b| {
+        let mut scratch = LoadScratch::new();
+        b.iter(|| {
+            layout.per_server_load_into(256 << 10, 128 << 10, &mut scratch);
+            scratch.entries().map(|(_, bytes, _)| bytes).sum::<u64>()
+        })
     });
 
     group.finish();

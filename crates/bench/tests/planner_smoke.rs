@@ -1,0 +1,35 @@
+//! Smoke test for the planner bench path: one RSSD run over the Quick
+//! LANL region under `cargo test`, no criterion required. Guards the
+//! bench workload wiring (and the search counters) without paying the
+//! measurement harness.
+
+use mha_bench::workloads::{self, Scale};
+use mha_core::cost::views_of;
+use mha_core::{rssd, RssdConfig};
+
+#[test]
+fn planner_smoke() {
+    let cluster = workloads::paper_cluster();
+    let trace = workloads::lanl_trace(Scale::Quick);
+    let ctx = workloads::context_for(&trace, &cluster);
+    let views = views_of(&trace);
+
+    let r = rssd(&views, &ctx.params, &ctx.rssd).expect("nonempty region");
+    assert!(r.evaluated > 0, "the candidate grid must be non-trivial");
+    assert!(r.pruned <= r.evaluated, "pruned candidates are a subset of the grid");
+    assert!(r.cost.is_finite() && r.cost > 0.0);
+    assert!(r.pair.s > r.pair.h, "SServer stripe stays strictly larger");
+
+    // The pruned and exhaustive searches must agree bit-for-bit on the
+    // bench workload itself, so speedup numbers compare equal answers.
+    let plain = rssd(
+        &views,
+        &ctx.params,
+        &RssdConfig { pruning: false, ..ctx.rssd.clone() },
+    )
+    .expect("nonempty region");
+    assert_eq!(plain.pruned, 0);
+    assert_eq!(r.pair, plain.pair);
+    assert_eq!(r.cost.to_bits(), plain.cost.to_bits());
+    assert_eq!(r.evaluated, plain.evaluated);
+}

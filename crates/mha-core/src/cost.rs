@@ -154,6 +154,14 @@ impl CostParams {
     pub fn request_cost_on(&self, layout: &LayoutSpec, req: &ReqView) -> f64 {
         let round = layout.round_size() as f64;
         let mates = req.concurrency.saturating_sub(1) as f64;
+        // Mate load depends only on a server's class stripe, and every
+        // layout this crate builds assigns one stripe per class — so
+        // compute the two mate constants once per request instead of
+        // re-scanning the segment list per server (`stripe_of` is
+        // O(segments)). A layout with mixed stripes inside a class (not
+        // constructible via `fixed`/`hybrid`, but legal through
+        // `from_assignments`) falls back to the per-server scan.
+        let (mate_h, mate_s) = self.class_mate_loads(layout, req, mates);
         let mut worst: f64 = 0.0;
         // Own, concrete decomposition: p_i = contiguous runs (startups),
         // s_i = bytes, on each server this request actually touches.
@@ -162,17 +170,58 @@ impl CostParams {
             let alpha = self.alpha(hserver, req.op);
             let unit = self.unit_time(hserver, req.op);
             let own = f64::from(runs) * alpha + bytes as f64 * unit;
-            let mate_load = self.expected_mate_load(layout, server, req, mates);
+            let mate_load = match (hserver, mate_h, mate_s) {
+                (true, Some(m), _) | (false, _, Some(m)) => m,
+                _ => self.mate_load(round, layout.stripe_of(server) as f64, hserver, req, mates),
+            };
             worst = worst.max(own + mate_load);
         }
         debug_assert!(round > 0.0);
         worst
     }
 
+    /// Precompute the per-class mate loads for one request: `Some(load)`
+    /// for each class whose participating servers share one stripe size,
+    /// `None` for a class with mixed stripes (caller falls back to the
+    /// per-server computation — identical arithmetic either way).
+    fn class_mate_loads(
+        &self,
+        layout: &LayoutSpec,
+        req: &ReqView,
+        mates: f64,
+    ) -> (Option<f64>, Option<f64>) {
+        let round = layout.round_size() as f64;
+        let (mut h_stripe, mut s_stripe): (Option<u64>, Option<u64>) = (None, None);
+        let (mut h_uniform, mut s_uniform) = (true, true);
+        for (server, stripe) in layout.assignments() {
+            let (slot, uniform) = if self.is_hserver(server) {
+                (&mut h_stripe, &mut h_uniform)
+            } else {
+                (&mut s_stripe, &mut s_uniform)
+            };
+            match slot {
+                None => *slot = Some(stripe),
+                Some(x) if *x != stripe => *uniform = false,
+                _ => {}
+            }
+        }
+        let class = |stripe: Option<u64>, uniform: bool, hserver: bool| {
+            match (stripe, uniform) {
+                (Some(st), true) => Some(self.mate_load(round, st as f64, hserver, req, mates)),
+                _ => None,
+            }
+        };
+        (
+            class(h_stripe, h_uniform, true),
+            class(s_stripe, s_uniform, false),
+        )
+    }
+
     /// Expected queueing contribution of the `mates` concurrent similar
-    /// requests on `server`: each touches the server with probability
-    /// `min(1, (l + stripe/2)/round)`, paying one startup when it does,
-    /// and contributes `l·stripe/round` expected bytes.
+    /// requests on a server with the given `stripe`: each touches the
+    /// server with probability `min(1, (l + stripe/2)/round)`, paying one
+    /// startup when it does, and contributes `l·stripe/round` expected
+    /// bytes.
     ///
     /// On the touch probability: a request of length `l` at a *uniformly
     /// random* position on the round circle overlaps a `stripe`-long
@@ -182,16 +231,13 @@ impl CostParams {
     /// files pack extents step-aligned, so real placements sit between
     /// the two — we use the midpoint. (The fully random form makes fine
     /// striping look free and drives RSSD toward needless splitting.)
-    fn expected_mate_load(&self, layout: &LayoutSpec, server: ServerId, req: &ReqView, mates: f64) -> f64 {
+    fn mate_load(&self, round: f64, stripe: f64, hserver: bool, req: &ReqView, mates: f64) -> f64 {
         if mates <= 0.0 {
             return 0.0;
         }
-        let round = layout.round_size() as f64;
-        let stripe = layout.stripe_of(server) as f64;
         let l = req.len as f64;
         let touch = ((l + stripe / 2.0) / round).min(1.0);
         let bytes = l * stripe / round;
-        let hserver = self.is_hserver(server);
         mates * (touch * self.alpha(hserver, req.op) + bytes * self.unit_time(hserver, req.op))
     }
 }
@@ -316,6 +362,39 @@ mod tests {
         let scattered = p.request_cost(&small, 4 << 10, 4 << 10);
         let compact = p.request_cost(&small, 32 << 10, 96 << 10);
         assert!(compact < scattered, "compact={compact} scattered={scattered}");
+    }
+
+    #[test]
+    fn mixed_class_stripes_fall_back_to_per_server_scan() {
+        let p = params(); // m = 2, n = 2
+        // Two HServers with *different* stripes — not constructible via
+        // fixed/hybrid, so the per-class constants must defer to the
+        // per-server stripe scan.
+        let layout = LayoutSpec::from_assignments([
+            (ServerId(0), 8u64 << 10),
+            (ServerId(1), 16 << 10),
+            (ServerId(2), 32 << 10),
+            (ServerId(3), 32 << 10),
+        ]);
+        let req = ReqView { offset: 0, len: 96 << 10, op: IoOp::Read, concurrency: 4 };
+        let got = p.request_cost_on(&layout, &req);
+        // Oracle: the pre-kernel per-server formula, verbatim.
+        let round = layout.round_size() as f64;
+        let mates = 3.0;
+        let mut expect = 0.0f64;
+        for (server, bytes, runs) in layout.per_server_load(req.offset, req.len) {
+            let hserver = p.is_hserver(server);
+            let own = f64::from(runs) * p.alpha(hserver, req.op)
+                + bytes as f64 * p.unit_time(hserver, req.op);
+            let stripe = layout.stripe_of(server) as f64;
+            let l = req.len as f64;
+            let touch = ((l + stripe / 2.0) / round).min(1.0);
+            let mb = l * stripe / round;
+            let mate =
+                mates * (touch * p.alpha(hserver, req.op) + mb * p.unit_time(hserver, req.op));
+            expect = expect.max(own + mate);
+        }
+        assert_eq!(got.to_bits(), expect.to_bits());
     }
 
     #[test]

@@ -41,5 +41,7 @@ pub use grouping::{group_requests, Grouping, GroupingConfig};
 pub use pattern::{FeatureSpace, ReqFeature};
 pub use redirect::DrtResolver;
 pub use region::{Drt, DrtEntry, Rst};
-pub use rssd::{rssd, RssdConfig, StripePair};
+pub use rssd::{
+    region_cost, region_cost_bounded, rssd, CostScratch, RssdConfig, RssdResult, StripePair,
+};
 pub use schemes::{apply_plan, LayoutPlanner, Plan, PlanResolver, Scheme};

@@ -30,6 +30,7 @@ use crate::region::{Drt, DrtEntry, RegionInfo, Rst};
 use crate::rssd::{region_cost, rssd, RssdConfig, StripePair};
 use iotrace::{FileId, Trace};
 use pfs_sim::{Cluster, ClusterConfig, IdentityResolver, LayoutSpec, Resolver};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use simrt::SimDuration;
 
@@ -223,6 +224,10 @@ impl LayoutPlanner for AalPlanner {
         };
         let views_all = views_of(trace);
         let mut layouts = Vec::new();
+        // One scratch serves every file's candidate scan (no per-candidate
+        // allocation); with an infinite cutoff `region_cost_bounded` is
+        // exactly `region_cost`.
+        let mut scratch = crate::rssd::CostScratch::new();
         for file in trace.files() {
             let views: Vec<ReqView> = trace
                 .records()
@@ -241,7 +246,14 @@ impl LayoutPlanner for AalPlanner {
             let mut best: Option<(f64, u64)> = None;
             let mut st = step;
             while st <= r_max.max(step) {
-                let cost = region_cost(&views, &homog, StripePair { h: st, s: 0 });
+                let cost = crate::rssd::region_cost_bounded(
+                    &views,
+                    &homog,
+                    StripePair { h: st, s: 0 },
+                    f64::INFINITY,
+                    &mut scratch,
+                )
+                .expect("an infinite cutoff is never exceeded");
                 if best.map_or(true, |(c, _)| cost < c) {
                     best = Some((cost, st));
                 }
@@ -370,11 +382,16 @@ impl LayoutPlanner for MhaPlanner {
         let base_align = ctx.region_align.unwrap_or(ctx.rssd.step.max(4096));
 
         // Pass 1: pack step-aligned, search stripe pairs per region.
+        // Regions are independent searches, so they fan out across cores
+        // (rayon) instead of serializing k stripe searches; the indexed
+        // collect keeps region order — and therefore the plan — exactly
+        // deterministic. Each search is itself data-parallel; rayon's
+        // work-stealing composes the two levels.
         let build =
             crate::region::build_regions_aligned(trace, &grouping, ctx.region_file_base, base_align);
         let pairs: Vec<Option<StripePair>> = build
             .region_views
-            .iter()
+            .par_iter()
             .map(|v| rssd(v, &ctx.params, &ctx.rssd).map(|r| r.pair))
             .collect();
 
@@ -383,19 +400,19 @@ impl LayoutPlanner for MhaPlanner {
         // (under the cost model, on the pass-1 region offsets).
         let include: Vec<bool> = build
             .region_views
-            .iter()
+            .par_iter()
             .zip(&pairs)
             .map(|(region_views, pair)| {
                 if ctx.selective_min_gain <= 0.0 {
                     return true;
                 }
                 let Some(p) = pair else { return false };
-                let def_cost = crate::rssd::region_cost(
+                let def_cost = region_cost(
                     region_views,
                     &ctx.params,
                     StripePair { h: 64 << 10, s: 64 << 10 },
                 );
-                let opt_cost = crate::rssd::region_cost(region_views, &ctx.params, *p);
+                let opt_cost = region_cost(region_views, &ctx.params, *p);
                 def_cost.is_finite()
                     && def_cost > 0.0
                     && (def_cost - opt_cost) / def_cost >= ctx.selective_min_gain
@@ -426,10 +443,18 @@ impl LayoutPlanner for MhaPlanner {
             &include,
         );
 
+        // Final searches on the repacked offsets, again region-parallel;
+        // the table/layout installation below stays sequential in region
+        // order so the plan is reproducible run to run.
+        let results: Vec<Option<crate::rssd::RssdResult>> = build
+            .region_views
+            .par_iter()
+            .map(|region_views| rssd(region_views, &ctx.params, &ctx.rssd))
+            .collect();
         let mut layouts = Vec::new();
         let mut rst = Rst::new();
-        for (region, region_views) in build.regions.iter().zip(&build.region_views) {
-            if let Some(result) = rssd(region_views, &ctx.params, &ctx.rssd) {
+        for (region, result) in build.regions.iter().zip(results) {
+            if let Some(result) = result {
                 rst.set(region.file, result.pair);
                 if let Some(layout) = ctx.params.layout_for(result.pair.h, result.pair.s) {
                     layouts.push((region.file, layout));

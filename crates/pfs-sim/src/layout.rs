@@ -41,6 +41,69 @@ pub struct LayoutSpec {
     round: u64,
 }
 
+/// Reusable accumulators for [`LayoutSpec::per_server_load_into`].
+///
+/// Holds per-server `(bytes, runs)` totals indexed by `ServerId.0`, plus
+/// the list of servers actually touched so clearing is O(touched) rather
+/// than O(table). Reusing one scratch across calls makes the whole
+/// decomposition allocation-free after the first call.
+#[derive(Debug, Default, Clone)]
+pub struct LoadScratch {
+    bytes: Vec<u64>,
+    runs: Vec<u32>,
+    /// Server ids with nonzero load, in layout (round) order.
+    touched: Vec<usize>,
+}
+
+impl LoadScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-server loads of the last decomposition, in layout round order:
+    /// `(server, bytes, runs)` for every server with nonzero bytes.
+    pub fn entries(&self) -> impl Iterator<Item = (ServerId, u64, u32)> + '_ {
+        self.touched
+            .iter()
+            .map(|&i| (ServerId(i), self.bytes[i], self.runs[i]))
+    }
+
+    /// Number of servers touched by the last decomposition.
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// True when the last decomposition touched no server.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Reset all accumulators (O(touched)).
+    pub fn clear(&mut self) {
+        for &i in &self.touched {
+            self.bytes[i] = 0;
+            self.runs[i] = 0;
+        }
+        self.touched.clear();
+    }
+
+    fn ensure_capacity(&mut self, max_id: usize) {
+        if self.bytes.len() <= max_id {
+            self.bytes.resize(max_id + 1, 0);
+            self.runs.resize(max_id + 1, 0);
+        }
+    }
+
+    fn add(&mut self, server: usize, bytes: u64, runs: u32) {
+        if self.bytes[server] == 0 && self.runs[server] == 0 {
+            self.touched.push(server);
+        }
+        self.bytes[server] += bytes;
+        self.runs[server] += runs;
+    }
+}
+
 impl LayoutSpec {
     /// Fixed-size round-robin striping (the DEF scheme's shape).
     ///
@@ -95,6 +158,11 @@ impl LayoutSpec {
         self.segments.iter().map(|s| s.server)
     }
 
+    /// `(server, stripe)` assignments in round order.
+    pub fn assignments(&self) -> impl Iterator<Item = (ServerId, u64)> + '_ {
+        self.segments.iter().map(|s| (s.server, s.stripe))
+    }
+
     /// Stripe size assigned to `server` (0 if not participating).
     pub fn stripe_of(&self, server: ServerId) -> u64 {
         self.segments
@@ -139,19 +207,118 @@ impl LayoutSpec {
     }
 
     /// Aggregate `map_extent` pieces per server: total bytes and number of
-    /// contiguous runs for each involved server. Used by cost models.
+    /// contiguous runs for each involved server, in first-touch (file)
+    /// order. This is the oracle path — it walks the extent one stripe
+    /// unit at a time; [`Self::per_server_load_into`] computes the same
+    /// totals in closed form.
     pub fn per_server_load(&self, offset: u64, len: u64) -> Vec<(ServerId, u64, u32)> {
+        // Index-by-ServerId accumulation: O(pieces), not O(pieces²).
+        let max_id = self.segments.iter().map(|s| s.server.0).max().unwrap_or(0);
+        let mut slot = vec![usize::MAX; max_id + 1];
         let mut acc: Vec<(ServerId, u64, u32)> = Vec::new();
         for piece in self.map_extent(offset, len) {
-            match acc.iter_mut().find(|(s, _, _)| *s == piece.server) {
-                Some((_, bytes, runs)) => {
-                    *bytes += piece.len;
-                    *runs += 1;
-                }
-                None => acc.push((piece.server, piece.len, 1)),
+            let s = &mut slot[piece.server.0];
+            if *s == usize::MAX {
+                *s = acc.len();
+                acc.push((piece.server, piece.len, 1));
+            } else {
+                let (_, bytes, runs) = &mut acc[*s];
+                *bytes += piece.len;
+                *runs += 1;
             }
         }
         acc
+    }
+
+    /// Closed-form per-server decomposition of `[offset, offset + len)`:
+    /// computes each server's `(bytes, runs)` arithmetically from full-
+    /// round counts plus head/tail partial rounds, in O(segments) time
+    /// with zero allocation once `scratch` has warmed up. Produces the
+    /// same totals as aggregating [`Self::map_extent`] (the oracle in
+    /// [`Self::per_server_load`]), but never materializes the pieces —
+    /// a `len/stripe`-independent cost that makes scanning millions of
+    /// candidate layouts viable.
+    ///
+    /// `scratch` is cleared on entry; results are read via
+    /// [`LoadScratch::entries`] and stay valid until the next call.
+    /// Entries come back in layout (round) order rather than the oracle's
+    /// first-touch order; totals per server are identical.
+    ///
+    /// Requires every segment to name a distinct server (true for all
+    /// [`Self::fixed`]/[`Self::hybrid`] layouts over distinct ids);
+    /// duplicate-server layouts must use the oracle path, whose
+    /// cross-round merge rules the closed form does not model.
+    pub fn per_server_load_into(&self, offset: u64, len: u64, scratch: &mut LoadScratch) {
+        debug_assert!(self.servers_distinct(), "closed form needs distinct servers");
+        scratch.clear();
+        if len == 0 {
+            return;
+        }
+        let max_id = self.segments.iter().map(|s| s.server.0).max().unwrap_or(0);
+        scratch.ensure_capacity(max_id);
+        // A single-segment layout is one contiguous server-local run:
+        // stripe == round, so consecutive rounds merge (as map_extent does).
+        if self.segments.len() == 1 {
+            scratch.add(self.segments[0].server.0, len, 1);
+            return;
+        }
+        let round = self.round;
+        let end = offset + len;
+        for seg in &self.segments {
+            // Bytes: prefix-count difference. bytes_before(x) = bytes of
+            // [0, x) landing on this segment = full rounds · stripe plus
+            // the clamped share of the partial round.
+            let bytes_before = |x: u64| -> u64 {
+                (x / round) * seg.stripe + (x % round).saturating_sub(seg.start).min(seg.stripe)
+            };
+            let bytes = bytes_before(end) - bytes_before(offset);
+            if bytes == 0 {
+                continue;
+            }
+            // Runs: with ≥ 2 segments, adjacent pieces land on different
+            // servers and never merge, so runs = number of rounds r whose
+            // segment window [r·round + start, r·round + start + stripe)
+            // intersects [offset, end).
+            let r_hi = (end - seg.start - 1) / round; // end > start ⇐ bytes > 0
+            let r_lo = if seg.start + seg.stripe > offset {
+                0
+            } else {
+                (offset - seg.start - seg.stripe) / round + 1
+            };
+            debug_assert!(r_hi >= r_lo, "bytes > 0 implies a touched round");
+            let runs = (r_hi - r_lo + 1).min(u64::from(u32::MAX)) as u32;
+            scratch.add(seg.server.0, bytes, runs);
+        }
+    }
+
+    /// Rebuild this layout in place from `(server, stripe)` assignments,
+    /// reusing the segment buffer — the allocation-free counterpart of
+    /// [`Self::from_assignments`] for tight candidate-scan loops.
+    ///
+    /// Returns `false` (leaving the layout **empty and unusable** until
+    /// the next successful rebuild) when no assignment has a positive
+    /// stripe; callers must check the return value before using the
+    /// layout.
+    pub fn rebuild(&mut self, assigns: impl IntoIterator<Item = (ServerId, u64)>) -> bool {
+        self.segments.clear();
+        let mut start = 0u64;
+        for (server, stripe) in assigns {
+            if stripe == 0 {
+                continue;
+            }
+            self.segments.push(Segment { server, stripe, start });
+            start += stripe;
+        }
+        self.round = start;
+        !self.segments.is_empty()
+    }
+
+    /// True when every segment names a distinct server.
+    fn servers_distinct(&self) -> bool {
+        self.segments
+            .iter()
+            .enumerate()
+            .all(|(i, a)| self.segments[..i].iter().all(|b| b.server != a.server))
     }
 
     fn segment_at(&self, within_round: u64) -> &Segment {
@@ -275,6 +442,98 @@ mod tests {
         let l = LayoutSpec::fixed(&ids(0..2), 10);
         assert!(l.map_extent(5, 0).is_empty());
         assert!(l.per_server_load(5, 0).is_empty());
+        let mut scratch = LoadScratch::new();
+        l.per_server_load_into(5, 0, &mut scratch);
+        assert!(scratch.is_empty());
+        assert_eq!(scratch.entries().count(), 0);
+    }
+
+    /// Compare the closed-form kernel against the map_extent oracle as
+    /// per-server (bytes, runs) maps (the kernel reports in round order,
+    /// the oracle in first-touch order).
+    fn assert_kernel_matches_oracle(l: &LayoutSpec, offset: u64, len: u64) {
+        let mut oracle: Vec<(ServerId, u64, u32)> = l.per_server_load(offset, len);
+        oracle.sort_unstable_by_key(|e| e.0);
+        let mut scratch = LoadScratch::new();
+        l.per_server_load_into(offset, len, &mut scratch);
+        let mut kernel: Vec<(ServerId, u64, u32)> = scratch.entries().collect();
+        kernel.sort_unstable_by_key(|e| e.0);
+        assert_eq!(kernel, oracle, "layout={l:?} offset={offset} len={len}");
+    }
+
+    #[test]
+    fn closed_form_matches_oracle_on_known_cases() {
+        let l = LayoutSpec::fixed(&ids(0..2), 10);
+        assert_kernel_matches_oracle(&l, 0, 50);
+        let l = LayoutSpec::hybrid(&ids(0..3), 10, &ids(3..5), 25);
+        assert_kernel_matches_oracle(&l, 7, 533);
+        assert_kernel_matches_oracle(&l, 0, 1);
+        assert_kernel_matches_oracle(&l, 79, 2); // straddles a segment edge
+        let l = LayoutSpec::hybrid(&ids(0..6), 0, &ids(6..8), 128 << 10);
+        assert_kernel_matches_oracle(&l, 3 << 10, 512 << 10);
+    }
+
+    #[test]
+    fn closed_form_matches_oracle_randomized() {
+        // Hand-rolled xorshift so the sweep needs no external crates.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..400 {
+            let m = (rng() % 6) as usize + 1;
+            let n = (rng() % 5) as usize;
+            let h = (rng() % 64 + 1) * 512;
+            let s = (rng() % 128 + 1) * 512;
+            let l = LayoutSpec::hybrid(&ids(0..m), h, &ids(m..m + n), s);
+            for _ in 0..8 {
+                let offset = rng() % (1 << 22);
+                let len = rng() % (1 << 21);
+                assert_kernel_matches_oracle(&l, offset, len);
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_reuses_scratch_across_layouts() {
+        // The same scratch must give correct answers after switching to a
+        // layout with different servers (stale accumulators cleared).
+        let mut scratch = LoadScratch::new();
+        let a = LayoutSpec::fixed(&ids(0..4), 8 << 10);
+        a.per_server_load_into(0, 64 << 10, &mut scratch);
+        assert_eq!(scratch.len(), 4);
+        let b = LayoutSpec::hybrid(&ids(0..6), 0, &ids(6..8), 16 << 10);
+        b.per_server_load_into(0, 64 << 10, &mut scratch);
+        let servers: Vec<ServerId> = scratch.entries().map(|e| e.0).collect();
+        assert_eq!(servers, vec![ServerId(6), ServerId(7)]);
+        let total: u64 = scratch.entries().map(|e| e.1).sum();
+        assert_eq!(total, 64 << 10);
+    }
+
+    #[test]
+    fn single_segment_closed_form_merges_rounds() {
+        let l = LayoutSpec::fixed(&[ServerId(5)], 4 << 10);
+        let mut scratch = LoadScratch::new();
+        l.per_server_load_into(1000, 100_000, &mut scratch);
+        let entries: Vec<_> = scratch.entries().collect();
+        assert_eq!(entries, vec![(ServerId(5), 100_000, 1)]);
+    }
+
+    #[test]
+    fn rebuild_matches_from_assignments() {
+        let mut l = LayoutSpec::fixed(&ids(0..2), 10);
+        let assigns = [(ServerId(0), 32u64), (ServerId(1), 0), (ServerId(2), 96)];
+        assert!(l.rebuild(assigns));
+        assert_eq!(l, LayoutSpec::from_assignments(assigns));
+        assert_eq!(l.round_size(), 128);
+        // All-zero rebuild fails and reports unusable.
+        assert!(!l.rebuild([(ServerId(0), 0u64)]));
+        // A later successful rebuild restores the layout.
+        assert!(l.rebuild([(ServerId(3), 7u64)]));
+        assert_eq!(l.stripe_of(ServerId(3)), 7);
     }
 
     #[test]

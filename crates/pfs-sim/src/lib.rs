@@ -28,7 +28,7 @@ pub mod replay;
 pub mod server;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use layout::{LayoutSpec, ServerId, SubExtent};
+pub use layout::{LayoutSpec, LoadScratch, ServerId, SubExtent};
 pub use mds::MetadataServer;
 pub use replay::{
     replay, IdentityResolver, PhysExtent, ReplayReport, Resolution, Resolver, ServerIoStat,

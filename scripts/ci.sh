@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint: everything a PR must keep green.
+#
+#   ./scripts/ci.sh
+#
+# Runs from the repo root regardless of the caller's cwd.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

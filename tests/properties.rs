@@ -283,6 +283,76 @@ proptest! {
         prop_assert!(tb >= ta);
     }
 
+    /// The closed-form decomposition kernel agrees with the map_extent
+    /// oracle on per-server (bytes, runs) totals for arbitrary layouts
+    /// and extents (the kernel reports in round order, the oracle in
+    /// first-touch order — compare as sorted sets).
+    #[test]
+    fn closed_form_load_matches_oracle(
+        layout in arb_layout(),
+        offset in 0u64..(1 << 26),
+        len in 0u64..(4 << 20),
+    ) {
+        use mha::pfs_sim::LoadScratch;
+        let mut oracle = layout.per_server_load(offset, len);
+        oracle.sort_unstable_by_key(|e| e.0);
+        let mut scratch = LoadScratch::new();
+        layout.per_server_load_into(offset, len, &mut scratch);
+        let mut kernel: Vec<_> = scratch.entries().collect();
+        kernel.sort_unstable_by_key(|e| e.0);
+        prop_assert_eq!(kernel, oracle);
+    }
+
+    /// Branch-and-bound pruning is exact: the pruned search returns the
+    /// same (pair, cost) — bit-for-bit — as the exhaustive one, across
+    /// random regions and cluster shapes including the n = 0 (no
+    /// SServers) and h = 0 (SServers-only winner) extremes.
+    #[test]
+    fn pruned_rssd_is_exact(
+        shape in (0usize..=6, 0usize..=4).prop_filter("need a server", |(m, n)| m + n > 0),
+        reqs in proptest::collection::vec((1u64..=64, 1u32..10, proptest::bool::ANY), 1..40),
+    ) {
+        use mha::mha_core::{rssd, RssdConfig};
+        let (m, n) = shape;
+        let params = CostParams {
+            m, n,
+            t: 1.0 / 117.0e6,
+            alpha_h: 12.7e-3,
+            beta_h: 1.0 / 90.0e6,
+            alpha_sr: 80.0e-6,
+            beta_sr: 1.0 / 700.0e6,
+            alpha_sw: 170.0e-6,
+            beta_sw: 1.0 / 450.0e6,
+        };
+        let views: Vec<ReqView> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(pages, concurrency, read))| ReqView {
+                offset: i as u64 * 262_144,
+                len: pages * 4096,
+                op: if read { IoOp::Read } else { IoOp::Write },
+                concurrency,
+            })
+            .collect();
+        let pruned = rssd(&views, &params, &RssdConfig::default());
+        let plain = rssd(
+            &views,
+            &params,
+            &RssdConfig { pruning: false, ..RssdConfig::default() },
+        );
+        match (pruned, plain) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.pair, b.pair);
+                prop_assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+                prop_assert_eq!(a.evaluated, b.evaluated, "grid size is prune-independent");
+                prop_assert_eq!(b.pruned, 0);
+                prop_assert!(a.pruned <= a.evaluated);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "pruning changed result presence"),
+        }
+    }
+
     /// RSSD always returns a pair within bounds, on the step grid, with
     /// s > h, for any nonempty uniform region.
     #[test]
