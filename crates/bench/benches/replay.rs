@@ -1,0 +1,69 @@
+//! Replay hot-loop micro-bench: the allocation-free fast path
+//! (`replay_with_scratch` + `CompactDrt` translation + borrowed layouts)
+//! against the convenience entry point, with planning hoisted out so the
+//! numbers isolate the per-record loop. Throughput is records/sec — the
+//! figure the before/after record in `results/BENCH_replay.json` tracks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iotrace::Trace;
+use mha_bench::workloads::{self, Scale};
+use mha_core::schemes::{apply_plan, Scheme};
+use pfs_sim::{
+    replay, replay_scheduled, Cluster, IdentityResolver, ReplaySchedule, ReplayScratch,
+};
+use storage_model::IoOp;
+
+fn bench(c: &mut Criterion) {
+    let cluster_cfg = workloads::paper_cluster();
+    let set: [(&str, Trace); 2] = [
+        ("lanl", workloads::lanl_trace(Scale::Quick)),
+        ("ior_mixed", workloads::ior_mixed_sizes(&[128, 256], IoOp::Write, Scale::Quick)),
+    ];
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(20);
+    for (name, trace) in &set {
+        let ctx = workloads::context_for(trace, &cluster_cfg);
+        let plan = Scheme::Mha.planner().plan(trace, &ctx);
+        let schedule = ReplaySchedule::for_trace(trace);
+        group.throughput(Throughput::Elements(trace.records().len() as u64));
+
+        // Identity resolution: the loop body minus DRT translation. The
+        // cluster is built once and reset per iteration (as the grid's
+        // repeated replays do); the schedule is hoisted.
+        group.bench_with_input(BenchmarkId::new("identity", *name), trace, |b, trace| {
+            let mut scratch = ReplayScratch::new();
+            let mut cl = Cluster::new(cluster_cfg.clone());
+            b.iter(|| {
+                replay_scheduled(&mut cl, trace, &schedule, &mut IdentityResolver, &mut scratch)
+                    .total_bytes
+            })
+        });
+
+        // The full MHA runtime path, scratch and schedule reused.
+        group.bench_with_input(BenchmarkId::new("mha_scratch", *name), trace, |b, trace| {
+            let mut scratch = ReplayScratch::new();
+            let mut cl = Cluster::new(cluster_cfg.clone());
+            apply_plan(&mut cl, &plan);
+            let mut resolver = plan.make_resolver(ctx.lookup_cost);
+            b.iter(|| {
+                replay_scheduled(&mut cl, trace, &schedule, resolver.as_mut(), &mut scratch)
+                    .total_bytes
+            })
+        });
+
+        // Same path through the allocating convenience wrapper (fresh
+        // scratch per replay) — the cost of not reusing buffers.
+        group.bench_with_input(BenchmarkId::new("mha_fresh", *name), trace, |b, trace| {
+            b.iter(|| {
+                let mut cl = Cluster::new(cluster_cfg.clone());
+                apply_plan(&mut cl, &plan);
+                let mut resolver = plan.make_resolver(ctx.lookup_cost);
+                replay(&mut cl, trace, resolver.as_mut()).total_bytes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

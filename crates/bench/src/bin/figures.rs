@@ -8,6 +8,7 @@
 
 use mha_bench::experiments;
 use mha_bench::workloads::Scale;
+use rayon::prelude::*;
 use std::io::Write as _;
 
 fn main() {
@@ -31,11 +32,22 @@ fn main() {
     };
     let scale = if quick { Scale::Quick } else { Scale::Full };
 
+    // Figure ids fan out over rayon (each experiment's scheme grid is
+    // itself parallel; work-stealing composes the two levels), while
+    // printing and JSON output stay serial and in id order so runs are
+    // byte-identical regardless of thread count.
+    let results: Vec<(&str, Vec<mha_bench::Figure>, f64)> = ids
+        .par_iter()
+        .map(|id| {
+            let t0 = std::time::Instant::now();
+            let figs = experiments::run(id, scale);
+            (*id, figs, t0.elapsed().as_secs_f64())
+        })
+        .collect();
+
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    for id in ids {
-        let t0 = std::time::Instant::now();
-        let figs = experiments::run(id, scale);
+    for (id, figs, elapsed) in results {
         for fig in &figs {
             writeln!(out, "{fig}").expect("stdout");
             summarize(&mut out, fig);
@@ -45,7 +57,7 @@ fn main() {
                 std::fs::write(&path, fig.to_json()).expect("write json");
             }
         }
-        writeln!(out, "  [{id} took {:.1}s]\n", t0.elapsed().as_secs_f64()).expect("stdout");
+        writeln!(out, "  [{id} took {elapsed:.1}s]\n").expect("stdout");
     }
 }
 

@@ -5,9 +5,14 @@ use crate::workloads::{self, Scale};
 use iotrace::gen::lanl;
 use iotrace::Trace;
 use mha_core::redirect::NullRedirectResolver;
-use mha_core::schemes::{evaluate_scheme, Scheme};
+use mha_core::schemes::{
+    evaluate_scheme, evaluate_scheme_scheduled, evaluate_scheme_with_scratch, Scheme,
+};
 use mha_core::CostParams;
-use pfs_sim::{replay, Cluster, ClusterConfig, IdentityResolver, ReplayReport};
+use pfs_sim::{
+    replay, Cluster, ClusterConfig, IdentityResolver, ReplayReport, ReplaySchedule, ReplayScratch,
+};
+use rayon::prelude::*;
 use storage_model::IoOp;
 
 /// Run the experiment(s) named by `id` (`all` runs everything) at the
@@ -82,13 +87,44 @@ pub fn all_ids() -> &'static [&'static str] {
 const SCHEMES: [Scheme; 4] = [Scheme::Def, Scheme::Aal, Scheme::Harl, Scheme::Mha];
 const SCHEME_NAMES: [&str; 4] = ["DEF", "AAL", "HARL", "MHA"];
 
+/// Replay reports of every scheme on one workload/cluster, scheme-
+/// parallel: each cell builds its own cluster, plan, resolver and
+/// scratch, the trace's replay schedule is built once and shared (it is
+/// read-only), and the indexed collect keeps scheme order, so the grid
+/// is deterministic — reports are identical to [`scheme_reports_serial`]
+/// at any thread count (the replay determinism test compares them field
+/// by field).
+pub fn scheme_reports(trace: &Trace, cluster: &ClusterConfig) -> Vec<ReplayReport> {
+    let ctx = workloads::context_for(trace, cluster);
+    let schedule = ReplaySchedule::for_trace(trace);
+    SCHEMES
+        .par_iter()
+        .map(|&s| {
+            let mut scratch = ReplayScratch::new();
+            evaluate_scheme_scheduled(s, trace, cluster, &ctx, &schedule, &mut scratch)
+        })
+        .collect()
+}
+
+/// Single-thread reference for [`scheme_reports`], threading one replay
+/// scratch through all four schemes and rebuilding the schedule inline
+/// per cell — so the bit-for-bit grid test simultaneously pins the
+/// hoisted-schedule path against the per-replay rebuild.
+pub fn scheme_reports_serial(trace: &Trace, cluster: &ClusterConfig) -> Vec<ReplayReport> {
+    let ctx = workloads::context_for(trace, cluster);
+    let mut scratch = ReplayScratch::new();
+    SCHEMES
+        .iter()
+        .map(|&s| evaluate_scheme_with_scratch(s, trace, cluster, &ctx, &mut scratch))
+        .collect()
+}
+
 /// Bandwidth of every scheme on one workload/cluster (fresh cluster and
 /// calibration per scheme).
 fn scheme_bandwidths(trace: &Trace, cluster: &ClusterConfig) -> Vec<f64> {
-    let ctx = workloads::context_for(trace, cluster);
-    SCHEMES
+    scheme_reports(trace, cluster)
         .iter()
-        .map(|&s| evaluate_scheme(s, trace, cluster, &ctx).bandwidth_mbps())
+        .map(ReplayReport::bandwidth_mbps)
         .collect()
 }
 
@@ -126,9 +162,17 @@ pub fn fig7(scale: Scale) -> Vec<Figure> {
                 &SCHEME_NAMES,
                 "MB/s",
             );
-            for (label, sizes) in mixes {
-                let trace = workloads::ior_mixed_sizes(sizes, op, scale);
-                fig.push_row(label, scheme_bandwidths(&trace, &cluster));
+            // Rows are independent (workload generation included), so
+            // they fan out too; the indexed collect keeps paper order.
+            let rows: Vec<Vec<f64>> = mixes
+                .par_iter()
+                .map(|(_, sizes)| {
+                    let trace = workloads::ior_mixed_sizes(sizes, op, scale);
+                    scheme_bandwidths(&trace, &cluster)
+                })
+                .collect();
+            for ((label, _), row) in mixes.into_iter().zip(rows) {
+                fig.push_row(label, row);
             }
             fig
         })
@@ -140,11 +184,7 @@ pub fn fig7(scale: Scale) -> Vec<Figure> {
 pub fn fig8(scale: Scale) -> Figure {
     let cluster = workloads::paper_cluster();
     let trace = workloads::ior_mixed_sizes(&[128, 256], IoOp::Write, scale);
-    let ctx = workloads::context_for(&trace, &cluster);
-    let reports: Vec<ReplayReport> = SCHEMES
-        .iter()
-        .map(|&s| evaluate_scheme(s, &trace, &cluster, &ctx))
-        .collect();
+    let reports = scheme_reports(&trace, &cluster);
     let mha_busy = reports[3].server_busy_secs();
     let norm = mha_busy
         .iter()
@@ -183,9 +223,15 @@ pub fn fig9(scale: Scale) -> Vec<Figure> {
                 &SCHEME_NAMES,
                 "MB/s",
             );
-            for (label, procs) in mixes {
-                let trace = workloads::ior_mixed_procs(procs, op, scale);
-                fig.push_row(label, scheme_bandwidths(&trace, &cluster));
+            let rows: Vec<Vec<f64>> = mixes
+                .par_iter()
+                .map(|(_, procs)| {
+                    let trace = workloads::ior_mixed_procs(procs, op, scale);
+                    scheme_bandwidths(&trace, &cluster)
+                })
+                .collect();
+            for ((label, _), row) in mixes.into_iter().zip(rows) {
+                fig.push_row(label, row);
             }
             fig
         })
@@ -206,9 +252,15 @@ pub fn fig10(scale: Scale) -> Vec<Figure> {
                 "MB/s",
             );
             let trace = workloads::ior_mixed_sizes(&[128, 256], op, scale);
-            for (h, s) in ratios {
-                let cluster = ClusterConfig::with_ratio(h, s);
-                fig.push_row(format!("{h}h:{s}s"), scheme_bandwidths(&trace, &cluster));
+            let rows: Vec<Vec<f64>> = ratios
+                .par_iter()
+                .map(|&(h, s)| {
+                    let cluster = ClusterConfig::with_ratio(h, s);
+                    scheme_bandwidths(&trace, &cluster)
+                })
+                .collect();
+            for ((h, s), row) in ratios.into_iter().zip(rows) {
+                fig.push_row(format!("{h}h:{s}s"), row);
             }
             fig
         })
@@ -224,9 +276,16 @@ pub fn fig11(scale: Scale) -> Figure {
         &SCHEME_NAMES,
         "MB/s",
     );
-    for procs in [16u32, 32, 64] {
-        let trace = workloads::hpio_trace(procs, IoOp::Write, scale);
-        fig.push_row(format!("{procs} procs"), scheme_bandwidths(&trace, &cluster));
+    let procs_axis = [16u32, 32, 64];
+    let rows: Vec<Vec<f64>> = procs_axis
+        .par_iter()
+        .map(|&procs| {
+            let trace = workloads::hpio_trace(procs, IoOp::Write, scale);
+            scheme_bandwidths(&trace, &cluster)
+        })
+        .collect();
+    for (procs, row) in procs_axis.into_iter().zip(rows) {
+        fig.push_row(format!("{procs} procs"), row);
     }
     fig
 }
@@ -235,9 +294,16 @@ pub fn fig11(scale: Scale) -> Figure {
 pub fn fig12a(_scale: Scale) -> Figure {
     let cluster = workloads::paper_cluster();
     let mut fig = Figure::new("fig12a", "BTIO aggregate bandwidth", &SCHEME_NAMES, "MB/s");
-    for procs in [9u32, 16, 25] {
-        let trace = workloads::btio_trace(procs, IoOp::Write);
-        fig.push_row(format!("{procs} procs"), scheme_bandwidths(&trace, &cluster));
+    let procs_axis = [9u32, 16, 25];
+    let rows: Vec<Vec<f64>> = procs_axis
+        .par_iter()
+        .map(|&procs| {
+            let trace = workloads::btio_trace(procs, IoOp::Write);
+            scheme_bandwidths(&trace, &cluster)
+        })
+        .collect();
+    for (procs, row) in procs_axis.into_iter().zip(rows) {
+        fig.push_row(format!("{procs} procs"), row);
     }
     fig
 }

@@ -1,0 +1,71 @@
+//! Determinism of the parallel experiment grid: fanning the (workload ×
+//! scheme) cells over rayon must produce the same reports, bit for bit,
+//! as a single-thread walk — otherwise figure rows would wobble from run
+//! to run and the before/after replay benchmark would be meaningless.
+//!
+//! The serial reference also threads one `ReplayScratch` through every
+//! cell, so the comparison simultaneously pins the allocation-free
+//! replay fast path against the original allocating path.
+
+use mha_bench::experiments::{scheme_reports, scheme_reports_serial};
+use mha_bench::workloads::{self, Scale};
+use pfs_sim::ReplayReport;
+use storage_model::IoOp;
+
+/// Field-by-field equality, exact: durations and counters by value,
+/// floats (latency statistics) by bit pattern.
+fn assert_reports_identical(a: &ReplayReport, b: &ReplayReport, what: &str) {
+    assert_eq!(a.makespan, b.makespan, "{what}: makespan");
+    assert_eq!(a.total_bytes, b.total_bytes, "{what}: total_bytes");
+    assert_eq!(a.read_bytes, b.read_bytes, "{what}: read_bytes");
+    assert_eq!(a.write_bytes, b.write_bytes, "{what}: write_bytes");
+    assert_eq!(a.resolve_overhead, b.resolve_overhead, "{what}: resolve_overhead");
+    assert_eq!(a.mds_lookups, b.mds_lookups, "{what}: mds_lookups");
+    assert_eq!(a.per_server.len(), b.per_server.len(), "{what}: server count");
+    for (sa, sb) in a.per_server.iter().zip(&b.per_server) {
+        assert_eq!(sa.server, sb.server, "{what}: server index");
+        assert_eq!(sa.kind, sb.kind, "{what}: server kind");
+        assert_eq!(sa.busy, sb.busy, "{what}: S{} busy", sa.server);
+        assert_eq!(sa.bytes_read, sb.bytes_read, "{what}: S{} bytes_read", sa.server);
+        assert_eq!(sa.bytes_written, sb.bytes_written, "{what}: S{} bytes_written", sa.server);
+        assert_eq!(sa.served, sb.served, "{what}: S{} served", sa.server);
+    }
+    let (la, lb) = (&a.request_latency, &b.request_latency);
+    assert_eq!(la.count(), lb.count(), "{what}: latency count");
+    assert_eq!(la.mean().to_bits(), lb.mean().to_bits(), "{what}: latency mean");
+    assert_eq!(la.sum().to_bits(), lb.sum().to_bits(), "{what}: latency sum");
+    assert_eq!(la.min().to_bits(), lb.min().to_bits(), "{what}: latency min");
+    assert_eq!(la.max().to_bits(), lb.max().to_bits(), "{what}: latency max");
+}
+
+#[test]
+fn parallel_grid_matches_serial_grid_bit_for_bit() {
+    let cluster = workloads::paper_cluster();
+    let matrix = [
+        ("lanl", workloads::lanl_trace(Scale::Quick)),
+        ("ior 128+256", workloads::ior_mixed_sizes(&[128, 256], IoOp::Write, Scale::Quick)),
+        ("ior read 64+512", workloads::ior_mixed_sizes(&[64, 512], IoOp::Read, Scale::Quick)),
+    ];
+    for (name, trace) in &matrix {
+        let par = scheme_reports(trace, &cluster);
+        let ser = scheme_reports_serial(trace, &cluster);
+        assert_eq!(par.len(), ser.len());
+        for (i, (p, s)) in par.iter().zip(&ser).enumerate() {
+            assert_reports_identical(p, s, &format!("{name}, scheme #{i}"));
+        }
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    // Thread scheduling varies between runs; reports must not.
+    let cluster = workloads::paper_cluster();
+    let trace = workloads::lanl_trace(Scale::Quick);
+    let first = scheme_reports(&trace, &cluster);
+    for round in 0..2 {
+        let again = scheme_reports(&trace, &cluster);
+        for (i, (a, b)) in first.iter().zip(&again).enumerate() {
+            assert_reports_identical(a, b, &format!("round {round}, scheme #{i}"));
+        }
+    }
+}

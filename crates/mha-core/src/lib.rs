@@ -40,7 +40,7 @@ pub use dynamic::{run_dynamic, DynamicConfig, DynamicReport};
 pub use grouping::{group_requests, Grouping, GroupingConfig};
 pub use pattern::{FeatureSpace, ReqFeature};
 pub use redirect::DrtResolver;
-pub use region::{Drt, DrtEntry, Rst};
+pub use region::{CompactDrt, Drt, DrtEntry, Rst};
 pub use rssd::{
     region_cost, region_cost_bounded, rssd, CostScratch, RssdConfig, RssdResult, StripePair,
 };

@@ -9,15 +9,22 @@
 //! microseconds for a cached entry; we charge a conservative in-memory
 //! hash-lookup cost).
 
-use crate::region::Drt;
+use crate::region::{CompactDrt, Drt};
 use iotrace::TraceRecord;
 use pfs_sim::{PhysExtent, Resolution, Resolver};
 use simrt::SimDuration;
 
 /// DRT-backed resolver: the MHA (and HARL) redirection path.
+///
+/// Construction freezes the mutable [`Drt`] into a [`CompactDrt`] so the
+/// replay hot loop translates through flat sorted arrays (and the
+/// [`Resolver::resolve_into`] fast path reuses the caller's extent
+/// buffer) instead of walking nested B-trees and allocating a `Vec` per
+/// request.
 #[derive(Debug, Clone)]
 pub struct DrtResolver {
     drt: Drt,
+    compact: CompactDrt,
     lookup_cost: SimDuration,
     lookups: u64,
     redirected: u64,
@@ -27,7 +34,8 @@ pub struct DrtResolver {
 impl DrtResolver {
     /// Resolver over `drt`, charging `lookup_cost` per request.
     pub fn new(drt: Drt, lookup_cost: SimDuration) -> Self {
-        DrtResolver { drt, lookup_cost, lookups: 0, redirected: 0, fallbacks: 0 }
+        let compact = drt.compact();
+        DrtResolver { drt, compact, lookup_cost, lookups: 0, redirected: 0, fallbacks: 0 }
     }
 
     /// Default lookup cost: an in-memory hash probe plus bookkeeping at
@@ -60,15 +68,21 @@ impl DrtResolver {
 
 impl Resolver for DrtResolver {
     fn resolve(&mut self, rec: &TraceRecord) -> Resolution {
+        let mut extents = Vec::new();
+        let overhead = self.resolve_into(rec, &mut extents);
+        Resolution { extents, overhead }
+    }
+
+    fn resolve_into(&mut self, rec: &TraceRecord, out: &mut Vec<PhysExtent>) -> SimDuration {
         self.lookups += 1;
-        let extents = self.drt.translate(rec.file, rec.offset, rec.len);
-        let any_moved = extents.iter().any(|e| e.file != rec.file);
+        self.compact.translate_into(rec.file, rec.offset, rec.len, out);
+        let any_moved = out.iter().any(|e| e.file != rec.file);
         if any_moved {
             self.redirected += 1;
         } else {
             self.fallbacks += 1;
         }
-        Resolution { extents, overhead: self.lookup_cost }
+        self.lookup_cost
     }
 }
 
@@ -98,6 +112,12 @@ impl Resolver for NullRedirectResolver {
             extents: vec![PhysExtent { file: rec.file, offset: rec.offset, len: rec.len }],
             overhead: self.lookup_cost,
         }
+    }
+
+    fn resolve_into(&mut self, rec: &TraceRecord, out: &mut Vec<PhysExtent>) -> SimDuration {
+        out.clear();
+        out.push(PhysExtent { file: rec.file, offset: rec.offset, len: rec.len });
+        self.lookup_cost
     }
 }
 
@@ -180,5 +200,45 @@ mod tests {
             r.resolve(&rec(i * 100, 50));
         }
         assert_eq!(r.lookups(), 10);
+    }
+
+    #[test]
+    fn resolve_into_matches_resolve() {
+        // Two independent resolvers over a multi-entry table; every
+        // request pattern (full hit, partial, gap-straddling, miss,
+        // zero-length) must yield identical extents, overhead and
+        // counters through both paths.
+        let mut drt = Drt::new();
+        for (oo, rf, ro, len) in
+            [(1000, 50, 0, 500), (2000, 51, 128, 300), (2500, 50, 4096, 100)]
+        {
+            drt.insert(DrtEntry {
+                o_file: FileId(0),
+                o_offset: oo,
+                r_file: FileId(rf),
+                r_offset: ro,
+                length: len,
+            });
+        }
+        let mut a = DrtResolver::with_default_cost(drt.clone());
+        let mut b = DrtResolver::with_default_cost(drt);
+        let mut out = vec![PhysExtent { file: FileId(99), offset: 7, len: 7 }];
+        let cases =
+            [(1000, 500), (900, 300), (1900, 800), (0, 100), (2450, 200), (1200, 0), (3000, 64)];
+        for (offset, len) in cases {
+            let want = a.resolve(&rec(offset, len));
+            let overhead = b.resolve_into(&rec(offset, len), &mut out);
+            assert_eq!(out, want.extents, "extents for [{offset}, +{len})");
+            assert_eq!(overhead, want.overhead);
+        }
+        assert_eq!(a.lookups(), b.lookups());
+        assert_eq!(a.redirected(), b.redirected());
+        assert_eq!(a.fallbacks(), b.fallbacks());
+
+        let mut n = NullRedirectResolver::with_default_cost();
+        let want = n.resolve(&rec(1000, 500));
+        let overhead = n.resolve_into(&rec(1000, 500), &mut out);
+        assert_eq!(out, want.extents);
+        assert_eq!(overhead, want.overhead);
     }
 }

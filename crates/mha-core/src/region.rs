@@ -17,6 +17,7 @@ use crate::rssd::StripePair;
 use iotrace::{FileId, Trace};
 use pfs_sim::PhysExtent;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 /// One DRT entry (the paper's five variables).
@@ -204,6 +205,219 @@ impl Drt {
         let r_file = u32::from_le_bytes(v[8..12].try_into().ok()?);
         let r_offset = u64::from_le_bytes(v[12..].try_into().ok()?);
         Some((length, FileId(r_file), r_offset))
+    }
+
+    /// Freeze this table into a [`CompactDrt`] for the replay fast path.
+    pub fn compact(&self) -> CompactDrt {
+        let mut files = Vec::with_capacity(self.map.len());
+        let mut spans = Vec::with_capacity(self.map.len());
+        let mut entries = Vec::with_capacity(self.entries);
+        let mut scales = Vec::with_capacity(self.map.len());
+        for (&file, per_file) in &self.map {
+            let start = entries.len();
+            for (&o_offset, &(length, r_file, r_offset)) in per_file {
+                entries.push(CompactEntry { o_offset, length, r_file, r_offset });
+            }
+            let span = &entries[start..];
+            // Entries per byte of offset range: seeds the interpolated
+            // search with a position guess. Degenerate spans (one entry,
+            // or all at one offset) scale to 0, i.e. "guess the front".
+            scales.push(match (span.first(), span.last()) {
+                (Some(f), Some(l)) if l.o_offset > f.o_offset => {
+                    (span.len() - 1) as f64 / (l.o_offset - f.o_offset) as f64
+                }
+                _ => 0.0,
+            });
+            files.push(file);
+            spans.push((start, entries.len()));
+        }
+        CompactDrt { files, spans, entries, scales, cursor: Cell::new((usize::MAX, 0)) }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CompactEntry {
+    o_offset: u64,
+    length: u64,
+    r_file: FileId,
+    r_offset: u64,
+}
+
+/// A frozen, flattened [`Drt`] tuned for the replay hot loop.
+///
+/// The nested `BTreeMap<FileId, BTreeMap<u64, …>>` becomes one sorted
+/// file index plus one contiguous entry array sliced per file, so a
+/// translation costs two binary searches over dense memory instead of a
+/// pointer-chasing tree walk. A last-hit cursor (interior-mutable, so
+/// lookups stay `&self`) remembers where the previous translation left
+/// off; region traces replay in near-sequential offset order, which
+/// turns most seeks into an O(1) neighbour check. Translations are
+/// byte-for-byte identical to [`Drt::translate`].
+///
+/// The cursor makes `CompactDrt` `Send` but not `Sync`; parallel replay
+/// constructs one resolver (and thus one table) per grid cell.
+#[derive(Debug, Clone, Default)]
+pub struct CompactDrt {
+    /// Original files with entries, sorted.
+    files: Vec<FileId>,
+    /// Per file: `[start, end)` slice of `entries`.
+    spans: Vec<(usize, usize)>,
+    /// All entries, grouped by file, sorted by `o_offset` within a file.
+    entries: Vec<CompactEntry>,
+    /// Per file: entries per byte over the span's offset range, used to
+    /// interpolate a starting guess for cold seeks.
+    scales: Vec<f64>,
+    /// `(file slot, absolute entry index)` of the last translation's
+    /// final position.
+    cursor: Cell<(usize, usize)>,
+}
+
+impl CompactDrt {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no data has been reordered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// [`Drt::translate`], reusing `out` (cleared first). Relocated
+    /// pieces map to their region files; bytes with no entry stay on the
+    /// original file; pieces partition the request in offset order.
+    pub fn translate_into(&self, file: FileId, offset: u64, len: u64, out: &mut Vec<PhysExtent>) {
+        out.clear();
+        if len == 0 {
+            return;
+        }
+        let end = offset + len;
+        let Some(slot) = self.file_slot(file) else {
+            out.push(PhysExtent { file, offset, len });
+            return;
+        };
+        let (base, stop) = self.spans[slot];
+        let ents = &self.entries[base..stop];
+        let mut idx = self.seek(slot, base, ents, offset);
+        let mut pos = offset;
+        while idx < ents.len() {
+            if pos >= end {
+                break;
+            }
+            let e = &ents[idx];
+            let e_end = e.o_offset + e.length;
+            if e_end <= pos {
+                idx += 1;
+                continue;
+            }
+            if e.o_offset >= end {
+                break;
+            }
+            if e.o_offset > pos {
+                // Uncovered gap before this entry.
+                out.push(PhysExtent { file, offset: pos, len: e.o_offset - pos });
+                pos = e.o_offset;
+            }
+            let take = e_end.min(end) - pos;
+            out.push(PhysExtent {
+                file: e.r_file,
+                offset: e.r_offset + (pos - e.o_offset),
+                len: take,
+            });
+            pos += take;
+            idx += 1;
+        }
+        self.cursor.set((slot, base + idx.min(ents.len().saturating_sub(1))));
+        if pos < end {
+            out.push(PhysExtent { file, offset: pos, len: end - pos });
+        }
+    }
+
+    /// Allocating convenience wrapper over [`Self::translate_into`].
+    pub fn translate(&self, file: FileId, offset: u64, len: u64) -> Vec<PhysExtent> {
+        let mut out = Vec::new();
+        self.translate_into(file, offset, len, &mut out);
+        out
+    }
+
+    fn file_slot(&self, file: FileId) -> Option<usize> {
+        let (c_slot, _) = self.cursor.get();
+        if self.files.get(c_slot) == Some(&file) {
+            return Some(c_slot);
+        }
+        self.files.binary_search(&file).ok()
+    }
+
+    /// Index of the entry the walk starts from: the last entry with
+    /// `o_offset <= offset`, or `0` when every entry lies above `offset`
+    /// (mirrors the `range(..=pos).next_back()` seed in
+    /// [`Drt::translate`]). Tries the cached cursor and its successor
+    /// first; cold seeks interpolate a guess from the file's offset
+    /// density and gallop out from it — region files pack extents nearly
+    /// uniformly, so the guess usually lands within a step or two of the
+    /// target, beating a full-width binary search.
+    fn seek(&self, slot: usize, base: usize, ents: &[CompactEntry], offset: u64) -> usize {
+        let (c_slot, c_abs) = self.cursor.get();
+        if c_slot == slot && c_abs >= base {
+            let c = c_abs - base;
+            if Self::is_start(ents, c, offset) {
+                return c;
+            }
+            if Self::is_start(ents, c + 1, offset) {
+                return c + 1;
+            }
+        }
+        let first = ents[0].o_offset;
+        if offset <= first {
+            return 0;
+        }
+        let guess = ((offset - first) as f64 * self.scales[slot]) as usize;
+        Self::gallop_partition(ents, offset, guess.min(ents.len() - 1)).saturating_sub(1)
+    }
+
+    /// `ents.partition_point(|e| e.o_offset <= offset)`, started from an
+    /// interpolated `guess` instead of the slice midpoint: double the
+    /// step away from the guess until the answer is bracketed, then
+    /// binary-search the bracket. Exact for any guess; O(log distance)
+    /// from the guess rather than O(log n).
+    fn gallop_partition(ents: &[CompactEntry], offset: u64, guess: usize) -> usize {
+        let n = ents.len();
+        let le = |i: usize| ents[i].o_offset <= offset;
+        if le(guess) {
+            let mut lo = guess;
+            let mut step = 1usize;
+            let mut hi = guess + step;
+            while hi < n && le(hi) {
+                lo = hi;
+                step <<= 1;
+                hi = guess + step;
+            }
+            let hi = hi.min(n);
+            lo + 1 + ents[lo + 1..hi].partition_point(|e| e.o_offset <= offset)
+        } else {
+            let mut hi = guess;
+            let mut step = 1usize;
+            let mut lo = guess.saturating_sub(step);
+            while lo > 0 && !le(lo) {
+                hi = lo;
+                step <<= 1;
+                lo = guess.saturating_sub(step);
+            }
+            if !le(lo) {
+                return 0;
+            }
+            lo + 1 + ents[lo + 1..hi].partition_point(|e| e.o_offset <= offset)
+        }
+    }
+
+    fn is_start(ents: &[CompactEntry], i: usize, offset: u64) -> bool {
+        match ents.get(i) {
+            Some(e) if e.o_offset <= offset => {
+                ents.get(i + 1).is_none_or(|next| next.o_offset > offset)
+            }
+            Some(_) => i == 0,
+            None => false,
+        }
     }
 }
 
@@ -531,6 +745,71 @@ mod tests {
         let t = d.translate(FileId(9), 5, 10);
         assert_eq!(t, vec![PhysExtent { file: FileId(9), offset: 5, len: 10 }]);
         assert!(d.translate(FileId(9), 5, 0).is_empty());
+    }
+
+    #[test]
+    fn compact_translate_partial_gap_and_pass_through() {
+        let mut d = Drt::new();
+        d.insert(e(0, 100, 10, 0, 50));
+        d.insert(e(0, 200, 11, 40, 50));
+        let c = d.compact();
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.translate(FileId(0), 120, 110), d.translate(FileId(0), 120, 110));
+        assert_eq!(
+            c.translate(FileId(9), 5, 10),
+            vec![PhysExtent { file: FileId(9), offset: 5, len: 10 }],
+            "unknown file passes through"
+        );
+        assert!(c.translate(FileId(0), 120, 0).is_empty());
+        // A sequential walk exercises the cursor fast path at every
+        // alignment relative to the entry boundaries.
+        let mut out = Vec::new();
+        for off in (0..300).step_by(7) {
+            c.translate_into(FileId(0), off, 13, &mut out);
+            assert_eq!(out, d.translate(FileId(0), off, 13), "offset {off}");
+        }
+        // And a backwards jump must not be confused by the warm cursor.
+        c.translate_into(FileId(0), 0, 300, &mut out);
+        assert_eq!(out, d.translate(FileId(0), 0, 300));
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn compact_translate_matches_btree_translate_randomized() {
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        for trial in 0..20 {
+            let mut d = Drt::new();
+            for _ in 0..200 {
+                let of = (xorshift(&mut s) % 4) as u32;
+                let oo = (xorshift(&mut s) % 10_000) * 8;
+                let len = 1 + xorshift(&mut s) % 512;
+                let rf = 100 + (xorshift(&mut s) % 8) as u32;
+                let ro = xorshift(&mut s) % 1_000_000;
+                // Overlapping candidates are rejected, leaving a random
+                // mix of covered ranges and gaps.
+                d.insert(e(of, oo, rf, ro, len));
+            }
+            let c = d.compact();
+            assert_eq!(c.len(), d.len());
+            // Deliberately dirty buffer: translate_into must fully
+            // replace previous contents.
+            let mut out = vec![PhysExtent { file: FileId(77), offset: 1, len: 1 }];
+            for _ in 0..500 {
+                let file = FileId((xorshift(&mut s) % 5) as u32);
+                let offset = xorshift(&mut s) % 90_000;
+                let len = xorshift(&mut s) % 2_000;
+                let want = d.translate(file, offset, len);
+                c.translate_into(file, offset, len, &mut out);
+                assert_eq!(out, want, "trial {trial} file {file:?} [{offset}, +{len})");
+            }
+        }
     }
 
     #[test]

@@ -482,11 +482,44 @@ pub fn evaluate_scheme(
     cluster_cfg: &ClusterConfig,
     ctx: &PlannerContext,
 ) -> pfs_sim::ReplayReport {
+    evaluate_scheme_with_scratch(scheme, trace, cluster_cfg, ctx, &mut pfs_sim::ReplayScratch::new())
+}
+
+/// [`evaluate_scheme`] reusing the caller's replay scratch — the
+/// experiment grid evaluates hundreds of (scheme, workload) cells, and
+/// threading one scratch through a worker's cells keeps the replay loop
+/// allocation-free after the first. Reports are identical either way.
+pub fn evaluate_scheme_with_scratch(
+    scheme: Scheme,
+    trace: &Trace,
+    cluster_cfg: &ClusterConfig,
+    ctx: &PlannerContext,
+    scratch: &mut pfs_sim::ReplayScratch,
+) -> pfs_sim::ReplayReport {
     let mut cluster = Cluster::new(cluster_cfg.clone());
     let plan = scheme.planner().plan(trace, ctx);
     apply_plan(&mut cluster, &plan);
     let mut resolver = plan.make_resolver(ctx.lookup_cost);
-    pfs_sim::replay(&mut cluster, trace, resolver.as_mut())
+    pfs_sim::replay_with_scratch(&mut cluster, trace, resolver.as_mut(), scratch)
+}
+
+/// [`evaluate_scheme_with_scratch`] with the replay schedule hoisted out:
+/// the experiment grid replays one trace once per scheme, so the phase
+/// grouping and per-phase shuffle are computed once per trace instead of
+/// once per cell. Reports are identical to [`evaluate_scheme`].
+pub fn evaluate_scheme_scheduled(
+    scheme: Scheme,
+    trace: &Trace,
+    cluster_cfg: &ClusterConfig,
+    ctx: &PlannerContext,
+    schedule: &pfs_sim::ReplaySchedule,
+    scratch: &mut pfs_sim::ReplayScratch,
+) -> pfs_sim::ReplayReport {
+    let mut cluster = Cluster::new(cluster_cfg.clone());
+    let plan = scheme.planner().plan(trace, ctx);
+    apply_plan(&mut cluster, &plan);
+    let mut resolver = plan.make_resolver(ctx.lookup_cost);
+    pfs_sim::replay_scheduled(&mut cluster, trace, schedule, resolver.as_mut(), scratch)
 }
 
 #[cfg(test)]

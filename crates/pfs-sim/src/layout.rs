@@ -35,10 +35,38 @@ pub struct SubExtent {
 }
 
 /// A striped layout over a set of servers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LayoutSpec {
     segments: Vec<Segment>,
     round: u64,
+    /// `floor(2^64 / round)`: cached reciprocal that strength-reduces the
+    /// per-request round-index division in [`Self::map_extent_into`] to a
+    /// widening multiply (round sizes are rarely powers of two, so the
+    /// hardware divide would otherwise sit on the replay hot path).
+    /// Derived from `round` — excluded from equality and serialization;
+    /// deserialized layouts fall back to plain division until rebuilt.
+    #[serde(skip, default)]
+    round_magic: u64,
+}
+
+/// Layout identity is its shape; the cached reciprocal is derived state
+/// (and absent on deserialized specs).
+impl PartialEq for LayoutSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.segments == other.segments && self.round == other.round
+    }
+}
+
+impl Eq for LayoutSpec {}
+
+/// `floor(2^64 / round)` (saturated for `round == 1`, where the true
+/// value does not fit; the fixup step absorbs the error).
+fn round_magic_for(round: u64) -> u64 {
+    if round <= 1 {
+        u64::MAX
+    } else {
+        ((1u128 << 64) / round as u128) as u64
+    }
 }
 
 /// Reusable accumulators for [`LayoutSpec::per_server_load_into`].
@@ -145,7 +173,7 @@ impl LayoutSpec {
             start += stripe;
         }
         assert!(!segments.is_empty(), "layout must include at least one server");
-        LayoutSpec { segments, round: start }
+        LayoutSpec { segments, round: start, round_magic: round_magic_for(start) }
     }
 
     /// Bytes covered by one round of the layout.
@@ -178,32 +206,71 @@ impl LayoutSpec {
     /// stripe unit run. Pieces are returned in file order.
     pub fn map_extent(&self, offset: u64, len: u64) -> Vec<SubExtent> {
         let mut out = Vec::new();
+        self.map_extent_into(offset, len, &mut out);
+        out
+    }
+
+    /// [`Self::map_extent`] into a caller-owned buffer: `out` is cleared
+    /// and refilled with exactly the pieces `map_extent` would return, so
+    /// a replay loop reusing one buffer decomposes requests without any
+    /// per-request allocation once the buffer has warmed up.
+    ///
+    /// The walk locates the starting segment once (one reciprocal-multiply
+    /// division plus a short scan) and then advances segment by segment,
+    /// wrapping at round boundaries — no per-piece division or segment
+    /// search.
+    pub fn map_extent_into(&self, offset: u64, len: u64, out: &mut Vec<SubExtent>) {
+        out.clear();
         if len == 0 {
-            return out;
+            return;
         }
-        let mut pos = offset;
         let end = offset + len;
-        while pos < end {
-            let round_idx = pos / self.round;
-            let within = pos % self.round;
-            let seg = self.segment_at(within);
-            let seg_end_in_round = seg.start + seg.stripe;
-            let take = (seg_end_in_round - within).min(end - pos);
+        let mut pos = offset;
+        let mut round_idx = self.round_index(pos);
+        let mut round_base = round_idx * self.round;
+        let mut seg_idx = self.segment_index_at(pos - round_base);
+        loop {
+            let seg = &self.segments[seg_idx];
+            let within = pos - round_base;
+            let take = (seg.start + seg.stripe - within).min(end - pos);
             let server_offset = round_idx * seg.stripe + (within - seg.start);
             // Merge with the previous piece when it continues the same
             // server-local run (happens when only one server participates).
-            if let Some(last) = out.last_mut() {
-                let last: &mut SubExtent = last;
-                if last.server == seg.server && last.server_offset + last.len == server_offset {
+            match out.last_mut() {
+                Some(last)
+                    if last.server == seg.server
+                        && last.server_offset + last.len == server_offset =>
+                {
                     last.len += take;
-                    pos += take;
-                    continue;
                 }
+                _ => out.push(SubExtent { server: seg.server, server_offset, len: take }),
             }
-            out.push(SubExtent { server: seg.server, server_offset, len: take });
             pos += take;
+            if pos >= end {
+                return;
+            }
+            seg_idx += 1;
+            if seg_idx == self.segments.len() {
+                seg_idx = 0;
+                round_idx += 1;
+                round_base += self.round;
+            }
         }
-        out
+    }
+
+    /// `pos / self.round` via the cached reciprocal: the multiply-high
+    /// estimate is off by at most one, fixed up with a single comparison.
+    /// Deserialized specs (no cached magic) use the plain division.
+    #[inline]
+    fn round_index(&self, pos: u64) -> u64 {
+        if self.round_magic == 0 {
+            return pos / self.round;
+        }
+        let mut q = ((pos as u128 * self.round_magic as u128) >> 64) as u64;
+        if pos - q * self.round >= self.round {
+            q += 1;
+        }
+        q
     }
 
     /// Aggregate `map_extent` pieces per server: total bytes and number of
@@ -310,6 +377,7 @@ impl LayoutSpec {
             start += stripe;
         }
         self.round = start;
+        self.round_magic = round_magic_for(start);
         !self.segments.is_empty()
     }
 
@@ -321,15 +389,14 @@ impl LayoutSpec {
             .all(|(i, a)| self.segments[..i].iter().all(|b| b.server != a.server))
     }
 
-    fn segment_at(&self, within_round: u64) -> &Segment {
+    fn segment_index_at(&self, within_round: u64) -> usize {
         debug_assert!(within_round < self.round);
         // Layouts have at most a few dozen segments; linear scan wins over
         // binary search at this size.
         self.segments
             .iter()
-            .rev()
-            .find(|s| s.start <= within_round)
-            .expect("segment_at: within_round < round implies a segment exists")
+            .rposition(|s| s.start <= within_round)
+            .expect("segment_index_at: within_round < round implies a segment exists")
     }
 }
 
@@ -418,6 +485,16 @@ mod tests {
         assert_eq!(subs[0].server, ServerId(1)); // 100K lies in [64K,128K)
         assert_eq!(subs[0].len, 16 << 10);
         assert_eq!(subs[0].server_offset, 36 << 10);
+    }
+
+    #[test]
+    fn map_extent_into_reuses_a_dirty_buffer() {
+        let l = LayoutSpec::hybrid(&ids(0..3), 10, &ids(3..5), 25);
+        let mut buf = vec![SubExtent { server: ServerId(9), server_offset: 7, len: 7 }];
+        for (off, len) in [(0u64, 0u64), (7, 533), (79, 2), (0, 1), (100, 95)] {
+            l.map_extent_into(off, len, &mut buf);
+            assert_eq!(buf, l.map_extent(off, len), "off={off} len={len}");
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use layout::{LayoutSpec, LoadScratch, ServerId, SubExtent};
 pub use mds::MetadataServer;
 pub use replay::{
-    replay, IdentityResolver, PhysExtent, ReplayReport, Resolution, Resolver, ServerIoStat,
+    replay, replay_scheduled, replay_with_scratch, FileSet, IdentityResolver, PhysExtent,
+    ReplayReport, ReplaySchedule, ReplayScratch, Resolution, Resolver, ServerIoStat,
 };
 pub use server::StorageServer;

@@ -8,14 +8,21 @@
 use crate::layout::LayoutSpec;
 use iotrace::FileId;
 use simrt::{FifoResource, SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::cell::Cell;
 
 /// The metadata server.
 pub struct MetadataServer {
-    layouts: BTreeMap<FileId, LayoutSpec>,
+    /// `(file, layout)` rows sorted by file id: registration is rare and
+    /// lookup is hot, so a flat sorted table (binary search over dense
+    /// memory) beats a `BTreeMap` tree walk. The last-hit cursor is
+    /// interior-mutable so read-only accessors stay `&self`; replayed
+    /// traces touch the same file in bursts, collapsing most searches to
+    /// one comparison.
+    layouts: Vec<(FileId, LayoutSpec)>,
     default_layout: LayoutSpec,
     lookup_cost: SimDuration,
     queue: FifoResource,
+    cursor: Cell<usize>,
 }
 
 impl MetadataServer {
@@ -24,28 +31,57 @@ impl MetadataServer {
     /// hundred microseconds on Gigabit Ethernet).
     pub fn new(default_layout: LayoutSpec, lookup_cost: SimDuration) -> Self {
         MetadataServer {
-            layouts: BTreeMap::new(),
+            layouts: Vec::new(),
             default_layout,
             lookup_cost,
             queue: FifoResource::new(),
+            cursor: Cell::new(usize::MAX),
         }
     }
 
     /// Register (or replace) the layout of `file`.
     pub fn set_layout(&mut self, file: FileId, layout: LayoutSpec) {
-        self.layouts.insert(file, layout);
+        match self.layouts.binary_search_by_key(&file, |e| e.0) {
+            Ok(i) => self.layouts[i].1 = layout,
+            Err(i) => self.layouts.insert(i, (file, layout)),
+        }
     }
 
     /// Layout of `file` without charging a lookup (planner-side access).
     pub fn layout(&self, file: FileId) -> &LayoutSpec {
-        self.layouts.get(&file).unwrap_or(&self.default_layout)
+        match self.slot(file) {
+            Some(i) => &self.layouts[i].1,
+            None => &self.default_layout,
+        }
     }
 
     /// Perform a client lookup at `now`: returns `(layout, completion)`.
     /// Lookups serialize through the MDS queue.
     pub fn lookup(&mut self, now: SimTime, file: FileId) -> (LayoutSpec, SimTime) {
+        let (layout, done) = self.lookup_ref(now, file);
+        (layout.clone(), done)
+    }
+
+    /// [`Self::lookup`] without cloning the layout: the replay fast path
+    /// borrows the installed spec for the duration of one request instead
+    /// of copying its segment table per open. Queue accounting is
+    /// identical to [`Self::lookup`].
+    pub fn lookup_ref(&mut self, now: SimTime, file: FileId) -> (&LayoutSpec, SimTime) {
         let done = self.queue.submit(now, self.lookup_cost);
-        (self.layouts.get(&file).unwrap_or(&self.default_layout).clone(), done)
+        (self.layout(file), done)
+    }
+
+    /// Table row holding `file`, trying the cursor before searching.
+    fn slot(&self, file: FileId) -> Option<usize> {
+        let c = self.cursor.get();
+        if let Some(e) = self.layouts.get(c) {
+            if e.0 == file {
+                return Some(c);
+            }
+        }
+        let i = self.layouts.binary_search_by_key(&file, |e| e.0).ok()?;
+        self.cursor.set(i);
+        Some(i)
     }
 
     /// Number of lookups served.
@@ -55,7 +91,7 @@ impl MetadataServer {
 
     /// Files with explicit layout entries.
     pub fn files(&self) -> impl Iterator<Item = FileId> + '_ {
-        self.layouts.keys().copied()
+        self.layouts.iter().map(|e| e.0)
     }
 
     /// Clear queue statistics (keeps layouts).
@@ -89,6 +125,37 @@ mod tests {
         assert_eq!(m.layout(FileId(1)).round_size(), 4 << 10);
         assert_eq!(m.layout(FileId(2)).round_size(), 128 << 10);
         assert_eq!(m.files().collect::<Vec<_>>(), vec![FileId(1)]);
+    }
+
+    #[test]
+    fn lookup_ref_matches_lookup() {
+        let mut m = mds();
+        m.set_layout(FileId(1), LayoutSpec::fixed(&[ServerId(0)], 4 << 10));
+        let (by_clone, t1) = m.lookup(SimTime::ZERO, FileId(1));
+        let (by_ref, t2) = m.lookup_ref(SimTime::ZERO, FileId(1));
+        assert_eq!(&by_clone, by_ref);
+        assert_eq!(t2.as_nanos(), t1.as_nanos() + 300_000, "same queue accounting");
+        assert_eq!(m.lookups(), 2);
+    }
+
+    #[test]
+    fn cursor_survives_arbitrary_access_order() {
+        // Register out of order, then read in patterns that alternately
+        // hit and miss the last-hit cursor; every answer must match the
+        // registration, and unknown files must still get the default.
+        let mut m = mds();
+        for f in [9u32, 3, 7, 1, 5] {
+            m.set_layout(FileId(f), LayoutSpec::fixed(&[ServerId(0)], u64::from(f) << 10));
+        }
+        for f in [1u32, 1, 5, 3, 9, 9, 7, 1, 5, 5, 3] {
+            assert_eq!(m.layout(FileId(f)).round_size(), u64::from(f) << 10, "file {f}");
+        }
+        assert_eq!(m.layout(FileId(4)).round_size(), 128 << 10, "default for unknown");
+        assert_eq!(m.layout(FileId(5)).round_size(), 5 << 10, "cursor valid after miss");
+        // Replacement through the sorted table keeps ordering intact.
+        m.set_layout(FileId(5), LayoutSpec::fixed(&[ServerId(1)], 77 << 10));
+        assert_eq!(m.layout(FileId(5)).round_size(), 77 << 10);
+        assert_eq!(m.files().collect::<Vec<_>>().len(), 5);
     }
 
     #[test]

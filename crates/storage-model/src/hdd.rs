@@ -60,12 +60,18 @@ pub struct HddModel {
     /// Byte address one past the end of the last serviced request, or
     /// `None` when the head is parked (power-on state).
     head: Option<u64>,
+    /// Last `(positioning + miss bits, len, service)` computed. Replay
+    /// streams are dominated by sequential same-size requests (zero
+    /// positioning, repeated lengths), so a one-entry memo skips the float
+    /// pipeline on most calls; the head update still happens every call.
+    /// Purely an evaluation cache — results are bit-identical.
+    memo: Option<(u64, u64, SimDuration)>,
 }
 
 impl HddModel {
     /// New disk with the given parameters, head parked.
     pub fn new(params: HddParams) -> Self {
-        HddModel { params, head: None }
+        HddModel { params, head: None, memo: None }
     }
 
     /// Convenience: the calibrated testbed disk.
@@ -144,9 +150,17 @@ impl Device for HddModel {
         } else {
             0.0
         };
-        let transfer = len as f64 / p.transfer_bps;
         self.head = Some(offset + len);
-        SimDuration::from_secs_f64(positioning + miss + transfer)
+        let fixed = positioning + miss;
+        match self.memo {
+            Some((f, l, s)) if f == fixed.to_bits() && l == len => s,
+            _ => {
+                let transfer = len as f64 / self.params.transfer_bps;
+                let s = SimDuration::from_secs_f64(fixed + transfer);
+                self.memo = Some((fixed.to_bits(), len, s));
+                s
+            }
+        }
     }
 
     fn reset(&mut self) {
@@ -219,6 +233,23 @@ mod tests {
         m.reset();
         let t = svc(&mut m, 4096, 0);
         assert!((t - (8.5e-3 + 4.17e-3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memo_hits_match_fresh_computation() {
+        // A warm model (memo populated by repeated same-shape requests)
+        // must charge exactly what a cold model in the same head state
+        // computes from scratch.
+        let mut warm = HddModel::sata2_250gb();
+        warm.service_time(IoOp::Write, 0, 65536);
+        for i in 1..16u64 {
+            let mut cold = HddModel::sata2_250gb();
+            cold.head = warm.head;
+            let (off, len) = if i % 5 == 0 { (i << 30, 4096) } else { (i * 65536, 65536) };
+            let a = warm.service_time(IoOp::Write, off, len);
+            let b = cold.service_time(IoOp::Write, off, len);
+            assert_eq!(a.as_nanos(), b.as_nanos(), "request {i}");
+        }
     }
 
     #[test]

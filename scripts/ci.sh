@@ -10,3 +10,6 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+# Benches must at least compile (running them is opt-in; `cargo bench`
+# on the full grid takes minutes).
+cargo bench --no-run
