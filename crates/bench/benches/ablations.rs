@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mha_bench::workloads::{self, Scale};
-use mha_core::schemes::{evaluate_scheme, Scheme};
+use mha_core::schemes::{Evaluation, Scheme};
 use mha_core::{GroupingConfig, RssdConfig};
 
 fn bench(c: &mut Criterion) {
@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
             ctx
         };
         group.bench_with_input(BenchmarkId::new("kcap", k), &trace, |b, trace| {
-            b.iter(|| evaluate_scheme(Scheme::Mha, trace, &cluster, &ctx).bandwidth_mbps())
+            b.iter(|| Evaluation::of(Scheme::Mha, trace, &cluster).context(&ctx).report().bandwidth_mbps())
         });
     }
 
@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
             ctx
         };
         group.bench_with_input(BenchmarkId::new("bounds", name), &trace, |b, trace| {
-            b.iter(|| evaluate_scheme(Scheme::Mha, trace, &cluster, &ctx).bandwidth_mbps())
+            b.iter(|| Evaluation::of(Scheme::Mha, trace, &cluster).context(&ctx).report().bandwidth_mbps())
         });
     }
 
@@ -50,7 +50,7 @@ fn bench(c: &mut Criterion) {
             ctx
         };
         group.bench_with_input(BenchmarkId::new("step_kb", step_kb), &trace, |b, trace| {
-            b.iter(|| evaluate_scheme(Scheme::Mha, trace, &cluster, &ctx).bandwidth_mbps())
+            b.iter(|| Evaluation::of(Scheme::Mha, trace, &cluster).context(&ctx).report().bandwidth_mbps())
         });
     }
 
@@ -61,7 +61,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("costmodel", scheme.name()),
             &trace,
             |b, trace| {
-                b.iter(|| evaluate_scheme(scheme, trace, &cluster, &base).bandwidth_mbps())
+                b.iter(|| Evaluation::of(scheme, trace, &cluster).context(&base).report().bandwidth_mbps())
             },
         );
     }

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mha_bench::workloads::{self, Scale};
-use mha_core::schemes::{evaluate_scheme, Scheme};
+use mha_core::schemes::{Evaluation, Scheme};
 use storage_model::IoOp;
 
 fn bench(c: &mut Criterion) {
@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
                 BenchmarkId::new(scheme.name(), label),
                 &trace,
                 |b, trace| {
-                    b.iter(|| evaluate_scheme(scheme, trace, &cluster, &ctx).bandwidth_mbps())
+                    b.iter(|| Evaluation::of(scheme, trace, &cluster).context(&ctx).report().bandwidth_mbps())
                 },
             );
         }

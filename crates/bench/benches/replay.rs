@@ -1,16 +1,15 @@
-//! Replay hot-loop micro-bench: the allocation-free fast path
-//! (`replay_with_scratch` + `CompactDrt` translation + borrowed layouts)
-//! against the convenience entry point, with planning hoisted out so the
-//! numbers isolate the per-record loop. Throughput is records/sec — the
-//! figure the before/after record in `results/BENCH_replay.json` tracks.
+//! Replay hot-loop micro-bench: the allocation-free fast path (a pinned
+//! [`ReplaySchedule`] + `CompactDrt` translation + borrowed layouts in a
+//! reused [`ReplaySession`]) against a fresh session per replay, with
+//! planning hoisted out so the numbers isolate the per-record loop.
+//! Throughput is records/sec — the figure the before/after record in
+//! `results/BENCH_replay.json` tracks.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use iotrace::Trace;
 use mha_bench::workloads::{self, Scale};
 use mha_core::schemes::{apply_plan, Scheme};
-use pfs_sim::{
-    replay, replay_scheduled, Cluster, IdentityResolver, ReplaySchedule, ReplayScratch,
-};
+use pfs_sim::{Cluster, IdentityResolver, ReplaySchedule, ReplaySession};
 use storage_model::IoOp;
 
 fn bench(c: &mut Criterion) {
@@ -29,36 +28,43 @@ fn bench(c: &mut Criterion) {
 
         // Identity resolution: the loop body minus DRT translation. The
         // cluster is built once and reset per iteration (as the grid's
-        // repeated replays do); the schedule is hoisted.
+        // repeated replays do); the schedule is pinned in the session.
         group.bench_with_input(BenchmarkId::new("identity", *name), trace, |b, trace| {
-            let mut scratch = ReplayScratch::new();
+            let mut session = ReplaySession::new().with_schedule(schedule.clone());
             let mut cl = Cluster::new(cluster_cfg.clone());
             b.iter(|| {
-                replay_scheduled(&mut cl, trace, &schedule, &mut IdentityResolver, &mut scratch)
+                session
+                    .run(&mut cl, trace, &mut IdentityResolver)
+                    .expect("fault-free replay cannot fail")
                     .total_bytes
             })
         });
 
-        // The full MHA runtime path, scratch and schedule reused.
+        // The full MHA runtime path, session (scratch + schedule) reused.
         group.bench_with_input(BenchmarkId::new("mha_scratch", *name), trace, |b, trace| {
-            let mut scratch = ReplayScratch::new();
+            let mut session = ReplaySession::new().with_schedule(schedule.clone());
             let mut cl = Cluster::new(cluster_cfg.clone());
             apply_plan(&mut cl, &plan);
             let mut resolver = plan.make_resolver(ctx.lookup_cost);
             b.iter(|| {
-                replay_scheduled(&mut cl, trace, &schedule, resolver.as_mut(), &mut scratch)
+                session
+                    .run(&mut cl, trace, resolver.as_mut())
+                    .expect("fault-free replay cannot fail")
                     .total_bytes
             })
         });
 
-        // Same path through the allocating convenience wrapper (fresh
-        // scratch per replay) — the cost of not reusing buffers.
+        // Same path through a fresh session per replay (schedule rebuilt,
+        // scratch reallocated) — the cost of not reusing buffers.
         group.bench_with_input(BenchmarkId::new("mha_fresh", *name), trace, |b, trace| {
             b.iter(|| {
                 let mut cl = Cluster::new(cluster_cfg.clone());
                 apply_plan(&mut cl, &plan);
                 let mut resolver = plan.make_resolver(ctx.lookup_cost);
-                replay(&mut cl, trace, resolver.as_mut()).total_bytes
+                ReplaySession::new()
+                    .run(&mut cl, trace, resolver.as_mut())
+                    .expect("fault-free replay cannot fail")
+                    .total_bytes
             })
         });
     }

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iotrace::Trace;
 use mha_bench::workloads::{self, Scale};
-use mha_core::schemes::{evaluate_scheme, Scheme};
+use mha_core::schemes::{Evaluation, Scheme};
 
 fn bench(c: &mut Criterion) {
     let cluster = workloads::paper_cluster();
@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
         let ctx = workloads::context_for(trace, &cluster);
         for scheme in [Scheme::Def, Scheme::Harl, Scheme::Mha] {
             group.bench_with_input(BenchmarkId::new(*name, scheme.name()), trace, |b, trace| {
-                b.iter(|| evaluate_scheme(scheme, trace, &cluster, &ctx).bandwidth_mbps())
+                b.iter(|| Evaluation::of(scheme, trace, &cluster).context(&ctx).report().bandwidth_mbps())
             });
         }
     }

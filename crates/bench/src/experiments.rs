@@ -5,12 +5,11 @@ use crate::workloads::{self, Scale};
 use iotrace::gen::lanl;
 use iotrace::Trace;
 use mha_core::redirect::NullRedirectResolver;
-use mha_core::schemes::{
-    evaluate_scheme, evaluate_scheme_scheduled, evaluate_scheme_with_scratch, Scheme,
-};
+use mha_core::schemes::{Evaluation, PlannerContext, Scheme};
 use mha_core::CostParams;
 use pfs_sim::{
-    replay, Cluster, ClusterConfig, IdentityResolver, ReplayReport, ReplaySchedule, ReplayScratch,
+    Cluster, ClusterConfig, DeviceProfile, FaultPlan, IdentityResolver, ReplayReport,
+    ReplaySchedule, ReplaySession,
 };
 use rayon::prelude::*;
 use storage_model::IoOp;
@@ -71,16 +70,19 @@ pub fn run(id: &str, scale: Scale) -> Vec<Figure> {
     if all || id == "dyn" {
         figs.push(dynamic(scale));
     }
+    if all || id == "fault" {
+        figs.push(fault(scale));
+    }
     assert!(!figs.is_empty(), "unknown experiment id: {id}");
     figs
 }
 
 /// All experiment ids, in paper order (plus the ablation, sensitivity,
-/// collective-I/O and dynamic-controller studies).
+/// collective-I/O, dynamic-controller and fault-injection studies).
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "fig3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13a",
-        "fig13b", "fig14", "tab1", "ovh", "ablations", "sens", "coll", "dyn",
+        "fig13b", "fig14", "tab1", "ovh", "ablations", "sens", "coll", "dyn", "fault",
     ]
 }
 
@@ -100,23 +102,40 @@ pub fn scheme_reports(trace: &Trace, cluster: &ClusterConfig) -> Vec<ReplayRepor
     SCHEMES
         .par_iter()
         .map(|&s| {
-            let mut scratch = ReplayScratch::new();
-            evaluate_scheme_scheduled(s, trace, cluster, &ctx, &schedule, &mut scratch)
+            let mut session = ReplaySession::new().with_schedule(schedule.clone());
+            Evaluation::of(s, trace, cluster)
+                .context(&ctx)
+                .run_in(&mut session)
+                .expect("scheduled fault-free replay cannot fail")
         })
         .collect()
 }
 
 /// Single-thread reference for [`scheme_reports`], threading one replay
-/// scratch through all four schemes and rebuilding the schedule inline
-/// per cell — so the bit-for-bit grid test simultaneously pins the
-/// hoisted-schedule path against the per-replay rebuild.
+/// session (and its scratch) through all four schemes and rebuilding the
+/// schedule inline per cell — so the bit-for-bit grid test simultaneously
+/// pins the pinned-schedule path against the per-replay rebuild.
 pub fn scheme_reports_serial(trace: &Trace, cluster: &ClusterConfig) -> Vec<ReplayReport> {
     let ctx = workloads::context_for(trace, cluster);
-    let mut scratch = ReplayScratch::new();
+    let mut session = ReplaySession::new();
     SCHEMES
         .iter()
-        .map(|&s| evaluate_scheme_with_scratch(s, trace, cluster, &ctx, &mut scratch))
+        .map(|&s| {
+            Evaluation::of(s, trace, cluster)
+                .context(&ctx)
+                .run_in(&mut session)
+                .expect("fault-free replay cannot fail")
+        })
         .collect()
+}
+
+/// Bandwidth of one scheme on one workload, through the builder — the
+/// figure bodies below all funnel through here.
+fn bandwidth(scheme: Scheme, trace: &Trace, cluster: &ClusterConfig, ctx: &PlannerContext) -> f64 {
+    Evaluation::of(scheme, trace, cluster)
+        .context(ctx)
+        .report()
+        .bandwidth_mbps()
 }
 
 /// Bandwidth of every scheme on one workload/cluster (fresh cluster and
@@ -345,13 +364,18 @@ pub fn fig14(scale: Scale) -> Figure {
         &["direct", "redirect", "overhead %"],
         "MB/s (first two)",
     );
+    let mut session = ReplaySession::new();
     for procs in [8u32, 32, 128] {
         let trace = workloads::ior_overhead(procs, IoOp::Write, scale);
         let mut c1 = Cluster::new(cluster.clone());
-        let direct = replay(&mut c1, &trace, &mut IdentityResolver);
+        let direct = session
+            .run(&mut c1, &trace, &mut IdentityResolver)
+            .expect("fault-free replay cannot fail");
         let mut c2 = Cluster::new(cluster.clone());
         let mut null = NullRedirectResolver::with_default_cost();
-        let redirect = replay(&mut c2, &trace, &mut null);
+        let redirect = session
+            .run(&mut c2, &trace, &mut null)
+            .expect("fault-free replay cannot fail");
         let d = direct.bandwidth_mbps();
         let r = redirect.bandwidth_mbps();
         fig.push_row(format!("{procs} procs"), vec![d, r, (d / r - 1.0) * 100.0]);
@@ -428,7 +452,6 @@ pub fn ovh() -> Figure {
 /// sizes at fixed concurrency; IOR mixed-procs: fixed size at mixed
 /// concurrency).
 pub fn ablations(scale: Scale) -> Vec<Figure> {
-    use mha_core::schemes::PlannerContext;
     use mha_core::{GroupingConfig, RssdConfig};
 
     let cluster = workloads::paper_cluster();
@@ -440,7 +463,7 @@ pub fn ablations(scale: Scale) -> Vec<Figure> {
     let mha_with = |trace: &Trace, tweak: &dyn Fn(&mut PlannerContext)| -> f64 {
         let mut ctx = workloads::context_for(trace, &cluster);
         tweak(&mut ctx);
-        evaluate_scheme(Scheme::Mha, trace, &cluster, &ctx).bandwidth_mbps()
+        bandwidth(Scheme::Mha, trace, &cluster, &ctx)
     };
 
     let mut figs = Vec::new();
@@ -531,7 +554,10 @@ pub fn ablations(scale: Scale) -> Vec<Figure> {
             mha_core::schemes::apply_plan(&mut c, &plan);
             ctx.lookup_cost = simrt::SimDuration::from_micros(5);
             let mut resolver = plan.make_resolver(ctx.lookup_cost);
-            replay(&mut c, trace, resolver.as_mut()).bandwidth_mbps()
+            ReplaySession::new()
+                .run(&mut c, trace, resolver.as_mut())
+                .expect("fault-free replay cannot fail")
+                .bandwidth_mbps()
         };
         cfig.push_row(*name, vec![full, flat]);
     }
@@ -550,8 +576,8 @@ pub fn ablations(scale: Scale) -> Vec<Figure> {
         mfig.push_row(
             *name,
             vec![
-                evaluate_scheme(Scheme::Mha, trace, &cluster, &ctx).bandwidth_mbps(),
-                evaluate_scheme(Scheme::Harl, trace, &cluster, &ctx).bandwidth_mbps(),
+                bandwidth(Scheme::Mha, trace, &cluster, &ctx),
+                bandwidth(Scheme::Harl, trace, &cluster, &ctx),
             ],
         );
     }
@@ -570,9 +596,9 @@ pub fn sensitivity(scale: Scale) -> Vec<Figure> {
 
     let eval = |cluster: &ClusterConfig| -> (f64, f64, f64, f64) {
         let ctx = workloads::context_for(&trace, cluster);
-        let def = evaluate_scheme(Scheme::Def, &trace, cluster, &ctx).bandwidth_mbps();
-        let harl = evaluate_scheme(Scheme::Harl, &trace, cluster, &ctx).bandwidth_mbps();
-        let mha = evaluate_scheme(Scheme::Mha, &trace, cluster, &ctx).bandwidth_mbps();
+        let def = bandwidth(Scheme::Def, &trace, cluster, &ctx);
+        let harl = bandwidth(Scheme::Harl, &trace, cluster, &ctx);
+        let mha = bandwidth(Scheme::Mha, &trace, cluster, &ctx);
         // Fraction of regions whose optimized pair engages HServers.
         let plan = MhaPlanner.plan(&trace, &ctx);
         let regions = plan.rst.len().max(1);
@@ -657,8 +683,8 @@ pub fn collective(scale: Scale) -> Figure {
         fig.push_row(
             label,
             vec![
-                evaluate_scheme(Scheme::Def, trace, &cluster, &ctx).bandwidth_mbps(),
-                evaluate_scheme(Scheme::Mha, trace, &cluster, &ctx).bandwidth_mbps(),
+                bandwidth(Scheme::Def, trace, &cluster, &ctx),
+                bandwidth(Scheme::Mha, trace, &cluster, &ctx),
             ],
         );
     }
@@ -679,9 +705,9 @@ pub fn dynamic(scale: Scale) -> Figure {
     trace.extend_with(&gen_ior(&readback));
 
     let ctx = workloads::context_for(&trace, &cluster);
-    let def = evaluate_scheme(Scheme::Def, &trace, &cluster, &ctx).bandwidth_mbps();
+    let def = bandwidth(Scheme::Def, &trace, &cluster, &ctx);
     let dynamic = run_dynamic(&cluster, &trace, &ctx, &DynamicConfig::default());
-    let oracle = evaluate_scheme(Scheme::Mha, &trace, &cluster, &ctx).bandwidth_mbps();
+    let oracle = bandwidth(Scheme::Mha, &trace, &cluster, &ctx);
 
     let mut fig = Figure::new(
         "dyn",
@@ -699,6 +725,69 @@ pub fn dynamic(scale: Scale) -> Figure {
         ],
     );
     fig.push_row("oracle MHA (offline)", vec![oracle, 0.0, 0.0]);
+    fig
+}
+
+/// Fault-injection study (DESIGN.md §11): the four schemes plus a
+/// health-aware MHA — re-planned around the servers the fault plan
+/// degrades — across a matrix of degraded-cluster scenarios on the LANL
+/// trace. The straggler and outage scenarios target an SServer because
+/// MHA's LANL layouts lean on the SServers for the trace's small
+/// requests; a degraded HServer barely moves a scheme that placed no
+/// data there.
+pub fn fault(scale: Scale) -> Figure {
+    let cluster = workloads::paper_cluster();
+    let trace = workloads::lanl_trace(scale);
+    let ctx = workloads::context_for(&trace, &cluster);
+
+    let scenarios: Vec<(&str, FaultPlan)> = vec![
+        ("healthy", FaultPlan::none()),
+        ("SServer straggler 8x", FaultPlan::none().slow_server(6, 8.0)),
+        ("SServer outage 0-1s", FaultPlan::none().outage(6, 0.0, 1.0)),
+        ("HServer down", FaultPlan::none().down(2, 0.0)),
+        (
+            "worn SSDs",
+            FaultPlan::none()
+                .degraded(6, DeviceProfile::WornSsd)
+                .degraded(7, DeviceProfile::WornSsd),
+        ),
+    ];
+
+    let mut fig = Figure::new(
+        "fault",
+        "Degraded-cluster bandwidth (LANL trace): static plans vs health-aware MHA",
+        &["DEF", "AAL", "HARL", "MHA", "MHA+replan"],
+        "MB/s",
+    );
+    // Scenario × scheme cells are independent; fan the scenarios out and
+    // keep scheme order within each row.
+    let rows: Vec<Vec<f64>> = scenarios
+        .par_iter()
+        .map(|(_, plan)| {
+            let mut row: Vec<f64> = SCHEMES
+                .iter()
+                .map(|&s| {
+                    Evaluation::of(s, &trace, &cluster)
+                        .context(&ctx)
+                        .faults(plan)
+                        .report()
+                        .bandwidth_mbps()
+                })
+                .collect();
+            row.push(
+                Evaluation::of(Scheme::Mha, &trace, &cluster)
+                    .context(&ctx)
+                    .faults(plan)
+                    .replan_around_faults(true)
+                    .report()
+                    .bandwidth_mbps(),
+            );
+            row
+        })
+        .collect();
+    for ((label, _), row) in scenarios.into_iter().zip(rows) {
+        fig.push_row(label, row);
+    }
     fig
 }
 
@@ -822,5 +911,46 @@ mod tests {
     #[should_panic(expected = "unknown experiment id")]
     fn unknown_id_panics() {
         run("fig99", Scale::Quick);
+    }
+
+    #[test]
+    fn fault_replanning_recovers_bandwidth_under_sserver_straggler() {
+        let f = fault(Scale::Quick);
+        let blind = f.value("SServer straggler 8x", "MHA").unwrap();
+        let replanned = f.value("SServer straggler 8x", "MHA+replan").unwrap();
+        assert!(
+            replanned > blind,
+            "health-aware replanning must beat the blind plan: {replanned} vs {blind}"
+        );
+        // An empty plan makes replanning a no-op, bit for bit.
+        let healthy = f.value("healthy", "MHA").unwrap();
+        let healthy_replan = f.value("healthy", "MHA+replan").unwrap();
+        assert_eq!(healthy, healthy_replan, "healthy replan must be identical");
+    }
+
+    #[test]
+    fn fault_scenarios_degrade_but_never_stall_the_static_schemes() {
+        let f = fault(Scale::Quick);
+        for series in ["DEF", "AAL", "HARL", "MHA"] {
+            let healthy = f.value("healthy", series).unwrap();
+            for scenario in [
+                "SServer straggler 8x",
+                "SServer outage 0-1s",
+                "HServer down",
+                "worn SSDs",
+            ] {
+                let degraded = f.value(scenario, series).unwrap();
+                assert!(
+                    degraded <= healthy,
+                    "{series}/{scenario}: {degraded} vs healthy {healthy}"
+                );
+                assert!(degraded > 0.0, "{series}/{scenario}: must still make progress");
+            }
+        }
+        // DEF stripes over every server, so losing an HServer must hurt
+        // it strictly (MHA's LANL layouts may not touch HServers at all).
+        let def_healthy = f.value("healthy", "DEF").unwrap();
+        let def_down = f.value("HServer down", "DEF").unwrap();
+        assert!(def_down < def_healthy, "DEF: down {def_down} vs healthy {def_healthy}");
     }
 }

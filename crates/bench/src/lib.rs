@@ -18,6 +18,7 @@
 //! | `fig14` | redirection overhead |
 //! | `tab1` | calibrated cost-model parameters (Table I) |
 //! | `ovh` | DRT meta-data space overhead (§V-E.2) |
+//! | `fault` | degraded-cluster robustness: schemes × fault scenarios |
 //!
 //! Run `cargo run -p mha-bench --release --bin figures -- all` (add
 //! `--quick` for smaller workloads). Criterion micro-benches live in

@@ -3,9 +3,10 @@
 //! as a single-thread walk — otherwise figure rows would wobble from run
 //! to run and the before/after replay benchmark would be meaningless.
 //!
-//! The serial reference also threads one `ReplayScratch` through every
-//! cell, so the comparison simultaneously pins the allocation-free
-//! replay fast path against the original allocating path.
+//! The serial reference also threads one `ReplaySession` (and its
+//! scratch) through every cell, so the comparison simultaneously pins
+//! the allocation-free replay fast path against per-cell sessions with
+//! pinned schedules.
 
 use mha_bench::experiments::{scheme_reports, scheme_reports_serial};
 use mha_bench::workloads::{self, Scale};
@@ -21,6 +22,9 @@ fn assert_reports_identical(a: &ReplayReport, b: &ReplayReport, what: &str) {
     assert_eq!(a.write_bytes, b.write_bytes, "{what}: write_bytes");
     assert_eq!(a.resolve_overhead, b.resolve_overhead, "{what}: resolve_overhead");
     assert_eq!(a.mds_lookups, b.mds_lookups, "{what}: mds_lookups");
+    assert_eq!(a.retries, b.retries, "{what}: retries");
+    assert_eq!(a.timeouts, b.timeouts, "{what}: timeouts");
+    assert_eq!(a.fault_wait, b.fault_wait, "{what}: fault_wait");
     assert_eq!(a.per_server.len(), b.per_server.len(), "{what}: server count");
     for (sa, sb) in a.per_server.iter().zip(&b.per_server) {
         assert_eq!(sa.server, sb.server, "{what}: server index");
@@ -29,6 +33,15 @@ fn assert_reports_identical(a: &ReplayReport, b: &ReplayReport, what: &str) {
         assert_eq!(sa.bytes_read, sb.bytes_read, "{what}: S{} bytes_read", sa.server);
         assert_eq!(sa.bytes_written, sb.bytes_written, "{what}: S{} bytes_written", sa.server);
         assert_eq!(sa.served, sb.served, "{what}: S{} served", sa.server);
+        assert_eq!(sa.retries, sb.retries, "{what}: S{} retries", sa.server);
+        assert_eq!(sa.timeouts, sb.timeouts, "{what}: S{} timeouts", sa.server);
+        assert_eq!(sa.down, sb.down, "{what}: S{} down", sa.server);
+        assert_eq!(
+            sa.slowdown.to_bits(),
+            sb.slowdown.to_bits(),
+            "{what}: S{} slowdown",
+            sa.server
+        );
     }
     let (la, lb) = (&a.request_latency, &b.request_latency);
     assert_eq!(la.count(), lb.count(), "{what}: latency count");

@@ -25,7 +25,9 @@ use crate::region::{Drt, DrtEntry};
 use crate::schemes::{apply_plan, LayoutPlanner, MhaPlanner, Plan, PlanResolver, PlannerContext};
 use iotrace::record::Rank;
 use iotrace::{Trace, TraceRecord, TraceStats};
-use pfs_sim::{replay, Cluster, ClusterConfig, IdentityResolver, ReplayReport, Resolution, Resolver};
+use pfs_sim::{
+    Cluster, ClusterConfig, IdentityResolver, ReplayReport, ReplaySession, Resolution, Resolver,
+};
 use simrt::{SimDuration, SimTime};
 use storage_model::IoOp;
 
@@ -198,6 +200,8 @@ pub fn run_dynamic(
         replans: 0,
         migrated_bytes: 0,
     };
+    // One session across all epochs: the replay scratch stays warm.
+    let mut session = ReplaySession::new();
 
     for (e, epoch_trace) in epochs.iter().enumerate() {
         // Replay the epoch under the current mapping; new writes are
@@ -210,10 +214,11 @@ pub fn run_dynamic(
             Some(st) => {
                 let mut resolver =
                     OnlineResolver { state: st, lookup: ctx.lookup_cost, appended_bytes: 0 };
-                replay(&mut cluster, epoch_trace, &mut resolver)
+                session.run(&mut cluster, epoch_trace, &mut resolver)
             }
-            None => replay(&mut cluster, epoch_trace, &mut IdentityResolver),
-        };
+            None => session.run(&mut cluster, epoch_trace, &mut IdentityResolver),
+        }
+        .expect("unscheduled fault-free replay cannot fail");
         observed.extend_from_slice(epoch_trace.records());
         report.total_bytes += epoch_report.total_bytes;
         report.total_time += epoch_report.makespan;
@@ -474,14 +479,16 @@ fn migrate(
     }
     apply_plan(&mut cluster, new_plan);
 
-    let rep = replay(&mut cluster, &migration_trace, &mut IdentityResolver);
+    let rep = ReplaySession::new()
+        .run(&mut cluster, &migration_trace, &mut IdentityResolver)
+        .expect("unscheduled fault-free replay cannot fail");
     (bytes, rep.makespan)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schemes::{evaluate_scheme, Scheme};
+    use crate::schemes::{Evaluation, Scheme};
     use iotrace::gen::ior::{generate as gen_ior, IorConfig};
     use iotrace::gen::lanl::{generate as gen_lanl, LanlConfig};
 
@@ -509,8 +516,8 @@ mod tests {
         let c = ctx(&cluster);
         let trace = gen_lanl(&LanlConfig::paper(48, IoOp::Write));
         let dynamic = run_dynamic(&cluster, &trace, &c, &DynamicConfig::default());
-        let def = evaluate_scheme(Scheme::Def, &trace, &cluster, &c);
-        let oracle = evaluate_scheme(Scheme::Mha, &trace, &cluster, &c);
+        let def = Evaluation::of(Scheme::Def, &trace, &cluster).context(&c).report();
+        let oracle = Evaluation::of(Scheme::Mha, &trace, &cluster).context(&c).report();
         assert!(
             dynamic.bandwidth_mbps() > def.bandwidth_mbps(),
             "dynamic {} <= DEF {}",

@@ -23,8 +23,12 @@
 //! trace (iotrace) ──► planner.plan() ──► Plan { layouts, resolver }
 //!                                          │ install into Cluster MDS
 //!                                          ▼
-//!                               pfs_sim::replay(cluster, trace, resolver)
+//!                    ReplaySession::run(cluster, trace, resolver)
 //! ```
+//!
+//! [`schemes::Evaluation`] wraps the whole flow in one builder — and can
+//! inject a [`pfs_sim::FaultPlan`] and re-plan around the degraded
+//! servers it implies ([`schemes::PlannerContext::with_health`]).
 
 pub mod cost;
 pub mod dynamic;
@@ -44,4 +48,4 @@ pub use region::{CompactDrt, Drt, DrtEntry, Rst};
 pub use rssd::{
     region_cost, region_cost_bounded, rssd, CostScratch, RssdConfig, RssdResult, StripePair,
 };
-pub use schemes::{apply_plan, LayoutPlanner, Plan, PlanResolver, Scheme};
+pub use schemes::{apply_plan, Evaluation, LayoutPlanner, Plan, PlanResolver, PlannerContext, Scheme};

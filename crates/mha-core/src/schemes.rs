@@ -29,7 +29,10 @@ use crate::redirect::DrtResolver;
 use crate::region::{Drt, DrtEntry, RegionInfo, Rst};
 use crate::rssd::{region_cost, rssd, RssdConfig, StripePair};
 use iotrace::{FileId, Trace};
-use pfs_sim::{Cluster, ClusterConfig, IdentityResolver, LayoutSpec, Resolver};
+use pfs_sim::{
+    Cluster, ClusterConfig, FaultPlan, IdentityResolver, LayoutSpec, ReplayError, ReplayReport,
+    ReplaySession, Resolver, ServerHealth, ServerId,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use simrt::SimDuration;
@@ -99,6 +102,19 @@ pub struct PlannerContext {
     /// over the DEF layout exceeds this fraction. `0.0` migrates every
     /// group (the default, matching the paper's evaluation).
     pub selective_min_gain: f64,
+    /// Per-server health, as reported by a replay under faults
+    /// ([`FaultPlan::health_view`] or [`pfs_sim::ServerIoStat`]). Empty —
+    /// the default — means a pristine cluster, and planning is exactly
+    /// what it was before health existed. Non-empty health makes the
+    /// planners degrade gracefully: lost/excluded servers drop out of new
+    /// layouts and the cost model re-weights by the surviving servers'
+    /// slowdowns (failover restriping).
+    pub health: Vec<ServerHealth>,
+    /// Slowdown factor at which a degraded server is *excluded* from new
+    /// layouts entirely rather than merely down-weighted. The default 3.0
+    /// excludes permanent-loss servers (infinite), outage-penalized
+    /// servers (4.0) and worn-SSD-class stragglers (≥ 3.0).
+    pub exclude_slowdown: f64,
 }
 
 impl PlannerContext {
@@ -113,7 +129,83 @@ impl PlannerContext {
             lookup_cost: SimDuration::from_micros(5),
             region_align: None,
             selective_min_gain: 0.0,
+            health: Vec::new(),
+            exclude_slowdown: 3.0,
         }
+    }
+
+    /// Attach per-server health (e.g. `plan.health_view(servers)`), for
+    /// planning around a degraded cluster. Returns `self` for chaining.
+    #[must_use]
+    pub fn with_health(mut self, health: Vec<ServerHealth>) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Is server `i` usable for new layouts under the current health?
+    /// (Not lost, and not slowed past [`Self::exclude_slowdown`].)
+    pub fn server_usable(&self, i: usize) -> bool {
+        self.health
+            .get(i)
+            .map_or(true, |h| !h.down && h.speed_factor < self.exclude_slowdown)
+    }
+
+    /// The cost parameters the planners should optimize against: with no
+    /// health attached this is exactly [`Self::params`] (bit-identical
+    /// plans); with health, the cluster shape shrinks to the usable
+    /// servers and each class's service terms are inflated by the mean
+    /// slowdown of its survivors.
+    pub fn effective_params(&self) -> CostParams {
+        if self.health.is_empty() {
+            return self.params.clone();
+        }
+        let factors = |range: std::ops::Range<usize>| -> (usize, f64) {
+            let alive: Vec<f64> = range
+                .filter(|&i| self.server_usable(i))
+                .map(|i| self.health.get(i).map_or(1.0, |h| h.speed_factor))
+                .collect();
+            let mean = if alive.is_empty() {
+                1.0
+            } else {
+                alive.iter().sum::<f64>() / alive.len() as f64
+            };
+            (alive.len(), mean)
+        };
+        let (m, fh) = factors(0..self.params.m);
+        let (n, fs) = factors(self.params.m..self.params.m + self.params.n);
+        CostParams {
+            m,
+            n,
+            alpha_h: self.params.alpha_h * fh,
+            beta_h: self.params.beta_h * fh,
+            alpha_sr: self.params.alpha_sr * fs,
+            beta_sr: self.params.beta_sr * fs,
+            alpha_sw: self.params.alpha_sw * fs,
+            beta_sw: self.params.beta_sw * fs,
+            ..self.params.clone()
+        }
+    }
+
+    /// Build the layout an `<h, s>` pair denotes over the *usable*
+    /// servers. With no health attached this is exactly
+    /// `self.params.layout_for(h, s)`; with health, lost and excluded
+    /// servers are left out, so new data never lands on them.
+    pub fn layout_for(&self, h: u64, s: u64) -> Option<LayoutSpec> {
+        if self.health.is_empty() {
+            return self.params.layout_for(h, s);
+        }
+        let hs: Vec<ServerId> = (0..self.params.m)
+            .filter(|&i| self.server_usable(i))
+            .map(ServerId)
+            .collect();
+        let ss: Vec<ServerId> = (self.params.m..self.params.m + self.params.n)
+            .filter(|&i| self.server_usable(i))
+            .map(ServerId)
+            .collect();
+        if (h == 0 || hs.is_empty()) && (s == 0 || ss.is_empty()) {
+            return None;
+        }
+        Some(LayoutSpec::hybrid(&hs, h, &ss, s))
     }
 
     /// Adapt the RSSD step to a workload's largest request: the 4 KiB
@@ -211,16 +303,18 @@ impl LayoutPlanner for AalPlanner {
     }
 
     fn plan(&self, trace: &Trace, ctx: &PlannerContext) -> Plan {
-        // Heterogeneity-blind view: all M + N servers look like HServers.
-        let servers = ctx.params.m + ctx.params.n;
+        // Heterogeneity-blind view: all M + N (usable) servers look like
+        // HServers.
+        let params = ctx.effective_params();
+        let servers = params.m + params.n;
         let homog = CostParams {
             m: servers,
             n: 0,
-            alpha_sr: ctx.params.alpha_h,
-            beta_sr: ctx.params.beta_h,
-            alpha_sw: ctx.params.alpha_h,
-            beta_sw: ctx.params.beta_h,
-            ..ctx.params.clone()
+            alpha_sr: params.alpha_h,
+            beta_sr: params.beta_h,
+            alpha_sw: params.alpha_h,
+            beta_sw: params.beta_h,
+            ..params.clone()
         };
         let views_all = views_of(trace);
         let mut layouts = Vec::new();
@@ -263,13 +357,11 @@ impl LayoutPlanner for AalPlanner {
                 st += step;
             }
             let (_, stripe) = best.expect("at least one candidate");
-            // The homogeneous layout assigns `stripe` to every real server.
-            layouts.push((
-                file,
-                ctx.params
-                    .layout_for(stripe, stripe)
-                    .expect("positive stripe is a valid layout"),
-            ));
+            // The homogeneous layout assigns `stripe` to every usable
+            // real server.
+            if let Some(layout) = ctx.layout_for(stripe, stripe) {
+                layouts.push((file, layout));
+            }
         }
         Plan {
             scheme: Scheme::Aal,
@@ -293,6 +385,7 @@ impl LayoutPlanner for HarlPlanner {
     }
 
     fn plan(&self, trace: &Trace, ctx: &PlannerContext) -> Plan {
+        let params = ctx.effective_params();
         let mut layouts = Vec::new();
         let mut drt = Drt::new();
         let mut rst = Rst::new();
@@ -347,9 +440,9 @@ impl LayoutPlanner for HarlPlanner {
                     .filter(|v| v.offset >= base && v.offset < base + len)
                     .map(|v| ReqView { offset: v.offset - base, ..*v })
                     .collect();
-                if let Some(result) = rssd(&region_views, &ctx.params, &harl_rssd) {
+                if let Some(result) = rssd(&region_views, &params, &harl_rssd) {
                     rst.set(region_file, result.pair);
-                    if let Some(layout) = ctx.params.layout_for(result.pair.h, result.pair.s) {
+                    if let Some(layout) = ctx.layout_for(result.pair.h, result.pair.s) {
                         layouts.push((region_file, layout));
                     }
                 }
@@ -376,6 +469,7 @@ impl LayoutPlanner for MhaPlanner {
     }
 
     fn plan(&self, trace: &Trace, ctx: &PlannerContext) -> Plan {
+        let params = ctx.effective_params();
         let views = views_of(trace);
         let feats: Vec<ReqFeature> = views.iter().map(ReqFeature::of).collect();
         let grouping = group_requests(&feats, &ctx.grouping);
@@ -392,7 +486,7 @@ impl LayoutPlanner for MhaPlanner {
         let pairs: Vec<Option<StripePair>> = build
             .region_views
             .par_iter()
-            .map(|v| rssd(v, &ctx.params, &ctx.rssd).map(|r| r.pair))
+            .map(|v| rssd(v, &params, &ctx.rssd).map(|r| r.pair))
             .collect();
 
         // Selective application: keep only groups whose optimized layout
@@ -409,10 +503,10 @@ impl LayoutPlanner for MhaPlanner {
                 let Some(p) = pair else { return false };
                 let def_cost = region_cost(
                     region_views,
-                    &ctx.params,
+                    &params,
                     StripePair { h: 64 << 10, s: 64 << 10 },
                 );
-                let opt_cost = region_cost(region_views, &ctx.params, *p);
+                let opt_cost = region_cost(region_views, &params, *p);
                 def_cost.is_finite()
                     && def_cost > 0.0
                     && (def_cost - opt_cost) / def_cost >= ctx.selective_min_gain
@@ -449,14 +543,14 @@ impl LayoutPlanner for MhaPlanner {
         let results: Vec<Option<crate::rssd::RssdResult>> = build
             .region_views
             .par_iter()
-            .map(|region_views| rssd(region_views, &ctx.params, &ctx.rssd))
+            .map(|region_views| rssd(region_views, &params, &ctx.rssd))
             .collect();
         let mut layouts = Vec::new();
         let mut rst = Rst::new();
         for (region, result) in build.regions.iter().zip(results) {
             if let Some(result) = result {
                 rst.set(region.file, result.pair);
-                if let Some(layout) = ctx.params.layout_for(result.pair.h, result.pair.s) {
+                if let Some(layout) = ctx.layout_for(result.pair.h, result.pair.s) {
                     layouts.push((region.file, layout));
                 }
             }
@@ -473,53 +567,159 @@ impl LayoutPlanner for MhaPlanner {
 
 // ---------------------------------------------------------- evaluation --
 
-/// End-to-end evaluation of one scheme on one workload: build a fresh
-/// cluster, profile-plan from the trace, install, and replay. This is the
-/// "subsequent run" of the paper's five-phase flow.
+/// End-to-end evaluation of one scheme on one workload, as a builder:
+/// build a fresh cluster, profile-plan from the trace, install, and
+/// replay — the "subsequent run" of the paper's five-phase flow.
+///
+/// ```no_run
+/// # use mha_core::schemes::{Evaluation, Scheme};
+/// # use pfs_sim::{ClusterConfig, FaultPlan};
+/// # let trace = iotrace::Trace::new();
+/// # let cfg = ClusterConfig::paper_default();
+/// # let faults = FaultPlan::none();
+/// let healthy = Evaluation::of(Scheme::Mha, &trace, &cfg).report();
+/// let degraded = Evaluation::of(Scheme::Mha, &trace, &cfg)
+///     .faults(&faults)
+///     .replan_around_faults(true)
+///     .report();
+/// ```
+pub struct Evaluation<'a> {
+    scheme: Scheme,
+    trace: &'a Trace,
+    cluster_cfg: &'a ClusterConfig,
+    ctx: Option<&'a PlannerContext>,
+    fault: Option<&'a FaultPlan>,
+    replan: bool,
+}
+
+impl<'a> Evaluation<'a> {
+    /// Evaluate `scheme` on `trace` over a fresh cluster of shape
+    /// `cluster_cfg`. Without further configuration, [`Self::run`]
+    /// calibrates a default [`PlannerContext`] and replays fault-free.
+    pub fn of(scheme: Scheme, trace: &'a Trace, cluster_cfg: &'a ClusterConfig) -> Self {
+        Evaluation { scheme, trace, cluster_cfg, ctx: None, fault: None, replan: false }
+    }
+
+    /// Plan under `ctx` instead of a freshly calibrated default context
+    /// (calibration probes device models — hoist it when evaluating many
+    /// cells).
+    #[must_use]
+    pub fn context(mut self, ctx: &'a PlannerContext) -> Self {
+        self.ctx = Some(ctx);
+        self
+    }
+
+    /// Inject `faults` during the replay (stragglers, outages, losses,
+    /// degraded devices). An empty plan leaves the evaluation bit-for-bit
+    /// identical to a fault-free one.
+    #[must_use]
+    pub fn faults(mut self, faults: &'a FaultPlan) -> Self {
+        self.fault = Some(faults);
+        self
+    }
+
+    /// Let the planner see the fault plan's health view
+    /// ([`FaultPlan::health_view`]) so it re-plans around lost and
+    /// degraded servers (failover restriping). Without faults this is a
+    /// no-op.
+    #[must_use]
+    pub fn replan_around_faults(mut self, replan: bool) -> Self {
+        self.replan = replan;
+        self
+    }
+
+    /// Run inside a caller-owned [`ReplaySession`] — the experiment grid
+    /// threads one session (warm scratch, pinned schedule) through many
+    /// cells. An `Evaluation` carrying faults installs its plan into the
+    /// session; otherwise the session's existing fault plan applies.
+    pub fn run_in(&self, session: &mut ReplaySession) -> Result<ReplayReport, ReplayError> {
+        let calibrated;
+        let base_ctx = match self.ctx {
+            Some(ctx) => ctx,
+            None => {
+                calibrated = PlannerContext::for_cluster(self.cluster_cfg);
+                &calibrated
+            }
+        };
+        let degraded;
+        let ctx = match (self.replan, self.fault) {
+            (true, Some(plan)) if !plan.is_empty() => {
+                let servers = self.cluster_cfg.hservers + self.cluster_cfg.sservers;
+                degraded = base_ctx.clone().with_health(plan.health_view(servers));
+                &degraded
+            }
+            _ => base_ctx,
+        };
+        let mut cluster = Cluster::try_new(self.cluster_cfg.clone())?;
+        let plan = self.scheme.planner().plan(self.trace, ctx);
+        apply_plan(&mut cluster, &plan);
+        let mut resolver = plan.make_resolver(ctx.lookup_cost);
+        if let Some(faults) = self.fault {
+            session.set_fault_plan(faults.clone());
+        }
+        session.run(&mut cluster, self.trace, resolver.as_mut())
+    }
+
+    /// Run in a fresh session.
+    pub fn run(&self) -> Result<ReplayReport, ReplayError> {
+        self.run_in(&mut ReplaySession::new())
+    }
+
+    /// [`Self::run`], panicking on error — the ergonomic form for tests
+    /// and experiments where every input is known-good.
+    pub fn report(&self) -> ReplayReport {
+        self.run().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// End-to-end evaluation of one scheme on one workload.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Evaluation::of(scheme, trace, cluster_cfg).context(ctx).report()`"
+)]
 pub fn evaluate_scheme(
     scheme: Scheme,
     trace: &Trace,
     cluster_cfg: &ClusterConfig,
     ctx: &PlannerContext,
-) -> pfs_sim::ReplayReport {
-    evaluate_scheme_with_scratch(scheme, trace, cluster_cfg, ctx, &mut pfs_sim::ReplayScratch::new())
+) -> ReplayReport {
+    Evaluation::of(scheme, trace, cluster_cfg).context(ctx).report()
 }
 
-/// [`evaluate_scheme`] reusing the caller's replay scratch — the
-/// experiment grid evaluates hundreds of (scheme, workload) cells, and
-/// threading one scratch through a worker's cells keeps the replay loop
-/// allocation-free after the first. Reports are identical either way.
+/// [`evaluate_scheme`] with caller-owned scratch. The session owns its
+/// scratch now, so the parameter is ignored; reports are identical.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Evaluation::run_in` with a long-lived `ReplaySession`, which owns the scratch"
+)]
 pub fn evaluate_scheme_with_scratch(
     scheme: Scheme,
     trace: &Trace,
     cluster_cfg: &ClusterConfig,
     ctx: &PlannerContext,
-    scratch: &mut pfs_sim::ReplayScratch,
-) -> pfs_sim::ReplayReport {
-    let mut cluster = Cluster::new(cluster_cfg.clone());
-    let plan = scheme.planner().plan(trace, ctx);
-    apply_plan(&mut cluster, &plan);
-    let mut resolver = plan.make_resolver(ctx.lookup_cost);
-    pfs_sim::replay_with_scratch(&mut cluster, trace, resolver.as_mut(), scratch)
+    _scratch: &mut pfs_sim::ReplayScratch,
+) -> ReplayReport {
+    Evaluation::of(scheme, trace, cluster_cfg).context(ctx).report()
 }
 
-/// [`evaluate_scheme_with_scratch`] with the replay schedule hoisted out:
-/// the experiment grid replays one trace once per scheme, so the phase
-/// grouping and per-phase shuffle are computed once per trace instead of
-/// once per cell. Reports are identical to [`evaluate_scheme`].
+/// [`evaluate_scheme`] with the replay schedule hoisted out.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Evaluation::run_in` with a `ReplaySession::new().with_schedule(..)`"
+)]
 pub fn evaluate_scheme_scheduled(
     scheme: Scheme,
     trace: &Trace,
     cluster_cfg: &ClusterConfig,
     ctx: &PlannerContext,
     schedule: &pfs_sim::ReplaySchedule,
-    scratch: &mut pfs_sim::ReplayScratch,
-) -> pfs_sim::ReplayReport {
-    let mut cluster = Cluster::new(cluster_cfg.clone());
-    let plan = scheme.planner().plan(trace, ctx);
-    apply_plan(&mut cluster, &plan);
-    let mut resolver = plan.make_resolver(ctx.lookup_cost);
-    pfs_sim::replay_scheduled(&mut cluster, trace, schedule, resolver.as_mut(), scratch)
+    _scratch: &mut pfs_sim::ReplayScratch,
+) -> ReplayReport {
+    let mut session = ReplaySession::new().with_schedule(schedule.clone());
+    Evaluation::of(scheme, trace, cluster_cfg)
+        .context(ctx)
+        .run_in(&mut session)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -531,6 +731,10 @@ mod tests {
 
     fn ctx() -> PlannerContext {
         PlannerContext::for_cluster(&ClusterConfig::paper_default())
+    }
+
+    fn eval(scheme: Scheme, t: &Trace, cfg: &ClusterConfig, c: &PlannerContext) -> ReplayReport {
+        Evaluation::of(scheme, t, cfg).context(c).report()
     }
 
     fn mixed_ior() -> Trace {
@@ -635,7 +839,7 @@ mod tests {
         let t = gen_lanl(&LanlConfig::paper(4, IoOp::Write));
         let cfg = ClusterConfig::paper_default();
         for scheme in Scheme::all() {
-            let r = evaluate_scheme(scheme, &t, &cfg, &c);
+            let r = eval(scheme, &t, &cfg, &c);
             assert!(r.bandwidth_mbps() > 0.0, "{}: zero bandwidth", scheme.name());
             assert_eq!(r.total_bytes, t.total_bytes(), "{}", scheme.name());
         }
@@ -646,8 +850,8 @@ mod tests {
         let c = ctx();
         let t = gen_lanl(&LanlConfig::paper(12, IoOp::Write));
         let cfg = ClusterConfig::paper_default();
-        let def = evaluate_scheme(Scheme::Def, &t, &cfg, &c);
-        let mha = evaluate_scheme(Scheme::Mha, &t, &cfg, &c);
+        let def = eval(Scheme::Def, &t, &cfg, &c);
+        let mha = eval(Scheme::Mha, &t, &cfg, &c);
         assert!(
             mha.bandwidth_mbps() > def.bandwidth_mbps(),
             "MHA {} vs DEF {}",
@@ -675,7 +879,7 @@ mod tests {
         assert!(drt.is_empty(), "no group can gain 1000%");
         assert!(p.rst.is_empty());
         // Replay still works: everything falls back to the original file.
-        let r = evaluate_scheme(Scheme::Mha, &t, &ClusterConfig::paper_default(), &c);
+        let r = eval(Scheme::Mha, &t, &ClusterConfig::paper_default(), &c);
         assert_eq!(r.total_bytes, t.total_bytes());
     }
 
@@ -690,8 +894,8 @@ mod tests {
         let migrated: u64 = p.regions.iter().map(|r| r.len).sum();
         assert!(migrated > 0, "high-gain regions must be kept");
         let cfg = ClusterConfig::paper_default();
-        let sel = evaluate_scheme(Scheme::Mha, &t, &cfg, &c);
-        let def = evaluate_scheme(Scheme::Def, &t, &cfg, &ctx());
+        let sel = eval(Scheme::Mha, &t, &cfg, &c);
+        let def = eval(Scheme::Def, &t, &cfg, &ctx());
         assert!(sel.bandwidth_mbps() > def.bandwidth_mbps());
     }
 
@@ -700,5 +904,132 @@ mod tests {
         for s in Scheme::all() {
             assert_eq!(s.planner().name(), s.name());
         }
+    }
+
+    #[test]
+    fn pristine_health_plans_identically() {
+        // All-nominal health must change nothing: same effective params
+        // (bit for bit) and the same MHA plan.
+        let base = ctx();
+        let nominal = ctx().with_health(vec![ServerHealth::nominal(); 8]);
+        let e0 = base.effective_params();
+        let e1 = nominal.effective_params();
+        assert_eq!((e1.m, e1.n), (6, 2));
+        assert_eq!(e0.alpha_h.to_bits(), e1.alpha_h.to_bits());
+        assert_eq!(e0.beta_sw.to_bits(), e1.beta_sw.to_bits());
+        let t = gen_lanl(&LanlConfig::paper(6, IoOp::Write));
+        let p0 = MhaPlanner.plan(&t, &base);
+        let p1 = MhaPlanner.plan(&t, &nominal);
+        assert_eq!(p0.layouts.len(), p1.layouts.len());
+        for ((f0, l0), (f1, l1)) in p0.layouts.iter().zip(&p1.layouts) {
+            assert_eq!(f0, f1);
+            assert_eq!(l0.round_size(), l1.round_size());
+            assert!(l0.servers().eq(l1.servers()));
+        }
+    }
+
+    #[test]
+    fn dead_and_excluded_servers_drop_out_of_new_layouts() {
+        // HServer 0 is lost, SServer 6 is slowed past the exclusion
+        // threshold: no planner may place new data on either.
+        let faults = FaultPlan::none().down(0, 0.0).slow_server(6, 4.0);
+        let c = ctx().with_health(faults.health_view(8));
+        assert!(!c.server_usable(0) && !c.server_usable(6));
+        let eff = c.effective_params();
+        assert_eq!((eff.m, eff.n), (5, 1));
+        let t = gen_lanl(&LanlConfig::paper(6, IoOp::Write));
+        for scheme in [Scheme::Aal, Scheme::Harl, Scheme::Mha] {
+            let p = scheme.planner().plan(&t, &c);
+            assert!(!p.layouts.is_empty(), "{}", scheme.name());
+            for (_, layout) in &p.layouts {
+                assert!(
+                    layout.servers().all(|s| s.0 != 0 && s.0 != 6),
+                    "{} placed data on a dead/excluded server",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn surviving_slowdowns_reweight_the_cost_model() {
+        // A tolerable (below-threshold) straggler stays usable but
+        // inflates its class's service terms.
+        let faults = FaultPlan::none().slow_server(0, 2.0);
+        let c = ctx().with_health(faults.health_view(8));
+        assert!(c.server_usable(0));
+        let eff = c.effective_params();
+        assert_eq!((eff.m, eff.n), (6, 2));
+        let mean = (2.0 + 5.0) / 6.0;
+        assert!((eff.alpha_h / c.params.alpha_h - mean).abs() < 1e-12);
+        assert_eq!(eff.alpha_sr.to_bits(), c.params.alpha_sr.to_bits());
+    }
+
+    #[test]
+    fn replanning_beats_static_mha_under_a_straggler() {
+        // The degraded-mode payoff: MHA re-planned around a straggling
+        // SServer (which its layouts lean on for LANL's small requests)
+        // outperforms the same scheme planned blind.
+        let cfg = ClusterConfig::paper_default();
+        let c = ctx();
+        let t = gen_lanl(&LanlConfig::paper(8, IoOp::Write));
+        let faults = FaultPlan::none().slow_server(6, 8.0);
+        let blind = Evaluation::of(Scheme::Mha, &t, &cfg)
+            .context(&c)
+            .faults(&faults)
+            .report();
+        let replanned = Evaluation::of(Scheme::Mha, &t, &cfg)
+            .context(&c)
+            .faults(&faults)
+            .replan_around_faults(true)
+            .report();
+        assert!(
+            replanned.bandwidth_mbps() > blind.bandwidth_mbps(),
+            "replanned {} <= blind {}",
+            replanned.bandwidth_mbps(),
+            blind.bandwidth_mbps()
+        );
+    }
+
+    #[test]
+    fn evaluation_with_empty_faults_is_bit_identical() {
+        let cfg = ClusterConfig::paper_default();
+        let c = ctx();
+        let t = gen_lanl(&LanlConfig::paper(4, IoOp::Write));
+        let plain = eval(Scheme::Mha, &t, &cfg, &c);
+        let empty = FaultPlan::none();
+        let faultless = Evaluation::of(Scheme::Mha, &t, &cfg)
+            .context(&c)
+            .faults(&empty)
+            .replan_around_faults(true)
+            .report();
+        assert_eq!(plain.makespan, faultless.makespan);
+        assert_eq!(plain.server_busy_secs(), faultless.server_busy_secs());
+        assert_eq!(
+            plain.request_latency.sum().to_bits(),
+            faultless.request_latency.sum().to_bits()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)] // shim coverage: legacy entry points match the builder
+    fn deprecated_shims_match_the_builder() {
+        let c = ctx();
+        let t = gen_lanl(&LanlConfig::paper(4, IoOp::Write));
+        let cfg = ClusterConfig::paper_default();
+        let via_builder = eval(Scheme::Harl, &t, &cfg, &c);
+        let via_shim = evaluate_scheme(Scheme::Harl, &t, &cfg, &c);
+        let schedule = pfs_sim::ReplaySchedule::for_trace(&t);
+        let via_sched = evaluate_scheme_scheduled(
+            Scheme::Harl,
+            &t,
+            &cfg,
+            &c,
+            &schedule,
+            &mut pfs_sim::ReplayScratch::new(),
+        );
+        assert_eq!(via_builder.makespan, via_shim.makespan);
+        assert_eq!(via_builder.makespan, via_sched.makespan);
+        assert_eq!(via_builder.server_busy_secs(), via_shim.server_busy_secs());
     }
 }

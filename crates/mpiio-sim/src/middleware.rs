@@ -18,7 +18,7 @@ use kvstore::{Store, StoreOptions};
 use mha_core::region::{Drt, Rst};
 use mha_core::schemes::{apply_plan, Plan, PlanResolver, PlannerContext, Scheme};
 use mha_core::{DrtResolver, GroupingConfig, RssdConfig};
-use pfs_sim::{Cluster, ClusterConfig, IdentityResolver, ReplayReport};
+use pfs_sim::{Cluster, ClusterConfig, IdentityResolver, ReplayReport, ReplaySession};
 use simrt::SimDuration;
 use std::path::{Path, PathBuf};
 
@@ -83,7 +83,9 @@ impl Middleware {
         for r in trace.records() {
             collector.record(r.pid, r.rank, r.file, r.op, r.offset, r.len, r.ts);
         }
-        let report = pfs_sim::replay(&mut cluster, trace, &mut IdentityResolver);
+        let report = ReplaySession::new()
+            .run(&mut cluster, trace, &mut IdentityResolver)
+            .expect("fault-free replay cannot fail");
         self.profile = Some(collector.finish());
         RunOutcome { report, scheme: Scheme::Def, redirected: 0 }
     }
@@ -116,12 +118,16 @@ impl Middleware {
         let lookup = SimDuration::from_micros(self.hints.lookup_us());
         match &plan.resolver {
             PlanResolver::Identity => {
-                let report = pfs_sim::replay(&mut cluster, trace, &mut IdentityResolver);
+                let report = ReplaySession::new()
+                    .run(&mut cluster, trace, &mut IdentityResolver)
+                    .expect("fault-free replay cannot fail");
                 RunOutcome { report, scheme: plan.scheme, redirected: 0 }
             }
             PlanResolver::Drt(drt) => {
                 let mut resolver = DrtResolver::new(drt.clone(), lookup);
-                let report = pfs_sim::replay(&mut cluster, trace, &mut resolver);
+                let report = ReplaySession::new()
+                    .run(&mut cluster, trace, &mut resolver)
+                    .expect("fault-free replay cannot fail");
                 RunOutcome { report, scheme: plan.scheme, redirected: resolver.redirected() }
             }
         }

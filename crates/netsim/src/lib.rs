@@ -61,6 +61,11 @@ pub struct NetFabric {
     /// division and `SimDuration` conversion from most transfers. Purely
     /// an evaluation cache — results are bit-identical.
     wire_memo: Option<(u64, SimDuration)>,
+    /// Per-node wire-time multiplier (fault injection: a degraded NIC or
+    /// congested uplink). `None` until the first degradation, so the
+    /// healthy fast path does not even index a vector; a transfer pays
+    /// the worse of its two endpoints' factors.
+    degrade: Option<Vec<f64>>,
 }
 
 impl NetFabric {
@@ -71,7 +76,26 @@ impl NetFabric {
             egress: vec![FifoResource::new(); nodes],
             ingress: vec![FifoResource::new(); nodes],
             wire_memo: None,
+            degrade: None,
         }
+    }
+
+    /// Stretch every transfer touching `node` by `factor` (≥ 1 is
+    /// slower). Factors compose multiplicatively on repeated calls for
+    /// one node; a transfer between two degraded endpoints pays the worse
+    /// factor, matching a bottleneck link. Degradation survives
+    /// [`NetFabric::reset`] — it models hardware, not queue state.
+    pub fn degrade_node(&mut self, node: NodeId, factor: f64) {
+        assert!(node.0 < self.nodes(), "node out of range");
+        assert!(factor.is_finite() && factor > 0.0, "link factor must be positive");
+        let n = self.nodes();
+        let d = self.degrade.get_or_insert_with(|| vec![1.0; n]);
+        d[node.0] *= factor;
+    }
+
+    /// Wire-time multiplier currently applied to `node` (1.0 = nominal).
+    pub fn node_factor(&self, node: NodeId) -> f64 {
+        self.degrade.as_ref().map_or(1.0, |d| d[node.0])
     }
 
     /// Number of endpoints.
@@ -99,6 +123,17 @@ impl NetFabric {
                 let s = self.params.wire_time(bytes);
                 self.wire_memo = Some((bytes, s));
                 s
+            }
+        };
+        let service = match &self.degrade {
+            None => service,
+            Some(d) => {
+                let factor = d[src.0].max(d[dst.0]);
+                if factor == 1.0 {
+                    service
+                } else {
+                    SimDuration::from_secs_f64(service.as_secs_f64() * factor)
+                }
             }
         };
         // The flow cannot start until both NIC queues drain; model this by
@@ -214,6 +249,42 @@ mod tests {
                 solo.as_nanos(),
                 "iteration {i}"
             );
+        }
+    }
+
+    #[test]
+    fn degraded_node_stretches_its_transfers() {
+        let mut f = fabric(3);
+        f.degrade_node(NodeId(1), 4.0);
+        let slow = f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 11_700_000);
+        let fast = f.transfer(slow, NodeId(0), NodeId(2), 11_700_000);
+        let wire = 0.1 + 50.0e-6;
+        assert!((slow.as_secs_f64() - 4.0 * wire).abs() < 1e-6, "{slow}");
+        assert!(((fast.as_secs_f64() - slow.as_secs_f64()) - wire).abs() < 1e-6);
+        assert_eq!(f.node_factor(NodeId(1)), 4.0);
+        assert_eq!(f.node_factor(NodeId(0)), 1.0);
+    }
+
+    #[test]
+    fn degradation_composes_and_takes_the_worse_endpoint() {
+        let mut f = fabric(2);
+        f.degrade_node(NodeId(0), 2.0);
+        f.degrade_node(NodeId(0), 1.5);
+        f.degrade_node(NodeId(1), 6.0);
+        assert!((f.node_factor(NodeId(0)) - 3.0).abs() < 1e-12);
+        let done = f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 11_700_000);
+        assert!((done.as_secs_f64() - 6.0 * (0.1 + 50.0e-6)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_degradation_is_bit_identical() {
+        let mut plain = fabric(2);
+        let mut degraded = fabric(2);
+        degraded.degrade_node(NodeId(0), 1.0);
+        for i in 1..8u64 {
+            let a = plain.transfer(SimTime::ZERO, NodeId(0), NodeId(1), i * 12345);
+            let b = degraded.transfer(SimTime::ZERO, NodeId(0), NodeId(1), i * 12345);
+            assert_eq!(a.as_nanos(), b.as_nanos(), "transfer {i}");
         }
     }
 

@@ -1,11 +1,12 @@
 //! Cluster assembly: servers + fabric + metadata service.
 
+use crate::error::ReplayError;
 use crate::layout::{LayoutSpec, ServerId};
 use crate::mds::MetadataServer;
 use crate::server::StorageServer;
 use netsim::{LinkParams, NetFabric, NodeId};
-use simrt::SimDuration;
-use storage_model::{DeviceKind, HddModel, HddParams, SsdModel, SsdParams};
+use simrt::{DeviceProfile, FaultKind, FaultPlan, SimDuration};
+use storage_model::{DeviceKind, HddModel, HddParams, ScaledDevice, SsdModel, SsdParams};
 
 /// Cluster shape and hardware parameters.
 #[derive(Debug, Clone)]
@@ -66,15 +67,34 @@ pub struct Cluster {
     servers: Vec<StorageServer>,
     fabric: NetFabric,
     mds: MetadataServer,
+    /// Whether a fault plan's device/link faults have been materialized.
+    faulted: bool,
 }
 
 impl Cluster {
     /// Build a cluster per `config`. Servers `0..hservers` are HServers,
     /// the rest SServers (matching the paper's S0–S5 = H, S6–S7 = S
     /// numbering in Fig. 8).
+    ///
+    /// # Panics
+    /// On a shapeless config (no servers or no clients); use
+    /// [`Cluster::try_new`] to get a [`ReplayError`] instead.
     pub fn new(config: ClusterConfig) -> Self {
-        assert!(config.servers() > 0, "cluster needs at least one server");
-        assert!(config.clients > 0, "cluster needs at least one client");
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Cluster::new`].
+    pub fn try_new(config: ClusterConfig) -> Result<Self, ReplayError> {
+        if config.servers() == 0 {
+            return Err(ReplayError::InvalidCluster(
+                "cluster needs at least one server".into(),
+            ));
+        }
+        if config.clients == 0 {
+            return Err(ReplayError::InvalidCluster(
+                "cluster needs at least one client".into(),
+            ));
+        }
         let nodes = config.clients + config.servers() + 1;
         let fabric = NetFabric::new(nodes, config.link);
         let mut servers = Vec::with_capacity(config.servers());
@@ -92,7 +112,80 @@ impl Cluster {
             LayoutSpec::fixed(&all, config.default_stripe),
             config.mds_lookup,
         );
-        Cluster { config, servers, fabric, mds }
+        Ok(Cluster { config, servers, fabric, mds, faulted: false })
+    }
+
+    /// Materialize the device and link faults of `plan` onto this
+    /// cluster: stragglers wrap their device in a
+    /// [`storage_model::ScaledDevice`], degraded profiles swap in worn
+    /// hardware models, and slow links degrade the server's fabric node.
+    /// Temporal faults (outages, permanent loss) are not handled here —
+    /// the replay session drives those per sub-request.
+    ///
+    /// Applying is idempotent per cluster life: sessions check
+    /// [`Cluster::faults_applied`] first. [`Cluster::reset`] keeps the
+    /// degradation (it models hardware, not queue state).
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), ReplayError> {
+        let n = self.servers.len();
+        if let Some(max) = plan.max_server() {
+            if max >= n {
+                return Err(ReplayError::FaultTargetOutOfRange { server: max, servers: n });
+            }
+        }
+        // Validate profile/medium agreement before touching anything, so
+        // a failed apply leaves the cluster pristine.
+        for f in &plan.faults {
+            if let FaultKind::Degraded { profile } = f.kind {
+                let kind = self.servers[f.server].kind();
+                let fits = matches!(
+                    (profile, kind),
+                    (DeviceProfile::WornSsd, DeviceKind::Ssd)
+                        | (DeviceProfile::AgedHdd, DeviceKind::Hdd)
+                );
+                if !fits {
+                    return Err(ReplayError::ProfileMismatch {
+                        server: f.server,
+                        profile: profile.name(),
+                        kind,
+                    });
+                }
+            }
+        }
+        for f in &plan.faults {
+            let server = &mut self.servers[f.server];
+            match f.kind {
+                FaultKind::Slowdown { factor } => {
+                    if factor != 1.0 {
+                        let inner = server.clone_device();
+                        server.set_device(Box::new(ScaledDevice::new(inner, factor)));
+                    }
+                }
+                FaultKind::SlowLink { factor } => {
+                    if factor != 1.0 {
+                        self.fabric.degrade_node(server.node(), factor);
+                    }
+                }
+                FaultKind::Degraded { profile } => {
+                    let device: storage_model::BoxedDevice = match profile {
+                        DeviceProfile::WornSsd => {
+                            Box::new(SsdModel::new(SsdParams::worn_pcie_100gb()))
+                        }
+                        DeviceProfile::AgedHdd => {
+                            Box::new(HddModel::new(HddParams::aged_sata2_250gb()))
+                        }
+                    };
+                    server.set_device(device);
+                }
+                FaultKind::Outage { .. } | FaultKind::Down { .. } => {}
+            }
+        }
+        self.faulted = true;
+        Ok(())
+    }
+
+    /// True once [`Cluster::apply_fault_plan`] has run on this cluster.
+    pub fn faults_applied(&self) -> bool {
+        self.faulted
     }
 
     /// Cluster configuration.
@@ -205,5 +298,91 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn empty_cluster_rejected() {
         Cluster::new(ClusterConfig { hservers: 0, sservers: 0, ..ClusterConfig::paper_default() });
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        let err = Cluster::try_new(ClusterConfig {
+            hservers: 0,
+            sservers: 0,
+            ..ClusterConfig::paper_default()
+        })
+        .map(|_| ())
+        .unwrap_err();
+        assert!(err.to_string().contains("at least one server"));
+        let err =
+            Cluster::try_new(ClusterConfig { clients: 0, ..ClusterConfig::paper_default() })
+                .map(|_| ())
+                .unwrap_err();
+        assert!(err.to_string().contains("at least one client"));
+        assert!(Cluster::try_new(ClusterConfig::paper_default()).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_materializes_device_and_link_faults() {
+        use simrt::{FaultPlan, SimTime};
+        use storage_model::IoOp;
+        let mut faulted = Cluster::new(ClusterConfig::paper_default());
+        let mut clean = Cluster::new(ClusterConfig::paper_default());
+        let plan = FaultPlan::none().slow_server(0, 3.0).degraded(7, simrt::DeviceProfile::WornSsd);
+        faulted.apply_fault_plan(&plan).unwrap();
+        assert!(faulted.faults_applied());
+        assert!(!clean.faults_applied());
+        // Straggler HServer 0: same request takes 3x.
+        let (fs, _, _) = faulted.parts_mut();
+        let (cs, _, _) = clean.parts_mut();
+        let tf = fs[0].serve(SimTime::ZERO, IoOp::Read, 0, 65536).since(SimTime::ZERO);
+        let tc = cs[0].serve(SimTime::ZERO, IoOp::Read, 0, 65536).since(SimTime::ZERO);
+        assert!((tf.as_secs_f64() - 3.0 * tc.as_secs_f64()).abs() < 1e-9);
+        // Worn SServer 7: writes collapse, reads survive.
+        let wf = fs[7].serve(SimTime::ZERO, IoOp::Write, 0, 1 << 20).since(SimTime::ZERO);
+        let wc = cs[7].serve(SimTime::ZERO, IoOp::Write, 0, 1 << 20).since(SimTime::ZERO);
+        assert!(wf.as_secs_f64() > 2.0 * wc.as_secs_f64(), "wf={wf:?} wc={wc:?}");
+    }
+
+    #[test]
+    fn fault_plan_survives_reset() {
+        use simrt::{FaultPlan, SimTime};
+        use storage_model::IoOp;
+        let mut c = Cluster::new(ClusterConfig::paper_default());
+        c.apply_fault_plan(&FaultPlan::none().slow_server(0, 4.0)).unwrap();
+        let before = {
+            let (s, _, _) = c.parts_mut();
+            s[0].serve(SimTime::ZERO, IoOp::Read, 0, 65536).since(SimTime::ZERO)
+        };
+        c.reset();
+        let after = {
+            let (s, _, _) = c.parts_mut();
+            s[0].serve(SimTime::ZERO, IoOp::Read, 0, 65536).since(SimTime::ZERO)
+        };
+        assert_eq!(before.as_nanos(), after.as_nanos(), "degradation is hardware, not state");
+        assert!(c.faults_applied());
+    }
+
+    #[test]
+    fn fault_plan_out_of_range_rejected() {
+        use crate::error::ReplayError;
+        use simrt::FaultPlan;
+        let mut c = Cluster::new(ClusterConfig::paper_default());
+        let err = c.apply_fault_plan(&FaultPlan::none().slow_server(8, 2.0)).unwrap_err();
+        assert_eq!(err, ReplayError::FaultTargetOutOfRange { server: 8, servers: 8 });
+        assert!(!c.faults_applied(), "failed apply leaves the cluster pristine");
+    }
+
+    #[test]
+    fn degraded_profile_must_match_medium() {
+        use crate::error::ReplayError;
+        use simrt::{DeviceProfile, FaultPlan};
+        let mut c = Cluster::new(ClusterConfig::paper_default());
+        // Server 0 is an HServer; the worn-SSD profile cannot apply.
+        let err =
+            c.apply_fault_plan(&FaultPlan::none().degraded(0, DeviceProfile::WornSsd)).unwrap_err();
+        assert_eq!(
+            err,
+            ReplayError::ProfileMismatch { server: 0, profile: "worn-ssd", kind: DeviceKind::Hdd }
+        );
+        // And the aged-HDD profile fits it.
+        c.apply_fault_plan(&FaultPlan::none().degraded(0, DeviceProfile::AgedHdd)).unwrap();
+        assert!(c.faults_applied());
     }
 }

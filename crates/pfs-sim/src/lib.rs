@@ -17,21 +17,39 @@
 //!   through its stateful device model; each NIC serializes flows.
 //! * **Metadata service** ([`mds`]): layout lookups cost a round trip at
 //!   file open, as in OrangeFS.
-//! * **Replay** ([`replay`]): traces execute phase-by-phase with barrier
-//!   semantics (synchronous parallel I/O), producing aggregate bandwidth
-//!   and per-server I/O time reports.
+//! * **Replay** ([`session::ReplaySession`]): traces execute
+//!   phase-by-phase with barrier semantics (synchronous parallel I/O),
+//!   producing aggregate bandwidth and per-server I/O time reports. A
+//!   session optionally carries a [`simrt::FaultPlan`] injecting
+//!   stragglers, outage windows, permanent server loss and degraded
+//!   device profiles; the fault-free path is bit-for-bit identical to a
+//!   session with no plan.
+//!
+//! The deprecated free functions `replay` / `replay_with_scratch` /
+//! `replay_scheduled` forward to the same core loop and will be removed;
+//! new code should construct a [`ReplaySession`].
 
 pub mod cluster;
+pub mod error;
+mod fault;
 pub mod layout;
 pub mod mds;
 pub mod replay;
 pub mod server;
+pub mod session;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use error::ReplayError;
 pub use layout::{LayoutSpec, LoadScratch, ServerId, SubExtent};
 pub use mds::MetadataServer;
+#[allow(deprecated)]
+pub use replay::{replay, replay_scheduled, replay_with_scratch};
 pub use replay::{
-    replay, replay_scheduled, replay_with_scratch, FileSet, IdentityResolver, PhysExtent,
-    ReplayReport, ReplaySchedule, ReplayScratch, Resolution, Resolver, ServerIoStat,
+    FileSet, IdentityResolver, PhysExtent, ReplayReport, ReplaySchedule, ReplayScratch,
+    Resolution, Resolver, ServerIoStat,
 };
 pub use server::StorageServer;
+pub use session::ReplaySession;
+// Fault-plan vocabulary, re-exported so callers describing fault
+// scenarios against a cluster don't need a direct simrt dependency.
+pub use simrt::{DeviceProfile, FaultKind, FaultPlan, RetryPolicy, ServerFault, ServerHealth};

@@ -9,11 +9,13 @@
 //! bandwidth is total bytes over the makespan, matching how IOR reports.
 
 use crate::cluster::Cluster;
+use crate::error::ReplayError;
+use crate::fault::{Admission, FaultRuntime};
 use crate::layout::{LayoutSpec, SubExtent};
 use iotrace::{FileId, Trace, TraceRecord};
 use rand::seq::SliceRandom;
 use simrt::stats::OnlineStats;
-use simrt::{SeedSeq, SimDuration, SimTime};
+use simrt::{SeedSeq, ServerHealth, SimDuration, SimTime};
 use storage_model::{DeviceKind, IoOp};
 
 /// Device-space base for a file's object on every server: each file's
@@ -209,6 +211,17 @@ impl ReplayScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Detach the schedule buffers so they can be borrowed alongside the
+    /// rest of the scratch (see [`crate::ReplaySession::run`]).
+    pub(crate) fn take_schedule(&mut self) -> ReplaySchedule {
+        std::mem::take(&mut self.schedule)
+    }
+
+    /// Return the schedule buffers taken by [`Self::take_schedule`].
+    pub(crate) fn put_schedule(&mut self, schedule: ReplaySchedule) {
+        self.schedule = schedule;
+    }
 }
 
 /// Per-server outcome of a replay.
@@ -226,6 +239,14 @@ pub struct ServerIoStat {
     pub bytes_written: u64,
     /// Sub-requests served.
     pub served: u64,
+    /// Client retries spent against this server (0 without faults).
+    pub retries: u64,
+    /// Sub-requests abandoned against this server (0 without faults).
+    pub timeouts: u64,
+    /// Whether the fault plan lost this server permanently.
+    pub down: bool,
+    /// The fault plan's service-time inflation estimate (1.0 = nominal).
+    pub slowdown: f64,
 }
 
 /// Outcome of a replay run.
@@ -251,6 +272,13 @@ pub struct ReplayReport {
     pub request_latency: OnlineStats,
     /// Metadata lookups performed.
     pub mds_lookups: u64,
+    /// Client retries spent waiting out outages (0 without faults).
+    pub retries: u64,
+    /// Sub-requests abandoned after exhausting their retry budget or
+    /// hitting a lost server (0 without faults).
+    pub timeouts: u64,
+    /// Total wall-clock time requests spent backed off in retry loops.
+    pub fault_wait: SimDuration,
 }
 
 impl ReplayReport {
@@ -271,8 +299,15 @@ impl ReplayReport {
 /// Replay `trace` against `cluster`, resolving each request through
 /// `resolver`. The cluster's queues are reset first; installed layouts
 /// are kept.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `ReplaySession::new().run(cluster, trace, resolver)`"
+)]
 pub fn replay(cluster: &mut Cluster, trace: &Trace, resolver: &mut dyn Resolver) -> ReplayReport {
-    replay_with_scratch(cluster, trace, resolver, &mut ReplayScratch::new())
+    let mut scratch = ReplayScratch::new();
+    let schedule = ReplaySchedule::for_trace(trace);
+    replay_core(cluster, trace, &schedule, resolver, &mut scratch, None)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`replay`] with caller-owned scratch buffers, for callers replaying
@@ -280,6 +315,10 @@ pub fn replay(cluster: &mut Cluster, trace: &Trace, resolver: &mut dyn Resolver)
 /// fast path performs no heap allocation once the scratch has warmed up.
 /// Results are identical to [`replay`] — the scratch only changes where
 /// the working memory lives.
+#[deprecated(
+    since = "0.3.0",
+    note = "use a long-lived `ReplaySession`, which owns the scratch"
+)]
 pub fn replay_with_scratch(
     cluster: &mut Cluster,
     trace: &Trace,
@@ -290,7 +329,8 @@ pub fn replay_with_scratch(
     // alongside the rest of the scratch (swap of a few Vec headers).
     let mut schedule = std::mem::take(&mut scratch.schedule);
     schedule.rebuild(trace);
-    let report = replay_scheduled(cluster, trace, &schedule, resolver, scratch);
+    let report = replay_core(cluster, trace, &schedule, resolver, scratch, None)
+        .unwrap_or_else(|e| panic!("{e}"));
     scratch.schedule = schedule;
     report
 }
@@ -302,6 +342,10 @@ pub fn replay_with_scratch(
 ///
 /// # Panics
 /// If `schedule` was not built for a trace of this shape.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `ReplaySession::new().with_schedule(schedule)`, which pins the schedule"
+)]
 pub fn replay_scheduled(
     cluster: &mut Cluster,
     trace: &Trace,
@@ -309,9 +353,32 @@ pub fn replay_scheduled(
     resolver: &mut dyn Resolver,
     scratch: &mut ReplayScratch,
 ) -> ReplayReport {
+    replay_core(cluster, trace, schedule, resolver, scratch, None)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The one replay loop behind [`crate::ReplaySession`] and the deprecated
+/// free functions. With `faults: None` the time arithmetic is exactly the
+/// historical fault-free path — reports stay bit-for-bit identical; with
+/// a [`FaultRuntime`], every sub-request first passes server admission
+/// (outage retry loops, permanent loss) before touching fabric or device.
+pub(crate) fn replay_core(
+    cluster: &mut Cluster,
+    trace: &Trace,
+    schedule: &ReplaySchedule,
+    resolver: &mut dyn Resolver,
+    scratch: &mut ReplayScratch,
+    mut faults: Option<&mut FaultRuntime>,
+) -> Result<ReplayReport, ReplayError> {
     let records = trace.records();
-    assert_eq!(schedule.order.len(), records.len(), "schedule/trace mismatch");
+    if schedule.order.len() != records.len() {
+        return Err(ReplayError::ScheduleMismatch {
+            schedule: schedule.order.len(),
+            trace: records.len(),
+        });
+    }
     cluster.reset();
+    let n_servers = cluster.servers().len();
     let ReplayScratch { extents, subs, opened, schedule: _ } = scratch;
     extents.clear();
     subs.clear();
@@ -359,19 +426,45 @@ pub fn replay_scheduled(
                 let dev_base = file_device_base(ext.file);
                 layout.map_extent_into(ext.offset, ext.len, subs);
                 for sub in subs.iter() {
-                    let server = &mut servers[sub.server.0];
+                    let Some(server) = servers.get_mut(sub.server.0) else {
+                        return Err(ReplayError::UnknownServer {
+                            server: sub.server.0,
+                            servers: n_servers,
+                        });
+                    };
                     let dev_off = dev_base + sub.server_offset;
-                    let done = match rec.op {
-                        IoOp::Write => {
-                            // Data flows client → server, then hits the device.
-                            let arrived = fabric.transfer(issue, client, server.node(), sub.len);
-                            server.serve(arrived, rec.op, dev_off, sub.len)
-                        }
-                        IoOp::Read => {
-                            // Device read, then data flows server → client.
-                            let read_done = server.serve(issue, rec.op, dev_off, sub.len);
-                            fabric.transfer(read_done, server.node(), client, sub.len)
-                        }
+                    let done = match faults.as_deref_mut() {
+                        None => match rec.op {
+                            IoOp::Write => {
+                                // Data flows client → server, then hits the device.
+                                let arrived =
+                                    fabric.transfer(issue, client, server.node(), sub.len);
+                                server.serve(arrived, rec.op, dev_off, sub.len)
+                            }
+                            IoOp::Read => {
+                                // Device read, then data flows server → client.
+                                let read_done = server.serve(issue, rec.op, dev_off, sub.len);
+                                fabric.transfer(read_done, server.node(), client, sub.len)
+                            }
+                        },
+                        Some(rt) => match rt.admit(sub.server.0, issue) {
+                            Admission::At(admitted) => match rec.op {
+                                IoOp::Write => {
+                                    let arrived =
+                                        fabric.transfer(admitted, client, server.node(), sub.len);
+                                    server.serve(arrived, rec.op, dev_off, sub.len)
+                                }
+                                IoOp::Read => {
+                                    let read_done =
+                                        server.serve(admitted, rec.op, dev_off, sub.len);
+                                    fabric.transfer(read_done, server.node(), client, sub.len)
+                                }
+                            },
+                            // An abandoned sub-request moves no bytes and
+                            // charges no device or fabric time — the
+                            // client just burns the timeout waiting.
+                            Admission::TimedOut => issue + rt.timeout,
+                        },
                     };
                     completion = completion.max(done);
                 }
@@ -384,17 +477,29 @@ pub fn replay_scheduled(
     let per_server = cluster
         .servers()
         .iter()
-        .map(|s| ServerIoStat {
-            server: s.id().0,
-            kind: s.kind(),
-            busy: s.busy_time(),
-            bytes_read: s.bytes_read(),
-            bytes_written: s.bytes_written(),
-            served: s.served(),
+        .map(|s| {
+            let (retries, timeouts) = faults
+                .as_ref()
+                .map_or((0, 0), |rt| rt.server_counters(s.id().0));
+            let health = faults
+                .as_ref()
+                .map_or_else(ServerHealth::nominal, |rt| rt.server_health(s.id().0));
+            ServerIoStat {
+                server: s.id().0,
+                kind: s.kind(),
+                busy: s.busy_time(),
+                bytes_read: s.bytes_read(),
+                bytes_written: s.bytes_written(),
+                served: s.served(),
+                retries,
+                timeouts,
+                down: health.down,
+                slowdown: health.speed_factor,
+            }
         })
         .collect();
 
-    ReplayReport {
+    Ok(ReplayReport {
         makespan: phase_end.since(SimTime::ZERO),
         total_bytes: read_bytes + write_bytes,
         read_bytes,
@@ -405,7 +510,10 @@ pub fn replay_scheduled(
         resolve_overhead,
         request_latency: latencies,
         mds_lookups: cluster.mds().lookups(),
-    }
+        retries: faults.as_ref().map_or(0, |rt| rt.retries),
+        timeouts: faults.as_ref().map_or(0, |rt| rt.timeouts),
+        fault_wait: faults.as_ref().map_or(SimDuration::ZERO, |rt| rt.fault_wait),
+    })
 }
 
 #[cfg(test)]
@@ -413,6 +521,7 @@ mod tests {
     use super::*;
     use crate::cluster::ClusterConfig;
     use crate::layout::{LayoutSpec, ServerId};
+    use crate::session::ReplaySession;
     use iotrace::gen::ior::{generate, IorConfig};
     use iotrace::record::Rank;
 
@@ -423,11 +532,15 @@ mod tests {
         generate(&cfg)
     }
 
+    fn run(c: &mut Cluster, t: &Trace, r: &mut dyn Resolver) -> ReplayReport {
+        ReplaySession::new().run(c, t, r).unwrap()
+    }
+
     #[test]
     fn replay_produces_positive_bandwidth() {
         let mut c = Cluster::new(ClusterConfig::paper_default());
         let t = small_ior(IoOp::Write);
-        let r = replay(&mut c, &t, &mut IdentityResolver);
+        let r = run(&mut c, &t, &mut IdentityResolver);
         assert!(r.bandwidth_mbps() > 1.0, "bw={}", r.bandwidth_mbps());
         assert_eq!(r.total_bytes, t.total_bytes());
         assert_eq!(r.write_bytes, t.total_bytes());
@@ -441,7 +554,7 @@ mod tests {
     fn all_servers_participate_under_default_layout() {
         let mut c = Cluster::new(ClusterConfig::paper_default());
         let t = small_ior(IoOp::Write);
-        let r = replay(&mut c, &t, &mut IdentityResolver);
+        let r = run(&mut c, &t, &mut IdentityResolver);
         for s in &r.per_server {
             assert!(s.served > 0, "server {} idle", s.server);
             assert!(s.bytes_written > 0);
@@ -454,7 +567,7 @@ mod tests {
         // I/O time dwarfs the SServers', so SServers contribute little.
         let mut c = Cluster::new(ClusterConfig::paper_default());
         let t = small_ior(IoOp::Write);
-        let r = replay(&mut c, &t, &mut IdentityResolver);
+        let r = run(&mut c, &t, &mut IdentityResolver);
         let h_busy: f64 = r.per_server[..6].iter().map(|s| s.busy.as_secs_f64()).sum::<f64>() / 6.0;
         let s_busy: f64 = r.per_server[6..].iter().map(|s| s.busy.as_secs_f64()).sum::<f64>() / 2.0;
         assert!(h_busy > 2.0 * s_busy, "h={h_busy} s={s_busy}");
@@ -477,6 +590,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // shim coverage: legacy entry points stay report-identical
     fn scratch_reuse_is_report_identical() {
         // One scratch across heterogeneous traces and resolvers must give
         // exactly the reports fresh scratches give.
@@ -535,6 +649,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // shim coverage
     fn hoisted_schedule_is_report_identical() {
         // One schedule reused across replays and schemes must reproduce
         // the inline-built ordering exactly.
@@ -565,6 +680,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // shim coverage: legacy panic message preserved
     #[should_panic(expected = "schedule/trace mismatch")]
     fn schedule_for_wrong_trace_is_rejected() {
         let t = small_ior(IoOp::Write);
@@ -578,8 +694,8 @@ mod tests {
         let t = small_ior(IoOp::Read);
         let mut c1 = Cluster::new(ClusterConfig::paper_default());
         let mut c2 = Cluster::new(ClusterConfig::paper_default());
-        let r1 = replay(&mut c1, &t, &mut IdentityResolver);
-        let r2 = replay(&mut c2, &t, &mut IdentityResolver);
+        let r1 = run(&mut c1, &t, &mut IdentityResolver);
+        let r2 = run(&mut c2, &t, &mut IdentityResolver);
         assert_eq!(r1.makespan, r2.makespan);
         assert_eq!(r1.server_busy_secs(), r2.server_busy_secs());
     }
@@ -592,7 +708,7 @@ mod tests {
         // fixed 64 KB striping over all servers.
         let t = small_ior(IoOp::Write);
         let mut fixed = Cluster::new(ClusterConfig::paper_default());
-        let r_fixed = replay(&mut fixed, &t, &mut IdentityResolver);
+        let r_fixed = run(&mut fixed, &t, &mut IdentityResolver);
 
         let mut varied = Cluster::new(ClusterConfig::paper_default());
         let h: Vec<ServerId> = varied.hserver_ids();
@@ -600,7 +716,7 @@ mod tests {
         varied
             .mds_mut()
             .set_layout(FileId(0), LayoutSpec::hybrid(&h, 0, &s, 32 << 10));
-        let r_varied = replay(&mut varied, &t, &mut IdentityResolver);
+        let r_varied = run(&mut varied, &t, &mut IdentityResolver);
         assert!(
             r_varied.bandwidth_mbps() > r_fixed.bandwidth_mbps(),
             "varied={} fixed={}",
@@ -622,9 +738,9 @@ mod tests {
         }
         let t = small_ior(IoOp::Write);
         let mut c1 = Cluster::new(ClusterConfig::paper_default());
-        let fast = replay(&mut c1, &t, &mut IdentityResolver);
+        let fast = run(&mut c1, &t, &mut IdentityResolver);
         let mut c2 = Cluster::new(ClusterConfig::paper_default());
-        let slow = replay(&mut c2, &t, &mut Slow);
+        let slow = run(&mut c2, &t, &mut Slow);
         assert!(slow.makespan > fast.makespan);
         assert_eq!(
             slow.resolve_overhead,
@@ -655,14 +771,14 @@ mod tests {
         }
         let t = small_ior(IoOp::Read);
         let mut c = Cluster::new(ClusterConfig::paper_default());
-        let r = replay(&mut c, &t, &mut Split);
+        let r = run(&mut c, &t, &mut Split);
         assert_eq!(r.total_bytes, t.total_bytes());
     }
 
     #[test]
     fn empty_trace_reports_zero() {
         let mut c = Cluster::new(ClusterConfig::paper_default());
-        let r = replay(&mut c, &Trace::new(), &mut IdentityResolver);
+        let r = run(&mut c, &Trace::new(), &mut IdentityResolver);
         assert_eq!(r.bandwidth_mbps(), 0.0);
         assert_eq!(r.phases, 0);
         assert_eq!(r.makespan, SimDuration::ZERO);
@@ -703,7 +819,7 @@ mod tests {
                 phase: 0,
             },
         ];
-        let r = replay(&mut c, &Trace::from_records(recs), &mut IdentityResolver);
+        let r = run(&mut c, &Trace::from_records(recs), &mut IdentityResolver);
         assert_eq!(r.mds_lookups, 2, "two files, two opens");
     }
 }

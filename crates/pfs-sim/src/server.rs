@@ -84,6 +84,17 @@ impl StorageServer {
         self.bytes_written
     }
 
+    /// Clone the backing device (used when wrapping it in a degraded
+    /// profile — see [`crate::Cluster::apply_fault_plan`]).
+    pub fn clone_device(&self) -> BoxedDevice {
+        self.device.clone_box()
+    }
+
+    /// Replace the backing device, keeping queue state and byte counters.
+    pub fn set_device(&mut self, device: BoxedDevice) {
+        self.device = device;
+    }
+
     /// Clear queue state and device state (fresh measurement window).
     pub fn reset(&mut self) {
         self.queue.reset();

@@ -1,0 +1,273 @@
+//! [`ReplaySession`]: the single entry point for replaying traces.
+//!
+//! A session owns everything that used to be threaded through the
+//! `replay` / `replay_with_scratch` / `replay_scheduled` free functions —
+//! scratch buffers, an optional pinned schedule — plus the new
+//! fault-injection state ([`simrt::FaultPlan`]). One session replayed
+//! across a whole experiment grid keeps the per-request path
+//! allocation-free, and every failure mode surfaces as a
+//! [`ReplayError`] instead of a panic.
+
+use crate::cluster::Cluster;
+use crate::error::ReplayError;
+use crate::fault::FaultRuntime;
+use crate::replay::{replay_core, ReplayReport, ReplaySchedule, ReplayScratch, Resolver};
+use iotrace::Trace;
+use simrt::FaultPlan;
+
+/// Reusable replay context: scratch buffers, an optional pinned
+/// [`ReplaySchedule`], and an optional [`FaultPlan`].
+///
+/// ```
+/// use pfs_sim::{Cluster, ClusterConfig, IdentityResolver, ReplaySession};
+/// # use iotrace::Trace;
+/// let mut cluster = Cluster::new(ClusterConfig::paper_default());
+/// let mut session = ReplaySession::new();
+/// let report = session
+///     .run(&mut cluster, &Trace::new(), &mut IdentityResolver)
+///     .unwrap();
+/// assert_eq!(report.requests, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReplaySession {
+    /// Pinned schedule, when the caller hoisted it; otherwise the order
+    /// is rebuilt per run from the scratch's schedule buffers.
+    schedule: Option<ReplaySchedule>,
+    scratch: ReplayScratch,
+    fault: FaultPlan,
+}
+
+impl ReplaySession {
+    /// Fresh session: no pinned schedule, no faults, cold buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin a prebuilt schedule. Every subsequent run replays in exactly
+    /// this order and rejects traces of a different shape with
+    /// [`ReplayError::ScheduleMismatch`].
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: ReplaySchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Attach a fault plan. An empty plan ([`FaultPlan::none`]) leaves
+    /// replay bit-for-bit identical to the fault-free path.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// Replace the fault plan in place (e.g. to sweep fault scenarios
+    /// over one warmed-up session).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// The active fault plan (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    /// The pinned schedule, if any.
+    pub fn schedule(&self) -> Option<&ReplaySchedule> {
+        self.schedule.as_ref()
+    }
+
+    /// Replay `trace` against `cluster` through `resolver`.
+    ///
+    /// When the session carries a non-empty fault plan, the plan's
+    /// device/link faults are materialized into the cluster first (once —
+    /// [`Cluster::apply_fault_plan`] is skipped if faults were already
+    /// applied, so repeated runs don't stack slowdowns), and its temporal
+    /// faults drive per-sub-request admission during the run. Retry,
+    /// timeout and health accounting land in the returned
+    /// [`ReplayReport`].
+    pub fn run(
+        &mut self,
+        cluster: &mut Cluster,
+        trace: &Trace,
+        resolver: &mut dyn Resolver,
+    ) -> Result<ReplayReport, ReplayError> {
+        let mut runtime = if self.fault.is_empty() {
+            None
+        } else {
+            if !cluster.faults_applied() {
+                cluster.apply_fault_plan(&self.fault)?;
+            }
+            Some(FaultRuntime::new(&self.fault, cluster.servers().len()))
+        };
+        match &self.schedule {
+            Some(schedule) => replay_core(
+                cluster,
+                trace,
+                schedule,
+                resolver,
+                &mut self.scratch,
+                runtime.as_mut(),
+            ),
+            None => {
+                // Borrow dance as in the old `replay_with_scratch`: the
+                // schedule buffers live inside the scratch, so take them
+                // out while the scratch is mutably borrowed by the core.
+                let mut schedule = self.scratch.take_schedule();
+                schedule.rebuild(trace);
+                let report = replay_core(
+                    cluster,
+                    trace,
+                    &schedule,
+                    resolver,
+                    &mut self.scratch,
+                    runtime.as_mut(),
+                );
+                self.scratch.put_schedule(schedule);
+                report
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::replay::IdentityResolver;
+    use iotrace::gen::ior::{generate, IorConfig};
+    use storage_model::IoOp;
+
+    fn small_ior(op: IoOp) -> Trace {
+        let mut cfg = IorConfig::default_run(op);
+        cfg.reqs_per_proc = 8;
+        cfg.proc_mix = vec![8];
+        generate(&cfg)
+    }
+
+    #[test]
+    fn session_matches_deprecated_free_functions() {
+        // The collapsed API must reproduce the legacy entry points
+        // bit for bit on the fault-free path.
+        for t in [small_ior(IoOp::Write), small_ior(IoOp::Read)] {
+            let mut c1 = Cluster::new(ClusterConfig::paper_default());
+            #[allow(deprecated)]
+            let legacy = crate::replay::replay(&mut c1, &t, &mut IdentityResolver);
+            let mut c2 = Cluster::new(ClusterConfig::paper_default());
+            let mut session = ReplaySession::new();
+            let new = session.run(&mut c2, &t, &mut IdentityResolver).unwrap();
+            assert_eq!(legacy.makespan, new.makespan);
+            assert_eq!(legacy.server_busy_secs(), new.server_busy_secs());
+            assert_eq!(legacy.mds_lookups, new.mds_lookups);
+            assert_eq!(
+                legacy.request_latency.sum().to_bits(),
+                new.request_latency.sum().to_bits()
+            );
+            assert_eq!(new.retries, 0);
+            assert_eq!(new.timeouts, 0);
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let t = small_ior(IoOp::Write);
+        let mut c1 = Cluster::new(ClusterConfig::paper_default());
+        let plain = ReplaySession::new()
+            .run(&mut c1, &t, &mut IdentityResolver)
+            .unwrap();
+        let mut c2 = Cluster::new(ClusterConfig::paper_default());
+        let faultless = ReplaySession::new()
+            .with_fault_plan(FaultPlan::none())
+            .run(&mut c2, &t, &mut IdentityResolver)
+            .unwrap();
+        assert_eq!(plain.makespan, faultless.makespan);
+        assert_eq!(plain.server_busy_secs(), faultless.server_busy_secs());
+        assert!(!c2.faults_applied(), "empty plan must not touch the cluster");
+    }
+
+    #[test]
+    fn pinned_schedule_rejects_wrong_trace() {
+        let t = small_ior(IoOp::Write);
+        let mut c = Cluster::new(ClusterConfig::paper_default());
+        let err = ReplaySession::new()
+            .with_schedule(ReplaySchedule::for_trace(&Trace::new()))
+            .run(&mut c, &t, &mut IdentityResolver)
+            .unwrap_err();
+        assert_eq!(err, ReplayError::ScheduleMismatch { schedule: 0, trace: t.len() });
+    }
+
+    #[test]
+    fn straggler_plan_slows_the_run_deterministically() {
+        let t = small_ior(IoOp::Write);
+        let mut base_cluster = Cluster::new(ClusterConfig::paper_default());
+        let base = ReplaySession::new()
+            .run(&mut base_cluster, &t, &mut IdentityResolver)
+            .unwrap();
+        let plan = FaultPlan::none().slow_server(0, 4.0);
+        let run = |plan: FaultPlan| {
+            let mut c = Cluster::new(ClusterConfig::paper_default());
+            ReplaySession::new()
+                .with_fault_plan(plan)
+                .run(&mut c, &t, &mut IdentityResolver)
+                .unwrap()
+        };
+        let r1 = run(plan.clone());
+        let r2 = run(plan);
+        assert!(r1.makespan > base.makespan, "straggler must cost time");
+        assert_eq!(r1.makespan, r2.makespan, "same plan, same report");
+        assert_eq!(r1.server_busy_secs(), r2.server_busy_secs());
+        assert!((r1.per_server[0].slowdown - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outage_accounts_retries_and_down_server_times_out() {
+        let t = small_ior(IoOp::Write);
+        // Server 0 is unreachable for the first 50 ms, server 1 dies at
+        // t = 0: every sub-request to it burns the 2 s timeout.
+        let plan = FaultPlan::none().outage(0, 0.0, 0.05).down(1, 0.0);
+        let mut c = Cluster::new(ClusterConfig::paper_default());
+        let r = ReplaySession::new()
+            .with_fault_plan(plan)
+            .run(&mut c, &t, &mut IdentityResolver)
+            .unwrap();
+        assert!(r.retries > 0, "outage must force retries");
+        assert!(r.timeouts > 0, "down server must time out");
+        assert!(r.fault_wait > simrt::SimDuration::ZERO);
+        assert_eq!(r.per_server[0].retries, r.retries);
+        assert_eq!(r.per_server[1].timeouts, r.timeouts);
+        assert!(r.per_server[1].down);
+        assert_eq!(
+            r.per_server[1].bytes_written, 0,
+            "a dead server moves no bytes"
+        );
+        assert!(
+            r.makespan.as_secs_f64() >= 2.0,
+            "timeouts dominate the makespan: {:?}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn repeated_runs_do_not_stack_device_faults() {
+        let t = small_ior(IoOp::Write);
+        let mut c = Cluster::new(ClusterConfig::paper_default());
+        let mut session = ReplaySession::new().with_fault_plan(FaultPlan::none().slow_server(0, 3.0));
+        let r1 = session.run(&mut c, &t, &mut IdentityResolver).unwrap();
+        let r2 = session.run(&mut c, &t, &mut IdentityResolver).unwrap();
+        assert_eq!(
+            r1.makespan, r2.makespan,
+            "second run must not re-wrap the device"
+        );
+    }
+
+    #[test]
+    fn fault_plan_out_of_range_surfaces_as_error() {
+        let t = small_ior(IoOp::Write);
+        let mut c = Cluster::new(ClusterConfig::paper_default());
+        let servers = c.servers().len();
+        let err = ReplaySession::new()
+            .with_fault_plan(FaultPlan::none().slow_server(servers, 2.0))
+            .run(&mut c, &t, &mut IdentityResolver)
+            .unwrap_err();
+        assert_eq!(err, ReplayError::FaultTargetOutOfRange { server: servers, servers });
+    }
+}

@@ -16,12 +16,14 @@
 //! ties by insertion sequence number, never by pointer or hash order.
 
 pub mod engine;
+pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Engine, Model, Scheduler};
+pub use fault::{DeviceProfile, FaultKind, FaultPlan, RetryPolicy, ServerFault, ServerHealth};
 pub use resource::FifoResource;
 pub use rng::SeedSeq;
 pub use time::{SimDuration, SimTime};

@@ -35,6 +35,17 @@ pub struct HddParams {
     /// around. Back-to-back queued writes stream and skip this. Reads are
     /// exempt (drive read-ahead covers sequential gaps).
     pub idle_write_miss_s: f64,
+    /// Fraction of 4 MiB block groups remapped to the spare area (grown
+    /// defects on an aged disk). `0.0` — the pristine default — disables
+    /// the remap path entirely, keeping service times bit-identical to a
+    /// model without these fields. Which block groups are remapped is a
+    /// deterministic hash of the group index.
+    #[serde(default)]
+    pub remap_frac: f64,
+    /// Extra latency an access to a remapped block group pays (head
+    /// excursion to the spare area and back), seconds.
+    #[serde(default)]
+    pub remap_latency_s: f64,
 }
 
 impl HddParams {
@@ -49,6 +60,19 @@ impl HddParams {
             transfer_bps: 90.0e6,
             near_window: 1 << 20,
             idle_write_miss_s: 4.17e-3,
+            remap_frac: 0.0,
+            remap_latency_s: 0.0,
+        }
+    }
+
+    /// The same disk aged badly: 6% of block groups remapped to the spare
+    /// area, each access there paying roughly a full-stroke excursion —
+    /// the "HDD remap latency" degraded profile.
+    pub fn aged_sata2_250gb() -> Self {
+        HddParams {
+            remap_frac: 0.06,
+            remap_latency_s: 22.0e-3,
+            ..Self::sata2_250gb()
         }
     }
 }
@@ -105,6 +129,15 @@ impl HddModel {
         let a = p.seek_max_s - b;
         (a + b * frac.sqrt()).max(p.seek_min_s)
     }
+
+    /// Is the 4 MiB block group holding `offset` remapped to the spare
+    /// area? Deterministic golden-ratio hash of the group index compared
+    /// against `remap_frac`, so the same offsets are remapped run to run.
+    fn remapped(&self, offset: u64) -> bool {
+        let group = offset >> 22;
+        let hash = group.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11;
+        (hash as f64 / (1u64 << 53) as f64) < self.params.remap_frac
+    }
 }
 
 impl Device for HddModel {
@@ -150,8 +183,13 @@ impl Device for HddModel {
         } else {
             0.0
         };
+        let remap = if p.remap_frac > 0.0 && self.remapped(offset) {
+            p.remap_latency_s
+        } else {
+            0.0
+        };
         self.head = Some(offset + len);
-        let fixed = positioning + miss;
+        let fixed = positioning + miss + remap;
         match self.memo {
             Some((f, l, s)) if f == fixed.to_bits() && l == len => s,
             _ => {
@@ -288,6 +326,40 @@ mod idle_miss_tests {
             .service_time_arrival(IoOp::Read, 65536, 65536, true)
             .as_secs_f64();
         assert!((idle - 65536.0 / 90.0e6).abs() < 1e-9, "read-ahead covers the gap");
+    }
+
+    #[test]
+    fn aged_disk_charges_remap_latency_deterministically() {
+        let mut aged = HddModel::new(HddParams::aged_sata2_250gb());
+        let mut fresh = HddModel::sata2_250gb();
+        // Scan block groups until one remapped group shows up; its
+        // surcharge must be exactly `remap_latency_s` over the pristine
+        // disk in the same head state.
+        let mut hit = false;
+        for g in 0..256u64 {
+            let off = g << 22;
+            aged.reset();
+            fresh.reset();
+            let a = aged.service_time(IoOp::Read, off, 4096).as_secs_f64();
+            let f = fresh.service_time(IoOp::Read, off, 4096).as_secs_f64();
+            if a > f {
+                assert!((a - f - 22.0e-3).abs() < 1e-9, "off={off} a={a} f={f}");
+                hit = true;
+            }
+        }
+        assert!(hit, "6% of 256 groups must include a remapped one");
+    }
+
+    #[test]
+    fn zero_remap_frac_is_bit_identical_to_seed_params() {
+        // The pristine default must not even perturb float rounding.
+        let mut with_fields = HddModel::new(HddParams::sata2_250gb());
+        let mut probe = HddModel::sata2_250gb();
+        for g in 0..64u64 {
+            let a = with_fields.service_time(IoOp::Write, g * 123_457, 8192);
+            let b = probe.service_time(IoOp::Write, g * 123_457, 8192);
+            assert_eq!(a.as_nanos(), b.as_nanos());
+        }
     }
 
     #[test]

@@ -17,11 +17,13 @@
 //! default so unit tests can assert exact durations.
 
 pub mod calibrate;
+pub mod degrade;
 pub mod device;
 pub mod hdd;
 pub mod ssd;
 
 pub use calibrate::{calibrate, LinearFit};
+pub use degrade::ScaledDevice;
 pub use device::{BoxedDevice, Device, DeviceKind, IoOp};
 pub use hdd::{HddModel, HddParams};
 pub use ssd::{SsdModel, SsdParams};

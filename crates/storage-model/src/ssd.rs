@@ -51,6 +51,21 @@ impl SsdParams {
             gc_pause_s: 2.0e-3,
         }
     }
+
+    /// The same card after heavy wear: the write cliff. Sustained write
+    /// rate collapses, write startups stretch, and garbage collection
+    /// fires an order of magnitude more often with longer stalls. Read
+    /// behaviour is nearly untouched — which is exactly what makes a worn
+    /// SServer treacherous for write-heavy placements.
+    pub fn worn_pcie_100gb() -> Self {
+        SsdParams {
+            write_startup_s: 450.0e-6,
+            write_bps: 150.0e6,
+            gc_interval_bytes: 48 << 20,
+            gc_pause_s: 12.0e-3,
+            ..Self::pcie_100gb()
+        }
+    }
 }
 
 /// Stateful SSD: tracks write volume for periodic GC stalls.
@@ -211,6 +226,18 @@ mod tests {
             let b = cold.service_time(op, 0, len);
             assert_eq!(a.as_nanos(), b.as_nanos(), "request {i}");
         }
+    }
+
+    #[test]
+    fn worn_ssd_hits_the_write_cliff_but_reads_hold_up() {
+        let mut worn = SsdModel::new(SsdParams::worn_pcie_100gb());
+        let mut fresh = SsdModel::pcie_100gb();
+        let w_worn = svc(&mut worn, IoOp::Write, 1 << 20);
+        let w_fresh = svc(&mut fresh, IoOp::Write, 1 << 20);
+        assert!(w_worn > 2.0 * w_fresh, "worn={w_worn} fresh={w_fresh}");
+        let r_worn = svc(&mut worn, IoOp::Read, 1 << 20);
+        let r_fresh = svc(&mut fresh, IoOp::Read, 1 << 20);
+        assert!((r_worn - r_fresh).abs() < 1e-12, "reads unaffected");
     }
 
     #[test]

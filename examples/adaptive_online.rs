@@ -55,8 +55,8 @@ fn main() {
     }
 
     // Compare against the static extremes.
-    let def = evaluate_scheme(Scheme::Def, &trace, &cluster, &ctx);
-    let oracle = evaluate_scheme(Scheme::Mha, &trace, &cluster, &ctx);
+    let def = Evaluation::of(Scheme::Def, &trace, &cluster).context(&ctx).report();
+    let oracle = Evaluation::of(Scheme::Mha, &trace, &cluster).context(&ctx).report();
     println!("\n{:<26} {:>10}", "strategy", "MB/s");
     println!("{:<26} {:>10.1}", "DEF (never plan)", def.bandwidth_mbps());
     println!(

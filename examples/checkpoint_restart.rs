@@ -76,12 +76,14 @@ fn main() {
 
     println!("\n{:<12} {:>12} {:>12} {:>10}", "pass", "DEF MB/s", "MHA MB/s", "gain");
     for (name, trace) in [("checkpoint", &checkpoint), ("restart", &restart)] {
-        let def = evaluate_scheme(Scheme::Def, trace, &cluster, &ctx);
+        let def = Evaluation::of(Scheme::Def, trace, &cluster).context(&ctx).report();
         // Replay under the checkpoint-derived plan.
         let mut c = Cluster::new(cluster.clone());
         apply_plan(&mut c, &plan);
         let mut resolver = plan.make_resolver(SimDuration::from_micros(5));
-        let mha = replay(&mut c, trace, resolver.as_mut());
+        let mha = ReplaySession::new()
+            .run(&mut c, trace, resolver.as_mut())
+            .expect("fault-free replay cannot fail");
         println!(
             "{:<12} {:>12.1} {:>12.1} {:>+9.1}%",
             name,

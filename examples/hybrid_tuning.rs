@@ -26,8 +26,8 @@ fn main() {
         let cluster = ClusterConfig::with_ratio(h, s);
         let ctx = PlannerContext::for_cluster(&cluster);
 
-        let def = evaluate_scheme(Scheme::Def, &trace, &cluster, &ctx);
-        let mha = evaluate_scheme(Scheme::Mha, &trace, &cluster, &ctx);
+        let def = Evaluation::of(Scheme::Def, &trace, &cluster).context(&ctx).report();
+        let mha = Evaluation::of(Scheme::Mha, &trace, &cluster).context(&ctx).report();
 
         // Load imbalance: coefficient of variation of per-server I/O time
         // (0 = perfectly even). DEF's fixed stripes leave HServers as

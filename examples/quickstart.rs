@@ -30,7 +30,7 @@ fn main() {
     println!("\n{:<6} {:>12} {:>14} {:>10}", "scheme", "MB/s", "makespan (s)", "vs DEF");
     let mut def_bw = 0.0;
     for scheme in Scheme::all() {
-        let report = evaluate_scheme(scheme, &trace, &cluster, &ctx);
+        let report = Evaluation::of(scheme, &trace, &cluster).context(&ctx).report();
         let bw = report.bandwidth_mbps();
         if scheme == Scheme::Def {
             def_bw = bw;

@@ -19,10 +19,14 @@
 //!
 //! // 3. Plan and replay under DEF and MHA.
 //! let ctx = PlannerContext::for_cluster(&cluster);
-//! let def = evaluate_scheme(Scheme::Def, &trace, &cluster, &ctx);
-//! let mha = evaluate_scheme(Scheme::Mha, &trace, &cluster, &ctx);
+//! let def = Evaluation::of(Scheme::Def, &trace, &cluster).context(&ctx).report();
+//! let mha = Evaluation::of(Scheme::Mha, &trace, &cluster).context(&ctx).report();
 //! assert!(mha.bandwidth_mbps() > def.bandwidth_mbps());
 //! ```
+//!
+//! To study a degraded cluster, attach a [`pfs_sim::FaultPlan`] with
+//! [`Evaluation::faults`](mha_core::schemes::Evaluation::faults) and opt
+//! into health-aware replanning with `replan_around_faults(true)`.
 //!
 //! ## Crate map
 //!
@@ -50,12 +54,15 @@ pub use storage_model;
 pub mod prelude {
     pub use iotrace::{Collector, Trace, TraceRecord, TraceStats};
     pub use mha_core::schemes::{
-        apply_plan, evaluate_scheme, LayoutPlanner, Plan, PlannerContext, Scheme,
+        apply_plan, Evaluation, LayoutPlanner, Plan, PlannerContext, Scheme,
     };
     pub use mha_core::dynamic::{run_dynamic, DynamicConfig, DynamicReport};
     pub use mha_core::{CostParams, DrtResolver, GroupingConfig, RssdConfig};
     pub use mpiio_sim::{Hints, Middleware, MpiJob};
-    pub use pfs_sim::{replay, Cluster, ClusterConfig, IdentityResolver, LayoutSpec, ServerId};
+    pub use pfs_sim::{
+        Cluster, ClusterConfig, FaultPlan, IdentityResolver, LayoutSpec, ReplayError,
+        ReplaySession, ServerId,
+    };
     pub use simrt::{SimDuration, SimTime};
     pub use storage_model::IoOp;
 }
@@ -74,7 +81,9 @@ mod tests {
         job.barrier();
         let trace = job.finish();
         let mut c = Cluster::new(cluster);
-        let report = replay(&mut c, &trace, &mut IdentityResolver);
+        let report = ReplaySession::new()
+            .run(&mut c, &trace, &mut IdentityResolver)
+            .expect("fault-free replay cannot fail");
         assert!(report.bandwidth_mbps() > 0.0);
     }
 }

@@ -8,6 +8,16 @@ fn ctx(cluster: &ClusterConfig) -> PlannerContext {
     PlannerContext::for_cluster(cluster)
 }
 
+/// One scheme, planned and replayed through the session builder.
+fn eval(
+    scheme: Scheme,
+    trace: &Trace,
+    cluster: &ClusterConfig,
+    c: &PlannerContext,
+) -> mha::pfs_sim::ReplayReport {
+    Evaluation::of(scheme, trace, cluster).context(c).report()
+}
+
 fn ctx_for(cluster: &ClusterConfig, trace: &Trace) -> PlannerContext {
     PlannerContext::for_cluster(cluster).with_step_for(trace)
 }
@@ -29,7 +39,7 @@ fn byte_conservation_across_schemes() {
     for trace in &traces {
         let c = ctx_for(&cluster, trace);
         for scheme in Scheme::all() {
-            let report = evaluate_scheme(scheme, trace, &cluster, &c);
+            let report = eval(scheme, trace, &cluster, &c);
             assert_eq!(
                 report.total_bytes,
                 trace.total_bytes(),
@@ -61,9 +71,9 @@ fn scheme_ordering_on_heterogeneous_workloads() {
         }),
     ];
     for (name, trace) in &workloads {
-        let def = evaluate_scheme(Scheme::Def, trace, &cluster, &c).bandwidth_mbps();
-        let harl = evaluate_scheme(Scheme::Harl, trace, &cluster, &c).bandwidth_mbps();
-        let mha = evaluate_scheme(Scheme::Mha, trace, &cluster, &c).bandwidth_mbps();
+        let def = eval(Scheme::Def, trace, &cluster, &c).bandwidth_mbps();
+        let harl = eval(Scheme::Harl, trace, &cluster, &c).bandwidth_mbps();
+        let mha = eval(Scheme::Mha, trace, &cluster, &c).bandwidth_mbps();
         assert!(mha > def, "{name}: MHA {mha} <= DEF {def}");
         assert!(mha >= harl * 0.98, "{name}: MHA {mha} trails HARL {harl}");
     }
@@ -78,8 +88,8 @@ fn mha_degenerates_gracefully_on_uniform_patterns() {
     let mut cfg = ior::IorConfig::default_run(IoOp::Write);
     cfg.reqs_per_proc = 16;
     let trace = ior::generate(&cfg);
-    let harl = evaluate_scheme(Scheme::Harl, &trace, &cluster, &c).bandwidth_mbps();
-    let mha = evaluate_scheme(Scheme::Mha, &trace, &cluster, &c).bandwidth_mbps();
+    let harl = eval(Scheme::Harl, &trace, &cluster, &c).bandwidth_mbps();
+    let mha = eval(Scheme::Mha, &trace, &cluster, &c).bandwidth_mbps();
     let ratio = mha / harl;
     assert!(
         (0.9..=1.5).contains(&ratio),
@@ -94,8 +104,8 @@ fn end_to_end_determinism() {
     let c = ctx(&cluster);
     let trace = lanl::generate(&lanl::LanlConfig::paper(8, IoOp::Write));
     for scheme in Scheme::all() {
-        let a = evaluate_scheme(scheme, &trace, &cluster, &c);
-        let b = evaluate_scheme(scheme, &trace, &cluster, &c);
+        let a = eval(scheme, &trace, &cluster, &c);
+        let b = eval(scheme, &trace, &cluster, &c);
         assert_eq!(a.makespan, b.makespan, "{}", scheme.name());
         assert_eq!(a.server_busy_secs(), b.server_busy_secs(), "{}", scheme.name());
     }
@@ -134,7 +144,7 @@ fn per_server_bytes_sum_to_volume() {
     let c = ctx(&cluster);
     let trace = lanl::generate(&lanl::LanlConfig::paper(8, IoOp::Write));
     for scheme in Scheme::all() {
-        let r = evaluate_scheme(scheme, &trace, &cluster, &c);
+        let r = eval(scheme, &trace, &cluster, &c);
         let server_bytes: u64 = r.per_server.iter().map(|s| s.bytes_written).sum();
         assert_eq!(server_bytes, trace.total_bytes(), "{}", scheme.name());
     }
@@ -149,7 +159,7 @@ fn degenerate_clusters() {
         let cluster = ClusterConfig::with_ratio(h, s);
         let c = ctx(&cluster);
         for scheme in Scheme::all() {
-            let r = evaluate_scheme(scheme, &trace, &cluster, &c);
+            let r = eval(scheme, &trace, &cluster, &c);
             assert!(
                 r.bandwidth_mbps() > 0.0,
                 "{}h:{s}s {}: zero bandwidth",
@@ -170,7 +180,7 @@ fn middleware_agrees_with_direct_evaluation() {
     mw.plan_from_profile(&cluster);
     let run = mw.optimized_run(&cluster, &trace);
     let c = ctx(&cluster);
-    let direct = evaluate_scheme(Scheme::Mha, &trace, &cluster, &c);
+    let direct = eval(Scheme::Mha, &trace, &cluster, &c);
     let ratio = run.report.bandwidth_mbps() / direct.bandwidth_mbps();
     assert!(
         (0.95..=1.05).contains(&ratio),
