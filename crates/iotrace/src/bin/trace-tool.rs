@@ -7,27 +7,22 @@
 //! trace-tool to-json < lanl.tsv > lanl.json        # TSV → JSON
 //! trace-tool from-json < lanl.json > lanl.tsv      # JSON → TSV
 //! ```
+//!
+//! Exit codes: 0 on success, 1 when the input trace is malformed or I/O
+//! fails, 2 on usage errors.
 
 use iotrace::gen::{btio, cholesky, hpio, ior, lanl, lu};
-use iotrace::{tsv, Trace, TraceStats};
+use iotrace::{tsv, Trace, TraceError, TraceStats};
 use std::io::Read as _;
 use storage_model::IoOp;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let result = match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("stats") => cmd_stats(),
-        Some("to-json") => {
-            let trace = read_tsv_stdin();
-            println!("{}", serde_json::to_string_pretty(&trace).expect("serialize"));
-        }
-        Some("from-json") => {
-            let mut text = String::new();
-            std::io::stdin().read_to_string(&mut text).expect("read stdin");
-            let trace: Trace = serde_json::from_str(&text).expect("parse JSON trace");
-            print!("{}", tsv::to_tsv(&trace));
-        }
+        Some("to-json") => cmd_to_json(),
+        Some("from-json") => cmd_from_json(),
         _ => {
             eprintln!(
                 "usage: trace-tool gen <lanl|ior|hpio|btio|lu|cholesky> [options]\n\
@@ -38,16 +33,40 @@ fn main() {
             );
             std::process::exit(2);
         }
+    };
+    if let Err(e) = result {
+        eprintln!("{e}");
+        std::process::exit(1);
     }
 }
 
-fn read_tsv_stdin() -> Trace {
+fn read_stdin() -> Result<String, TraceError> {
     let mut text = String::new();
-    std::io::stdin().read_to_string(&mut text).expect("read stdin");
-    tsv::from_tsv(&text).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(1);
-    })
+    std::io::stdin().read_to_string(&mut text)?;
+    Ok(text)
+}
+
+fn read_tsv_stdin() -> Result<Trace, TraceError> {
+    tsv::from_tsv(&read_stdin()?)
+}
+
+fn cmd_to_json() -> Result<(), TraceError> {
+    let trace = read_tsv_stdin()?;
+    let json = serde_json::to_string_pretty(&trace)
+        .map_err(|e| TraceError::Io(std::io::Error::other(e)))?;
+    println!("{json}");
+    Ok(())
+}
+
+fn cmd_from_json() -> Result<(), TraceError> {
+    let text = read_stdin()?;
+    let trace: Trace = serde_json::from_str(&text).map_err(|e| TraceError::Parse {
+        line: e.line(),
+        message: format!("bad JSON trace: {e}"),
+    })?;
+    trace.validate()?;
+    print!("{}", tsv::to_tsv(&trace));
+    Ok(())
 }
 
 fn opt(args: &[String], name: &str) -> Option<String> {
@@ -68,7 +87,7 @@ fn op_of(args: &[String]) -> IoOp {
     }
 }
 
-fn cmd_gen(args: &[String]) {
+fn cmd_gen(args: &[String]) -> Result<(), TraceError> {
     let trace = match args.first().map(String::as_str) {
         Some("lanl") => lanl::generate(&lanl::LanlConfig {
             procs: num(args, "--procs", 8),
@@ -82,6 +101,10 @@ fn cmd_gen(args: &[String]) {
                 .filter_map(|s| s.parse::<u64>().ok())
                 .map(|kb| kb << 10)
                 .collect();
+            if sizes.is_empty() {
+                eprintln!("--sizes must list at least one KiB value");
+                std::process::exit(2);
+            }
             let mut cfg = ior::IorConfig::mixed_sizes(&sizes, op_of(args));
             cfg.proc_mix = vec![num(args, "--procs", 16)];
             ior::generate(&cfg)
@@ -103,10 +126,11 @@ fn cmd_gen(args: &[String]) {
         }
     };
     print!("{}", tsv::to_tsv(&trace));
+    Ok(())
 }
 
-fn cmd_stats() {
-    let trace = read_tsv_stdin();
+fn cmd_stats() -> Result<(), TraceError> {
+    let trace = read_tsv_stdin()?;
     let s = TraceStats::of(&trace);
     println!("requests        {}", s.requests);
     println!("reads/writes    {}/{}", s.reads, s.writes);
@@ -123,4 +147,5 @@ fn cmd_stats() {
     for (floor, count) in s.size_histogram.iter() {
         println!("  >= {floor:>10} B : {count}");
     }
+    Ok(())
 }

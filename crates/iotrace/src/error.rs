@@ -1,0 +1,80 @@
+//! Structured errors for trace ingestion.
+//!
+//! Everything that can go wrong while reading a trace from the outside
+//! world — malformed TSV, a record that violates the schema invariants,
+//! or plain I/O failure — surfaces as a [`TraceError`] instead of a
+//! panic, so tools can report the offending line or record and exit
+//! with a proper status code.
+
+use std::fmt;
+
+/// Error ingesting or validating a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A TSV line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A parsed record violates a schema invariant (zero or absurd
+    /// length, out-of-range rank, out-of-order timestamp, …).
+    InvalidRecord {
+        /// 0-based record index within the trace.
+        index: usize,
+        /// The violated invariant.
+        reason: String,
+    },
+    /// Reading the input failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+            TraceError::InvalidRecord { index, reason } => {
+                write!(f, "invalid trace record #{index}: {reason}")
+            }
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_are_stable() {
+        let p = TraceError::Parse { line: 3, message: "bad op 'x'".into() };
+        assert_eq!(p.to_string(), "trace parse error at line 3: bad op 'x'");
+        let r = TraceError::InvalidRecord { index: 7, reason: "zero-length request".into() };
+        assert_eq!(r.to_string(), "invalid trace record #7: zero-length request");
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: TraceError = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(e.to_string().contains("trace I/O error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

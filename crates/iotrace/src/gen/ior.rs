@@ -94,7 +94,7 @@ pub fn generate(cfg: &IorConfig) -> Trace {
     let variants = cfg.proc_mix.len().max(cfg.size_mix.len());
     // Partition the file into one contiguous chunk per pattern variant.
     let chunk = cfg.file_size / variants as u64;
-    let max_procs = *cfg.proc_mix.iter().max().expect("nonempty");
+    let max_procs = cfg.proc_mix.iter().copied().max().unwrap_or(1);
 
     for iter in 0..cfg.reqs_per_proc {
         let variant = iter % variants;

@@ -17,6 +17,7 @@
 
 pub mod analyze;
 pub mod collector;
+pub mod error;
 pub mod gen;
 pub mod record;
 pub mod stats;
@@ -25,6 +26,7 @@ pub mod tsv;
 
 pub use analyze::{analyze, is_predictable, SpatialPattern, StreamPattern};
 pub use collector::Collector;
+pub use error::TraceError;
 pub use record::{FileId, Rank, TraceRecord};
 pub use stats::TraceStats;
 pub use trace::Trace;

@@ -1,9 +1,18 @@
 //! A trace: an ordered collection of records plus derived views.
 
+use crate::error::TraceError;
 use crate::record::{FileId, TraceRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use storage_model::IoOp;
+
+/// Largest request length [`Trace::validate`] accepts (4 TiB). A length
+/// above this almost certainly came from a negative size reinterpreted
+/// as unsigned during ingestion.
+pub const MAX_REQUEST_LEN: u64 = 1 << 42;
+
+/// One past the largest MPI rank [`Trace::validate`] accepts.
+pub const MAX_RANK: u32 = 1 << 20;
 
 /// An application I/O trace in issue order.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -34,6 +43,48 @@ impl Trace {
     /// Records in issue order.
     pub fn records(&self) -> &[TraceRecord] {
         &self.records
+    }
+
+    /// Check the invariants a well-formed ingested trace must satisfy:
+    /// every request has a positive, plausible length ([`MAX_REQUEST_LEN`])
+    /// and an in-file byte range, ranks are in range ([`MAX_RANK`]), and
+    /// timestamps are non-decreasing (the issue-order rule [`Trace::push`]
+    /// debug-asserts). Ingestion paths ([`crate::tsv::from_tsv`],
+    /// `trace-tool`) run this on every trace they accept.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut last_ts = None;
+        for (index, r) in self.records.iter().enumerate() {
+            let fail = |reason: String| TraceError::InvalidRecord { index, reason };
+            if r.len == 0 {
+                return Err(fail("zero-length request".into()));
+            }
+            if r.len > MAX_REQUEST_LEN {
+                return Err(fail(format!(
+                    "request length {} exceeds {} bytes (negative size reinterpreted as unsigned?)",
+                    r.len, MAX_REQUEST_LEN
+                )));
+            }
+            if r.offset.checked_add(r.len).is_none() {
+                return Err(fail(format!(
+                    "offset {} + length {} overflows the byte range",
+                    r.offset, r.len
+                )));
+            }
+            if r.rank.0 >= MAX_RANK {
+                return Err(fail(format!("rank {} out of range (max {})", r.rank.0, MAX_RANK - 1)));
+            }
+            if let Some(prev) = last_ts {
+                if r.ts < prev {
+                    return Err(fail(format!(
+                        "timestamp {} ns precedes its predecessor at {} ns (records must be in issue order)",
+                        r.ts.as_nanos(),
+                        prev.as_nanos()
+                    )));
+                }
+            }
+            last_ts = Some(r.ts);
+        }
+        Ok(())
     }
 
     /// Number of records.
@@ -243,5 +294,80 @@ mod tests {
         assert_eq!(t.max_request_size(), 0);
         assert_eq!(t.phase_count(), 0);
         assert!(t.concurrency().is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_traces() {
+        let t = Trace::from_records(vec![
+            rec(0, 0, 100, 0, IoOp::Read),
+            rec(0, 100, 300, 0, IoOp::Write),
+            rec(0, 400, 200, 1, IoOp::Read),
+        ]);
+        assert!(t.validate().is_ok());
+        assert!(Trace::new().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_length_requests() {
+        let t = Trace::from_records(vec![rec(0, 0, 10, 0, IoOp::Read), rec(0, 10, 0, 0, IoOp::Read)]);
+        let err = t.validate().unwrap_err();
+        assert!(
+            matches!(&err, TraceError::InvalidRecord { index: 1, reason } if reason.contains("zero-length")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_reinterpreted_negative_sizes() {
+        // -4096 as i64, reinterpreted as u64 — the classic ingestion bug.
+        let mut r = rec(0, 0, 10, 0, IoOp::Write);
+        r.len = (-4096i64) as u64;
+        let err = Trace::from_records(vec![r]).validate().unwrap_err();
+        assert!(
+            matches!(&err, TraceError::InvalidRecord { index: 0, reason } if reason.contains("exceeds")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_overflowing_byte_ranges() {
+        let mut r = rec(0, u64::MAX - 100, 10, 0, IoOp::Write);
+        r.len = 200;
+        let err = Trace::from_records(vec![r]).validate().unwrap_err();
+        assert!(
+            matches!(&err, TraceError::InvalidRecord { reason, .. } if reason.contains("overflows")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_ranks() {
+        let mut r = rec(0, 0, 10, 0, IoOp::Read);
+        r.rank = Rank(MAX_RANK);
+        let err = Trace::from_records(vec![r]).validate().unwrap_err();
+        assert!(
+            matches!(&err, TraceError::InvalidRecord { reason, .. } if reason.contains("rank")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_non_monotonic_timestamps() {
+        // rec() derives ts from the phase, so phase 1 before phase 0 is
+        // exactly the out-of-issue-order shape push() debug-asserts on.
+        let t = Trace::from_records(vec![rec(0, 0, 10, 1, IoOp::Read), rec(0, 10, 10, 0, IoOp::Read)]);
+        let err = t.validate().unwrap_err();
+        assert!(
+            matches!(&err, TraceError::InvalidRecord { index: 1, reason } if reason.contains("issue order")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn generated_workloads_validate_clean() {
+        let t = crate::gen::lanl::generate(&crate::gen::lanl::LanlConfig::paper(4, IoOp::Write));
+        assert!(t.validate().is_ok());
+        let t = crate::gen::lu::generate(&crate::gen::lu::LuConfig { procs: 2, steps: 16 });
+        assert!(t.validate().is_ok());
     }
 }

@@ -5,28 +5,12 @@
 //! `pid<TAB>rank<TAB>file<TAB>op<TAB>offset<TAB>len<TAB>ts_ns<TAB>phase`
 //! Lines starting with `#` are comments.
 
+use crate::error::TraceError;
 use crate::record::{FileId, Rank, TraceRecord};
 use crate::trace::Trace;
 use simrt::SimTime;
 use std::fmt::Write as _;
 use storage_model::IoOp;
-
-/// Error parsing a TSV trace.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// 1-based line number.
-    pub line: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
 
 /// Serialize a trace to TSV.
 pub fn to_tsv(trace: &Trace) -> String {
@@ -49,8 +33,12 @@ pub fn to_tsv(trace: &Trace) -> String {
     out
 }
 
-/// Parse a trace from TSV.
-pub fn from_tsv(text: &str) -> Result<Trace, ParseError> {
+/// Parse a trace from TSV and [validate](Trace::validate) it: malformed
+/// lines report [`TraceError::Parse`] with the 1-based line number, and a
+/// trace that parses but violates a schema invariant (zero-length request,
+/// out-of-range rank, out-of-order timestamps, …) reports
+/// [`TraceError::InvalidRecord`].
+pub fn from_tsv(text: &str) -> Result<Trace, TraceError> {
     let mut records = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -60,13 +48,13 @@ pub fn from_tsv(text: &str) -> Result<Trace, ParseError> {
         }
         let fields: Vec<&str> = line.split('\t').collect();
         if fields.len() != 8 {
-            return Err(ParseError {
+            return Err(TraceError::Parse {
                 line: lineno,
                 message: format!("expected 8 fields, found {}", fields.len()),
             });
         }
-        let num = |s: &str, what: &str| -> Result<u64, ParseError> {
-            s.parse::<u64>().map_err(|e| ParseError {
+        let num = |s: &str, what: &str| -> Result<u64, TraceError> {
+            s.parse::<u64>().map_err(|e| TraceError::Parse {
                 line: lineno,
                 message: format!("bad {what} '{s}': {e}"),
             })
@@ -75,7 +63,7 @@ pub fn from_tsv(text: &str) -> Result<Trace, ParseError> {
             "read" => IoOp::Read,
             "write" => IoOp::Write,
             other => {
-                return Err(ParseError {
+                return Err(TraceError::Parse {
                     line: lineno,
                     message: format!("bad op '{other}' (expected read/write)"),
                 })
@@ -92,7 +80,9 @@ pub fn from_tsv(text: &str) -> Result<Trace, ParseError> {
             phase: num(fields[7], "phase")? as u32,
         });
     }
-    Ok(Trace::from_records(records))
+    let trace = Trace::from_records(records);
+    trace.validate()?;
+    Ok(trace)
 }
 
 #[cfg(test)]
@@ -142,20 +132,68 @@ mod tests {
     #[test]
     fn bad_field_count_reports_line() {
         let err = from_tsv("1\t2\t3\n").unwrap_err();
-        assert_eq!(err.line, 1);
-        assert!(err.message.contains("8 fields"));
+        assert!(
+            matches!(&err, TraceError::Parse { line: 1, message } if message.contains("8 fields")),
+            "{err}"
+        );
     }
 
     #[test]
     fn bad_op_rejected() {
         let err = from_tsv("1\t0\t0\tappend\t0\t16\t0\t0\n").unwrap_err();
-        assert!(err.message.contains("bad op"));
+        assert!(
+            matches!(&err, TraceError::Parse { message, .. } if message.contains("bad op")),
+            "{err}"
+        );
     }
 
     #[test]
     fn bad_number_rejected() {
         let err = from_tsv("x\t0\t0\tread\t0\t16\t0\t0\n").unwrap_err();
-        assert!(err.message.contains("bad pid"));
+        assert!(
+            matches!(&err, TraceError::Parse { message, .. } if message.contains("bad pid")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn negative_size_rejected_at_parse() {
+        // A negative length never parses as u64, so it fails at the
+        // parse stage rather than slipping through reinterpreted.
+        let err = from_tsv("1\t0\t0\tread\t0\t-16\t0\t0\n").unwrap_err();
+        assert!(
+            matches!(&err, TraceError::Parse { message, .. } if message.contains("bad len")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn zero_length_record_rejected_by_validation() {
+        let err = from_tsv("1\t0\t0\tread\t0\t0\t0\t0\n").unwrap_err();
+        assert!(
+            matches!(&err, TraceError::InvalidRecord { index: 0, reason } if reason.contains("zero-length")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn out_of_order_timestamps_rejected_by_validation() {
+        let text = "1\t0\t0\tread\t0\t16\t200\t0\n1\t0\t0\tread\t16\t16\t100\t1\n";
+        let err = from_tsv(text).unwrap_err();
+        assert!(
+            matches!(&err, TraceError::InvalidRecord { index: 1, reason } if reason.contains("issue order")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_rank_rejected_by_validation() {
+        let text = format!("1\t{}\t0\tread\t0\t16\t0\t0\n", crate::trace::MAX_RANK);
+        let err = from_tsv(&text).unwrap_err();
+        assert!(
+            matches!(&err, TraceError::InvalidRecord { reason, .. } if reason.contains("rank")),
+            "{err}"
+        );
     }
 
     #[test]

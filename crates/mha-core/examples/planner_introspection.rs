@@ -9,7 +9,7 @@
 //! workload ∈ {lanl, lu, hpio} (default: lanl)
 
 use iotrace::Trace;
-use mha_core::schemes::{evaluate_scheme, PlannerContext, Scheme};
+use mha_core::schemes::{Evaluation, PlannerContext, Scheme};
 use pfs_sim::ClusterConfig;
 use storage_model::IoOp;
 
@@ -40,7 +40,7 @@ fn main() {
 
     for scheme in Scheme::all() {
         let plan = scheme.planner().plan(&trace, &ctx);
-        let report = evaluate_scheme(scheme, &trace, &cfg, &ctx);
+        let report = Evaluation::of(scheme, &trace, &cfg).context(&ctx).report();
         println!(
             "== {:<4} bw={:>7.1} MB/s  makespan={}  regions={}",
             scheme.name(),

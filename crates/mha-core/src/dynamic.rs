@@ -20,8 +20,23 @@
 //! The report shows the resulting trade: dynamic MHA approaches the
 //! oracle (plan-from-full-trace) bandwidth on stable patterns and stays
 //! well above DEF on drifting ones, while paying visible migration time.
+//!
+//! ## Durable mode
+//!
+//! [`run_dynamic_durable`] runs the same controller against a
+//! [`PipelineStore`]: migration proceeds in **journaled batches** with a
+//! write-ahead invariant — a batch's intended DRT entries are journaled
+//! before its bytes move, its commit record is written after, and an
+//! entry is only published into the live DRT once its batch committed.
+//! [`crate::persist::recover`] then makes a crash at any point safe:
+//! committed batches roll forward, uncommitted ones are discarded, and
+//! the DRT never resolves to data that was never migrated. Each batch
+//! is replayed as its own barrier phase (the commit record *is* the
+//! barrier), so durable migration time is ≥ the one-shot estimate of
+//! [`run_dynamic`] — that gap is the price of resumability.
 
-use crate::region::{Drt, DrtEntry};
+use crate::persist::{PersistError, PipelineStore};
+use crate::region::{Drt, DrtEntry, Rst};
 use crate::schemes::{apply_plan, LayoutPlanner, MhaPlanner, Plan, PlanResolver, PlannerContext};
 use iotrace::record::Rank;
 use iotrace::{Trace, TraceRecord, TraceStats};
@@ -179,13 +194,40 @@ impl DynamicReport {
     }
 }
 
-/// Run `trace` under the dynamic controller.
+/// Run `trace` under the dynamic controller (in-memory state only).
 pub fn run_dynamic(
     cluster_cfg: &ClusterConfig,
     trace: &Trace,
     ctx: &PlannerContext,
     cfg: &DynamicConfig,
 ) -> DynamicReport {
+    match run_dynamic_inner(cluster_cfg, trace, ctx, cfg, None) {
+        Ok(report) => report,
+        Err(_) => unreachable!("without a store there is nothing to fail"),
+    }
+}
+
+/// Run `trace` under the dynamic controller with crash-consistent state:
+/// the DRT/RST commit to `store` at every epoch boundary, and migration
+/// runs in journaled batches (see the module docs). After a crash,
+/// reopen the store, call [`crate::persist::recover`], and re-run.
+pub fn run_dynamic_durable(
+    cluster_cfg: &ClusterConfig,
+    trace: &Trace,
+    ctx: &PlannerContext,
+    cfg: &DynamicConfig,
+    store: &PipelineStore,
+) -> Result<DynamicReport, PersistError> {
+    run_dynamic_inner(cluster_cfg, trace, ctx, cfg, Some(store))
+}
+
+fn run_dynamic_inner(
+    cluster_cfg: &ClusterConfig,
+    trace: &Trace,
+    ctx: &PlannerContext,
+    cfg: &DynamicConfig,
+    store: Option<&PipelineStore>,
+) -> Result<DynamicReport, PersistError> {
     let epochs = split_epochs(trace, cfg.epoch_phases);
     let mut observed: Vec<TraceRecord> = Vec::new();
     // Layouts accumulate across re-plans: region files from earlier plans
@@ -193,6 +235,10 @@ pub fn run_dynamic(
     let mut layout_book: Vec<(iotrace::FileId, pfs_sim::LayoutSpec)> = Vec::new();
     let mut state: Option<OnlineState> = None;
     let mut plan_stats: Option<TraceStats> = None;
+    // All plans' RST rows, accumulated: region files from earlier plans
+    // keep holding data, so their stripe pairs must stay resolvable
+    // after a reload.
+    let mut rst_book = Rst::new();
     let mut report = DynamicReport {
         epochs: Vec::new(),
         total_bytes: 0,
@@ -248,14 +294,43 @@ pub fn run_dynamic(
             // Migrate only the hot extents (observed more than once): the
             // controller must not pay to move data it has no evidence
             // will be touched again.
-            let (bytes, time) = migrate(
-                cluster_cfg,
-                state.as_ref().map(|s| &s.drt),
-                &layout_book,
-                &new_plan,
-                &adoption.to_migrate,
-                cfg,
-            );
+            let (bytes, time) = match store {
+                None => migrate(
+                    cluster_cfg,
+                    state.as_ref().map(|s| &s.drt),
+                    &layout_book,
+                    &new_plan,
+                    &adoption.to_migrate,
+                    cfg,
+                ),
+                Some(store) => {
+                    for (file, pair) in new_plan.rst.iter() {
+                        rst_book.set(file, pair);
+                    }
+                    // Commit the adopted mapping *without* the entries
+                    // still waiting to move: until a batch's journal
+                    // record commits, lookups must keep resolving to the
+                    // old (valid) home.
+                    let base = drt_minus(&adoption.state.drt, &adoption.to_migrate);
+                    store.save_tables(&base, &rst_book)?;
+                    let mut published = base;
+                    let moved = migrate_durable(
+                        cluster_cfg,
+                        state.as_ref().map(|s| &s.drt),
+                        &layout_book,
+                        &new_plan,
+                        &adoption.to_migrate,
+                        cfg,
+                        store,
+                        &mut published,
+                    )?;
+                    // All batches committed: publish the full mapping and
+                    // retire the journal.
+                    store.save_tables(&published, &rst_book)?;
+                    store.clear_journal()?;
+                    moved
+                }
+            };
             migrated = bytes;
             mig_time = time;
             report.replans += 1;
@@ -265,6 +340,14 @@ pub fn run_dynamic(
             layout_book.extend(new_plan.layouts.iter().cloned());
             state = Some(adoption.state);
             replanned = true;
+        }
+        // Epoch boundary: placements appended online during the replay
+        // become durable here (a crash inside the epoch replays it from
+        // the last committed generation).
+        if let (Some(store), Some(st)) = (store, &state) {
+            if !replanned {
+                store.save_tables(&st.drt, &rst_book)?;
+            }
         }
         report.epochs.push(EpochStat {
             epoch: e,
@@ -276,7 +359,25 @@ pub fn run_dynamic(
             migration_time: mig_time,
         });
     }
-    report
+    if let Some(store) = store {
+        store.gc()?;
+    }
+    Ok(report)
+}
+
+/// `full` minus the exact `(o_file, o_offset)` keys of `removed` — the
+/// committed-before-migration base mapping.
+fn drt_minus(full: &Drt, removed: &[DrtEntry]) -> Drt {
+    let removed_keys: std::collections::HashSet<(u32, u64)> =
+        removed.iter().map(|e| (e.o_file.0, e.o_offset)).collect();
+    let mut out = Drt::new();
+    for e in full.entries() {
+        if !removed_keys.contains(&(e.o_file.0, e.o_offset)) {
+            let inserted = out.insert(e);
+            debug_assert!(inserted, "subset of a valid DRT stays non-overlapping");
+        }
+    }
+    out
 }
 
 /// Result of adopting a new plan online.
@@ -485,12 +586,112 @@ fn migrate(
     (bytes, rep.makespan)
 }
 
+/// Journaled, resumable variant of [`migrate`]: entries move in batches
+/// of `cfg.migration_batch`, each under the write-ahead discipline
+///
+/// 1. journal the batch's intended DRT entries,
+/// 2. replay the batch's read-old/write-new traffic,
+/// 3. write the batch's commit record (fsynced),
+/// 4. publish the entries into `published`.
+///
+/// A crash between 1 and 3 leaves an uncommitted journal batch that
+/// [`crate::persist::recover`] discards (the old mapping still resolves
+/// to valid bytes — migration copies, it does not destroy); a crash
+/// after 3 leaves a committed batch that recovery rolls forward. Each
+/// batch is replayed on its own cluster because the commit record is a
+/// hard barrier: batch *n + 1* must not move until batch *n* is durable.
+#[allow(clippy::too_many_arguments)]
+fn migrate_durable(
+    cluster_cfg: &ClusterConfig,
+    old_drt: Option<&Drt>,
+    layout_book: &[(iotrace::FileId, pfs_sim::LayoutSpec)],
+    new_plan: &Plan,
+    entries: &[DrtEntry],
+    cfg: &DynamicConfig,
+    store: &PipelineStore,
+    published: &mut Drt,
+) -> Result<(u64, SimDuration), PersistError> {
+    let mut bytes = 0u64;
+    let mut time = SimDuration::ZERO;
+    for (b, chunk) in entries.chunks(cfg.migration_batch.max(1)).enumerate() {
+        let batch = b as u32;
+        store.journal_batch(batch, chunk)?;
+
+        let mut records: Vec<TraceRecord> = Vec::new();
+        for entry in chunk {
+            let rank = Rank((records.len() as u32 / 2) % cfg.migration_ranks.max(1));
+            let src = old_drt
+                .map(|d| d.translate(entry.o_file, entry.o_offset, entry.length))
+                .unwrap_or_default();
+            let srcs = if src.is_empty() {
+                vec![pfs_sim::PhysExtent {
+                    file: entry.o_file,
+                    offset: entry.o_offset,
+                    len: entry.length,
+                }]
+            } else {
+                src
+            };
+            for s in srcs {
+                records.push(TraceRecord {
+                    pid: 9000 + rank.0,
+                    rank,
+                    file: s.file,
+                    op: IoOp::Read,
+                    offset: s.offset,
+                    len: s.len,
+                    ts: SimTime::ZERO,
+                    phase: 0,
+                });
+            }
+            records.push(TraceRecord {
+                pid: 9000 + rank.0,
+                rank,
+                file: entry.r_file,
+                op: IoOp::Write,
+                offset: entry.r_offset,
+                len: entry.length,
+                ts: SimTime::ZERO,
+                phase: 0,
+            });
+        }
+        if !records.is_empty() {
+            records.sort_by_key(|r| (r.rank, r.file, r.offset));
+            let migration_trace = Trace::from_records(records);
+            let mut cluster = Cluster::new(cluster_cfg.clone());
+            for (file, layout) in layout_book {
+                cluster.mds_mut().set_layout(*file, layout.clone());
+            }
+            apply_plan(&mut cluster, new_plan);
+            let rep = ReplaySession::new()
+                .run(&mut cluster, &migration_trace, &mut IdentityResolver)
+                .expect("unscheduled fault-free replay cannot fail");
+            time += rep.makespan;
+        }
+
+        store.commit_batch(batch)?;
+        for entry in chunk {
+            if published.lookup_exact(entry.o_file, entry.o_offset, entry.length)
+                != Some((entry.r_file, entry.r_offset))
+            {
+                let inserted = published.insert(*entry);
+                debug_assert!(inserted, "to-migrate entries are disjoint from the base");
+            }
+            bytes += entry.length;
+        }
+    }
+    Ok((bytes, time))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::persist::recover;
+    use crate::rssd::StripePair;
     use crate::schemes::{Evaluation, Scheme};
     use iotrace::gen::ior::{generate as gen_ior, IorConfig};
     use iotrace::gen::lanl::{generate as gen_lanl, LanlConfig};
+    use iotrace::FileId;
 
     fn ctx(cfg: &ClusterConfig) -> PlannerContext {
         PlannerContext::for_cluster(cfg)
@@ -583,5 +784,204 @@ mod tests {
         let app_time: SimDuration = rep.epochs.iter().map(|e| e.io_time).sum();
         assert_eq!((app_time + mig_time).as_nanos(), rep.total_time.as_nanos());
         assert_eq!(rep.total_bytes, trace.total_bytes());
+    }
+
+    // ------------------------------------------------ durable mode --
+
+    fn tmp_store(tag: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("mha-dyn-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    /// Base mapping: six extents of file 0 already living in region
+    /// file 70 000.
+    fn base_tables() -> (Drt, Rst) {
+        let mut drt = Drt::new();
+        for i in 0..6u64 {
+            assert!(drt.insert(DrtEntry {
+                o_file: FileId(0),
+                o_offset: i * 8192,
+                r_file: FileId(70_000),
+                r_offset: i * 4096,
+                length: 4096,
+            }));
+        }
+        let mut rst = Rst::new();
+        rst.set(FileId(70_000), StripePair { h: 0, s: 64 << 10 });
+        rst.set(FileId(70_001), StripePair { h: 0, s: 128 << 10 });
+        (drt, rst)
+    }
+
+    /// Nine further extents of file 0 that migration moves into region
+    /// file 70 001.
+    fn to_migrate_entries() -> Vec<DrtEntry> {
+        (0..9u64)
+            .map(|i| DrtEntry {
+                o_file: FileId(0),
+                o_offset: (1 << 20) + i * 8192,
+                r_file: FileId(70_001),
+                r_offset: i * 4096,
+                length: 4096,
+            })
+            .collect()
+    }
+
+    /// A plan with no layouts: the MDS default layout serves the
+    /// migration traffic, which is all `migrate_durable` needs.
+    fn empty_plan() -> Plan {
+        Plan {
+            scheme: Scheme::Mha,
+            layouts: Vec::new(),
+            resolver: PlanResolver::Identity,
+            rst: Rst::new(),
+            regions: Vec::new(),
+        }
+    }
+
+    /// The durable migration flow exactly as `run_dynamic_inner` drives
+    /// it: commit the base, move in journaled batches, publish, retire.
+    fn run_flow(
+        store: &PipelineStore,
+        cluster_cfg: &ClusterConfig,
+        base: &Drt,
+        rst: &Rst,
+        to_migrate: &[DrtEntry],
+        cfg: &DynamicConfig,
+    ) -> Result<Drt, PersistError> {
+        store.save_tables(base, rst)?;
+        let mut published = base.clone();
+        migrate_durable(
+            cluster_cfg,
+            None,
+            &[],
+            &empty_plan(),
+            to_migrate,
+            cfg,
+            store,
+            &mut published,
+        )?;
+        store.save_tables(&published, rst)?;
+        store.clear_journal()?;
+        Ok(published)
+    }
+
+    /// The acceptance property: kill the process at *every* commit
+    /// boundary of the migration flow, recover, and check that the DRT
+    /// never resolves to unmigrated data — each entry is either a base
+    /// entry or belongs to a batch whose journal commit record survived.
+    #[test]
+    fn kill_matrix_over_journaled_migration_recovers_consistently() {
+        let cluster = ClusterConfig::paper_default();
+        let cfg = DynamicConfig { migration_batch: 3, ..DynamicConfig::default() };
+        let (base, rst) = base_tables();
+        let to_migrate = to_migrate_entries();
+
+        // Recording run: measure the matrix width.
+        let path = tmp_store("matrix-record");
+        let boundaries = {
+            let store = PipelineStore::open(&path).expect("open");
+            run_flow(&store, &cluster, &base, &rst, &to_migrate, &cfg).expect("flow");
+            store.kill_switch().boundaries()
+        };
+        let _ = std::fs::remove_file(&path);
+        assert!(boundaries > 30, "expected a wide matrix, got {boundaries} boundaries");
+
+        for k in 0..boundaries {
+            let path = tmp_store(&format!("matrix-{k}"));
+            {
+                let store = PipelineStore::open(&path).expect("open");
+                store.kill_switch().arm(k);
+                match run_flow(&store, &cluster, &base, &rst, &to_migrate, &cfg) {
+                    Err(PersistError::Killed(_)) => {}
+                    other => panic!("boundary {k}: expected Killed, got {other:?}"),
+                }
+            }
+            // "Restart": reopen, read the surviving journal, recover.
+            let store = PipelineStore::open(&path).expect("reopen");
+            let journal = store.journal().expect("journal");
+            let committed: std::collections::HashSet<(u32, u64)> = journal
+                .iter()
+                .filter(|b| b.committed)
+                .flat_map(|b| b.entries.iter().map(|e| (e.o_file.0, e.o_offset)))
+                .collect();
+            let out = recover(&store).expect("recover");
+            match &out.tables {
+                None => assert!(
+                    journal.is_empty(),
+                    "boundary {k}: the base commits before any journaling"
+                ),
+                Some((drt, got_rst)) => {
+                    assert_eq!(*got_rst, rst, "boundary {k}: RST must survive");
+                    for e in drt.entries() {
+                        let in_base = base.lookup_exact(e.o_file, e.o_offset, e.length)
+                            == Some((e.r_file, e.r_offset));
+                        assert!(
+                            in_base || committed.contains(&(e.o_file.0, e.o_offset)),
+                            "boundary {k}: {e:?} resolves to unmigrated data"
+                        );
+                    }
+                    for b in journal.iter().filter(|b| b.committed) {
+                        for e in &b.entries {
+                            assert_eq!(
+                                drt.lookup_exact(e.o_file, e.o_offset, e.length),
+                                Some((e.r_file, e.r_offset)),
+                                "boundary {k}: committed batch entry lost"
+                            );
+                        }
+                    }
+                    for e in base.entries() {
+                        assert_eq!(
+                            drt.lookup_exact(e.o_file, e.o_offset, e.length),
+                            Some((e.r_file, e.r_offset)),
+                            "boundary {k}: base entry lost"
+                        );
+                    }
+                }
+            }
+            // Recovery is idempotent ...
+            let again = recover(&store).expect("recover again");
+            assert_eq!(again.rolled_forward, 0, "boundary {k}: second recovery must be a no-op");
+            // ... and the retried flow completes and publishes everything.
+            let published =
+                run_flow(&store, &cluster, &base, &rst, &to_migrate, &cfg).expect("resume");
+            let (final_drt, final_rst) =
+                store.load_tables().expect("load").expect("committed");
+            assert_eq!(final_drt, published, "boundary {k}");
+            assert_eq!(final_rst, rst, "boundary {k}");
+            assert_eq!(final_drt.len(), base.len() + to_migrate.len(), "boundary {k}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn durable_run_persists_tables_and_retires_the_journal() {
+        let cluster = ClusterConfig::paper_default();
+        let c = ctx(&cluster);
+        // The migration workload: two identical LANL passes make extents
+        // hot, the trailing large-read phase forces a drift re-plan.
+        let mut trace = gen_lanl(&LanlConfig::paper(16, IoOp::Write));
+        trace.extend_with(&gen_lanl(&LanlConfig::paper(16, IoOp::Write)));
+        let mut ior_cfg = IorConfig::default_run(IoOp::Read);
+        ior_cfg.size_mix = vec![1 << 20];
+        ior_cfg.reqs_per_proc = 32;
+        trace.extend_with(&gen_ior(&ior_cfg));
+        let path = tmp_store("durable-smoke");
+        let store = PipelineStore::open(&path).expect("open");
+        let rep = run_dynamic_durable(&cluster, &trace, &c, &DynamicConfig::default(), &store)
+            .expect("durable run");
+        assert!(rep.replans >= 2, "drift must replan: {}", rep.replans);
+        assert!(rep.migrated_bytes > 0, "hot extents must migrate");
+        assert_eq!(rep.total_bytes, trace.total_bytes());
+        // The journal is retired and the final mapping is committed.
+        assert!(store.journal().expect("journal").is_empty());
+        let (drt, rst) = store.load_tables().expect("load").expect("committed");
+        assert!(!drt.is_empty(), "the adopted mapping must persist");
+        assert!(!rst.is_empty(), "region stripe pairs must persist");
+        // Recovery on a cleanly-finished store is a no-op.
+        let out = recover(&store).expect("recover");
+        assert_eq!(out.rolled_forward, 0);
+        assert_eq!(out.tables.expect("tables").0, drt);
+        let _ = std::fs::remove_file(&path);
     }
 }

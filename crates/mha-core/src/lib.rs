@@ -15,7 +15,10 @@
 //!   and Region Stripe Table (RST), with kvstore persistence,
 //! * [`redirect`] — the runtime I/O redirector (a [`pfs_sim::Resolver`]),
 //! * [`schemes`] — the four planners evaluated in the paper: DEF, AAL,
-//!   HARL and MHA, behind one [`schemes::LayoutPlanner`] trait.
+//!   HARL and MHA, behind one [`schemes::LayoutPlanner`] trait,
+//! * [`persist`] — crash-consistent pipeline persistence: versioned
+//!   checksummed DRT/RST/plan generations with atomic commit, the
+//!   write-ahead migration journal, and [`persist::recover`].
 //!
 //! The intended flow (the paper's five phases):
 //!
@@ -34,13 +37,17 @@ pub mod cost;
 pub mod dynamic;
 pub mod grouping;
 pub mod pattern;
+pub mod persist;
 pub mod redirect;
 pub mod region;
 pub mod rssd;
 pub mod schemes;
 
 pub use cost::{CostParams, ReqView};
-pub use dynamic::{run_dynamic, DynamicConfig, DynamicReport};
+pub use dynamic::{run_dynamic, run_dynamic_durable, DynamicConfig, DynamicReport};
+pub use persist::{
+    recover, CommitPoint, KillSwitch, PersistError, PipelineStore, RecoveryOutcome,
+};
 pub use grouping::{group_requests, Grouping, GroupingConfig};
 pub use pattern::{FeatureSpace, ReqFeature};
 pub use redirect::DrtResolver;

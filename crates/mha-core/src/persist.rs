@@ -1,0 +1,1133 @@
+//! Crash-consistent persistence for the planning pipeline.
+//!
+//! The paper's five-phase flow spans multiple application runs: the DRT
+//! and RST computed after run *n* must still be there — and still be
+//! *right* — when run *n + 1* opens the file system. This module turns
+//! the `kvstore` crate (WAL + CRC32 + atomic compaction, the Berkeley DB
+//! substitute) into a durability layer with three guarantees:
+//!
+//! 1. **Versioned, checksummed records.** Every value is wrapped in an
+//!    envelope `[magic "MH"][tag][version][crc32(payload)][payload]`.
+//!    The WAL already checksums whole records; the envelope additionally
+//!    rejects cross-table mixups, format drift and any corruption that
+//!    survives the log layer, with structured [`PersistError`]s instead
+//!    of panics or silently wrong tables.
+//! 2. **Atomic generations.** A save writes every DRT/RST/plan record
+//!    under a fresh generation prefix and only then appends a single
+//!    *commit record* naming that generation and its exact entry counts.
+//!    Readers resolve the commit record first; a crash anywhere before
+//!    it leaves the previous committed generation untouched, and a
+//!    commit record whose counts don't match the surviving entries is
+//!    rejected as corrupt (this closes the WAL-tail-drop hole where a
+//!    mid-log flip silently truncates everything after it).
+//! 3. **Write-ahead migration journal.** Region migration appends each
+//!    batch's intended DRT entries to a journal *before* moving bytes,
+//!    and a per-batch commit record *after* the movement traffic has
+//!    been replayed. A DRT entry is only published once its batch
+//!    committed, so [`recover`] can roll committed batches forward and
+//!    discard uncommitted intents — the DRT never resolves to data that
+//!    was never migrated.
+//!
+//! Crash injection is first-class: every mutating operation crosses
+//! numbered *commit boundaries* through a [`KillSwitch`]. Arming the
+//! switch at boundary `k` makes the `k`-th store write fail with
+//! [`PersistError::Killed`] before it happens — simulated process death
+//! with everything earlier already in the log — which lets tests sweep a
+//! deterministic kill-point matrix across the whole pipeline.
+
+use crate::region::{Drt, DrtEntry, Rst};
+use crate::schemes::{Plan, PlanResolver, Scheme};
+use iotrace::FileId;
+use kvstore::codec::crc32;
+use kvstore::{Store, StoreOptions};
+use pfs_sim::{FaultPlan, LayoutSpec};
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// On-disk format version of every record this module writes.
+const VERSION: u8 = 1;
+
+/// Record tags: what kind of payload an envelope carries.
+const TAG_DRT: u8 = b'D';
+const TAG_RST: u8 = b'R';
+const TAG_META: u8 = b'P';
+const TAG_FAULT: u8 = b'F';
+const TAG_JOURNAL: u8 = b'J';
+const TAG_COMMIT: u8 = b'C';
+
+/// The single key naming the committed generation.
+const COMMIT_KEY: &[u8] = b"pcommit";
+
+// ------------------------------------------------------------- errors --
+
+/// Why a pipeline persistence operation failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying kvstore failed (I/O, log-level corruption, ...).
+    Store(kvstore::Error),
+    /// A record exists but its envelope or payload is damaged.
+    Corrupt {
+        /// Human-readable rendering of the offending key.
+        key: String,
+        /// What exactly was wrong.
+        reason: String,
+    },
+    /// A record was written by an incompatible format version.
+    VersionMismatch {
+        /// Human-readable rendering of the offending key.
+        key: String,
+        /// Version found on disk.
+        found: u8,
+        /// Version this build writes and reads.
+        expected: u8,
+    },
+    /// The committed generation references a record that is gone.
+    Missing {
+        /// Human-readable rendering of the absent key.
+        key: String,
+    },
+    /// Could not encode a value for storage (serde failure).
+    Encode(String),
+    /// Simulated process death injected by an armed [`KillSwitch`].
+    Killed(CommitPoint),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Store(e) => write!(f, "pipeline store: {e}"),
+            PersistError::Corrupt { key, reason } => {
+                write!(f, "pipeline record {key} is corrupt: {reason}")
+            }
+            PersistError::VersionMismatch { key, found, expected } => {
+                write!(f, "pipeline record {key}: version {found}, expected {expected}")
+            }
+            PersistError::Missing { key } => write!(f, "pipeline record {key} is missing"),
+            PersistError::Encode(e) => write!(f, "pipeline encode failure: {e}"),
+            PersistError::Killed(p) => write!(f, "simulated crash at commit boundary {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kvstore::Error> for PersistError {
+    fn from(e: kvstore::Error) -> Self {
+        PersistError::Store(e)
+    }
+}
+
+/// Render a (partially binary) store key for error messages.
+fn key_name(k: &[u8]) -> String {
+    let mut s = String::with_capacity(k.len() * 2);
+    for &b in k {
+        if (0x20..0x7f).contains(&b) {
+            s.push(b as char);
+        } else {
+            let _ = write!(s, "\\x{b:02x}");
+        }
+    }
+    s
+}
+
+fn corrupt(key: &[u8], reason: impl Into<String>) -> PersistError {
+    PersistError::Corrupt { key: key_name(key), reason: reason.into() }
+}
+
+// -------------------------------------------------------- kill switch --
+
+/// The commit boundaries a crash can be injected at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPoint {
+    /// Before writing one DRT/RST/plan record of an uncommitted
+    /// generation.
+    TableEntry,
+    /// Before writing a generation's commit record — the atomic instant
+    /// a save becomes visible.
+    TableCommit,
+    /// Before journaling one migration batch intent record.
+    BatchIntent,
+    /// Before writing a migration batch's commit record — the atomic
+    /// instant a batch's movement becomes rollable-forward.
+    BatchCommit,
+    /// Before clearing the migration journal after publication.
+    JournalClear,
+}
+
+/// Deterministic crash injector.
+///
+/// Every mutating [`PipelineStore`] operation calls [`KillSwitch::check`]
+/// immediately *before* each store write; the switch counts these
+/// crossings globally. Arming it at index `k` makes crossing `k` return
+/// [`PersistError::Killed`] — the write does not happen, everything
+/// earlier is already in the log, exactly the state a process killed
+/// between two appends leaves behind. Disarmed, the switch only counts,
+/// so a recording run measures how many boundaries a flow crosses.
+#[derive(Debug, Default)]
+pub struct KillSwitch {
+    armed: Cell<Option<u64>>,
+    crossed: Cell<u64>,
+}
+
+impl KillSwitch {
+    /// A disarmed switch.
+    pub fn new() -> Self {
+        KillSwitch::default()
+    }
+
+    /// Die at global boundary `index` (0-based).
+    pub fn arm(&self, index: u64) {
+        self.armed.set(Some(index));
+    }
+
+    /// Stop injecting.
+    pub fn disarm(&self) {
+        self.armed.set(None);
+    }
+
+    /// Boundaries crossed so far (the matrix width of a recording run).
+    pub fn boundaries(&self) -> u64 {
+        self.crossed.get()
+    }
+
+    /// Reset the crossing counter (keeps the armed index).
+    pub fn reset(&self) {
+        self.crossed.set(0);
+    }
+
+    fn check(&self, point: CommitPoint) -> Result<(), PersistError> {
+        let i = self.crossed.get();
+        self.crossed.set(i + 1);
+        if self.armed.get() == Some(i) {
+            return Err(PersistError::Killed(point));
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------- envelope --
+
+/// Wrap `payload` in the versioned, checksummed on-disk envelope.
+fn seal(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(8 + payload.len());
+    v.push(b'M');
+    v.push(b'H');
+    v.push(tag);
+    v.push(VERSION);
+    v.extend_from_slice(&crc32(payload).to_le_bytes());
+    v.extend_from_slice(payload);
+    v
+}
+
+/// Validate an envelope read back for `key` and return its payload.
+fn unseal<'a>(key: &[u8], tag: u8, raw: &'a [u8]) -> Result<&'a [u8], PersistError> {
+    if raw.len() < 8 {
+        return Err(corrupt(key, format!("envelope is {} bytes, header needs 8", raw.len())));
+    }
+    if raw[0] != b'M' || raw[1] != b'H' {
+        return Err(corrupt(key, "bad envelope magic"));
+    }
+    if raw[2] != tag {
+        return Err(corrupt(key, format!("tag {:?}, expected {:?}", raw[2] as char, tag as char)));
+    }
+    if raw[3] != VERSION {
+        return Err(PersistError::VersionMismatch {
+            key: key_name(key),
+            found: raw[3],
+            expected: VERSION,
+        });
+    }
+    let crc = u32::from_le_bytes(raw[4..8].try_into().expect("4 bytes"));
+    let payload = &raw[8..];
+    if crc32(payload) != crc {
+        return Err(corrupt(key, "payload CRC mismatch"));
+    }
+    Ok(payload)
+}
+
+fn le_u32(b: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(b.get(..4)?.try_into().ok()?))
+}
+
+fn le_u64(b: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(b.get(..8)?.try_into().ok()?))
+}
+
+// ---------------------------------------------------------------- keys --
+
+fn drt_gen_prefix(gen: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(14);
+    k.extend_from_slice(b"pdrt:");
+    k.extend_from_slice(&gen.to_le_bytes());
+    k.push(b':');
+    k
+}
+
+fn drt_entry_key(gen: u64, o_file: FileId, o_offset: u64) -> Vec<u8> {
+    let mut k = drt_gen_prefix(gen);
+    k.extend_from_slice(&o_file.0.to_le_bytes());
+    k.extend_from_slice(&o_offset.to_le_bytes());
+    k
+}
+
+fn rst_gen_prefix(gen: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(14);
+    k.extend_from_slice(b"prst:");
+    k.extend_from_slice(&gen.to_le_bytes());
+    k.push(b':');
+    k
+}
+
+fn rst_entry_key(gen: u64, file: FileId) -> Vec<u8> {
+    let mut k = rst_gen_prefix(gen);
+    k.extend_from_slice(&file.0.to_le_bytes());
+    k
+}
+
+fn meta_key(gen: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(14);
+    k.extend_from_slice(b"pmeta:");
+    k.extend_from_slice(&gen.to_le_bytes());
+    k
+}
+
+fn fault_key(name: &str) -> Vec<u8> {
+    let mut k = Vec::with_capacity(6 + name.len());
+    k.extend_from_slice(b"fault:");
+    k.extend_from_slice(name.as_bytes());
+    k
+}
+
+fn journal_key(batch: u32, idx: u32) -> Vec<u8> {
+    let mut k = Vec::with_capacity(13);
+    k.extend_from_slice(b"mig:");
+    k.extend_from_slice(&batch.to_le_bytes());
+    k.push(b':');
+    k.extend_from_slice(&idx.to_le_bytes());
+    k
+}
+
+fn journal_commit_key(batch: u32) -> Vec<u8> {
+    let mut k = Vec::with_capacity(9);
+    k.extend_from_slice(b"migc:");
+    k.extend_from_slice(&batch.to_le_bytes());
+    k
+}
+
+/// Journal payload: the full 32-byte entry, little-endian fields.
+fn entry_bytes(e: &DrtEntry) -> [u8; 32] {
+    let mut b = [0u8; 32];
+    b[..4].copy_from_slice(&e.o_file.0.to_le_bytes());
+    b[4..12].copy_from_slice(&e.o_offset.to_le_bytes());
+    b[12..16].copy_from_slice(&e.r_file.0.to_le_bytes());
+    b[16..24].copy_from_slice(&e.r_offset.to_le_bytes());
+    b[24..32].copy_from_slice(&e.length.to_le_bytes());
+    b
+}
+
+fn entry_from_bytes(key: &[u8], v: &[u8]) -> Result<DrtEntry, PersistError> {
+    if v.len() != 32 {
+        return Err(corrupt(key, format!("journal entry is {} bytes, expected 32", v.len())));
+    }
+    Ok(DrtEntry {
+        o_file: FileId(le_u32(&v[..4]).expect("4 bytes")),
+        o_offset: le_u64(&v[4..12]).expect("8 bytes"),
+        r_file: FileId(le_u32(&v[12..16]).expect("4 bytes")),
+        r_offset: le_u64(&v[16..24]).expect("8 bytes"),
+        length: le_u64(&v[24..32]).expect("8 bytes"),
+    })
+}
+
+// ------------------------------------------------------ pipeline store --
+
+/// Serializable slice of a [`Plan`]: everything but the tables, which
+/// have their own binary per-entry records (their `BTreeMap` keys are
+/// not JSON-representable, and per-entry records are what makes partial
+/// reads detectable).
+#[derive(Serialize, Deserialize)]
+struct PlanMeta {
+    scheme: Scheme,
+    layouts: Vec<(FileId, LayoutSpec)>,
+    regions: Vec<crate::region::RegionInfo>,
+    has_drt: bool,
+}
+
+/// The committed-generation record.
+struct Committed {
+    gen: u64,
+    drt_count: u64,
+    rst_count: u64,
+    has_meta: bool,
+}
+
+/// One journaled migration batch, as read back by [`PipelineStore::journal`].
+#[derive(Debug, Clone)]
+pub struct JournalBatch {
+    /// Batch index within the interrupted migration.
+    pub batch: u32,
+    /// Whether the batch's commit record exists (movement completed).
+    pub committed: bool,
+    /// The DRT entries the batch intended to publish.
+    pub entries: Vec<DrtEntry>,
+}
+
+/// Crash-consistent store for the pipeline's durable state: DRT, RST,
+/// planner outputs, fault plans, and the migration journal.
+///
+/// All writes go through a single kvstore WAL, so intra-file ordering is
+/// physical: a commit record can only survive a crash if everything
+/// written before it survived too (the store truncates torn tails on
+/// open). Saves are therefore atomic at the commit record, and the
+/// journal's intent→move→commit discipline gives migration its
+/// write-ahead invariant.
+pub struct PipelineStore {
+    store: Store,
+    kill: KillSwitch,
+}
+
+impl PipelineStore {
+    /// Open (or create) the pipeline store at `path`, recovering the log
+    /// (torn tails are truncated by the kvstore layer).
+    ///
+    /// Writes are buffered; every commit record is followed by an
+    /// explicit fsync, which is the only durability point the
+    /// crash-consistency argument relies on.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let store =
+            Store::open(path, StoreOptions { sync_on_write: false, ..StoreOptions::default() })?;
+        Ok(PipelineStore { store, kill: KillSwitch::new() })
+    }
+
+    /// The crash injector for this store (disarmed by default).
+    pub fn kill_switch(&self) -> &KillSwitch {
+        &self.kill
+    }
+
+    /// The underlying kvstore, for diagnostics and tests.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Flush buffered writes to disk.
+    pub fn sync(&self) -> Result<(), PersistError> {
+        self.store.sync()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------ generations --
+
+    fn committed(&self) -> Result<Option<Committed>, PersistError> {
+        let Some(raw) = self.store.get(COMMIT_KEY)? else { return Ok(None) };
+        let payload = unseal(COMMIT_KEY, TAG_COMMIT, &raw)?;
+        if payload.len() != 25 {
+            return Err(corrupt(COMMIT_KEY, format!("commit record is {} bytes", payload.len())));
+        }
+        Ok(Some(Committed {
+            gen: le_u64(&payload[..8]).expect("8 bytes"),
+            drt_count: le_u64(&payload[8..16]).expect("8 bytes"),
+            rst_count: le_u64(&payload[16..24]).expect("8 bytes"),
+            has_meta: payload[24] != 0,
+        }))
+    }
+
+    /// Generation the commit record points at, if any save ever committed.
+    pub fn committed_generation(&self) -> Result<Option<u64>, PersistError> {
+        Ok(self.committed()?.map(|c| c.gen))
+    }
+
+    /// First generation index with no records at all: past the committed
+    /// generation *and* past any half-written generation a crash left
+    /// behind, so a new save never mixes records with a dead one.
+    fn next_generation(&self) -> Result<u64, PersistError> {
+        let mut max = self.committed()?.map(|c| c.gen);
+        for prefix in [&b"pdrt:"[..], b"prst:", b"pmeta:"] {
+            for key in self.store.keys_with_prefix(prefix) {
+                if let Some(g) = le_u64(&key[prefix.len()..]) {
+                    max = Some(max.map_or(g, |m: u64| m.max(g)));
+                }
+            }
+        }
+        Ok(max.map_or(0, |g| g + 1))
+    }
+
+    fn save_generation(
+        &self,
+        drt: &Drt,
+        rst: &Rst,
+        meta_json: Option<&[u8]>,
+    ) -> Result<u64, PersistError> {
+        let gen = self.next_generation()?;
+        for e in drt.entries() {
+            self.kill.check(CommitPoint::TableEntry)?;
+            self.store.put(&drt_entry_key(gen, e.o_file, e.o_offset), &seal(TAG_DRT, &Drt::value(&e)))?;
+        }
+        for (file, pair) in rst.iter() {
+            self.kill.check(CommitPoint::TableEntry)?;
+            self.store.put(&rst_entry_key(gen, file), &seal(TAG_RST, &Rst::pair_value(pair)))?;
+        }
+        if let Some(json) = meta_json {
+            self.kill.check(CommitPoint::TableEntry)?;
+            self.store.put(&meta_key(gen), &seal(TAG_META, json))?;
+        }
+        self.kill.check(CommitPoint::TableCommit)?;
+        let mut payload = Vec::with_capacity(25);
+        payload.extend_from_slice(&gen.to_le_bytes());
+        payload.extend_from_slice(&(drt.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&(rst.len() as u64).to_le_bytes());
+        payload.push(u8::from(meta_json.is_some()));
+        self.store.put(COMMIT_KEY, &seal(TAG_COMMIT, &payload))?;
+        self.store.sync()?;
+        Ok(gen)
+    }
+
+    /// Atomically commit a new generation holding `drt` and `rst`.
+    /// Returns the committed generation index. A crash at any point
+    /// before the commit record leaves the previous generation intact.
+    pub fn save_tables(&self, drt: &Drt, rst: &Rst) -> Result<u64, PersistError> {
+        self.save_generation(drt, rst, None)
+    }
+
+    /// Atomically commit a new generation holding a whole planner output:
+    /// its tables plus scheme, layouts and region descriptors.
+    pub fn save_plan(&self, plan: &Plan) -> Result<u64, PersistError> {
+        let empty = Drt::new();
+        let (drt, has_drt) = match &plan.resolver {
+            PlanResolver::Drt(d) => (d, true),
+            PlanResolver::Identity => (&empty, false),
+        };
+        let meta = PlanMeta {
+            scheme: plan.scheme,
+            layouts: plan.layouts.clone(),
+            regions: plan.regions.clone(),
+            has_drt,
+        };
+        let json = serde_json::to_vec(&meta).map_err(|e| PersistError::Encode(e.to_string()))?;
+        self.save_generation(drt, &plan.rst, Some(&json))
+    }
+
+    /// Load the committed generation's tables, verifying every envelope
+    /// and the committed entry counts. `Ok(None)` when nothing has ever
+    /// committed; a structured error when anything on disk is damaged.
+    pub fn load_tables(&self) -> Result<Option<(Drt, Rst)>, PersistError> {
+        let Some(c) = self.committed()? else { return Ok(None) };
+        Ok(Some(self.tables_at(&c)?))
+    }
+
+    fn tables_at(&self, c: &Committed) -> Result<(Drt, Rst), PersistError> {
+        let mut drt = Drt::new();
+        let dp = drt_gen_prefix(c.gen);
+        let mut n = 0u64;
+        for key in self.store.keys_with_prefix(&dp) {
+            let rest = &key[dp.len()..];
+            if rest.len() != 12 {
+                return Err(corrupt(&key, "malformed DRT entry key"));
+            }
+            let o_file = FileId(le_u32(&rest[..4]).expect("4 bytes"));
+            let o_offset = le_u64(&rest[4..]).expect("8 bytes");
+            let raw = self
+                .store
+                .get(&key)?
+                .ok_or_else(|| PersistError::Missing { key: key_name(&key) })?;
+            let payload = unseal(&key, TAG_DRT, &raw)?;
+            let (length, r_file, r_offset) = Drt::decode_value(payload)
+                .ok_or_else(|| corrupt(&key, "malformed DRT entry value"))?;
+            if !drt.insert(DrtEntry { o_file, o_offset, r_file, r_offset, length }) {
+                return Err(corrupt(&key, "overlaps another committed DRT entry"));
+            }
+            n += 1;
+        }
+        if n != c.drt_count {
+            return Err(corrupt(
+                COMMIT_KEY,
+                format!("{} DRT entries on disk, commit record expects {}", n, c.drt_count),
+            ));
+        }
+        let mut rst = Rst::new();
+        let rp = rst_gen_prefix(c.gen);
+        let mut m = 0u64;
+        for key in self.store.keys_with_prefix(&rp) {
+            let rest = &key[rp.len()..];
+            if rest.len() != 4 {
+                return Err(corrupt(&key, "malformed RST entry key"));
+            }
+            let file = FileId(le_u32(rest).expect("4 bytes"));
+            let raw = self
+                .store
+                .get(&key)?
+                .ok_or_else(|| PersistError::Missing { key: key_name(&key) })?;
+            let payload = unseal(&key, TAG_RST, &raw)?;
+            let pair = Rst::decode_pair(payload)
+                .ok_or_else(|| corrupt(&key, "malformed RST entry value"))?;
+            rst.set(file, pair);
+            m += 1;
+        }
+        if m != c.rst_count {
+            return Err(corrupt(
+                COMMIT_KEY,
+                format!("{} RST entries on disk, commit record expects {}", m, c.rst_count),
+            ));
+        }
+        Ok((drt, rst))
+    }
+
+    /// Load the committed plan, if the committed generation was written
+    /// by [`PipelineStore::save_plan`] (table-only generations return
+    /// `Ok(None)`).
+    pub fn load_plan(&self) -> Result<Option<Plan>, PersistError> {
+        let Some(c) = self.committed()? else { return Ok(None) };
+        if !c.has_meta {
+            return Ok(None);
+        }
+        let (drt, rst) = self.tables_at(&c)?;
+        let mk = meta_key(c.gen);
+        let raw =
+            self.store.get(&mk)?.ok_or_else(|| PersistError::Missing { key: key_name(&mk) })?;
+        let payload = unseal(&mk, TAG_META, &raw)?;
+        let meta: PlanMeta = serde_json::from_slice(payload)
+            .map_err(|e| corrupt(&mk, format!("plan metadata JSON: {e}")))?;
+        let resolver =
+            if meta.has_drt { PlanResolver::Drt(drt) } else { PlanResolver::Identity };
+        Ok(Some(Plan {
+            scheme: meta.scheme,
+            layouts: meta.layouts,
+            resolver,
+            rst,
+            regions: meta.regions,
+        }))
+    }
+
+    /// Raw (validated) plan-metadata JSON of the committed generation,
+    /// so recovery can carry it into the generation it commits.
+    fn committed_meta_raw(&self) -> Result<Option<Vec<u8>>, PersistError> {
+        let Some(c) = self.committed()? else { return Ok(None) };
+        if !c.has_meta {
+            return Ok(None);
+        }
+        let mk = meta_key(c.gen);
+        let raw =
+            self.store.get(&mk)?.ok_or_else(|| PersistError::Missing { key: key_name(&mk) })?;
+        Ok(Some(unseal(&mk, TAG_META, &raw)?.to_vec()))
+    }
+
+    /// Drop every record of non-committed generations and compact the
+    /// log (old generations, dead journal tombstones, superseded puts).
+    pub fn gc(&self) -> Result<(), PersistError> {
+        let committed = self.committed()?.map(|c| c.gen);
+        for prefix in [&b"pdrt:"[..], b"prst:", b"pmeta:"] {
+            for key in self.store.keys_with_prefix(prefix) {
+                if le_u64(&key[prefix.len()..]) != committed {
+                    self.store.delete(&key)?;
+                }
+            }
+        }
+        self.store.compact()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------ fault plans --
+
+    /// Persist a named [`FaultPlan`] (scenario library for degraded-mode
+    /// experiments). Overwrites a previous plan of the same name.
+    pub fn save_fault_plan(&self, name: &str, plan: &FaultPlan) -> Result<(), PersistError> {
+        let json = serde_json::to_vec(plan).map_err(|e| PersistError::Encode(e.to_string()))?;
+        self.kill.check(CommitPoint::TableEntry)?;
+        self.store.put(&fault_key(name), &seal(TAG_FAULT, &json))?;
+        self.store.sync()?;
+        Ok(())
+    }
+
+    /// Load a named [`FaultPlan`], validating its envelope.
+    pub fn load_fault_plan(&self, name: &str) -> Result<Option<FaultPlan>, PersistError> {
+        let k = fault_key(name);
+        let Some(raw) = self.store.get(&k)? else { return Ok(None) };
+        let payload = unseal(&k, TAG_FAULT, &raw)?;
+        let plan = serde_json::from_slice(payload)
+            .map_err(|e| corrupt(&k, format!("fault plan JSON: {e}")))?;
+        Ok(Some(plan))
+    }
+
+    // ---------------------------------------------------------- journal --
+
+    /// Journal a migration batch's intended DRT entries *before* any
+    /// data moves (the write-ahead half of the invariant).
+    pub fn journal_batch(&self, batch: u32, entries: &[DrtEntry]) -> Result<(), PersistError> {
+        for (i, e) in entries.iter().enumerate() {
+            self.kill.check(CommitPoint::BatchIntent)?;
+            self.store.put(&journal_key(batch, i as u32), &seal(TAG_JOURNAL, &entry_bytes(e)))?;
+        }
+        Ok(())
+    }
+
+    /// Mark `batch` moved: written only after the batch's migration
+    /// traffic completed, and synced so the commit is durable. From this
+    /// record on, recovery rolls the batch forward instead of
+    /// discarding it.
+    pub fn commit_batch(&self, batch: u32) -> Result<(), PersistError> {
+        self.kill.check(CommitPoint::BatchCommit)?;
+        self.store.put(&journal_commit_key(batch), &seal(TAG_COMMIT, &[]))?;
+        self.store.sync()?;
+        Ok(())
+    }
+
+    /// Read the journal back: every batch with intent records, in batch
+    /// order, with its committed flag.
+    pub fn journal(&self) -> Result<Vec<JournalBatch>, PersistError> {
+        let mut batches: std::collections::BTreeMap<u32, Vec<(u32, DrtEntry)>> =
+            std::collections::BTreeMap::new();
+        for key in self.store.keys_with_prefix(b"mig:") {
+            let rest = &key[4..];
+            if rest.len() != 9 || rest[4] != b':' {
+                return Err(corrupt(&key, "malformed journal key"));
+            }
+            let batch = le_u32(&rest[..4]).expect("4 bytes");
+            let idx = le_u32(&rest[5..]).expect("4 bytes");
+            let raw = self
+                .store
+                .get(&key)?
+                .ok_or_else(|| PersistError::Missing { key: key_name(&key) })?;
+            let payload = unseal(&key, TAG_JOURNAL, &raw)?;
+            batches.entry(batch).or_default().push((idx, entry_from_bytes(&key, payload)?));
+        }
+        let mut out = Vec::with_capacity(batches.len());
+        for (batch, mut v) in batches {
+            v.sort_by_key(|(i, _)| *i);
+            let ck = journal_commit_key(batch);
+            let committed = match self.store.get(&ck)? {
+                Some(raw) => {
+                    unseal(&ck, TAG_COMMIT, &raw)?;
+                    true
+                }
+                None => false,
+            };
+            out.push(JournalBatch {
+                batch,
+                committed,
+                entries: v.into_iter().map(|(_, e)| e).collect(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Delete every journal record (intents first, then commit markers:
+    /// a crash mid-clear leaves either already-published committed
+    /// batches or intent-less markers, both of which recovery ignores
+    /// or re-skips harmlessly).
+    pub fn clear_journal(&self) -> Result<(), PersistError> {
+        self.kill.check(CommitPoint::JournalClear)?;
+        for key in self.store.keys_with_prefix(b"mig:") {
+            self.store.delete(&key)?;
+        }
+        for key in self.store.keys_with_prefix(b"migc:") {
+            self.store.delete(&key)?;
+        }
+        self.store.sync()?;
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------- recovery --
+
+/// What [`recover`] found and did.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// The post-recovery tables (`None` when nothing ever committed).
+    pub tables: Option<(Drt, Rst)>,
+    /// DRT entries re-published from committed journal batches.
+    pub rolled_forward: usize,
+    /// Journal batches discarded because their commit record is absent.
+    pub discarded_batches: usize,
+}
+
+/// Bring a reopened [`PipelineStore`] to a consistent state.
+///
+/// * No journal → nothing to do; the committed generation (if any) *is*
+///   the state.
+/// * Journal but no committed generation → the crash predates the base
+///   save the journal refers to; the journal is discarded wholesale.
+/// * Otherwise every **committed** batch's entries are published into
+///   the committed DRT (skipping entries the final save already
+///   published) and **uncommitted** batches are discarded — their data
+///   never finished moving, and the old mapping still resolves to valid
+///   bytes because migration copies rather than destroys.
+///
+/// A rolled-forward state is committed as a fresh generation before the
+/// journal is cleared, so a crash *during* recovery just recovers again.
+/// Recovering an already-recovered store is a no-op: the journal is
+/// empty, nothing rolls forward — recovery is idempotent.
+pub fn recover(store: &PipelineStore) -> Result<RecoveryOutcome, PersistError> {
+    let journal = store.journal()?;
+    if journal.is_empty() {
+        return Ok(RecoveryOutcome {
+            tables: store.load_tables()?,
+            rolled_forward: 0,
+            discarded_batches: 0,
+        });
+    }
+    let Some((mut drt, rst)) = store.load_tables()? else {
+        let discarded = journal.len();
+        store.clear_journal()?;
+        return Ok(RecoveryOutcome { tables: None, rolled_forward: 0, discarded_batches: discarded });
+    };
+    let mut rolled = 0usize;
+    let mut discarded = 0usize;
+    for batch in &journal {
+        if !batch.committed {
+            discarded += 1;
+            continue;
+        }
+        for e in &batch.entries {
+            if drt.lookup_exact(e.o_file, e.o_offset, e.length) == Some((e.r_file, e.r_offset)) {
+                continue; // already published by the final save
+            }
+            if drt.insert(*e) {
+                rolled += 1;
+            }
+            // A rejected insert means a later committed state already
+            // covers these bytes differently; the journal record is
+            // stale and the committed mapping wins.
+        }
+    }
+    if rolled > 0 {
+        let meta = store.committed_meta_raw()?;
+        store.save_generation(&drt, &rst, meta.as_deref())?;
+    }
+    store.clear_journal()?;
+    Ok(RecoveryOutcome { tables: Some((drt, rst)), rolled_forward: rolled, discarded_batches: discarded })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rssd::StripePair;
+    use std::path::PathBuf;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("mha-persist-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn entry(off: u64, r_file: u32, r_off: u64) -> DrtEntry {
+        DrtEntry {
+            o_file: FileId(0),
+            o_offset: off,
+            r_file: FileId(r_file),
+            r_offset: r_off,
+            length: 4096,
+        }
+    }
+
+    fn sample_tables() -> (Drt, Rst) {
+        let mut drt = Drt::new();
+        for i in 0..6u64 {
+            assert!(drt.insert(entry(i * 8192, 70_000, i * 4096)));
+        }
+        let mut rst = Rst::new();
+        rst.set(FileId(70_000), StripePair { h: 0, s: 64 << 10 });
+        rst.set(FileId(70_001), StripePair { h: 128 << 10, s: 512 << 10 });
+        (drt, rst)
+    }
+
+    fn sample_plan() -> Plan {
+        let (drt, rst) = sample_tables();
+        Plan {
+            scheme: Scheme::Mha,
+            layouts: vec![(
+                FileId(70_000),
+                LayoutSpec::fixed(&[pfs_sim::ServerId(0), pfs_sim::ServerId(1)], 64 << 10),
+            )],
+            resolver: PlanResolver::Drt(drt),
+            rst,
+            regions: vec![crate::region::RegionInfo {
+                file: FileId(70_000),
+                len: 6 * 4096,
+                group: 0,
+                extents: 6,
+            }],
+        }
+    }
+
+    #[test]
+    fn tables_round_trip_through_a_committed_generation() {
+        let path = tmp_path("tables-rt");
+        let (drt, rst) = sample_tables();
+        {
+            let store = PipelineStore::open(&path).expect("open");
+            assert!(store.load_tables().expect("empty load").is_none());
+            let g0 = store.save_tables(&drt, &rst).expect("save");
+            assert_eq!(g0, 0);
+            let g1 = store.save_tables(&drt, &rst).expect("save again");
+            assert_eq!(g1, 1, "each save commits a fresh generation");
+        }
+        let store = PipelineStore::open(&path).expect("reopen");
+        let (d, r) = store.load_tables().expect("load").expect("committed");
+        assert_eq!(d, drt);
+        assert_eq!(r, rst);
+        store.gc().expect("gc");
+        let (d, r) = store.load_tables().expect("load after gc").expect("committed");
+        assert_eq!((d, r), (drt, rst));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn plan_round_trip_preserves_everything() {
+        let path = tmp_path("plan-rt");
+        let plan = sample_plan();
+        {
+            let store = PipelineStore::open(&path).expect("open");
+            store.save_plan(&plan).expect("save plan");
+        }
+        let store = PipelineStore::open(&path).expect("reopen");
+        let loaded = store.load_plan().expect("load").expect("committed plan");
+        assert_eq!(loaded.scheme, plan.scheme);
+        assert_eq!(loaded.layouts, plan.layouts);
+        assert_eq!(loaded.rst, plan.rst);
+        assert_eq!(loaded.regions.len(), plan.regions.len());
+        let (PlanResolver::Drt(got), PlanResolver::Drt(want)) =
+            (&loaded.resolver, &plan.resolver)
+        else {
+            panic!("both plans must carry DRTs")
+        };
+        assert_eq!(got, want);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn identity_plan_round_trips_without_a_drt() {
+        let path = tmp_path("identity-rt");
+        let plan = Plan {
+            scheme: Scheme::Def,
+            layouts: Vec::new(),
+            resolver: PlanResolver::Identity,
+            rst: Rst::new(),
+            regions: Vec::new(),
+        };
+        let store = PipelineStore::open(&path).expect("open");
+        store.save_plan(&plan).expect("save");
+        let loaded = store.load_plan().expect("load").expect("committed");
+        assert!(matches!(loaded.resolver, PlanResolver::Identity));
+        assert_eq!(loaded.scheme, Scheme::Def);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_plans_round_trip_by_name() {
+        let path = tmp_path("fault-rt");
+        let store = PipelineStore::open(&path).expect("open");
+        let plan = FaultPlan::none().slow_server(6, 8.0);
+        store.save_fault_plan("straggler", &plan).expect("save");
+        let loaded = store.load_fault_plan("straggler").expect("load").expect("present");
+        assert_eq!(
+            serde_json::to_string(&loaded).expect("json"),
+            serde_json::to_string(&plan).expect("json")
+        );
+        assert!(store.load_fault_plan("absent").expect("load").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tampered_value_is_rejected_with_a_structured_error() {
+        let path = tmp_path("tamper");
+        let (drt, rst) = sample_tables();
+        let store = PipelineStore::open(&path).expect("open");
+        store.save_tables(&drt, &rst).expect("save");
+        // Flip one payload bit of a committed DRT record, in place.
+        let gen = store.committed_generation().expect("gen").expect("committed");
+        let key = drt_entry_key(gen, FileId(0), 0);
+        let mut raw = store.store().get(&key).expect("get").expect("present");
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        store.store().put(&key, &raw).expect("tamper");
+        match store.load_tables() {
+            Err(PersistError::Corrupt { key, reason }) => {
+                assert!(reason.contains("CRC"), "reason: {reason}");
+                assert!(key.contains("pdrt"), "key: {key}");
+            }
+            other => panic!("tampering must surface as Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn future_version_is_rejected_as_version_mismatch() {
+        let path = tmp_path("version");
+        let (drt, rst) = sample_tables();
+        let store = PipelineStore::open(&path).expect("open");
+        store.save_tables(&drt, &rst).expect("save");
+        let gen = store.committed_generation().expect("gen").expect("committed");
+        let key = drt_entry_key(gen, FileId(0), 0);
+        let mut raw = store.store().get(&key).expect("get").expect("present");
+        raw[3] = VERSION + 1;
+        store.store().put(&key, &raw).expect("tamper");
+        assert!(matches!(
+            store.load_tables(),
+            Err(PersistError::VersionMismatch { found, expected, .. })
+                if found == VERSION + 1 && expected == VERSION
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_entry_under_a_committed_count_is_corrupt() {
+        let path = tmp_path("count");
+        let (drt, rst) = sample_tables();
+        let store = PipelineStore::open(&path).expect("open");
+        store.save_tables(&drt, &rst).expect("save");
+        let gen = store.committed_generation().expect("gen").expect("committed");
+        store.store().delete(&drt_entry_key(gen, FileId(0), 0)).expect("delete");
+        assert!(
+            matches!(store.load_tables(), Err(PersistError::Corrupt { .. })),
+            "count mismatch must be corrupt, not a silently shorter table"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn kill_matrix_over_save_plan_never_exposes_a_partial_generation() {
+        // Recording run: measure the boundary count of one save_plan on
+        // top of an already-committed older generation.
+        let plan = sample_plan();
+        let (old_drt, old_rst) = {
+            let mut d = Drt::new();
+            assert!(d.insert(entry(1 << 30, 60_000, 0)));
+            let mut r = Rst::new();
+            r.set(FileId(60_000), StripePair { h: 64 << 10, s: 64 << 10 });
+            (d, r)
+        };
+        let path = tmp_path("matrix-record");
+        let boundaries = {
+            let store = PipelineStore::open(&path).expect("open");
+            store.save_tables(&old_drt, &old_rst).expect("base save");
+            store.kill_switch().reset();
+            store.save_plan(&plan).expect("recording save");
+            store.kill_switch().boundaries()
+        };
+        let _ = std::fs::remove_file(&path);
+        assert!(boundaries >= 10, "expected a real matrix, got {boundaries} boundaries");
+
+        for k in 0..boundaries {
+            let path = tmp_path(&format!("matrix-{k}"));
+            {
+                let store = PipelineStore::open(&path).expect("open");
+                store.save_tables(&old_drt, &old_rst).expect("base save");
+                store.kill_switch().reset();
+                store.kill_switch().arm(k);
+                match store.save_plan(&plan) {
+                    Err(PersistError::Killed(_)) => {}
+                    other => panic!("boundary {k}: expected Killed, got {other:?}"),
+                }
+            }
+            // "Crash", reopen, recover: the store must resolve to the old
+            // committed generation, never a mix.
+            let store = PipelineStore::open(&path).expect("reopen");
+            let out = recover(&store).expect("recover");
+            let (d, r) = out.tables.expect("base generation still committed");
+            assert_eq!(d, old_drt, "boundary {k}: DRT must be the old generation");
+            assert_eq!(r, old_rst, "boundary {k}: RST must be the old generation");
+            assert_eq!(out.rolled_forward, 0);
+            // And a retried save on the recovered store works and wins.
+            store.kill_switch().disarm();
+            store.save_plan(&plan).expect("retry save");
+            let loaded = store.load_plan().expect("load").expect("plan");
+            assert_eq!(loaded.rst, plan.rst);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn journal_roll_forward_and_discard() {
+        let path = tmp_path("journal");
+        let store = PipelineStore::open(&path).expect("open");
+        let (drt, rst) = sample_tables();
+        store.save_tables(&drt, &rst).expect("base");
+        // Batch 0 committed (moved), batch 1 only journaled (crash before
+        // its movement finished).
+        let committed = [entry(1 << 20, 70_001, 0), entry((1 << 20) + 8192, 70_001, 4096)];
+        let uncommitted = [entry(1 << 21, 70_001, 8192)];
+        store.journal_batch(0, &committed).expect("journal 0");
+        store.commit_batch(0).expect("commit 0");
+        store.journal_batch(1, &uncommitted).expect("journal 1");
+
+        let out = recover(&store).expect("recover");
+        assert_eq!(out.rolled_forward, 2);
+        assert_eq!(out.discarded_batches, 1);
+        let (d, _) = out.tables.expect("tables");
+        for e in &committed {
+            assert_eq!(
+                d.lookup_exact(e.o_file, e.o_offset, e.length),
+                Some((e.r_file, e.r_offset)),
+                "committed batch must be rolled forward"
+            );
+        }
+        for e in &uncommitted {
+            assert_eq!(
+                d.lookup_exact(e.o_file, e.o_offset, e.length),
+                None,
+                "uncommitted batch must be discarded"
+            );
+        }
+        // Idempotence: recovering again changes nothing.
+        let again = recover(&store).expect("recover again");
+        assert_eq!(again.rolled_forward, 0);
+        assert_eq!(again.discarded_batches, 0);
+        assert_eq!(again.tables.expect("tables").0, d);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_with_no_base_generation_is_discarded() {
+        let path = tmp_path("orphan-journal");
+        let store = PipelineStore::open(&path).expect("open");
+        store.journal_batch(0, &[entry(0, 70_000, 0)]).expect("journal");
+        store.commit_batch(0).expect("commit");
+        let out = recover(&store).expect("recover");
+        assert!(out.tables.is_none());
+        assert_eq!(out.discarded_batches, 1);
+        assert!(store.journal().expect("journal").is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_log_falls_back_to_an_older_committed_state() {
+        let path = tmp_path("truncate");
+        let (drt, rst) = sample_tables();
+        let full_len = {
+            let store = PipelineStore::open(&path).expect("open");
+            store.save_tables(&drt, &rst).expect("save");
+            std::fs::metadata(&path).expect("meta").len()
+        };
+        // Chop the file shorter and shorter: every prefix must open and
+        // resolve to either the full tables (nothing essential lost) or
+        // no committed state — never a partial or a panic.
+        for cut in (0..full_len).step_by(7) {
+            let store = PipelineStore::open(&path).expect("open full");
+            drop(store);
+            let f = std::fs::OpenOptions::new().write(true).open(&path).expect("open file");
+            f.set_len(cut).expect("truncate");
+            drop(f);
+            let store = PipelineStore::open(&path).expect("open truncated");
+            match store.load_tables() {
+                Ok(None) => {}
+                Ok(Some((d, r))) => {
+                    assert_eq!((d, r), (drt.clone(), rst.clone()), "cut at {cut}");
+                }
+                Err(e) => panic!("truncation must be recovered, not error: {e} (cut {cut})"),
+            }
+            // Rewrite the full state for the next iteration.
+            let _ = std::fs::remove_file(&path);
+            let store = PipelineStore::open(&path).expect("reopen");
+            store.save_tables(&drt, &rst).expect("resave");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

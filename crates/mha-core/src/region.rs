@@ -189,7 +189,10 @@ impl Drt {
         Some((FileId(file), off))
     }
 
-    fn value(e: &DrtEntry) -> Vec<u8> {
+    /// Binary value encoding of one entry: `(length, r_file, r_offset)`,
+    /// all little-endian. Shared with the crash-consistent pipeline store
+    /// ([`crate::persist`]) so both layers speak one on-disk dialect.
+    pub(crate) fn value(e: &DrtEntry) -> Vec<u8> {
         let mut v = Vec::with_capacity(20);
         v.extend_from_slice(&e.length.to_le_bytes());
         v.extend_from_slice(&e.r_file.0.to_le_bytes());
@@ -197,7 +200,7 @@ impl Drt {
         v
     }
 
-    fn decode_value(v: &[u8]) -> Option<(u64, FileId, u64)> {
+    pub(crate) fn decode_value(v: &[u8]) -> Option<(u64, FileId, u64)> {
         if v.len() != 20 {
             return None;
         }
@@ -464,10 +467,7 @@ impl Rst {
             let mut k = Vec::with_capacity(8);
             k.extend_from_slice(b"rst:");
             k.extend_from_slice(&file.0.to_le_bytes());
-            let mut v = Vec::with_capacity(16);
-            v.extend_from_slice(&pair.h.to_le_bytes());
-            v.extend_from_slice(&pair.s.to_le_bytes());
-            store.put(&k, &v)?;
+            store.put(&k, &Self::pair_value(pair))?;
         }
         Ok(())
     }
@@ -479,14 +479,28 @@ impl Rst {
             let Some(rest) = key.strip_prefix(b"rst:") else { continue };
             let Ok(fb): Result<[u8; 4], _> = rest.try_into() else { continue };
             let Some(value) = store.get(&key)? else { continue };
-            if value.len() != 16 {
-                continue;
-            }
-            let h = u64::from_le_bytes(value[..8].try_into().expect("8 bytes"));
-            let s = u64::from_le_bytes(value[8..].try_into().expect("8 bytes"));
-            rst.set(FileId(u32::from_le_bytes(fb)), StripePair { h, s });
+            let Some(pair) = Self::decode_pair(&value) else { continue };
+            rst.set(FileId(u32::from_le_bytes(fb)), pair);
         }
         Ok(rst)
+    }
+
+    /// Binary value encoding of one pair: `h` then `s`, little-endian.
+    /// Shared with [`crate::persist`].
+    pub(crate) fn pair_value(pair: StripePair) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16);
+        v.extend_from_slice(&pair.h.to_le_bytes());
+        v.extend_from_slice(&pair.s.to_le_bytes());
+        v
+    }
+
+    pub(crate) fn decode_pair(v: &[u8]) -> Option<StripePair> {
+        if v.len() != 16 {
+            return None;
+        }
+        let h = u64::from_le_bytes(v[..8].try_into().ok()?);
+        let s = u64::from_le_bytes(v[8..].try_into().ok()?);
+        Some(StripePair { h, s })
     }
 }
 

@@ -672,56 +672,6 @@ impl<'a> Evaluation<'a> {
     }
 }
 
-/// End-to-end evaluation of one scheme on one workload.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `Evaluation::of(scheme, trace, cluster_cfg).context(ctx).report()`"
-)]
-pub fn evaluate_scheme(
-    scheme: Scheme,
-    trace: &Trace,
-    cluster_cfg: &ClusterConfig,
-    ctx: &PlannerContext,
-) -> ReplayReport {
-    Evaluation::of(scheme, trace, cluster_cfg).context(ctx).report()
-}
-
-/// [`evaluate_scheme`] with caller-owned scratch. The session owns its
-/// scratch now, so the parameter is ignored; reports are identical.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `Evaluation::run_in` with a long-lived `ReplaySession`, which owns the scratch"
-)]
-pub fn evaluate_scheme_with_scratch(
-    scheme: Scheme,
-    trace: &Trace,
-    cluster_cfg: &ClusterConfig,
-    ctx: &PlannerContext,
-    _scratch: &mut pfs_sim::ReplayScratch,
-) -> ReplayReport {
-    Evaluation::of(scheme, trace, cluster_cfg).context(ctx).report()
-}
-
-/// [`evaluate_scheme`] with the replay schedule hoisted out.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `Evaluation::run_in` with a `ReplaySession::new().with_schedule(..)`"
-)]
-pub fn evaluate_scheme_scheduled(
-    scheme: Scheme,
-    trace: &Trace,
-    cluster_cfg: &ClusterConfig,
-    ctx: &PlannerContext,
-    schedule: &pfs_sim::ReplaySchedule,
-    _scratch: &mut pfs_sim::ReplayScratch,
-) -> ReplayReport {
-    let mut session = ReplaySession::new().with_schedule(schedule.clone());
-    Evaluation::of(scheme, trace, cluster_cfg)
-        .context(ctx)
-        .run_in(&mut session)
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1012,24 +962,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // shim coverage: legacy entry points match the builder
-    fn deprecated_shims_match_the_builder() {
+    fn pinned_schedule_evaluation_matches_the_builder() {
+        // Hoisting the replay schedule into a pinned session changes
+        // where the ordering work happens, never the report.
         let c = ctx();
         let t = gen_lanl(&LanlConfig::paper(4, IoOp::Write));
         let cfg = ClusterConfig::paper_default();
         let via_builder = eval(Scheme::Harl, &t, &cfg, &c);
-        let via_shim = evaluate_scheme(Scheme::Harl, &t, &cfg, &c);
         let schedule = pfs_sim::ReplaySchedule::for_trace(&t);
-        let via_sched = evaluate_scheme_scheduled(
-            Scheme::Harl,
-            &t,
-            &cfg,
-            &c,
-            &schedule,
-            &mut pfs_sim::ReplayScratch::new(),
-        );
-        assert_eq!(via_builder.makespan, via_shim.makespan);
+        let mut pinned = ReplaySession::new().with_schedule(schedule);
+        let via_sched = Evaluation::of(Scheme::Harl, &t, &cfg)
+            .context(&c)
+            .run_in(&mut pinned)
+            .expect("pinned evaluation");
         assert_eq!(via_builder.makespan, via_sched.makespan);
-        assert_eq!(via_builder.server_busy_secs(), via_shim.server_busy_secs());
+        assert_eq!(via_builder.server_busy_secs(), via_sched.server_busy_secs());
     }
 }

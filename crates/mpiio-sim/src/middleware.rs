@@ -7,14 +7,16 @@
 //!    profiling overhead; we charge it as a per-op latency).
 //! 2. **Reordering + determination** — off-line planning through the
 //!    scheme selected by hints.
-//! 3. **Persistence** — the DRT and RST are written through the kvstore
-//!    (Berkeley DB substitute) in the job's working directory, as the
-//!    modified `MPI_Init`/`MPI_Finalize` do in the paper.
+//! 3. **Persistence** — the plan (DRT, RST, layouts) commits atomically
+//!    through the crash-consistent [`PipelineStore`] in the job's working
+//!    directory, as the modified `MPI_Init`/`MPI_Finalize` keep their
+//!    Berkeley DB file in the paper — a crash mid-save leaves the
+//!    previous committed plan intact.
 //! 4. **Placement** — region layouts install into the cluster's MDS.
 //! 5. **Redirection** — subsequent runs resolve through the DRT.
 
 use iotrace::{Collector, Trace};
-use kvstore::{Store, StoreOptions};
+use mha_core::persist::PipelineStore;
 use mha_core::region::{Drt, Rst};
 use mha_core::schemes::{apply_plan, Plan, PlanResolver, PlannerContext, Scheme};
 use mha_core::{DrtResolver, GroupingConfig, RssdConfig};
@@ -97,13 +99,8 @@ impl Middleware {
         let ctx = self.context(cluster_cfg);
         let plan = self.hints.scheme().planner().plan(trace, &ctx);
         if let Some(path) = &self.table_path {
-            let store = Store::open(path, StoreOptions { sync_on_write: false, ..StoreOptions::default() })
-                .expect("open table store");
-            if let PlanResolver::Drt(drt) = &plan.resolver {
-                drt.save(&store).expect("persist DRT");
-            }
-            plan.rst.save(&store).expect("persist RST");
-            store.sync().expect("sync tables");
+            let store = PipelineStore::open(path).expect("open table store");
+            store.save_plan(&plan).expect("persist plan");
         }
         self.plan = Some(plan);
         self.plan.as_ref().expect("just set")
@@ -133,14 +130,35 @@ impl Middleware {
         }
     }
 
-    /// Reload the persisted tables (what the modified `MPI_Init` does at
-    /// the start of a subsequent run). Returns the tables read back.
+    /// Reload the committed tables (what the modified `MPI_Init` does at
+    /// the start of a subsequent run). Returns the tables read back, or
+    /// `None` when no generation has committed or the store is damaged.
     pub fn load_tables(&self) -> Option<(Drt, Rst)> {
         let path = self.table_path.as_ref()?;
-        let store = Store::open_default(path).ok()?;
-        let drt = Drt::load(&store).ok()?;
-        let rst = Rst::load(&store).ok()?;
-        Some((drt, rst))
+        let store = PipelineStore::open(path).ok()?;
+        store.load_tables().ok()?
+    }
+
+    /// Reload the whole committed plan — tables plus scheme, layouts and
+    /// region descriptors.
+    pub fn load_plan(&self) -> Option<Plan> {
+        let path = self.table_path.as_ref()?;
+        let store = PipelineStore::open(path).ok()?;
+        store.load_plan().ok()?
+    }
+
+    /// Restart path: adopt the committed plan from the table store as the
+    /// active plan, as a middleware restarted after a crash (or a clean
+    /// exit) would. Returns `false` when the store holds no committed
+    /// plan.
+    pub fn resume_from_store(&mut self) -> bool {
+        match self.load_plan() {
+            Some(plan) => {
+                self.plan = Some(plan);
+                true
+            }
+            None => false,
+        }
     }
 
     fn context(&self, cluster_cfg: &ClusterConfig) -> PlannerContext {
@@ -228,6 +246,36 @@ mod tests {
         let (drt, rst) = mw.load_tables().expect("tables readable");
         assert_eq!(drt, expected_drt);
         assert_eq!(rst, expected_rst);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restarted_middleware_reproduces_the_optimized_run_bit_for_bit() {
+        let cfg = ClusterConfig::paper_default();
+        let path = table_path("resume");
+        let trace = lanl_job(4);
+        let first = {
+            let mut mw = Middleware::new(Hints::new()).with_table_store(&path);
+            mw.profile_run(&cfg, &trace);
+            mw.plan_from_profile(&cfg);
+            mw.optimized_run(&cfg, &trace)
+        };
+        // A fresh middleware (restarted process) adopts the committed
+        // plan and must replay identically — the acceptance bar for the
+        // persisted format.
+        let mut mw2 = Middleware::new(Hints::new()).with_table_store(&path);
+        assert!(mw2.profile().is_none(), "fresh middleware has no profile");
+        assert!(mw2.resume_from_store(), "committed plan must be adoptable");
+        let second = mw2.optimized_run(&cfg, &trace);
+        assert_eq!(second.scheme, first.scheme);
+        assert_eq!(second.redirected, first.redirected);
+        assert_eq!(first.report.makespan, second.report.makespan);
+        assert_eq!(first.report.server_busy_secs(), second.report.server_busy_secs());
+        assert_eq!(
+            first.report.request_latency.sum().to_bits(),
+            second.report.request_latency.sum().to_bits()
+        );
+        assert_eq!(first.report.mds_lookups, second.report.mds_lookups);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -74,8 +74,8 @@ mod tests {
 
     #[test]
     fn display_preserves_the_legacy_mismatch_phrase() {
-        // The deprecated `replay_scheduled` shim panics with this message;
-        // callers matching on the old assert text keep working.
+        // Pre-0.3 callers matched on this assert text; the Display form
+        // keeps the phrase stable.
         let e = ReplayError::ScheduleMismatch { schedule: 3, trace: 5 };
         assert!(e.to_string().contains("schedule/trace mismatch"), "{e}");
     }

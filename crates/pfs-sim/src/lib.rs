@@ -25,9 +25,9 @@
 //!   device profiles; the fault-free path is bit-for-bit identical to a
 //!   session with no plan.
 //!
-//! The deprecated free functions `replay` / `replay_with_scratch` /
-//! `replay_scheduled` forward to the same core loop and will be removed;
-//! new code should construct a [`ReplaySession`].
+//! [`ReplaySession`] is the only replay entry point (the pre-0.3 free
+//! functions `replay` / `replay_with_scratch` / `replay_scheduled` have
+//! been removed).
 
 pub mod cluster;
 pub mod error;
@@ -42,8 +42,6 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use error::ReplayError;
 pub use layout::{LayoutSpec, LoadScratch, ServerId, SubExtent};
 pub use mds::MetadataServer;
-#[allow(deprecated)]
-pub use replay::{replay, replay_scheduled, replay_with_scratch};
 pub use replay::{
     FileSet, IdentityResolver, PhysExtent, ReplayReport, ReplaySchedule, ReplayScratch,
     Resolution, Resolver, ServerIoStat,

@@ -94,6 +94,13 @@ impl MetadataServer {
         self.layouts.iter().map(|e| e.0)
     }
 
+    /// The installed `(file, layout)` rows, sorted by file id — the
+    /// snapshot a persistence layer needs to re-install the MDS state
+    /// after a restart.
+    pub fn layouts(&self) -> impl Iterator<Item = (FileId, &LayoutSpec)> + '_ {
+        self.layouts.iter().map(|e| (e.0, &e.1))
+    }
+
     /// Clear queue statistics (keeps layouts).
     pub fn reset_queue(&mut self) {
         self.queue.reset();
@@ -125,6 +132,8 @@ mod tests {
         assert_eq!(m.layout(FileId(1)).round_size(), 4 << 10);
         assert_eq!(m.layout(FileId(2)).round_size(), 128 << 10);
         assert_eq!(m.files().collect::<Vec<_>>(), vec![FileId(1)]);
+        let rows: Vec<(FileId, u64)> = m.layouts().map(|(f, l)| (f, l.round_size())).collect();
+        assert_eq!(rows, vec![(FileId(1), 4 << 10)]);
     }
 
     #[test]

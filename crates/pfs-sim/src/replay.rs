@@ -139,9 +139,10 @@ impl FileSet {
 /// is fixed), so callers replaying one trace many times — the experiment
 /// grid runs every scheme over the same trace, benches iterate it
 /// hundreds of times — build the schedule once with
-/// [`ReplaySchedule::for_trace`] and pass it to [`replay_scheduled`].
-/// [`replay_with_scratch`] builds one internally; hoisting changes where
-/// the ordering work happens, never the order itself.
+/// [`ReplaySchedule::for_trace`] and pin it via
+/// [`crate::ReplaySession::with_schedule`]. An unpinned session builds
+/// one internally; hoisting changes where the ordering work happens,
+/// never the order itself.
 #[derive(Debug, Clone, Default)]
 pub struct ReplaySchedule {
     /// Record indices in replay order (shuffled within each phase).
@@ -188,10 +189,11 @@ impl ReplaySchedule {
     }
 }
 
-/// Reusable buffers for [`replay_with_scratch`]: the resolved-extent and
-/// sub-request vectors, the opened-file bitmap, and a schedule rebuilt
-/// per trace. One scratch threaded through a whole experiment grid makes
-/// the per-request path allocation-free at steady state.
+/// Reusable replay buffers owned by a [`crate::ReplaySession`]: the
+/// resolved-extent and sub-request vectors, the opened-file bitmap, and
+/// a schedule rebuilt per trace. One session threaded through a whole
+/// experiment grid makes the per-request path allocation-free at steady
+/// state.
 #[derive(Debug, Clone, Default)]
 pub struct ReplayScratch {
     /// Physical extents of the request being replayed.
@@ -200,9 +202,9 @@ pub struct ReplayScratch {
     subs: Vec<SubExtent>,
     /// Physical files already opened (metadata lookup paid).
     opened: FileSet,
-    /// Schedule buffers for [`replay_with_scratch`], which rebuilds the
-    /// order on every call (callers hoisting the schedule use
-    /// [`replay_scheduled`] directly and leave this empty).
+    /// Schedule buffers rebuilt per trace by an unpinned session
+    /// (sessions pinned with [`crate::ReplaySession::with_schedule`]
+    /// leave this empty).
     schedule: ReplaySchedule,
 }
 
@@ -296,71 +298,10 @@ impl ReplayReport {
     }
 }
 
-/// Replay `trace` against `cluster`, resolving each request through
-/// `resolver`. The cluster's queues are reset first; installed layouts
-/// are kept.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `ReplaySession::new().run(cluster, trace, resolver)`"
-)]
-pub fn replay(cluster: &mut Cluster, trace: &Trace, resolver: &mut dyn Resolver) -> ReplayReport {
-    let mut scratch = ReplayScratch::new();
-    let schedule = ReplaySchedule::for_trace(trace);
-    replay_core(cluster, trace, &schedule, resolver, &mut scratch, None)
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// [`replay`] with caller-owned scratch buffers, for callers replaying
-/// many traces (the experiment grid, the replay benches): the per-request
-/// fast path performs no heap allocation once the scratch has warmed up.
-/// Results are identical to [`replay`] — the scratch only changes where
-/// the working memory lives.
-#[deprecated(
-    since = "0.3.0",
-    note = "use a long-lived `ReplaySession`, which owns the scratch"
-)]
-pub fn replay_with_scratch(
-    cluster: &mut Cluster,
-    trace: &Trace,
-    resolver: &mut dyn Resolver,
-    scratch: &mut ReplayScratch,
-) -> ReplayReport {
-    // Take the schedule buffers out so the schedule can be borrowed
-    // alongside the rest of the scratch (swap of a few Vec headers).
-    let mut schedule = std::mem::take(&mut scratch.schedule);
-    schedule.rebuild(trace);
-    let report = replay_core(cluster, trace, &schedule, resolver, scratch, None)
-        .unwrap_or_else(|e| panic!("{e}"));
-    scratch.schedule = schedule;
-    report
-}
-
-/// [`replay_with_scratch`] with the phase schedule hoisted out: callers
-/// replaying one trace repeatedly (the experiment grid, benches) build
-/// the [`ReplaySchedule`] once instead of regrouping and reshuffling per
-/// replay. Reports are identical to [`replay`].
-///
-/// # Panics
-/// If `schedule` was not built for a trace of this shape.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `ReplaySession::new().with_schedule(schedule)`, which pins the schedule"
-)]
-pub fn replay_scheduled(
-    cluster: &mut Cluster,
-    trace: &Trace,
-    schedule: &ReplaySchedule,
-    resolver: &mut dyn Resolver,
-    scratch: &mut ReplayScratch,
-) -> ReplayReport {
-    replay_core(cluster, trace, schedule, resolver, scratch, None)
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// The one replay loop behind [`crate::ReplaySession`] and the deprecated
-/// free functions. With `faults: None` the time arithmetic is exactly the
-/// historical fault-free path — reports stay bit-for-bit identical; with
-/// a [`FaultRuntime`], every sub-request first passes server admission
+/// The one replay loop behind [`crate::ReplaySession`]. With
+/// `faults: None` the time arithmetic is exactly the historical
+/// fault-free path — reports stay bit-for-bit identical; with a
+/// [`FaultRuntime`], every sub-request first passes server admission
 /// (outage retry loops, permanent loss) before touching fabric or device.
 pub(crate) fn replay_core(
     cluster: &mut Cluster,
@@ -590,17 +531,15 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // shim coverage: legacy entry points stay report-identical
     fn scratch_reuse_is_report_identical() {
-        // One scratch across heterogeneous traces and resolvers must give
-        // exactly the reports fresh scratches give.
-        let mut scratch = ReplayScratch::new();
+        // One session's warmed scratch across heterogeneous traces and
+        // resolvers must give exactly the reports fresh sessions give.
+        let mut session = ReplaySession::new();
         for t in [small_ior(IoOp::Write), small_ior(IoOp::Read)] {
             let mut c1 = Cluster::new(ClusterConfig::paper_default());
-            let fresh = replay(&mut c1, &t, &mut IdentityResolver);
+            let fresh = ReplaySession::new().run(&mut c1, &t, &mut IdentityResolver).unwrap();
             let mut c2 = Cluster::new(ClusterConfig::paper_default());
-            let reused =
-                replay_with_scratch(&mut c2, &t, &mut IdentityResolver, &mut scratch);
+            let reused = session.run(&mut c2, &t, &mut IdentityResolver).unwrap();
             assert_eq!(fresh.makespan, reused.makespan);
             assert_eq!(fresh.total_bytes, reused.total_bytes);
             assert_eq!(fresh.server_busy_secs(), reused.server_busy_secs());
@@ -649,25 +588,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // shim coverage
     fn hoisted_schedule_is_report_identical() {
-        // One schedule reused across replays and schemes must reproduce
-        // the inline-built ordering exactly.
+        // One schedule pinned across replays must reproduce the
+        // inline-built ordering exactly.
         for t in [small_ior(IoOp::Write), small_ior(IoOp::Read)] {
             let schedule = ReplaySchedule::for_trace(&t);
             assert_eq!(schedule.phases(), 8);
-            let mut scratch = ReplayScratch::new();
+            let mut pinned = ReplaySession::new().with_schedule(schedule);
             let mut c1 = Cluster::new(ClusterConfig::paper_default());
-            let inline = replay(&mut c1, &t, &mut IdentityResolver);
+            let inline = ReplaySession::new().run(&mut c1, &t, &mut IdentityResolver).unwrap();
             for round in 0..3 {
                 let mut c2 = Cluster::new(ClusterConfig::paper_default());
-                let hoisted = replay_scheduled(
-                    &mut c2,
-                    &t,
-                    &schedule,
-                    &mut IdentityResolver,
-                    &mut scratch,
-                );
+                let hoisted = pinned.run(&mut c2, &t, &mut IdentityResolver).unwrap();
                 assert_eq!(inline.makespan, hoisted.makespan, "round {round}");
                 assert_eq!(inline.server_busy_secs(), hoisted.server_busy_secs());
                 assert_eq!(inline.mds_lookups, hoisted.mds_lookups);
@@ -680,13 +612,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // shim coverage: legacy panic message preserved
-    #[should_panic(expected = "schedule/trace mismatch")]
     fn schedule_for_wrong_trace_is_rejected() {
         let t = small_ior(IoOp::Write);
         let schedule = ReplaySchedule::for_trace(&Trace::new());
         let mut c = Cluster::new(ClusterConfig::paper_default());
-        replay_scheduled(&mut c, &t, &schedule, &mut IdentityResolver, &mut ReplayScratch::new());
+        let err = ReplaySession::new()
+            .with_schedule(schedule)
+            .run(&mut c, &t, &mut IdentityResolver)
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::ReplayError::ScheduleMismatch { schedule: 0, trace } if trace == t.len()),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -1,12 +1,10 @@
 //! [`ReplaySession`]: the single entry point for replaying traces.
 //!
-//! A session owns everything that used to be threaded through the
-//! `replay` / `replay_with_scratch` / `replay_scheduled` free functions —
-//! scratch buffers, an optional pinned schedule — plus the new
-//! fault-injection state ([`simrt::FaultPlan`]). One session replayed
-//! across a whole experiment grid keeps the per-request path
-//! allocation-free, and every failure mode surfaces as a
-//! [`ReplayError`] instead of a panic.
+//! A session owns the replay's working state — scratch buffers, an
+//! optional pinned schedule — plus the fault-injection state
+//! ([`simrt::FaultPlan`]). One session replayed across a whole
+//! experiment grid keeps the per-request path allocation-free, and
+//! every failure mode surfaces as a [`ReplayError`] instead of a panic.
 
 use crate::cluster::Cluster;
 use crate::error::ReplayError;
@@ -109,9 +107,9 @@ impl ReplaySession {
                 runtime.as_mut(),
             ),
             None => {
-                // Borrow dance as in the old `replay_with_scratch`: the
-                // schedule buffers live inside the scratch, so take them
-                // out while the scratch is mutably borrowed by the core.
+                // Borrow dance: the schedule buffers live inside the
+                // scratch, so take them out while the scratch is mutably
+                // borrowed by the core.
                 let mut schedule = self.scratch.take_schedule();
                 schedule.rebuild(trace);
                 let report = replay_core(
@@ -145,25 +143,24 @@ mod tests {
     }
 
     #[test]
-    fn session_matches_deprecated_free_functions() {
-        // The collapsed API must reproduce the legacy entry points
-        // bit for bit on the fault-free path.
+    fn independent_sessions_are_bit_identical() {
+        // Two fresh sessions over the same trace must agree bit for bit
+        // on the fault-free path (the replay order depends only on the
+        // trace, never on session history).
         for t in [small_ior(IoOp::Write), small_ior(IoOp::Read)] {
             let mut c1 = Cluster::new(ClusterConfig::paper_default());
-            #[allow(deprecated)]
-            let legacy = crate::replay::replay(&mut c1, &t, &mut IdentityResolver);
+            let a = ReplaySession::new().run(&mut c1, &t, &mut IdentityResolver).unwrap();
             let mut c2 = Cluster::new(ClusterConfig::paper_default());
-            let mut session = ReplaySession::new();
-            let new = session.run(&mut c2, &t, &mut IdentityResolver).unwrap();
-            assert_eq!(legacy.makespan, new.makespan);
-            assert_eq!(legacy.server_busy_secs(), new.server_busy_secs());
-            assert_eq!(legacy.mds_lookups, new.mds_lookups);
+            let b = ReplaySession::new().run(&mut c2, &t, &mut IdentityResolver).unwrap();
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.server_busy_secs(), b.server_busy_secs());
+            assert_eq!(a.mds_lookups, b.mds_lookups);
             assert_eq!(
-                legacy.request_latency.sum().to_bits(),
-                new.request_latency.sum().to_bits()
+                a.request_latency.sum().to_bits(),
+                b.request_latency.sum().to_bits()
             );
-            assert_eq!(new.retries, 0);
-            assert_eq!(new.timeouts, 0);
+            assert_eq!(b.retries, 0);
+            assert_eq!(b.timeouts, 0);
         }
     }
 

@@ -9,12 +9,22 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-# --all-targets lints tests, benches and examples too; deprecated-API
-# calls outside the dedicated shim tests fail the gate.
+# --all-targets lints tests, benches and examples too; the pre-0.3
+# replay free functions are gone, so any resurrected caller fails here.
 cargo clippy --workspace --all-targets -- -D warnings
 # Benches must at least compile (running them is opt-in; `cargo bench`
 # on the full grid takes minutes).
 cargo bench --no-run
+# Durability gate, explicitly: the kill-point matrices (simulated crash
+# at every commit boundary of save_plan and journaled migration), the
+# corruption/truncation recovery tests, and the save→reload→replay
+# bit-identity round-trip. These already ran inside `cargo test -q`;
+# naming them here keeps the crash-consistency contract from silently
+# dropping out of the suite.
+cargo test -q -p mha-core persist::
+cargo test -q -p mha-core kill_matrix
+cargo test -q -p mha-bench --test persist_roundtrip
+cargo test -q -p mha --test properties persisted_tables
 # Fault-matrix smoke: the degraded-cluster experiment must run end to
 # end (empty-plan bit-identity and replanning wins are asserted by the
 # test suite; this catches panics in the full figure path).

@@ -56,7 +56,8 @@ pub mod prelude {
     pub use mha_core::schemes::{
         apply_plan, Evaluation, LayoutPlanner, Plan, PlannerContext, Scheme,
     };
-    pub use mha_core::dynamic::{run_dynamic, DynamicConfig, DynamicReport};
+    pub use mha_core::dynamic::{run_dynamic, run_dynamic_durable, DynamicConfig, DynamicReport};
+    pub use mha_core::persist::{recover, PersistError, PipelineStore};
     pub use mha_core::{CostParams, DrtResolver, GroupingConfig, RssdConfig};
     pub use mpiio_sim::{Hints, Middleware, MpiJob};
     pub use pfs_sim::{

@@ -381,3 +381,137 @@ proptest! {
         prop_assert_eq!(r.pair.s % cfg.step, 0);
     }
 }
+
+// ------------------------------------------------- pipeline persistence --
+
+/// Deterministic DRT/RST pair for the durability properties: `salt`
+/// varies the content so different cases exercise different byte
+/// patterns on disk.
+fn persisted_tables(salt: u64) -> (mha::mha_core::region::Drt, mha::mha_core::region::Rst) {
+    use mha::mha_core::region::{Drt, DrtEntry, Rst};
+    use mha::mha_core::rssd::StripePair;
+    let mut drt = Drt::new();
+    for i in 0..8u64 {
+        assert!(drt.insert(DrtEntry {
+            o_file: mha::iotrace::FileId(0),
+            o_offset: i * 16384 + salt * 131_072,
+            r_file: mha::iotrace::FileId(80_000 + (salt as u32)),
+            r_offset: i * 8192,
+            length: 4096 + salt * 512,
+        }));
+    }
+    let mut rst = Rst::new();
+    rst.set(
+        mha::iotrace::FileId(80_000 + (salt as u32)),
+        StripePair { h: 4096 * (salt + 1), s: 65_536 * (salt + 1) },
+    );
+    (drt, rst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A single bit flip anywhere in the store file can never smuggle a
+    /// *different* table past the checksums: reloading yields a
+    /// structured error, "nothing committed", or the exact committed
+    /// snapshot — never a partial or mutated table. Recovery stays
+    /// idempotent on whatever survives.
+    #[test]
+    fn persisted_tables_survive_single_bit_flips(
+        salt in 0u64..4,
+        flip_pos in 0usize..4096,
+        flip_bit in 0u8..8,
+    ) {
+        use mha::prelude::{recover, PipelineStore};
+        let path = std::env::temp_dir().join(format!(
+            "mha-prop-flip-{}-{salt}-{flip_pos}-{flip_bit}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let (drt, rst) = persisted_tables(salt);
+        {
+            let store = PipelineStore::open(&path).expect("open");
+            store.save_tables(&drt, &rst).expect("save");
+        }
+        // Flip one bit somewhere in the file (position wrapped to size).
+        {
+            use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+            let mut f = std::fs::OpenOptions::new().read(true).write(true).open(&path)
+                .expect("reopen file");
+            let len = f.metadata().expect("meta").len() as usize;
+            prop_assume!(len > 0);
+            let pos = flip_pos % len;
+            let mut byte = [0u8; 1];
+            f.seek(SeekFrom::Start(pos as u64)).expect("seek");
+            f.read_exact(&mut byte).expect("read");
+            byte[0] ^= 1 << flip_bit;
+            f.seek(SeekFrom::Start(pos as u64)).expect("seek back");
+            f.write_all(&byte).expect("write flipped");
+        }
+        let store = PipelineStore::open(&path).expect("reopen store");
+        match store.load_tables() {
+            Err(_) => {} // structured rejection is a valid outcome
+            Ok(None) => {} // the commit record was the casualty
+            Ok(Some((d, r))) => {
+                // All-or-nothing: only the exact committed snapshot loads.
+                prop_assert_eq!(&d, &drt);
+                prop_assert_eq!(&r, &rst);
+            }
+        }
+        // Recovery never panics, and recovering twice is recovering once.
+        if let Ok(first) = recover(&store) {
+            let again = recover(&store).expect("recovery is idempotent");
+            prop_assert_eq!(again.rolled_forward, 0);
+            prop_assert_eq!(
+                again.tables.is_some(),
+                first.tables.is_some(),
+                "second recovery changed table presence"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Truncating the store file at any point (a torn final write) falls
+    /// back to a complete committed generation: with gen A then gen B on
+    /// disk, every prefix loads exactly B, exactly A, or nothing.
+    #[test]
+    fn persisted_tables_survive_truncation(
+        keep_fraction in 0u32..=100,
+    ) {
+        use mha::prelude::PipelineStore;
+        let path = std::env::temp_dir().join(format!(
+            "mha-prop-trunc-{}-{keep_fraction}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let (drt_a, rst_a) = persisted_tables(1);
+        let (drt_b, rst_b) = persisted_tables(2);
+        {
+            let store = PipelineStore::open(&path).expect("open");
+            store.save_tables(&drt_a, &rst_a).expect("save gen A");
+            store.save_tables(&drt_b, &rst_b).expect("save gen B");
+        }
+        let full = std::fs::metadata(&path).expect("meta").len();
+        let keep = full * u64::from(keep_fraction) / 100;
+        {
+            let f = std::fs::OpenOptions::new().write(true).open(&path).expect("reopen");
+            f.set_len(keep).expect("truncate");
+        }
+        let store = PipelineStore::open(&path).expect("reopen store");
+        match store.load_tables() {
+            Ok(None) => {} // truncated before the first commit record
+            Ok(Some((d, r))) => {
+                let is_b = d == drt_b && r == rst_b;
+                let is_a = d == drt_a && r == rst_a;
+                prop_assert!(is_a || is_b, "loaded tables match neither generation");
+            }
+            Err(e) => {
+                // A WAL-valid prefix always ends between records, so the
+                // envelope layer should have a complete generation or
+                // none; surface anything else for inspection.
+                prop_assert!(false, "truncation produced {e}");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
