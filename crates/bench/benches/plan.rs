@@ -1,0 +1,65 @@
+//! Planning front-end stage benches: trace ingest (TSV parse),
+//! concurrency annotation, request grouping (serial vs rayon), region/DRT
+//! construction, and the chained end-to-end plan. These quantify the PR 5
+//! front-end rework; `results/BENCH_plan.json` records the old-vs-new
+//! numbers (the pre-rework code is gone from the tree, so the comparison
+//! lives in the results file, not here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iotrace::{tsv, IoOp};
+use mha_bench::workloads::{self, Scale};
+use mha_core::cost::views_of;
+use mha_core::region::build_regions_aligned;
+use mha_core::schemes::{LayoutPlanner, MhaPlanner};
+use mha_core::{group_requests_parallel, group_requests_serial, GroupingConfig, ReqFeature};
+
+fn bench(c: &mut Criterion) {
+    let cluster = workloads::paper_cluster();
+    let trace = workloads::lanl_trace(Scale::Quick);
+    let ctx = workloads::context_for(&trace, &cluster);
+    let text = tsv::to_tsv(&trace);
+    let views = views_of(&trace);
+    let feats: Vec<ReqFeature> = views.iter().map(ReqFeature::of).collect();
+    let cfg = GroupingConfig::default();
+    let grouping = group_requests_serial(&feats, &cfg);
+
+    let mut group = c.benchmark_group("plan");
+    group.sample_size(10);
+
+    group.bench_function("parse_tsv", |b| b.iter(|| tsv::from_tsv(&text).unwrap()));
+
+    group.bench_function("concurrency", |b| b.iter(|| trace.concurrency()));
+
+    group.bench_function("grouping_serial", |b| b.iter(|| group_requests_serial(&feats, &cfg)));
+    group.bench_function("grouping_parallel", |b| b.iter(|| group_requests_parallel(&feats, &cfg)));
+
+    group.bench_function("build_regions", |b| {
+        b.iter(|| build_regions_aligned(&trace, &grouping, 1000, 128 << 10))
+    });
+
+    // The chained front end as the planner drives it: parse the trace
+    // back in, then run the full MHA plan (grouping + two region builds
+    // + RSSD) against the paper cluster.
+    group.bench_function("end_to_end_quick_lanl", |b| {
+        b.iter(|| {
+            let t = tsv::from_tsv(&text).unwrap();
+            MhaPlanner.plan(&t, &ctx)
+        })
+    });
+
+    // IOR mixed-size grid: the other workload recorded in BENCH_plan.json.
+    for sizes in [&[128u64, 256][..], &[64, 512][..]] {
+        let ior = workloads::ior_mixed_sizes(sizes, IoOp::Write, Scale::Quick);
+        let ior_ctx = workloads::context_for(&ior, &cluster);
+        group.bench_with_input(
+            BenchmarkId::new("end_to_end_ior", format!("{}k-{}k", sizes[0], sizes[1])),
+            &(ior, ior_ctx),
+            |b, (t, cx)| b.iter(|| MhaPlanner.plan(t, cx)),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

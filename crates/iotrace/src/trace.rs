@@ -143,7 +143,72 @@ impl Trace {
     /// share its phase (including itself). This is the paper's "request
     /// concurrency" feature — the number of requests simultaneously issued
     /// to the file.
+    ///
+    /// Dense-index counting pass: record indices are bucketed by phase
+    /// with one counting sort, then each phase's per-file tallies
+    /// accumulate in a flat table reused (and re-zeroed via the bucket)
+    /// across phases — O(n + phases + files) with five flat allocations,
+    /// replacing a `BTreeMap<(file, phase), count>` walk per record.
+    /// Traces whose file or phase ids are too sparse to index densely
+    /// fall back to the original map-based pass.
     pub fn concurrency(&self) -> Vec<u32> {
+        let n = self.records.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut max_file = 0u32;
+        let mut max_phase = 0u32;
+        for r in &self.records {
+            max_file = max_file.max(r.file.0);
+            max_phase = max_phase.max(r.phase);
+        }
+        let limit = 4 * n + 1024;
+        if n >= u32::MAX as usize
+            || (max_file as usize) >= limit
+            || (max_phase as usize) >= limit
+        {
+            return self.concurrency_sparse();
+        }
+        let phases = max_phase as usize + 1;
+        let files = max_file as usize + 1;
+        // Counting-sort record indices by phase.
+        let mut starts = vec![0u32; phases + 1];
+        for r in &self.records {
+            starts[r.phase as usize + 1] += 1;
+        }
+        for p in 0..phases {
+            starts[p + 1] += starts[p];
+        }
+        let mut cursor: Vec<u32> = starts[..phases].to_vec();
+        let mut order = vec![0u32; n];
+        for (i, r) in self.records.iter().enumerate() {
+            let c = &mut cursor[r.phase as usize];
+            order[*c as usize] = i as u32;
+            *c += 1;
+        }
+        // Per phase: tally per-file counts, emit them, zero the touched
+        // slots — three linear sweeps over the phase's bucket.
+        let mut per_file = vec![0u32; files];
+        let mut out = vec![0u32; n];
+        for p in 0..phases {
+            let bucket = &order[starts[p] as usize..starts[p + 1] as usize];
+            for &i in bucket {
+                per_file[self.records[i as usize].file.0 as usize] += 1;
+            }
+            for &i in bucket {
+                out[i as usize] = per_file[self.records[i as usize].file.0 as usize];
+            }
+            for &i in bucket {
+                per_file[self.records[i as usize].file.0 as usize] = 0;
+            }
+        }
+        out
+    }
+
+    /// The original `BTreeMap<(file, phase), count>` pass — the fallback
+    /// for degenerate id ranges and the oracle [`Trace::concurrency`] is
+    /// tested against.
+    fn concurrency_sparse(&self) -> Vec<u32> {
         let mut phase_count: BTreeMap<(FileId, u32), u32> = BTreeMap::new();
         for r in &self.records {
             *phase_count.entry((r.file, r.phase)).or_insert(0) += 1;
@@ -163,23 +228,76 @@ impl Trace {
             .map_or(0, |p| p + 1)
     }
 
+    /// Records touching `file`, borrowed, in issue order — the filtering
+    /// scan [`Trace::for_file`] used to copy into a fresh trace.
+    pub fn records_for_file(&self, file: FileId) -> impl Iterator<Item = &TraceRecord> + '_ {
+        self.records.iter().filter(move |r| r.file == file)
+    }
+
     /// Restrict to one file.
+    #[deprecated(
+        since = "0.2.0",
+        note = "copies every record on each call; iterate `records_for_file` instead"
+    )]
     pub fn for_file(&self, file: FileId) -> Trace {
-        Trace {
-            records: self.records.iter().filter(|r| r.file == file).copied().collect(),
-        }
+        Trace { records: self.records_for_file(file).copied().collect() }
     }
 
     /// Concatenate another trace after this one (phases are shifted so they
     /// stay distinct).
+    ///
+    /// Equivalent to pushing `other`'s shifted records and stable-sorting
+    /// the whole vector by `(ts, phase, rank, offset)` — but O(n) when the
+    /// halves already concatenate in order (the common multi-job assembly
+    /// loop, which used to pay a full re-sort per appended job) and a
+    /// single merge of the two sorted halves otherwise.
     pub fn extend_with(&mut self, other: &Trace) {
         let shift = self.phase_count();
+        let split = self.records.len();
+        self.records.reserve(other.records.len());
         for r in &other.records {
             let mut r = *r;
             r.phase += shift;
             self.records.push(r);
         }
-        self.records.sort_by_key(|r| (r.ts, r.phase, r.rank, r.offset));
+        let key = |r: &TraceRecord| (r.ts, r.phase, r.rank, r.offset);
+        let is_sorted =
+            |v: &[TraceRecord]| v.windows(2).all(|w| key(&w[0]) <= key(&w[1]));
+        let left_ok = is_sorted(&self.records[..split]);
+        let right_ok = is_sorted(&self.records[split..]);
+        if left_ok
+            && right_ok
+            && (split == 0
+                || split == self.records.len()
+                || key(&self.records[split - 1]) <= key(&self.records[split]))
+        {
+            return;
+        }
+        // Stable-sorting each half keeps equal keys in push order, exactly
+        // as one stable sort of the concatenation would.
+        if !left_ok {
+            self.records[..split].sort_by_key(key);
+        }
+        if !right_ok {
+            self.records[split..].sort_by_key(key);
+        }
+        let mut merged = Vec::with_capacity(self.records.len());
+        let (left, right) = self.records.split_at(split);
+        let (mut i, mut j) = (0, 0);
+        // Left-preferring merge: ties resolve to the left half, matching
+        // the stability of sorting the concatenation.
+        while i < left.len() && j < right.len() {
+            if key(&left[i]) <= key(&right[j]) {
+                merged.push(left[i]);
+                i += 1;
+            } else {
+                merged.push(right[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&left[i..]);
+        merged.extend_from_slice(&right[j..]);
+        self.records = merged;
     }
 }
 
@@ -274,7 +392,41 @@ mod tests {
         assert_eq!(a.concurrency(), vec![1, 1]);
     }
 
+    /// The merge-based `extend_with` must match the old "push everything,
+    /// stable-sort the whole vector" behaviour exactly — including the
+    /// phase shift that keeps the two halves' phases distinct — on sorted,
+    /// unsorted and interleaved-timestamp halves alike.
     #[test]
+    fn extend_with_matches_full_sort_oracle() {
+        let mut s = 0xFEED_FACE_CAFE_BEEFu64;
+        for trial in 0..60 {
+            let na = (xorshift(&mut s) % 40) as usize;
+            let nb = (xorshift(&mut s) % 40) as usize;
+            let mut ra = random_records(&mut s, na, 4, 6);
+            let rb = random_records(&mut s, nb, 4, 6);
+            // Half the trials get a pre-sorted left half (the fast path).
+            if trial % 2 == 0 {
+                ra.sort_by_key(|r| (r.ts, r.phase, r.rank, r.offset));
+            }
+            let mut got = Trace::from_records(ra.clone());
+            let b = Trace::from_records(rb.clone());
+            got.extend_with(&b);
+
+            // Oracle: the original implementation.
+            let shift = Trace::from_records(ra.clone()).phase_count();
+            let mut all = ra;
+            all.extend(rb.into_iter().map(|mut r| {
+                r.phase += shift;
+                r
+            }));
+            all.sort_by_key(|r| (r.ts, r.phase, r.rank, r.offset));
+            assert_eq!(got.records(), &all[..], "trial {trial} (na={na}, nb={nb})");
+            assert!(got.phase_count() >= shift, "phases stay distinct");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn for_file_filters_records() {
         let t = Trace::from_records(vec![
             rec(0, 0, 10, 0, IoOp::Read),
@@ -285,6 +437,63 @@ mod tests {
         assert_eq!(f0.len(), 2);
         assert_eq!(f0.total_bytes(), 40);
         assert!(t.for_file(FileId(9)).is_empty());
+        // The borrowed iterator sees the same records without the copy.
+        let borrowed: Vec<&TraceRecord> = t.records_for_file(FileId(0)).collect();
+        assert_eq!(borrowed.len(), 2);
+        assert!(borrowed.iter().zip(f0.records()).all(|(a, b)| *a == b));
+        assert_eq!(t.records_for_file(FileId(9)).count(), 0);
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_records(s: &mut u64, n: usize, files: u64, phases: u64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|_| TraceRecord {
+                pid: 1,
+                rank: Rank((xorshift(s) % 64) as u32),
+                file: FileId((xorshift(s) % files) as u32),
+                op: IoOp::Read,
+                offset: xorshift(s) % 1_000_000,
+                len: 1 + xorshift(s) % 4096,
+                ts: SimTime::from_nanos(xorshift(s) % 1000),
+                phase: (xorshift(s) % phases) as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrency_dense_matches_sparse_oracle() {
+        let mut s = 0xC0FF_EE00_1234_5678u64;
+        for trial in 0..40 {
+            let n = 1 + (xorshift(&mut s) % 300) as usize;
+            let files = 1 + xorshift(&mut s) % 12;
+            let phases = 1 + xorshift(&mut s) % 40;
+            let t = Trace::from_records(random_records(&mut s, n, files, phases));
+            assert_eq!(t.concurrency(), t.concurrency_sparse(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn concurrency_sparse_ids_fall_back_correctly() {
+        // File and phase ids far beyond 4n force the sparse path; the
+        // answer must not change.
+        let mut seed = 0x5EEDu64;
+        let mut recs = random_records(&mut seed, 50, 4, 8);
+        for (i, r) in recs.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                r.file = FileId(3_000_000_000);
+            }
+            if i % 5 == 0 {
+                r.phase = 2_000_000_000;
+            }
+        }
+        let t = Trace::from_records(recs);
+        assert_eq!(t.concurrency(), t.concurrency_sparse());
     }
 
     #[test]

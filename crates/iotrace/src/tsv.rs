@@ -38,23 +38,30 @@ pub fn to_tsv(trace: &Trace) -> String {
 /// trace that parses but violates a schema invariant (zero-length request,
 /// out-of-range rank, out-of-order timestamps, …) reports
 /// [`TraceError::InvalidRecord`].
+///
+/// The parser streams: fields are walked as byte slices into a fixed
+/// array (no per-line `Vec<&str>`), numbers take a digit fast path that
+/// defers to `str::parse` for anything unusual (so error text is the std
+/// library's verbatim), and the record vector is reserved once from a
+/// newline count instead of regrowing mid-parse.
 pub fn from_tsv(text: &str) -> Result<Trace, TraceError> {
-    let mut records = Vec::new();
+    // Every record costs one line, so the newline count (plus an
+    // unterminated tail) bounds the record total.
+    let line_upper = text.as_bytes().iter().filter(|&&b| b == b'\n').count()
+        + usize::from(!text.is_empty() && !text.ends_with('\n'));
+    let mut records = Vec::with_capacity(line_upper);
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = line.split('\t').collect();
-        if fields.len() != 8 {
-            return Err(TraceError::Parse {
-                line: lineno,
-                message: format!("expected 8 fields, found {}", fields.len()),
-            });
-        }
+        let fields = split8(line).map_err(|found| TraceError::Parse {
+            line: lineno,
+            message: format!("expected 8 fields, found {found}"),
+        })?;
         let num = |s: &str, what: &str| -> Result<u64, TraceError> {
-            s.parse::<u64>().map_err(|e| TraceError::Parse {
+            parse_u64(s).map_err(|e| TraceError::Parse {
                 line: lineno,
                 message: format!("bad {what} '{s}': {e}"),
             })
@@ -83,6 +90,58 @@ pub fn from_tsv(text: &str) -> Result<Trace, TraceError> {
     let trace = Trace::from_records(records);
     trace.validate()?;
     Ok(trace)
+}
+
+/// Split a line on tabs into exactly eight borrowed fields. Returns the
+/// actual field count on mismatch so the error message stays identical to
+/// the old `split('\t').collect::<Vec<_>>()` path.
+fn split8(line: &str) -> Result<[&str; 8], usize> {
+    let mut fields = [""; 8];
+    let mut n = 0usize;
+    let mut rest = line;
+    loop {
+        match rest.as_bytes().iter().position(|&b| b == b'\t') {
+            Some(t) => {
+                if n < 8 {
+                    fields[n] = &rest[..t];
+                }
+                n += 1;
+                rest = &rest[t + 1..];
+            }
+            None => {
+                if n < 8 {
+                    fields[n] = rest;
+                }
+                n += 1;
+                break;
+            }
+        }
+    }
+    if n == 8 {
+        Ok(fields)
+    } else {
+        Err(n)
+    }
+}
+
+/// `s.parse::<u64>()` with an all-digit fast path. Nineteen decimal
+/// digits can never overflow a u64, so anything longer — and anything
+/// containing a non-digit, including signs and leading whitespace — falls
+/// back to the std parser for its exact semantics and error values.
+fn parse_u64(s: &str) -> Result<u64, std::num::ParseIntError> {
+    let b = s.as_bytes();
+    if b.is_empty() || b.len() > 19 {
+        return s.parse();
+    }
+    let mut v = 0u64;
+    for &c in b {
+        let d = c.wrapping_sub(b'0');
+        if d > 9 {
+            return s.parse();
+        }
+        v = v * 10 + u64::from(d);
+    }
+    Ok(v)
 }
 
 #[cfg(test)]
@@ -202,5 +261,151 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
         assert_eq!(back.records(), t.records());
+    }
+
+    /// The pre-streaming parser, kept verbatim as the oracle the
+    /// streaming parser is property-tested against.
+    fn from_tsv_oracle(text: &str) -> Result<Trace, TraceError> {
+        let mut records = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 8 {
+                return Err(TraceError::Parse {
+                    line: lineno,
+                    message: format!("expected 8 fields, found {}", fields.len()),
+                });
+            }
+            let num = |s: &str, what: &str| -> Result<u64, TraceError> {
+                s.parse::<u64>().map_err(|e| TraceError::Parse {
+                    line: lineno,
+                    message: format!("bad {what} '{s}': {e}"),
+                })
+            };
+            let op = match fields[3] {
+                "read" => IoOp::Read,
+                "write" => IoOp::Write,
+                other => {
+                    return Err(TraceError::Parse {
+                        line: lineno,
+                        message: format!("bad op '{other}' (expected read/write)"),
+                    })
+                }
+            };
+            records.push(TraceRecord {
+                pid: num(fields[0], "pid")? as u32,
+                rank: Rank(num(fields[1], "rank")? as u32),
+                file: FileId(num(fields[2], "file")? as u32),
+                op,
+                offset: num(fields[4], "offset")?,
+                len: num(fields[5], "len")?,
+                ts: SimTime::from_nanos(num(fields[6], "ts")?),
+                phase: num(fields[7], "phase")? as u32,
+            });
+        }
+        let trace = Trace::from_records(records);
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_trace(s: &mut u64, n: usize) -> Trace {
+        let mut ts = 0u64;
+        let recs = (0..n)
+            .map(|i| {
+                ts += xorshift(s) % 1000;
+                TraceRecord {
+                    pid: (xorshift(s) % 10_000) as u32,
+                    rank: Rank((xorshift(s) % 1024) as u32),
+                    file: FileId((xorshift(s) % 16) as u32),
+                    op: if xorshift(s) % 2 == 0 { IoOp::Read } else { IoOp::Write },
+                    offset: xorshift(s) % (1 << 40),
+                    len: 1 + xorshift(s) % (1 << 20),
+                    ts: SimTime::from_nanos(ts),
+                    phase: (i / 4) as u32,
+                }
+            })
+            .collect();
+        Trace::from_records(recs)
+    }
+
+    #[test]
+    fn streaming_parser_round_trips_randomized_traces() {
+        let mut s = 0xDEAD_BEEF_0BAD_F00Du64;
+        for trial in 0..50 {
+            let t = random_trace(&mut s, 1 + (xorshift(&mut s) % 200) as usize);
+            let text = to_tsv(&t);
+            let new = from_tsv(&text).unwrap();
+            let old = from_tsv_oracle(&text).unwrap();
+            assert_eq!(new.records(), t.records(), "trial {trial}");
+            assert_eq!(new.records(), old.records(), "trial {trial}");
+            assert_eq!(to_tsv(&new), text, "trial {trial}: byte-identical round trip");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_report_identical_errors() {
+        let mut s = 0x1234_5678_9ABC_DEF0u64;
+        for trial in 0..120 {
+            let t = random_trace(&mut s, 1 + (xorshift(&mut s) % 20) as usize);
+            let mut lines: Vec<String> = to_tsv(&t).lines().map(String::from).collect();
+            // Line 0 is the header comment; corrupt one record line.
+            let victim = 1 + (xorshift(&mut s) as usize) % (lines.len() - 1);
+            let mode = xorshift(&mut s) % 6;
+            lines[victim] = {
+                let mut f: Vec<String> =
+                    lines[victim].split('\t').map(String::from).collect();
+                match mode {
+                    0 => lines[victim].replace('\t', " "), // too few fields
+                    1 => format!("{}\textra", lines[victim]), // too many fields
+                    2 => {
+                        f[3] = "append".into(); // bad op
+                        f.join("\t")
+                    }
+                    3 => {
+                        f[0] = format!("x{}", f[0]); // non-digit pid
+                        f.join("\t")
+                    }
+                    4 => {
+                        // Overflows u64 and exceeds the 19-digit fast
+                        // path — must fall back to std's error.
+                        f[4] = "99999999999999999999999999".into();
+                        f.join("\t")
+                    }
+                    _ => {
+                        f[5] = format!("-{}", f[5]); // negative length
+                        f.join("\t")
+                    }
+                }
+            };
+            let text = lines.join("\n");
+            match (from_tsv(&text), from_tsv_oracle(&text)) {
+                (
+                    Err(TraceError::Parse { line: la, message: ma }),
+                    Err(TraceError::Parse { line: lb, message: mb }),
+                ) => {
+                    assert_eq!((la, &ma), (lb, &mb), "trial {trial} mode {mode}");
+                    assert_eq!(la, victim + 1, "trial {trial}: 1-based line number");
+                }
+                (a, b) => panic!("parsers disagree on trial {trial} mode {mode}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fast_number_path_matches_std_on_oddities() {
+        for s in ["0", "42", "18446744073709551615", "18446744073709551616", "+7", "007", "", " 3", "3 ", "1e3", "0x10", "99999999999999999999999999", "000000000000000000000000007"] {
+            assert_eq!(parse_u64(s), s.parse::<u64>(), "input {s:?}");
+        }
     }
 }

@@ -10,10 +10,28 @@
 //!   or the iteration cap (3, per the paper) is hit,
 //! * `k` is capped to bound the number of regions and thus metadata
 //!   overhead (§III-D).
+//!
+//! The refinement loop is chunked: nearest-center assignment and the
+//! per-group feature sums are computed per fixed-size chunk of points
+//! (in parallel with rayon on large inputs) and the chunk partials are
+//! folded **in chunk index order**. That ordered reduction makes the
+//! arithmetic — and therefore the grouping — independent of worker
+//! count and bit-identical between the serial and parallel paths.
 
 use crate::pattern::{FeatureSpace, ReqFeature};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use simrt::SeedSeq;
+
+/// Fixed reduction chunk size. Partial sums are produced per `CHUNK`
+/// points and folded in chunk order, so results never depend on how
+/// rayon schedules the chunks.
+const CHUNK: usize = 4096;
+
+/// Below this many points the parallel path's spawn overhead outweighs
+/// the work. Both paths are bit-identical, so the cutover is purely a
+/// performance knob.
+const PAR_MIN_POINTS: usize = 4 * CHUNK;
 
 /// Grouping configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,6 +68,10 @@ impl Grouping {
     }
 
     /// Indices of the points in group `g`, in point order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "rescans the assignment and allocates per call; build a `GroupIndex` once and borrow its slices"
+    )]
     pub fn members(&self, g: usize) -> Vec<usize> {
         self.assignment
             .iter()
@@ -60,8 +82,83 @@ impl Grouping {
     }
 }
 
-/// Run Algorithm 1 on `points`.
+/// Members-of-group index over a [`Grouping`]: one counting-sort pass
+/// over the assignment replaces every O(n) `members(g)` rescan with a
+/// borrowed slice lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupIndex {
+    /// Per group `g`: `starts[g]..starts[g + 1]` slices `members`.
+    starts: Vec<u32>,
+    /// Point indices grouped by group id, ascending within each group.
+    members: Vec<u32>,
+}
+
+impl GroupIndex {
+    /// Index a grouping.
+    pub fn new(grouping: &Grouping) -> Self {
+        Self::from_assignment(&grouping.assignment, grouping.groups())
+    }
+
+    /// Index a raw assignment over dense group ids `0..groups`.
+    pub fn from_assignment(assignment: &[usize], groups: usize) -> Self {
+        assert!(assignment.len() < u32::MAX as usize, "group index is u32-sized");
+        let mut starts = vec![0u32; groups + 1];
+        for &a in assignment {
+            starts[a + 1] += 1;
+        }
+        for g in 0..groups {
+            starts[g + 1] += starts[g];
+        }
+        let mut cursor: Vec<u32> = starts[..groups].to_vec();
+        let mut members = vec![0u32; assignment.len()];
+        for (i, &a) in assignment.iter().enumerate() {
+            let c = &mut cursor[a];
+            members[*c as usize] = i as u32;
+            *c += 1;
+        }
+        GroupIndex { starts, members }
+    }
+
+    /// Number of groups indexed.
+    pub fn groups(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total points indexed.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no points were indexed.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Point indices of group `g`, ascending — borrowed, no allocation.
+    pub fn members(&self, g: usize) -> &[u32] {
+        &self.members[self.starts[g] as usize..self.starts[g + 1] as usize]
+    }
+}
+
+/// Run Algorithm 1 on `points`. Dispatches to the rayon-parallel path on
+/// large inputs; both paths are bit-identical (see the module docs and
+/// the `grouping_serial_matches_parallel_*` property tests).
 pub fn group_requests(points: &[ReqFeature], cfg: &GroupingConfig) -> Grouping {
+    run(points, cfg, points.len() >= PAR_MIN_POINTS)
+}
+
+/// [`group_requests`] pinned to the serial path — the reference the
+/// serial==parallel property tests compare against.
+pub fn group_requests_serial(points: &[ReqFeature], cfg: &GroupingConfig) -> Grouping {
+    run(points, cfg, false)
+}
+
+/// [`group_requests`] pinned to the rayon-parallel path.
+pub fn group_requests_parallel(points: &[ReqFeature], cfg: &GroupingConfig) -> Grouping {
+    run(points, cfg, true)
+}
+
+fn run(points: &[ReqFeature], cfg: &GroupingConfig, parallel: bool) -> Grouping {
     assert!(cfg.k > 0, "need at least one group");
     if points.is_empty() {
         return Grouping { assignment: Vec::new(), centers: Vec::new(), iterations: 0 };
@@ -76,22 +173,43 @@ pub fn group_requests(points: &[ReqFeature], cfg: &GroupingConfig) -> Grouping {
         };
     }
 
-    let mut centers = initial_centers(points, cfg.k, cfg.seed, &space);
+    let mut centers = initial_centers(points, cfg.k, cfg.seed, &space, parallel);
+    let k = centers.len();
     let mut assignment = vec![0usize; points.len()];
+    let n_chunks = points.len().div_ceil(CHUNK);
+    // One partial-sum row per chunk, reused across iterations.
+    let mut partials = vec![(0.0f64, 0.0f64, 0usize); n_chunks * k];
     let mut iterations = 0;
     for _ in 0..cfg.max_iters.max(1) {
         iterations += 1;
-        // Assignment step: nearest center (Eq. 1 distance).
-        for (i, p) in points.iter().enumerate() {
-            assignment[i] = nearest(&centers, p, &space);
+        // Assignment step: nearest center (Eq. 1 distance) per chunk,
+        // with per-chunk per-group feature sums.
+        if parallel {
+            assignment
+                .par_chunks_mut(CHUNK)
+                .zip(points.par_chunks(CHUNK))
+                .zip(partials.par_chunks_mut(k))
+                .for_each(|((a_chunk, p_chunk), sums)| {
+                    assign_chunk(p_chunk, &centers, &space, a_chunk, sums)
+                });
+        } else {
+            for ((a_chunk, p_chunk), sums) in assignment
+                .chunks_mut(CHUNK)
+                .zip(points.chunks(CHUNK))
+                .zip(partials.chunks_mut(k))
+            {
+                assign_chunk(p_chunk, &centers, &space, a_chunk, sums);
+            }
         }
-        // Update step: centroid of each group.
-        let mut sums = vec![(0.0f64, 0.0f64, 0usize); centers.len()];
-        for (i, p) in points.iter().enumerate() {
-            let s = &mut sums[assignment[i]];
-            s.0 += p.size;
-            s.1 += p.concurrency;
-            s.2 += 1;
+        // Update step: centroid of each group, from the chunk partials
+        // folded in chunk index order (deterministic reduction).
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+        for chunk in partials.chunks(k) {
+            for (s, c) in sums.iter_mut().zip(chunk) {
+                s.0 += c.0;
+                s.1 += c.1;
+                s.2 += c.2;
+            }
         }
         let mut changed = false;
         for (c, &(sx, sy, n)) in centers.iter_mut().zip(&sums) {
@@ -108,43 +226,105 @@ pub fn group_requests(points: &[ReqFeature], cfg: &GroupingConfig) -> Grouping {
             break;
         }
     }
-    compact(points, assignment, centers, iterations, &space)
+    compact(assignment, centers, iterations)
+}
+
+/// Assign each point of one chunk to its nearest center and accumulate
+/// the chunk's per-group `(Σsize, Σconcurrency, count)` partials.
+fn assign_chunk(
+    points: &[ReqFeature],
+    centers: &[ReqFeature],
+    space: &FeatureSpace,
+    assignment: &mut [usize],
+    sums: &mut [(f64, f64, usize)],
+) {
+    for s in sums.iter_mut() {
+        *s = (0.0, 0.0, 0);
+    }
+    for (a, p) in assignment.iter_mut().zip(points) {
+        let g = nearest(centers, p, space);
+        *a = g;
+        let s = &mut sums[g];
+        s.0 += p.size;
+        s.1 += p.concurrency;
+        s.2 += 1;
+    }
 }
 
 /// Seed centers: k-means++-style — first center random, each next center
-/// the point farthest from its nearest chosen center. Deterministic given
-/// the seed.
-fn initial_centers(points: &[ReqFeature], k: usize, seed: u64, space: &FeatureSpace) -> Vec<ReqFeature> {
+/// the point farthest from its nearest chosen center (ties resolve to
+/// the last maximum, matching `Iterator::max_by`). Deterministic given
+/// the seed. Each point's minimum distance is maintained incrementally
+/// against the newest center instead of rescanned over all centers —
+/// `min` is exact, so the maintained value equals the rescan's.
+fn initial_centers(
+    points: &[ReqFeature],
+    k: usize,
+    seed: u64,
+    space: &FeatureSpace,
+    parallel: bool,
+) -> Vec<ReqFeature> {
     use rand::Rng;
     let mut rng = SeedSeq::new(seed).derive("grouping").rng();
     let mut centers = Vec::with_capacity(k);
     centers.push(points[rng.gen_range(0..points.len())]);
+    let mut min_sq = vec![f64::INFINITY; points.len()];
     while centers.len() < k {
-        let far = points
-            .iter()
-            .map(|p| {
-                let d = centers
-                    .iter()
-                    .map(|c| space.distance(p, c))
-                    .fold(f64::INFINITY, f64::min);
-                (p, d)
-            })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-            .map(|(p, d)| (*p, d))
-            .expect("points nonempty");
-        if far.1 <= 1e-12 {
+        let newest = *centers.last().expect("centers nonempty");
+        let scan = |(ci, (p_chunk, m_chunk)): (usize, (&[ReqFeature], &mut [f64]))| {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_i = 0usize;
+            for (j, (p, m)) in p_chunk.iter().zip(m_chunk.iter_mut()).enumerate() {
+                let d = space.distance_sq(p, &newest);
+                if d < *m {
+                    *m = d;
+                }
+                if *m >= best {
+                    best = *m;
+                    best_i = ci * CHUNK + j;
+                }
+            }
+            (best, best_i)
+        };
+        let parts: Vec<(f64, usize)> = if parallel {
+            points
+                .par_chunks(CHUNK)
+                .zip(min_sq.par_chunks_mut(CHUNK))
+                .enumerate()
+                .map(scan)
+                .collect()
+        } else {
+            points
+                .chunks(CHUNK)
+                .zip(min_sq.chunks_mut(CHUNK))
+                .enumerate()
+                .map(scan)
+                .collect()
+        };
+        let mut far_sq = f64::NEG_INFINITY;
+        let mut far_i = 0usize;
+        for (d, i) in parts {
+            if d >= far_sq {
+                far_sq = d;
+                far_i = i;
+            }
+        }
+        if far_sq.sqrt() <= 1e-12 {
             break; // all remaining points coincide with a center
         }
-        centers.push(far.0);
+        centers.push(points[far_i]);
     }
     centers
 }
 
+/// Nearest center by Eq. 1 distance, first minimum on ties. Compares
+/// squared distances — `sqrt` is monotone, so the argmin is unchanged
+/// while the innermost loop drops its sqrt.
 fn nearest(centers: &[ReqFeature], p: &ReqFeature, space: &FeatureSpace) -> usize {
     let mut best = 0;
     let mut best_d = f64::INFINITY;
     for (g, c) in centers.iter().enumerate() {
-        let d = space.distance(p, c);
+        let d = space.distance_sq(p, c);
         if d < best_d {
             best_d = d;
             best = g;
@@ -153,15 +333,8 @@ fn nearest(centers: &[ReqFeature], p: &ReqFeature, space: &FeatureSpace) -> usiz
     best
 }
 
-/// Drop empty groups and renumber assignments densely; recompute final
-/// assignment against surviving centers.
-fn compact(
-    points: &[ReqFeature],
-    assignment: Vec<usize>,
-    centers: Vec<ReqFeature>,
-    iterations: usize,
-    _space: &FeatureSpace,
-) -> Grouping {
+/// Drop empty groups and renumber assignments densely.
+fn compact(assignment: Vec<usize>, centers: Vec<ReqFeature>, iterations: usize) -> Grouping {
     let mut used = vec![false; centers.len()];
     for &a in &assignment {
         used[a] = true;
@@ -175,7 +348,6 @@ fn compact(
         }
     }
     let assignment = assignment.into_iter().map(|a| remap[a]).collect();
-    let _ = points;
     Grouping { assignment, centers: kept, iterations }
 }
 
@@ -268,17 +440,45 @@ mod tests {
     }
 
     #[test]
-    fn members_partitions_points() {
+    fn group_index_partitions_points() {
         let pts = lanl_points(5);
         let g = group_requests(&pts, &GroupingConfig { k: 3, ..Default::default() });
+        let idx = GroupIndex::new(&g);
+        assert_eq!(idx.groups(), g.groups());
+        assert_eq!(idx.len(), pts.len());
+        assert!(!idx.is_empty());
         let mut seen = vec![false; pts.len()];
-        for grp in 0..g.groups() {
-            for m in g.members(grp) {
-                assert!(!seen[m], "point in two groups");
-                seen[m] = true;
+        for grp in 0..idx.groups() {
+            let mut prev = None;
+            for &m in idx.members(grp) {
+                assert!(!seen[m as usize], "point in two groups");
+                seen[m as usize] = true;
+                assert!(prev.is_none_or(|p| p < m), "members ascend");
+                prev = Some(m);
             }
         }
         assert!(seen.iter().all(|&s| s), "every point in some group");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn group_index_matches_members_rescan() {
+        let pts = lanl_points(7);
+        let g = group_requests(&pts, &GroupingConfig { k: 3, ..Default::default() });
+        let idx = GroupIndex::new(&g);
+        for grp in 0..g.groups() {
+            let old: Vec<usize> = g.members(grp);
+            let new: Vec<usize> = idx.members(grp).iter().map(|&i| i as usize).collect();
+            assert_eq!(old, new, "group {grp}");
+        }
+    }
+
+    #[test]
+    fn group_index_handles_empty_grouping() {
+        let g = group_requests(&[], &GroupingConfig::default());
+        let idx = GroupIndex::new(&g);
+        assert_eq!(idx.groups(), 0);
+        assert!(idx.is_empty());
     }
 
     #[test]
@@ -296,5 +496,179 @@ mod tests {
         let g = group_requests(&pts, &GroupingConfig { k: 2, ..Default::default() });
         assert_eq!(g.groups(), 2);
         assert_ne!(g.assignment[0], g.assignment[99]);
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn assert_groupings_bit_identical(a: &Grouping, b: &Grouping, ctx: &str) {
+        assert_eq!(a.assignment, b.assignment, "{ctx}: assignment");
+        assert_eq!(a.iterations, b.iterations, "{ctx}: iterations");
+        assert_eq!(a.centers.len(), b.centers.len(), "{ctx}: center count");
+        for (i, (ca, cb)) in a.centers.iter().zip(&b.centers).enumerate() {
+            assert_eq!(ca.size.to_bits(), cb.size.to_bits(), "{ctx}: center {i} size");
+            assert_eq!(
+                ca.concurrency.to_bits(),
+                cb.concurrency.to_bits(),
+                "{ctx}: center {i} concurrency"
+            );
+        }
+    }
+
+    /// The serial and rayon-parallel paths share the chunked arithmetic
+    /// and the ordered reduction, so they must agree bit for bit — on
+    /// fractional features too, and on inputs large enough that the
+    /// parallel path actually fans out.
+    #[test]
+    fn grouping_serial_matches_parallel_randomized() {
+        let mut s = 0xA11C_E000_5EED_0001u64;
+        for trial in 0..12 {
+            let n = if trial < 10 {
+                1 + (xorshift(&mut s) % 3000) as usize
+            } else {
+                PAR_MIN_POINTS + (xorshift(&mut s) % 5000) as usize
+            };
+            let fractional = trial % 2 == 1;
+            let pts: Vec<ReqFeature> = (0..n)
+                .map(|_| {
+                    let size = (xorshift(&mut s) % (1 << 21)) as f64;
+                    let conc = (1 + xorshift(&mut s) % 64) as f64;
+                    if fractional {
+                        f(size + 0.25, conc + 0.5)
+                    } else {
+                        f(size, conc)
+                    }
+                })
+                .collect();
+            let k = 1 + (xorshift(&mut s) % 12) as usize;
+            let cfg = GroupingConfig { k, max_iters: 3, seed: xorshift(&mut s) };
+            let ser = group_requests_serial(&pts, &cfg);
+            let par = group_requests_parallel(&pts, &cfg);
+            assert_groupings_bit_identical(&ser, &par, &format!("trial {trial} (n={n}, k={k})"));
+            // And the dispatching entry point picks one of the two.
+            let auto = group_requests(&pts, &cfg);
+            assert_groupings_bit_identical(&ser, &auto, &format!("trial {trial} dispatch"));
+        }
+    }
+
+    /// The original implementation (sqrt distances, full rescans, point-
+    /// order sums), kept as the oracle: on integer-valued features — the
+    /// only kind `ReqFeature::of` produces — partial sums below 2^53 are
+    /// exact, so the chunked path must reproduce it bit for bit.
+    fn group_requests_oracle(points: &[ReqFeature], cfg: &GroupingConfig) -> Grouping {
+        use rand::Rng;
+        assert!(cfg.k > 0, "need at least one group");
+        if points.is_empty() {
+            return Grouping { assignment: Vec::new(), centers: Vec::new(), iterations: 0 };
+        }
+        let space = FeatureSpace::fit(points);
+        if points.len() <= cfg.k {
+            return Grouping {
+                assignment: (0..points.len()).collect(),
+                centers: points.to_vec(),
+                iterations: 0,
+            };
+        }
+        let oracle_nearest = |centers: &[ReqFeature], p: &ReqFeature| {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (g, c) in centers.iter().enumerate() {
+                let d = space.distance(p, c);
+                if d < best_d {
+                    best_d = d;
+                    best = g;
+                }
+            }
+            best
+        };
+        let mut rng = SeedSeq::new(cfg.seed).derive("grouping").rng();
+        let mut centers = Vec::with_capacity(cfg.k);
+        centers.push(points[rng.gen_range(0..points.len())]);
+        while centers.len() < cfg.k {
+            let far = points
+                .iter()
+                .map(|p| {
+                    let d = centers
+                        .iter()
+                        .map(|c| space.distance(p, c))
+                        .fold(f64::INFINITY, f64::min);
+                    (p, d)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .map(|(p, d)| (*p, d))
+                .expect("points nonempty");
+            if far.1 <= 1e-12 {
+                break;
+            }
+            centers.push(far.0);
+        }
+        let mut assignment = vec![0usize; points.len()];
+        let mut iterations = 0;
+        for _ in 0..cfg.max_iters.max(1) {
+            iterations += 1;
+            for (i, p) in points.iter().enumerate() {
+                assignment[i] = oracle_nearest(&centers, p);
+            }
+            let mut sums = vec![(0.0f64, 0.0f64, 0usize); centers.len()];
+            for (i, p) in points.iter().enumerate() {
+                let s = &mut sums[assignment[i]];
+                s.0 += p.size;
+                s.1 += p.concurrency;
+                s.2 += 1;
+            }
+            let mut changed = false;
+            for (c, &(sx, sy, n)) in centers.iter_mut().zip(&sums) {
+                if n == 0 {
+                    continue;
+                }
+                let next = ReqFeature { size: sx / n as f64, concurrency: sy / n as f64 };
+                if space.distance(c, &next) > 1e-12 {
+                    *c = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        compact(assignment, centers, iterations)
+    }
+
+    #[test]
+    fn grouping_matches_original_oracle_on_integer_features() {
+        let mut s = 0xB0B5_1ED5_0000_0002u64;
+        for trial in 0..20 {
+            let n = 1 + (xorshift(&mut s) % 2000) as usize;
+            let pts: Vec<ReqFeature> = (0..n)
+                .map(|_| {
+                    f(
+                        (xorshift(&mut s) % (1 << 22)) as f64,
+                        (1 + xorshift(&mut s) % 128) as f64,
+                    )
+                })
+                .collect();
+            let k = 1 + (xorshift(&mut s) % 10) as usize;
+            let cfg = GroupingConfig { k, max_iters: 3, seed: xorshift(&mut s) };
+            let want = group_requests_oracle(&pts, &cfg);
+            let got = group_requests(&pts, &cfg);
+            assert_groupings_bit_identical(&want, &got, &format!("trial {trial} (n={n}, k={k})"));
+        }
+    }
+
+    #[test]
+    fn grouping_matches_original_oracle_on_paper_workload_shapes() {
+        for loops in [1, 5, 20, 64] {
+            let pts = lanl_points(loops);
+            for k in [1, 2, 4, 8] {
+                let cfg = GroupingConfig { k, ..Default::default() };
+                let want = group_requests_oracle(&pts, &cfg);
+                let got = group_requests(&pts, &cfg);
+                assert_groupings_bit_identical(&want, &got, &format!("loops {loops} k {k}"));
+            }
+        }
     }
 }

@@ -48,7 +48,10 @@ pub use dynamic::{run_dynamic, run_dynamic_durable, DynamicConfig, DynamicReport
 pub use persist::{
     recover, CommitPoint, KillSwitch, PersistError, PipelineStore, RecoveryOutcome,
 };
-pub use grouping::{group_requests, Grouping, GroupingConfig};
+pub use grouping::{
+    group_requests, group_requests_parallel, group_requests_serial, GroupIndex, Grouping,
+    GroupingConfig,
+};
 pub use pattern::{FeatureSpace, ReqFeature};
 pub use redirect::DrtResolver;
 pub use region::{CompactDrt, Drt, DrtEntry, Rst};

@@ -56,9 +56,16 @@ impl FeatureSpace {
 
     /// Eq. 1: normalized Euclidean distance between two request points.
     pub fn distance(&self, a: &ReqFeature, b: &ReqFeature) -> f64 {
+        self.distance_sq(a, b).sqrt()
+    }
+
+    /// Squared Eq. 1 distance. `sqrt` is monotone, so comparisons over
+    /// squared distances order the same way — the grouping hot loops use
+    /// this to drop one sqrt per candidate center.
+    pub fn distance_sq(&self, a: &ReqFeature, b: &ReqFeature) -> f64 {
         let dx = (a.size - b.size) / self.size_span;
         let dy = (a.concurrency - b.concurrency) / self.conc_span;
-        (dx * dx + dy * dy).sqrt()
+        dx * dx + dy * dy
     }
 }
 

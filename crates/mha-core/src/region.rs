@@ -12,10 +12,11 @@
 //! per entry, synchronously written as the paper requires.
 
 use crate::cost::ReqView;
-use crate::grouping::Grouping;
+use crate::grouping::{GroupIndex, Grouping};
 use crate::rssd::StripePair;
-use iotrace::{FileId, Trace};
+use iotrace::{FileId, Trace, TraceRecord};
 use pfs_sim::PhysExtent;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -601,7 +602,7 @@ pub fn build_regions_filtered(
     let records = trace.records();
     let conc = trace.concurrency();
     let groups = grouping.groups();
-    let mut drt = Drt::new();
+    let index = GroupIndex::new(grouping);
     let mut cursors = vec![0u64; groups];
     let mut extent_counts = vec![0usize; groups];
 
@@ -613,67 +614,49 @@ pub fn build_regions_filtered(
     let mut order: Vec<usize> = (0..groups).collect();
     order.sort_by_key(|&g| std::cmp::Reverse(group_bytes[g]));
 
+    let mut builder = DrtBuilder::new();
+    let mut member_buf: Vec<u32> = Vec::new();
+    let mut gap_buf: Vec<(u64, u64)> = Vec::new();
+    let mut covered_buf: Vec<(u64, u64)> = Vec::new();
     for &g in &order {
         if !include[g] {
             continue;
         }
         let r_file = FileId(region_file_base + g as u32);
-        let mut members = grouping.members(g);
-        members.sort_by_key(|&i| (records[i].file, records[i].offset, i));
-        for &i in &members {
-            let rec = &records[i];
+        member_buf.clear();
+        member_buf.extend_from_slice(index.members(g));
+        // The index is part of the key, so keys are unique and the
+        // unstable sort reproduces the original stable
+        // `members().sort_by_key((file, offset, i))` order exactly.
+        member_buf.sort_unstable_by_key(|&i| {
+            let r = &records[i as usize];
+            (r.file, r.offset, i)
+        });
+        for &i in &member_buf {
+            let rec = &records[i as usize];
             if rec.len == 0 {
                 continue;
             }
             // Migrate only the subranges no region owns yet.
-            let gaps: Vec<(u64, u64)> = drt
-                .translate(rec.file, rec.offset, rec.len)
-                .into_iter()
-                .filter(|p| p.file == rec.file)
-                .map(|p| (p.offset, p.len))
-                .collect();
-            for (off, len) in gaps {
-                let inserted = drt.insert(DrtEntry {
-                    o_file: rec.file,
-                    o_offset: off,
-                    r_file,
-                    r_offset: cursors[g],
-                    length: len,
-                });
-                debug_assert!(inserted, "translate gaps are uncovered by construction");
+            builder.gaps_into(rec.file, rec.offset, rec.len, &mut gap_buf, &mut covered_buf);
+            for &(off, len) in &gap_buf {
+                builder.append(
+                    rec.file,
+                    SlabEntry { o_offset: off, length: len, r_file, r_offset: cursors[g] },
+                );
                 let align = aligns[g].max(1);
                 cursors[g] = (cursors[g] + len).div_ceil(align) * align;
                 extent_counts[g] += 1;
             }
         }
+        builder.seal_group();
     }
+    let slab = builder.freeze();
 
     // Pass 2 — planner views from the finished table.
-    let mut region_views: Vec<Vec<ReqView>> = vec![Vec::new(); groups];
-    let mut residuals = Vec::new();
-    for (i, rec) in records.iter().enumerate() {
-        if rec.len == 0 {
-            continue;
-        }
-        let mut any_original = false;
-        for piece in drt.translate(rec.file, rec.offset, rec.len) {
-            if piece.file.0 >= region_file_base {
-                let g = (piece.file.0 - region_file_base) as usize;
-                region_views[g].push(ReqView {
-                    offset: piece.offset,
-                    len: piece.len,
-                    op: rec.op,
-                    concurrency: conc[i],
-                });
-            } else {
-                any_original = true;
-            }
-        }
-        if any_original {
-            residuals.push(i);
-        }
-    }
+    let (region_views, residuals) = extract_views(records, &conc, &slab, region_file_base, groups);
 
+    let drt = slab.to_drt();
     let regions = (0..groups)
         .map(|g| RegionInfo {
             file: FileId(region_file_base + g as u32),
@@ -684,6 +667,302 @@ pub fn build_regions_filtered(
         .collect();
 
     RegionBuild { regions, drt, region_views, residuals }
+}
+
+/// One migrated extent in a [`DrtBuilder`] run: the DRT entry minus the
+/// original file, which keys the run.
+#[derive(Debug, Clone, Copy)]
+struct SlabEntry {
+    o_offset: u64,
+    length: u64,
+    r_file: FileId,
+    r_offset: u64,
+}
+
+/// Per-file state of a [`DrtBuilder`]: sealed sorted runs from earlier
+/// groups plus the current group's append-only run.
+#[derive(Debug, Default)]
+struct FileSlab {
+    runs: Vec<Vec<SlabEntry>>,
+    cur: Vec<SlabEntry>,
+}
+
+/// Interval-slab builder behind [`build_regions_filtered`]'s migration
+/// pass.
+///
+/// The pass used to grow the nested-BTreeMap [`Drt`] entry by entry and
+/// call [`Drt::translate`] — a tree walk plus a fresh `Vec<PhysExtent>`
+/// per record — just to find which subranges were still unmigrated.
+/// The builder instead keeps each file's extents as *sorted runs*, one
+/// per group that touched the file: within a group, members migrate in
+/// (file, offset) order, so appends stay sorted for free. A gap query
+/// binary-searches the few runs for overlaps into a reusable scratch
+/// buffer; runs are globally disjoint (only gap subranges are ever
+/// appended), so the overlaps union into disjoint intervals and one
+/// small sort yields the coverage in ascending order. `freeze` flattens
+/// the runs into one sorted slab per file for pass 2's shared-read
+/// translation, and `DrtSlab::to_drt` reproduces the classic table
+/// entry for entry.
+#[derive(Debug, Default)]
+struct DrtBuilder {
+    /// Original files with entries, sorted; parallel to `slabs`.
+    files: Vec<FileId>,
+    slabs: Vec<FileSlab>,
+}
+
+impl DrtBuilder {
+    fn new() -> Self {
+        DrtBuilder::default()
+    }
+
+    /// Uncovered subranges of `[offset, offset + len)` on `file`, written
+    /// ascending into `gaps` (cleared first). `covered` is scratch.
+    fn gaps_into(
+        &self,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        gaps: &mut Vec<(u64, u64)>,
+        covered: &mut Vec<(u64, u64)>,
+    ) {
+        gaps.clear();
+        if len == 0 {
+            return;
+        }
+        let end = offset + len;
+        covered.clear();
+        if let Ok(slot) = self.files.binary_search(&file) {
+            let slab = &self.slabs[slot];
+            for run in slab.runs.iter().chain(std::iter::once(&slab.cur)) {
+                // First entry whose end lies above `offset` (runs are
+                // sorted and internally disjoint, so entry ends ascend).
+                let i0 = run.partition_point(|e| e.o_offset + e.length <= offset);
+                for e in &run[i0..] {
+                    if e.o_offset >= end {
+                        break;
+                    }
+                    covered.push((e.o_offset.max(offset), (e.o_offset + e.length).min(end)));
+                }
+            }
+        }
+        covered.sort_unstable();
+        let mut pos = offset;
+        for &(s, e) in covered.iter() {
+            if s > pos {
+                gaps.push((pos, s - pos));
+            }
+            pos = pos.max(e);
+        }
+        if pos < end {
+            gaps.push((pos, end - pos));
+        }
+    }
+
+    /// Record a migrated extent. The caller guarantees it lies in a gap
+    /// (it came from [`Self::gaps_into`]) and that per-file appends
+    /// ascend (members migrate in (file, offset) order).
+    fn append(&mut self, file: FileId, e: SlabEntry) {
+        debug_assert!(e.length > 0, "zero-length extents never migrate");
+        let slab = match self.files.binary_search(&file) {
+            Ok(i) => &mut self.slabs[i],
+            Err(i) => {
+                self.files.insert(i, file);
+                self.slabs.insert(i, FileSlab::default());
+                &mut self.slabs[i]
+            }
+        };
+        debug_assert!(
+            slab.cur.last().is_none_or(|l| l.o_offset + l.length <= e.o_offset),
+            "per-run appends must ascend"
+        );
+        slab.cur.push(e);
+    }
+
+    /// Seal the current group's appends; the next group starts fresh
+    /// runs (its members revisit files in (file, offset) order again).
+    fn seal_group(&mut self) {
+        for slab in &mut self.slabs {
+            if !slab.cur.is_empty() {
+                let run = std::mem::take(&mut slab.cur);
+                slab.runs.push(run);
+            }
+        }
+    }
+
+    /// Flatten into per-file sorted entry slabs.
+    fn freeze(mut self) -> DrtSlab {
+        self.seal_group();
+        let mut files = Vec::with_capacity(self.files.len());
+        let mut spans = Vec::with_capacity(self.files.len());
+        let total: usize = self.slabs.iter().map(|s| s.runs.iter().map(Vec::len).sum::<usize>()).sum();
+        let mut entries = Vec::with_capacity(total);
+        for (file, slab) in self.files.into_iter().zip(self.slabs) {
+            let start = entries.len();
+            for run in slab.runs {
+                entries.extend(run.into_iter().map(|e| CompactEntry {
+                    o_offset: e.o_offset,
+                    length: e.length,
+                    r_file: e.r_file,
+                    r_offset: e.r_offset,
+                }));
+            }
+            entries[start..].sort_unstable_by_key(|e| e.o_offset);
+            files.push(file);
+            spans.push((start, entries.len()));
+        }
+        DrtSlab { files, spans, entries }
+    }
+}
+
+/// Frozen result of a [`DrtBuilder`]: the per-file sorted entry slab of
+/// [`CompactDrt`] without its last-hit cursor. Cursor-free means `Sync`,
+/// so pass 2 translates record chunks in parallel against one shared
+/// table; the walk itself is the same code (and produces the same
+/// pieces) as [`CompactDrt::translate_into`] with a plain binary-search
+/// seek.
+#[derive(Debug)]
+struct DrtSlab {
+    files: Vec<FileId>,
+    spans: Vec<(usize, usize)>,
+    entries: Vec<CompactEntry>,
+}
+
+impl DrtSlab {
+    /// [`Drt::translate`] into a reusable buffer (cleared first).
+    fn translate_into(&self, file: FileId, offset: u64, len: u64, out: &mut Vec<PhysExtent>) {
+        out.clear();
+        if len == 0 {
+            return;
+        }
+        let end = offset + len;
+        let Ok(slot) = self.files.binary_search(&file) else {
+            out.push(PhysExtent { file, offset, len });
+            return;
+        };
+        let (base, stop) = self.spans[slot];
+        let ents = &self.entries[base..stop];
+        // Start from the last entry at or below `offset` (the
+        // `range(..=pos).next_back()` seed of `Drt::translate`).
+        let mut idx = ents.partition_point(|e| e.o_offset <= offset).saturating_sub(1);
+        let mut pos = offset;
+        while idx < ents.len() {
+            if pos >= end {
+                break;
+            }
+            let e = &ents[idx];
+            let e_end = e.o_offset + e.length;
+            if e_end <= pos {
+                idx += 1;
+                continue;
+            }
+            if e.o_offset >= end {
+                break;
+            }
+            if e.o_offset > pos {
+                // Uncovered gap before this entry.
+                out.push(PhysExtent { file, offset: pos, len: e.o_offset - pos });
+                pos = e.o_offset;
+            }
+            let take = e_end.min(end) - pos;
+            out.push(PhysExtent {
+                file: e.r_file,
+                offset: e.r_offset + (pos - e.o_offset),
+                len: take,
+            });
+            pos += take;
+            idx += 1;
+        }
+        if pos < end {
+            out.push(PhysExtent { file, offset: pos, len: end - pos });
+        }
+    }
+
+    /// The classic nested-map table, entry for entry.
+    fn to_drt(&self) -> Drt {
+        let mut drt = Drt::new();
+        for (slot, &file) in self.files.iter().enumerate() {
+            let (base, stop) = self.spans[slot];
+            for e in &self.entries[base..stop] {
+                let inserted = drt.insert(DrtEntry {
+                    o_file: file,
+                    o_offset: e.o_offset,
+                    r_file: e.r_file,
+                    r_offset: e.r_offset,
+                    length: e.length,
+                });
+                debug_assert!(inserted, "slab entries are disjoint by construction");
+            }
+        }
+        drt
+    }
+}
+
+/// Pass 2 chunk size; chunk outputs are merged in index order, so the
+/// result is identical to the serial scan no matter how rayon schedules
+/// the chunks (the work is pure integer bookkeeping — no floats).
+const PASS2_CHUNK: usize = 1024;
+/// Below this many records the chunk fan-out costs more than it saves.
+const PASS2_PAR_MIN: usize = 4 * PASS2_CHUNK;
+
+/// Pass 2 of [`build_regions_filtered`]: translate every record through
+/// the frozen slab; pieces landing in a region become that region's
+/// planner views, records with any piece left in an original file are
+/// residuals.
+fn extract_views(
+    records: &[TraceRecord],
+    conc: &[u32],
+    slab: &DrtSlab,
+    region_file_base: u32,
+    groups: usize,
+) -> (Vec<Vec<ReqView>>, Vec<usize>) {
+    let scan_chunk = |ci: usize, recs: &[TraceRecord], conc: &[u32]| {
+        let mut views: Vec<Vec<ReqView>> = vec![Vec::new(); groups];
+        let mut residuals: Vec<usize> = Vec::new();
+        let mut pieces: Vec<PhysExtent> = Vec::new();
+        for (j, rec) in recs.iter().enumerate() {
+            if rec.len == 0 {
+                continue;
+            }
+            slab.translate_into(rec.file, rec.offset, rec.len, &mut pieces);
+            let mut any_original = false;
+            for piece in &pieces {
+                if piece.file.0 >= region_file_base {
+                    let g = (piece.file.0 - region_file_base) as usize;
+                    views[g].push(ReqView {
+                        offset: piece.offset,
+                        len: piece.len,
+                        op: rec.op,
+                        concurrency: conc[j],
+                    });
+                } else {
+                    any_original = true;
+                }
+            }
+            if any_original {
+                residuals.push(ci * PASS2_CHUNK + j);
+            }
+        }
+        (views, residuals)
+    };
+    let parts: Vec<(Vec<Vec<ReqView>>, Vec<usize>)> = if records.len() >= PASS2_PAR_MIN {
+        records
+            .par_chunks(PASS2_CHUNK)
+            .zip(conc.par_chunks(PASS2_CHUNK))
+            .enumerate()
+            .map(|(ci, (r, c))| scan_chunk(ci, r, c))
+            .collect()
+    } else {
+        vec![scan_chunk(0, records, conc)]
+    };
+    let mut region_views: Vec<Vec<ReqView>> = vec![Vec::new(); groups];
+    let mut residuals = Vec::new();
+    for (views, res) in parts {
+        for (g, mut v) in views.into_iter().enumerate() {
+            region_views[g].append(&mut v);
+        }
+        residuals.extend(res);
+    }
+    (region_views, residuals)
 }
 
 #[cfg(test)]
@@ -926,6 +1205,187 @@ mod tests {
             assert_eq!(t.len(), 1, "exact extents translate whole");
             assert!(t[0].file.0 >= 1000, "must point into a region file");
             assert_eq!(t[0].len, rec.len);
+        }
+    }
+
+    /// The original BTreeMap-incremental implementation of
+    /// [`build_regions_filtered`], kept verbatim (with the `members`
+    /// rescan inlined) as the oracle for the interval-slab builder.
+    fn build_oracle(
+        trace: &Trace,
+        grouping: &Grouping,
+        region_file_base: u32,
+        aligns: &[u64],
+        include: &[bool],
+    ) -> RegionBuild {
+        let records = trace.records();
+        let conc = trace.concurrency();
+        let groups = grouping.groups();
+        let mut drt = Drt::new();
+        let mut cursors = vec![0u64; groups];
+        let mut extent_counts = vec![0usize; groups];
+        let mut group_bytes = vec![0u64; groups];
+        for (i, rec) in records.iter().enumerate() {
+            group_bytes[grouping.assignment[i]] += rec.len;
+        }
+        let mut order: Vec<usize> = (0..groups).collect();
+        order.sort_by_key(|&g| std::cmp::Reverse(group_bytes[g]));
+        for &g in &order {
+            if !include[g] {
+                continue;
+            }
+            let r_file = FileId(region_file_base + g as u32);
+            let mut members: Vec<usize> = grouping
+                .assignment
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a == g)
+                .map(|(i, _)| i)
+                .collect();
+            members.sort_by_key(|&i| (records[i].file, records[i].offset, i));
+            for &i in &members {
+                let rec = &records[i];
+                if rec.len == 0 {
+                    continue;
+                }
+                let gaps: Vec<(u64, u64)> = drt
+                    .translate(rec.file, rec.offset, rec.len)
+                    .into_iter()
+                    .filter(|p| p.file == rec.file)
+                    .map(|p| (p.offset, p.len))
+                    .collect();
+                for (off, len) in gaps {
+                    let inserted = drt.insert(DrtEntry {
+                        o_file: rec.file,
+                        o_offset: off,
+                        r_file,
+                        r_offset: cursors[g],
+                        length: len,
+                    });
+                    assert!(inserted, "translate gaps are uncovered by construction");
+                    let align = aligns[g].max(1);
+                    cursors[g] = (cursors[g] + len).div_ceil(align) * align;
+                    extent_counts[g] += 1;
+                }
+            }
+        }
+        let mut region_views: Vec<Vec<ReqView>> = vec![Vec::new(); groups];
+        let mut residuals = Vec::new();
+        for (i, rec) in records.iter().enumerate() {
+            if rec.len == 0 {
+                continue;
+            }
+            let mut any_original = false;
+            for piece in drt.translate(rec.file, rec.offset, rec.len) {
+                if piece.file.0 >= region_file_base {
+                    let g = (piece.file.0 - region_file_base) as usize;
+                    region_views[g].push(ReqView {
+                        offset: piece.offset,
+                        len: piece.len,
+                        op: rec.op,
+                        concurrency: conc[i],
+                    });
+                } else {
+                    any_original = true;
+                }
+            }
+            if any_original {
+                residuals.push(i);
+            }
+        }
+        let regions = (0..groups)
+            .map(|g| RegionInfo {
+                file: FileId(region_file_base + g as u32),
+                len: cursors[g],
+                group: g,
+                extents: extent_counts[g],
+            })
+            .collect();
+        RegionBuild { regions, drt, region_views, residuals }
+    }
+
+    fn assert_builds_equal(got: &RegionBuild, want: &RegionBuild, ctx: &str) {
+        assert_eq!(got.drt, want.drt, "{ctx}: drt");
+        assert_eq!(got.region_views, want.region_views, "{ctx}: region views");
+        assert_eq!(got.residuals, want.residuals, "{ctx}: residuals");
+        let key = |r: &RegionInfo| (r.file, r.len, r.group, r.extents);
+        assert_eq!(
+            got.regions.iter().map(key).collect::<Vec<_>>(),
+            want.regions.iter().map(key).collect::<Vec<_>>(),
+            "{ctx}: regions"
+        );
+    }
+
+    /// Random overlapping traces, random assignments, mixed alignments
+    /// and include masks: the slab builder must reproduce the BTreeMap
+    /// oracle in every output field.
+    #[test]
+    fn drt_builder_equivalence_randomized() {
+        use iotrace::record::Rank;
+        use simrt::SimTime;
+        let mut s = 0x0DD5_EED5_1234_4321u64;
+        for trial in 0..25 {
+            let n = 1 + (xorshift(&mut s) % 400) as usize;
+            let k = 1 + (xorshift(&mut s) % 5) as usize;
+            let mut ts = 0u64;
+            let recs: Vec<iotrace::TraceRecord> = (0..n)
+                .map(|i| {
+                    ts += xorshift(&mut s) % 100;
+                    iotrace::TraceRecord {
+                        pid: 0,
+                        rank: Rank((xorshift(&mut s) % 8) as u32),
+                        file: FileId((xorshift(&mut s) % 4) as u32),
+                        op: if xorshift(&mut s) % 2 == 0 { IoOp::Read } else { IoOp::Write },
+                        offset: (xorshift(&mut s) % 1000) * 512,
+                        len: 1 + xorshift(&mut s) % 65_536,
+                        ts: SimTime::from_nanos(ts),
+                        phase: (i as u32) / 16,
+                    }
+                })
+                .collect();
+            let trace = Trace::from_records(recs);
+            let assignment: Vec<usize> =
+                (0..n).map(|_| (xorshift(&mut s) % k as u64) as usize).collect();
+            let grouping = Grouping {
+                assignment,
+                centers: vec![ReqFeature { size: 0.0, concurrency: 0.0 }; k],
+                iterations: 0,
+            };
+            let aligns: Vec<u64> =
+                (0..k).map(|_| [1u64, 512, 4096][(xorshift(&mut s) % 3) as usize]).collect();
+            let include: Vec<bool> = (0..k).map(|_| xorshift(&mut s) % 4 != 0).collect();
+            let want = build_oracle(&trace, &grouping, 1000, &aligns, &include);
+            let got = build_regions_filtered(&trace, &grouping, 1000, &aligns, &include);
+            assert_builds_equal(&got, &want, &format!("trial {trial} (n={n}, k={k})"));
+        }
+    }
+
+    /// The paper's own workload shapes, grouped by the real Algorithm 1,
+    /// through every entry point layered on `build_regions_filtered`.
+    #[test]
+    fn drt_builder_equivalence_on_paper_workloads() {
+        for procs in [2usize, 6] {
+            let trace = generate(&LanlConfig::paper(procs, IoOp::Write));
+            let views = crate::cost::views_of(&trace);
+            let feats: Vec<ReqFeature> = views.iter().map(ReqFeature::of).collect();
+            for k in [1usize, 2, 4] {
+                let grouping =
+                    group_requests(&feats, &GroupingConfig { k, ..Default::default() });
+                let groups = grouping.groups();
+                let all = vec![true; groups];
+                let aligns = vec![4096u64; groups];
+                let want = build_oracle(&trace, &grouping, 1000, &aligns, &all);
+                let got = build_regions_aligned(&trace, &grouping, 1000, 4096);
+                assert_builds_equal(&got, &want, &format!("procs {procs} k {k} aligned"));
+                // Selective mask: drop the first group.
+                if groups > 1 {
+                    let mut mask = all.clone();
+                    mask[0] = false;
+                    let want = build_oracle(&trace, &grouping, 1000, &aligns, &mask);
+                    let got = build_regions_filtered(&trace, &grouping, 1000, &aligns, &mask);
+                    assert_builds_equal(&got, &want, &format!("procs {procs} k {k} masked"));
+                }
+            }
         }
     }
 

@@ -13,7 +13,8 @@ cargo test -q
 # replay free functions are gone, so any resurrected caller fails here.
 cargo clippy --workspace --all-targets -- -D warnings
 # Benches must at least compile (running them is opt-in; `cargo bench`
-# on the full grid takes minutes).
+# on the full grid takes minutes). This includes the planning front-end
+# stage bench (benches/plan.rs) behind results/BENCH_plan.json.
 cargo bench --no-run
 # Durability gate, explicitly: the kill-point matrices (simulated crash
 # at every commit boundary of save_plan and journaled migration), the
@@ -25,6 +26,12 @@ cargo test -q -p mha-core persist::
 cargo test -q -p mha-core kill_matrix
 cargo test -q -p mha-bench --test persist_roundtrip
 cargo test -q -p mha --test properties persisted_tables
+# Front-end equivalence gate, explicitly: the parallel grouping path
+# must stay bit-identical to serial, and the interval-slab DRT builder
+# must keep matching the reference BTreeMap build loop (both also run
+# inside `cargo test -q`; naming them pins the PR 5 contract).
+cargo test -q -p mha-core grouping_serial_matches_parallel
+cargo test -q -p mha-core drt_builder_equivalence
 # Fault-matrix smoke: the degraded-cluster experiment must run end to
 # end (empty-plan bit-identity and replanning wins are asserted by the
 # test suite; this catches panics in the full figure path).
