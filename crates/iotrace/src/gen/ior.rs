@@ -8,9 +8,11 @@
 //! between the configured mix values by file region — reproducing the
 //! paper's "large at one file chunk, small at another" heterogeneity.
 
+use crate::batch::{materialize, BatchSource, RecordBatch};
 use crate::gen::PhaseClock;
 use crate::record::{FileId, Rank, TraceRecord};
 use crate::trace::Trace;
+use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use simrt::SeedSeq;
@@ -84,34 +86,69 @@ impl IorConfig {
 /// chunk `c` is accessed with `size_mix[c % sizes]` by
 /// `proc_mix[c % procs]` processes, so pattern heterogeneity is tied to
 /// file location exactly as in the paper's modified IOR.
+///
+/// Equivalent to collecting [`stream`] — this is literally
+/// `materialize(stream(cfg))`, so the streaming and materialized views
+/// of one config are bit-identical by construction.
 pub fn generate(cfg: &IorConfig) -> Trace {
+    materialize(&mut stream(cfg))
+}
+
+/// Stream an IOR run one phase at a time (see [`IorStream`]).
+pub fn stream(cfg: &IorConfig) -> IorStream {
     assert!(!cfg.proc_mix.is_empty() && !cfg.size_mix.is_empty(), "empty mix");
     assert!(cfg.file_size > 0, "empty file");
-    let mut rng = SeedSeq::new(cfg.seed).derive("ior").rng();
-    let mut clock = PhaseClock::new();
-    let mut records = Vec::new();
+    IorStream {
+        cfg: cfg.clone(),
+        rng: SeedSeq::new(cfg.seed).derive("ior").rng(),
+        clock: PhaseClock::new(),
+        iter: 0,
+        variants: cfg.proc_mix.len().max(cfg.size_mix.len()),
+        max_procs: cfg.proc_mix.iter().copied().max().unwrap_or(1),
+    }
+}
 
-    let variants = cfg.proc_mix.len().max(cfg.size_mix.len());
-    // Partition the file into one contiguous chunk per pattern variant.
-    let chunk = cfg.file_size / variants as u64;
-    let max_procs = cfg.proc_mix.iter().copied().max().unwrap_or(1);
+/// Streaming IOR generator: each [`BatchSource::next_phase`] emits one
+/// iteration (= one barrier phase) of the run, so grid-scale runs
+/// (millions of records) are replayed without ever holding the full
+/// record vector. The RNG is a single stream across phases, exactly as
+/// the materializing generator consumed it.
+#[derive(Debug, Clone)]
+pub struct IorStream {
+    cfg: IorConfig,
+    rng: SmallRng,
+    clock: PhaseClock,
+    iter: usize,
+    variants: usize,
+    max_procs: u32,
+}
 
-    for iter in 0..cfg.reqs_per_proc {
-        let variant = iter % variants;
+impl BatchSource for IorStream {
+    fn next_phase(&mut self, batch: &mut RecordBatch) -> bool {
+        if self.iter >= self.cfg.reqs_per_proc {
+            batch.begin(0);
+            return false;
+        }
+        let cfg = &self.cfg;
+        let iter = self.iter;
+        let variant = iter % self.variants;
         let procs = cfg.proc_mix[variant % cfg.proc_mix.len()];
         let size = cfg.size_mix[variant % cfg.size_mix.len()];
+        // Partition the file into one contiguous chunk per pattern variant.
+        let chunk = cfg.file_size / self.variants as u64;
         let lo = variant as u64 * chunk;
         let span = chunk.saturating_sub(size).max(1);
-        let (phase, ts) = clock.tick();
+        let (phase, ts) = self.clock.tick();
+        batch.begin(phase);
         for p in 0..procs {
             let offset = if cfg.random_offsets {
                 // Align to the request size like IOR's transferSize blocks.
-                let slot = rng.gen_range(0..span / size.max(1) + 1);
+                let slot = self.rng.gen_range(0..span / size.max(1) + 1);
                 lo + slot * size
             } else {
-                lo + (iter as u64 * u64::from(max_procs) + u64::from(p)) * size
+                lo + (iter as u64 * u64::from(self.max_procs) + u64::from(p)) * size
             };
-            records.push(TraceRecord {
+            batch.push(&TraceRecord {
                 pid: 1000 + p,
                 rank: Rank(p),
                 file: FileId(0),
@@ -122,8 +159,15 @@ pub fn generate(cfg: &IorConfig) -> Trace {
                 phase,
             });
         }
+        self.iter += 1;
+        true
     }
-    Trace::from_records(records)
+
+    fn len_hint(&self) -> Option<usize> {
+        // Upper bound: every remaining iteration at the widest mix entry.
+        let left = self.cfg.reqs_per_proc.saturating_sub(self.iter);
+        Some(left * self.max_procs as usize)
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +225,22 @@ mod tests {
         for r in t.records() {
             assert!(r.end() <= cfg.file_size, "request escapes file: {r:?}");
         }
+    }
+
+    #[test]
+    fn streaming_phases_match_materialized_records() {
+        let cfg = IorConfig::mixed_sizes(&[128 << 10, 256 << 10], IoOp::Write);
+        let t = generate(&cfg);
+        let mut src = stream(&cfg);
+        let mut batch = crate::batch::RecordBatch::new();
+        let mut cursor = 0;
+        while src.next_phase(&mut batch) {
+            for i in 0..batch.len() {
+                assert_eq!(batch.record(i), t.records()[cursor]);
+                cursor += 1;
+            }
+        }
+        assert_eq!(cursor, t.len(), "stream covers the whole run");
     }
 
     #[test]

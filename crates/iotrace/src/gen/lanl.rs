@@ -7,6 +7,7 @@
 //! rather than in a contiguous run, which is precisely the heterogeneity
 //! MHA's reordering targets.
 
+use crate::batch::{materialize, BatchSource, RecordBatch};
 use crate::gen::PhaseClock;
 use crate::record::{FileId, Rank, TraceRecord};
 use crate::trace::Trace;
@@ -43,30 +44,64 @@ impl LanlConfig {
 /// back-to-back. Each request position in the loop is its own I/O phase
 /// across processes (all ranks emit their 16-byte header together, etc.).
 pub fn generate(cfg: &LanlConfig) -> Trace {
+    materialize(&mut stream(cfg))
+}
+
+/// Stream the LANL run one phase (= one loop position across all ranks)
+/// at a time; `generate` is `materialize(stream(cfg))`.
+pub fn stream(cfg: &LanlConfig) -> LanlStream {
     assert!(cfg.procs > 0 && cfg.loops > 0, "degenerate LANL config");
-    let mut clock = PhaseClock::new();
-    let mut records =
-        Vec::with_capacity(cfg.loops as usize * cfg.procs as usize * LOOP_SIZES.len());
-    for i in 0..cfg.loops {
-        for (slot_idx, &size) in LOOP_SIZES.iter().enumerate() {
-            let rel: u64 = LOOP_SIZES[..slot_idx].iter().sum();
-            let (phase, ts) = clock.tick();
-            for p in 0..cfg.procs {
-                let slot = u64::from(i) * u64::from(cfg.procs) + u64::from(p);
-                records.push(TraceRecord {
-                    pid: 4000 + p,
-                    rank: Rank(p),
-                    file: FileId(0),
-                    op: cfg.op,
-                    offset: slot * LOOP_BYTES + rel,
-                    len: size,
-                    ts,
-                    phase,
-                });
-            }
+    LanlStream { cfg: cfg.clone(), clock: PhaseClock::new(), looop: 0, slot_idx: 0 }
+}
+
+/// Streaming LANL App2 generator: each [`BatchSource::next_phase`] emits
+/// one of the three per-loop request positions across all ranks.
+#[derive(Debug, Clone)]
+pub struct LanlStream {
+    cfg: LanlConfig,
+    clock: PhaseClock,
+    looop: u32,
+    slot_idx: usize,
+}
+
+impl BatchSource for LanlStream {
+    fn next_phase(&mut self, batch: &mut RecordBatch) -> bool {
+        if self.looop >= self.cfg.loops {
+            batch.begin(0);
+            return false;
         }
+        let cfg = &self.cfg;
+        let size = LOOP_SIZES[self.slot_idx];
+        let rel: u64 = LOOP_SIZES[..self.slot_idx].iter().sum();
+        let (phase, ts) = self.clock.tick();
+        batch.begin(phase);
+        for p in 0..cfg.procs {
+            let slot = u64::from(self.looop) * u64::from(cfg.procs) + u64::from(p);
+            batch.push(&TraceRecord {
+                pid: 4000 + p,
+                rank: Rank(p),
+                file: FileId(0),
+                op: cfg.op,
+                offset: slot * LOOP_BYTES + rel,
+                len: size,
+                ts,
+                phase,
+            });
+        }
+        self.slot_idx += 1;
+        if self.slot_idx == LOOP_SIZES.len() {
+            self.slot_idx = 0;
+            self.looop += 1;
+        }
+        true
     }
-    Trace::from_records(records)
+
+    fn len_hint(&self) -> Option<usize> {
+        let done =
+            self.looop as usize * LOOP_SIZES.len() + self.slot_idx;
+        let total = self.cfg.loops as usize * LOOP_SIZES.len();
+        Some((total - done) * self.cfg.procs as usize)
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +153,23 @@ mod tests {
             cursor = o + l;
         }
         assert_eq!(cursor, u64::from(cfg.procs) * 5 * LOOP_BYTES);
+    }
+
+    #[test]
+    fn streaming_phases_match_materialized_records() {
+        let cfg = LanlConfig::paper(6, IoOp::Write);
+        let t = generate(&cfg);
+        let mut src = stream(&cfg);
+        let mut batch = RecordBatch::new();
+        let mut cursor = 0;
+        while src.next_phase(&mut batch) {
+            assert_eq!(batch.len(), cfg.procs as usize);
+            for i in 0..batch.len() {
+                assert_eq!(batch.record(i), t.records()[cursor]);
+                cursor += 1;
+            }
+        }
+        assert_eq!(cursor, t.len());
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub mod hpio;
 pub mod ior;
 pub mod lanl;
 pub mod lu;
+pub mod skewed;
 
 use simrt::{SimDuration, SimTime};
 

@@ -8,6 +8,9 @@
 //!   (process id, MPI rank, file descriptor, operation, offset, size,
 //!   timestamp) plus an explicit I/O *phase* used to compute request
 //!   concurrency,
+//! * [`RecordBatch`] / [`BatchSource`] — columnar (SoA) phase batches and
+//!   streaming trace sources, so huge synthetic grids never materialize a
+//!   full record vector,
 //! * [`Collector`] — the online profiler the middleware drives,
 //! * [`gen`] — six workload generators standing in for the paper's
 //!   benchmarks and application traces (IOR, HPIO, BTIO, LANL App2,
@@ -16,6 +19,7 @@
 //! * [`tsv`] — a line-oriented interchange format plus JSON via serde.
 
 pub mod analyze;
+pub mod batch;
 pub mod collector;
 pub mod error;
 pub mod gen;
@@ -25,6 +29,7 @@ pub mod trace;
 pub mod tsv;
 
 pub use analyze::{analyze, is_predictable, SpatialPattern, StreamPattern};
+pub use batch::{materialize, BatchSource, RecordBatch, TraceBatches};
 pub use collector::Collector;
 pub use error::TraceError;
 pub use record::{FileId, Rank, TraceRecord};

@@ -228,19 +228,9 @@ impl Trace {
             .map_or(0, |p| p + 1)
     }
 
-    /// Records touching `file`, borrowed, in issue order — the filtering
-    /// scan [`Trace::for_file`] used to copy into a fresh trace.
+    /// Records touching `file`, borrowed, in issue order.
     pub fn records_for_file(&self, file: FileId) -> impl Iterator<Item = &TraceRecord> + '_ {
         self.records.iter().filter(move |r| r.file == file)
-    }
-
-    /// Restrict to one file.
-    #[deprecated(
-        since = "0.2.0",
-        note = "copies every record on each call; iterate `records_for_file` instead"
-    )]
-    pub fn for_file(&self, file: FileId) -> Trace {
-        Trace { records: self.records_for_file(file).copied().collect() }
     }
 
     /// Concatenate another trace after this one (phases are shifted so they
@@ -426,21 +416,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn for_file_filters_records() {
+    fn records_for_file_filters_records() {
         let t = Trace::from_records(vec![
             rec(0, 0, 10, 0, IoOp::Read),
             rec(1, 0, 20, 0, IoOp::Read),
             rec(0, 10, 30, 1, IoOp::Write),
         ]);
-        let f0 = t.for_file(FileId(0));
+        let f0: Vec<&TraceRecord> = t.records_for_file(FileId(0)).collect();
         assert_eq!(f0.len(), 2);
-        assert_eq!(f0.total_bytes(), 40);
-        assert!(t.for_file(FileId(9)).is_empty());
-        // The borrowed iterator sees the same records without the copy.
-        let borrowed: Vec<&TraceRecord> = t.records_for_file(FileId(0)).collect();
-        assert_eq!(borrowed.len(), 2);
-        assert!(borrowed.iter().zip(f0.records()).all(|(a, b)| *a == b));
+        assert_eq!(f0.iter().map(|r| r.len).sum::<u64>(), 40);
+        assert!(f0.iter().all(|r| r.file == FileId(0)));
         assert_eq!(t.records_for_file(FileId(9)).count(), 0);
     }
 

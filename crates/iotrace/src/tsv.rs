@@ -343,7 +343,8 @@ mod tests {
     fn streaming_parser_round_trips_randomized_traces() {
         let mut s = 0xDEAD_BEEF_0BAD_F00Du64;
         for trial in 0..50 {
-            let t = random_trace(&mut s, 1 + (xorshift(&mut s) % 200) as usize);
+            let n = 1 + (xorshift(&mut s) % 200) as usize;
+            let t = random_trace(&mut s, n);
             let text = to_tsv(&t);
             let new = from_tsv(&text).unwrap();
             let old = from_tsv_oracle(&text).unwrap();
@@ -357,7 +358,8 @@ mod tests {
     fn malformed_lines_report_identical_errors() {
         let mut s = 0x1234_5678_9ABC_DEF0u64;
         for trial in 0..120 {
-            let t = random_trace(&mut s, 1 + (xorshift(&mut s) % 20) as usize);
+            let n = 1 + (xorshift(&mut s) % 20) as usize;
+            let t = random_trace(&mut s, n);
             let mut lines: Vec<String> = to_tsv(&t).lines().map(String::from).collect();
             // Line 0 is the header comment; corrupt one record line.
             let victim = 1 + (xorshift(&mut s) as usize) % (lines.len() - 1);

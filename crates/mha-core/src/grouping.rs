@@ -66,20 +66,6 @@ impl Grouping {
     pub fn groups(&self) -> usize {
         self.centers.len()
     }
-
-    /// Indices of the points in group `g`, in point order.
-    #[deprecated(
-        since = "0.2.0",
-        note = "rescans the assignment and allocates per call; build a `GroupIndex` once and borrow its slices"
-    )]
-    pub fn members(&self, g: usize) -> Vec<usize> {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| a == g)
-            .map(|(i, _)| i)
-            .collect()
-    }
 }
 
 /// Members-of-group index over a [`Grouping`]: one counting-sort pass
@@ -461,15 +447,22 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn group_index_matches_members_rescan() {
+    fn group_index_matches_assignment_rescan() {
+        // The index must agree with a direct O(n) rescan of the
+        // assignment (the behaviour of the removed `Grouping::members`).
         let pts = lanl_points(7);
         let g = group_requests(&pts, &GroupingConfig { k: 3, ..Default::default() });
         let idx = GroupIndex::new(&g);
         for grp in 0..g.groups() {
-            let old: Vec<usize> = g.members(grp);
+            let rescan: Vec<usize> = g
+                .assignment
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a == grp)
+                .map(|(i, _)| i)
+                .collect();
             let new: Vec<usize> = idx.members(grp).iter().map(|&i| i as usize).collect();
-            assert_eq!(old, new, "group {grp}");
+            assert_eq!(rescan, new, "group {grp}");
         }
     }
 

@@ -1364,7 +1364,7 @@ mod tests {
     /// through every entry point layered on `build_regions_filtered`.
     #[test]
     fn drt_builder_equivalence_on_paper_workloads() {
-        for procs in [2usize, 6] {
+        for procs in [2u32, 6] {
             let trace = generate(&LanlConfig::paper(procs, IoOp::Write));
             let views = crate::cost::views_of(&trace);
             let feats: Vec<ReqFeature> = views.iter().map(ReqFeature::of).collect();

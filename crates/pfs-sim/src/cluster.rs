@@ -28,6 +28,12 @@ pub struct ClusterConfig {
     /// Default stripe size for files without an optimized layout (the
     /// paper's 64 KB default).
     pub default_stripe: u64,
+    /// Number of device-space slots files hash into on each server: each
+    /// file's object lives in its own slot (6 GiB apart), so switching
+    /// files costs a real head move. More slots spread files further
+    /// across the platter; 40 covers a 240 GB usable span, matching the
+    /// paper's 250 GB disks.
+    pub device_slots: u64,
 }
 
 impl ClusterConfig {
@@ -43,6 +49,7 @@ impl ClusterConfig {
             link: LinkParams::gigabit_ethernet(),
             mds_lookup: SimDuration::from_micros(300),
             default_stripe: 64 << 10,
+            device_slots: 40,
         }
     }
 

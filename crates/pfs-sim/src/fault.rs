@@ -6,6 +6,13 @@
 //! once by [`crate::Cluster::apply_fault_plan`]; this runtime handles the
 //! *temporal* faults — outage windows and permanent loss — which depend on
 //! when each sub-request is issued.
+//!
+//! All accounting is **per server**: every counter lives in that server's
+//! [`ServerFaultState`], and run totals are integer sums over servers.
+//! This is what lets the sharded replay admit sub-requests lane-parallel
+//! (one lane owns one server's state exclusively) and still report
+//! bit-identical totals — integer sums are order-independent, so the
+//! deterministic merge is just the sum in server order.
 
 use simrt::{FaultKind, FaultPlan, ServerHealth, SimDuration, SimTime};
 
@@ -19,7 +26,7 @@ pub(crate) enum Admission {
 }
 
 #[derive(Debug, Clone, Default)]
-struct ServerFaultState {
+pub(crate) struct ServerFaultState {
     /// Instant the server is permanently lost, if ever.
     down_at: Option<SimTime>,
     /// Transient unavailability windows, half-open `[start, end)`.
@@ -28,6 +35,8 @@ struct ServerFaultState {
     retries: u64,
     /// Sub-requests abandoned against this server.
     timeouts: u64,
+    /// Backoff time burned waiting out this server's outages.
+    fault_wait: SimDuration,
 }
 
 impl ServerFaultState {
@@ -36,21 +45,55 @@ impl ServerFaultState {
     }
 }
 
+/// The scalar retry knobs shared by all servers — split from the mutable
+/// per-server states so a lane-parallel admission pass can borrow the
+/// policy immutably alongside disjoint `&mut ServerFaultState`s.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RetryParams {
+    backoff: SimDuration,
+    max_retries: u32,
+    /// Wall-clock charge for an abandoned sub-request.
+    pub(crate) timeout: SimDuration,
+}
+
+impl RetryParams {
+    /// Decide whether (and when) a sub-request issued at `at` is accepted
+    /// by the server owning `state`. Requests inside an outage window
+    /// retry with exponential backoff (`backoff · 2^i` after the i-th
+    /// attempt) until the window passes or the budget runs out; requests
+    /// at or after a permanent loss time out immediately.
+    pub(crate) fn admit(&self, state: &mut ServerFaultState, at: SimTime) -> Admission {
+        let mut t = at;
+        let mut tries = 0u32;
+        loop {
+            if state.down_at.is_some_and(|d| t >= d) {
+                state.timeouts += 1;
+                return Admission::TimedOut;
+            }
+            if state.covering_outage_end(t).is_none() {
+                break;
+            }
+            if tries >= self.max_retries {
+                state.timeouts += 1;
+                return Admission::TimedOut;
+            }
+            t = t + self.backoff * (1u64 << tries.min(32));
+            tries += 1;
+        }
+        if tries > 0 {
+            state.retries += u64::from(tries);
+            state.fault_wait += t.since(at);
+        }
+        Admission::At(t)
+    }
+}
+
 /// Mutable fault state for one replay run. Built fresh per run so the
 /// counters always describe exactly one report.
 #[derive(Debug, Clone)]
 pub(crate) struct FaultRuntime {
     servers: Vec<ServerFaultState>,
-    backoff: SimDuration,
-    max_retries: u32,
-    /// Wall-clock charge for an abandoned sub-request.
-    pub(crate) timeout: SimDuration,
-    /// Total retries across all servers.
-    pub(crate) retries: u64,
-    /// Total abandoned sub-requests.
-    pub(crate) timeouts: u64,
-    /// Total time requests spent backed off waiting out outages.
-    pub(crate) fault_wait: SimDuration,
+    params: RetryParams,
     /// Planner-facing health summary echoed into the report.
     health: Vec<ServerHealth>,
 }
@@ -81,48 +124,46 @@ impl FaultRuntime {
         }
         FaultRuntime {
             servers: states,
-            backoff: SimDuration::from_secs_f64(plan.retry.backoff_s),
-            max_retries: plan.retry.max_retries,
-            timeout: SimDuration::from_secs_f64(plan.retry.timeout_s),
-            retries: 0,
-            timeouts: 0,
-            fault_wait: SimDuration::ZERO,
+            params: RetryParams {
+                backoff: SimDuration::from_secs_f64(plan.retry.backoff_s),
+                max_retries: plan.retry.max_retries,
+                timeout: SimDuration::from_secs_f64(plan.retry.timeout_s),
+            },
             health: plan.health_view(servers),
         }
     }
 
-    /// Decide whether (and when) a sub-request issued at `at` is accepted
-    /// by `server`. Requests inside an outage window retry with
-    /// exponential backoff (`backoff · 2^i` after the i-th attempt) until
-    /// the window passes or the budget runs out; requests at or after a
-    /// permanent loss time out immediately.
+    /// Wall-clock charge for an abandoned sub-request.
+    pub(crate) fn timeout(&self) -> SimDuration {
+        self.params.timeout
+    }
+
+    /// Serial admission against `server`'s state.
     pub(crate) fn admit(&mut self, server: usize, at: SimTime) -> Admission {
-        let s = &mut self.servers[server];
-        let mut t = at;
-        let mut tries = 0u32;
-        loop {
-            if s.down_at.is_some_and(|d| t >= d) {
-                s.timeouts += 1;
-                self.timeouts += 1;
-                return Admission::TimedOut;
-            }
-            if s.covering_outage_end(t).is_none() {
-                break;
-            }
-            if tries >= self.max_retries {
-                s.timeouts += 1;
-                self.timeouts += 1;
-                return Admission::TimedOut;
-            }
-            t = t + self.backoff * (1u64 << tries.min(32));
-            tries += 1;
-        }
-        if tries > 0 {
-            s.retries += u64::from(tries);
-            self.retries += u64::from(tries);
-            self.fault_wait += t.since(at);
-        }
-        Admission::At(t)
+        self.params.admit(&mut self.servers[server], at)
+    }
+
+    /// The retry policy and the per-server states, for a lane-parallel
+    /// admission pass (each lane takes exactly one state).
+    pub(crate) fn lanes(&mut self) -> (RetryParams, &mut [ServerFaultState]) {
+        (self.params, &mut self.servers)
+    }
+
+    /// Total retries across all servers.
+    pub(crate) fn retries(&self) -> u64 {
+        self.servers.iter().map(|s| s.retries).sum()
+    }
+
+    /// Total abandoned sub-requests.
+    pub(crate) fn timeouts(&self) -> u64 {
+        self.servers.iter().map(|s| s.timeouts).sum()
+    }
+
+    /// Total time requests spent backed off in retry loops.
+    pub(crate) fn fault_wait(&self) -> SimDuration {
+        self.servers
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.fault_wait)
     }
 
     /// Per-server `(retries, timeouts)` counters.
@@ -152,8 +193,8 @@ mod tests {
         assert_eq!(rt.admit(0, at(1.5)), Admission::At(at(1.5)));
         assert_eq!(rt.admit(1, at(0.5)), Admission::At(at(0.5)), "before the window");
         assert_eq!(rt.admit(1, at(2.5)), Admission::At(at(2.5)), "after the window");
-        assert_eq!(rt.retries, 0);
-        assert_eq!(rt.fault_wait, SimDuration::ZERO);
+        assert_eq!(rt.retries(), 0);
+        assert_eq!(rt.fault_wait(), SimDuration::ZERO);
     }
 
     #[test]
@@ -164,9 +205,9 @@ mod tests {
         let mut rt = FaultRuntime::new(&plan, 1);
         let got = rt.admit(0, at(1.0));
         assert_eq!(got, Admission::At(at(1.0) + SimDuration::from_secs_f64(0.07)));
-        assert_eq!(rt.retries, 3);
+        assert_eq!(rt.retries(), 3);
         assert_eq!(rt.server_counters(0), (3, 0));
-        assert!((rt.fault_wait.as_secs_f64() - 0.07).abs() < 1e-9);
+        assert!((rt.fault_wait().as_secs_f64() - 0.07).abs() < 1e-9);
     }
 
     #[test]
@@ -177,8 +218,8 @@ mod tests {
         let mut rt = FaultRuntime::new(&plan, 1);
         assert_eq!(rt.admit(0, at(0.0)), Admission::TimedOut);
         assert_eq!(rt.server_counters(0), (0, 1));
-        assert_eq!(rt.timeouts, 1);
-        assert_eq!(rt.timeout, SimDuration::from_secs_f64(2.0));
+        assert_eq!(rt.timeouts(), 1);
+        assert_eq!(rt.timeout(), SimDuration::from_secs_f64(2.0));
     }
 
     #[test]
@@ -207,5 +248,41 @@ mod tests {
         assert_eq!(rt.server_health(0), ServerHealth::nominal());
         assert!((rt.server_health(1).speed_factor - 5.0).abs() < 1e-12);
         assert!(rt.server_health(2).down);
+    }
+
+    #[test]
+    fn totals_are_sums_of_per_server_counters() {
+        // Two servers with different fault shapes: the run totals must be
+        // exactly the per-server sums (the sharded merge invariant).
+        let plan = FaultPlan::none().outage(0, 1.0, 0.035).down(1, 0.0);
+        let mut rt = FaultRuntime::new(&plan, 2);
+        rt.admit(0, at(1.0));
+        rt.admit(1, at(0.5));
+        rt.admit(1, at(2.0));
+        let (r0, t0) = rt.server_counters(0);
+        let (r1, t1) = rt.server_counters(1);
+        assert_eq!(rt.retries(), r0 + r1);
+        assert_eq!(rt.timeouts(), t0 + t1);
+        assert_eq!((r0, t0), (3, 0));
+        assert_eq!((r1, t1), (0, 2));
+    }
+
+    #[test]
+    fn lane_split_admission_matches_serial() {
+        let plan = FaultPlan::none().outage(0, 1.0, 0.035).outage(1, 0.0, 0.5);
+        let mut serial = FaultRuntime::new(&plan, 2);
+        let a = serial.admit(0, at(1.0));
+        let b = serial.admit(1, at(0.1));
+        let mut laned = FaultRuntime::new(&plan, 2);
+        let (params, states) = laned.lanes();
+        // Admit in the opposite order through disjoint states — results
+        // and totals must be unchanged.
+        let (s0, s1) = states.split_at_mut(1);
+        let b2 = params.admit(&mut s1[0], at(0.1));
+        let a2 = params.admit(&mut s0[0], at(1.0));
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+        assert_eq!(serial.retries(), laned.retries());
+        assert_eq!(serial.fault_wait(), laned.fault_wait());
     }
 }

@@ -391,12 +391,19 @@ impl LayoutSpec {
 
     fn segment_index_at(&self, within_round: u64) -> usize {
         debug_assert!(within_round < self.round);
-        // Layouts have at most a few dozen segments; linear scan wins over
-        // binary search at this size.
-        self.segments
-            .iter()
-            .rposition(|s| s.start <= within_round)
-            .expect("segment_index_at: within_round < round implies a segment exists")
+        // Small layouts (the paper's 8-server testbed) win with a linear
+        // scan; wide layouts (hundreds of servers striping every file
+        // over the whole cluster) need the binary search — the backward
+        // scan was O(servers) per extent and dominated replay at 1024
+        // servers.
+        if self.segments.len() <= 16 {
+            self.segments
+                .iter()
+                .rposition(|s| s.start <= within_round)
+                .expect("segment_index_at: within_round < round implies a segment exists")
+        } else {
+            self.segments.partition_point(|s| s.start <= within_round) - 1
+        }
     }
 }
 

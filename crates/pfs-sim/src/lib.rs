@@ -37,6 +37,7 @@ pub mod mds;
 pub mod replay;
 pub mod server;
 pub mod session;
+pub mod sharded;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use error::ReplayError;
@@ -48,6 +49,7 @@ pub use replay::{
 };
 pub use server::StorageServer;
 pub use session::ReplaySession;
+pub use sharded::ShardedScratch;
 // Fault-plan vocabulary, re-exported so callers describing fault
 // scenarios against a cluster don't need a direct simrt dependency.
 pub use simrt::{DeviceProfile, FaultKind, FaultPlan, RetryPolicy, ServerFault, ServerHealth};

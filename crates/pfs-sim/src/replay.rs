@@ -22,9 +22,11 @@ use storage_model::{DeviceKind, IoOp};
 /// stripes live in their own region of the disk, so switching between
 /// files costs a real head move (as on an actual data server, where
 /// different PFS objects occupy different block ranges). Slots are 6 GiB
-/// apart, golden-ratio hashed over a 240 GB usable span.
-fn file_device_base(file: FileId) -> u64 {
-    let slot = (u64::from(file.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % 40;
+/// apart, golden-ratio hashed over `slots` positions — the cluster's
+/// [`crate::ClusterConfig::device_slots`] (40 slots = a 240 GB usable
+/// span, the historical hard-coded value).
+pub(crate) fn file_device_base(file: FileId, slots: u64) -> u64 {
+    let slot = (u64::from(file.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % slots.max(1);
     slot * (6 << 30)
 }
 
@@ -320,6 +322,7 @@ pub(crate) fn replay_core(
     }
     cluster.reset();
     let n_servers = cluster.servers().len();
+    let device_slots = cluster.config().device_slots;
     let ReplayScratch { extents, subs, opened, schedule: _ } = scratch;
     extents.clear();
     subs.clear();
@@ -331,6 +334,10 @@ pub(crate) fn replay_core(
     let mut resolve_overhead = SimDuration::ZERO;
     let mut phase_end = SimTime::ZERO;
     let mut phases = 0u32;
+    // `file_device_base` costs a division by the (runtime) slot count;
+    // consecutive records overwhelmingly hit the same file, so a
+    // one-entry memo removes it from the hot path.
+    let mut dev_base_memo: Option<(FileId, u64)> = None;
 
     for &(_, start, end) in spans.iter() {
         // Barrier: the new phase starts when the previous one drained.
@@ -364,7 +371,14 @@ pub(crate) fn replay_core(
                 } else {
                     mds.layout(ext.file)
                 };
-                let dev_base = file_device_base(ext.file);
+                let dev_base = match dev_base_memo {
+                    Some((f, b)) if f == ext.file => b,
+                    _ => {
+                        let b = file_device_base(ext.file, device_slots);
+                        dev_base_memo = Some((ext.file, b));
+                        b
+                    }
+                };
                 layout.map_extent_into(ext.offset, ext.len, subs);
                 for sub in subs.iter() {
                     let Some(server) = servers.get_mut(sub.server.0) else {
@@ -404,7 +418,7 @@ pub(crate) fn replay_core(
                             // An abandoned sub-request moves no bytes and
                             // charges no device or fabric time — the
                             // client just burns the timeout waiting.
-                            Admission::TimedOut => issue + rt.timeout,
+                            Admission::TimedOut => issue + rt.timeout(),
                         },
                     };
                     completion = completion.max(done);
@@ -415,16 +429,49 @@ pub(crate) fn replay_core(
         }
     }
 
+    Ok(assemble_report(
+        cluster,
+        faults.as_deref(),
+        RunTotals {
+            read_bytes,
+            write_bytes,
+            requests: trace.len(),
+            phases,
+            resolve_overhead,
+            request_latency: latencies,
+            phase_end,
+        },
+    ))
+}
+
+/// Scalar run totals a replay core accumulates; everything else in a
+/// [`ReplayReport`] is read off the cluster and fault runtime at the end.
+pub(crate) struct RunTotals {
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+    pub requests: usize,
+    pub phases: u32,
+    pub resolve_overhead: SimDuration,
+    pub request_latency: OnlineStats,
+    pub phase_end: SimTime,
+}
+
+/// Assemble the final report from the cluster's post-run state — shared
+/// by the serial and sharded cores so the two can never drift in how
+/// they read counters back.
+pub(crate) fn assemble_report(
+    cluster: &Cluster,
+    faults: Option<&FaultRuntime>,
+    totals: RunTotals,
+) -> ReplayReport {
     let per_server = cluster
         .servers()
         .iter()
         .map(|s| {
-            let (retries, timeouts) = faults
-                .as_ref()
-                .map_or((0, 0), |rt| rt.server_counters(s.id().0));
-            let health = faults
-                .as_ref()
-                .map_or_else(ServerHealth::nominal, |rt| rt.server_health(s.id().0));
+            let (retries, timeouts) =
+                faults.map_or((0, 0), |rt| rt.server_counters(s.id().0));
+            let health =
+                faults.map_or_else(ServerHealth::nominal, |rt| rt.server_health(s.id().0));
             ServerIoStat {
                 server: s.id().0,
                 kind: s.kind(),
@@ -440,21 +487,21 @@ pub(crate) fn replay_core(
         })
         .collect();
 
-    Ok(ReplayReport {
-        makespan: phase_end.since(SimTime::ZERO),
-        total_bytes: read_bytes + write_bytes,
-        read_bytes,
-        write_bytes,
-        requests: trace.len(),
-        phases,
+    ReplayReport {
+        makespan: totals.phase_end.since(SimTime::ZERO),
+        total_bytes: totals.read_bytes + totals.write_bytes,
+        read_bytes: totals.read_bytes,
+        write_bytes: totals.write_bytes,
+        requests: totals.requests,
+        phases: totals.phases,
         per_server,
-        resolve_overhead,
-        request_latency: latencies,
+        resolve_overhead: totals.resolve_overhead,
+        request_latency: totals.request_latency,
         mds_lookups: cluster.mds().lookups(),
-        retries: faults.as_ref().map_or(0, |rt| rt.retries),
-        timeouts: faults.as_ref().map_or(0, |rt| rt.timeouts),
-        fault_wait: faults.as_ref().map_or(SimDuration::ZERO, |rt| rt.fault_wait),
-    })
+        retries: faults.map_or(0, |rt| rt.retries()),
+        timeouts: faults.map_or(0, |rt| rt.timeouts()),
+        fault_wait: faults.map_or(SimDuration::ZERO, |rt| rt.fault_wait()),
+    }
 }
 
 #[cfg(test)]
@@ -635,6 +682,36 @@ mod tests {
         let r2 = run(&mut c2, &t, &mut IdentityResolver);
         assert_eq!(r1.makespan, r2.makespan);
         assert_eq!(r1.server_busy_secs(), r2.server_busy_secs());
+    }
+
+    #[test]
+    fn default_device_slots_match_historical_constant() {
+        // The configurable slot count defaulted to the old hard-coded 40
+        // must reproduce the historical placement and report bit-for-bit,
+        // and a different slot count must actually move file bases.
+        let cfg = ClusterConfig::paper_default();
+        assert_eq!(cfg.device_slots, 40);
+        for f in 0..512u32 {
+            let slot =
+                (u64::from(f).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % 40;
+            assert_eq!(file_device_base(FileId(f), 40), slot * (6 << 30));
+        }
+        let t = {
+            let mut c = IorConfig::default_run(IoOp::Write);
+            c.reqs_per_proc = 4;
+            c.proc_mix = vec![4, 4];
+            generate(&c)
+        };
+        let mut c1 = Cluster::new(ClusterConfig::paper_default());
+        let mut c2 = Cluster::new(ClusterConfig { device_slots: 40, ..ClusterConfig::paper_default() });
+        let r1 = run(&mut c1, &t, &mut IdentityResolver);
+        let r2 = run(&mut c2, &t, &mut IdentityResolver);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.server_busy_secs(), r2.server_busy_secs());
+        assert_eq!(r1.request_latency.sum().to_bits(), r2.request_latency.sum().to_bits());
+        // A single slot puts every file at base 0 — placement collapses.
+        assert_eq!(file_device_base(FileId(7), 1), 0);
+        assert!((0..64u32).any(|f| file_device_base(FileId(f), 160) >= 40 * (6 << 30)));
     }
 
     #[test]

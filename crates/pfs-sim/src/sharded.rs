@@ -1,0 +1,523 @@
+//! Sharded replay core: per-server event lanes over columnar sub-request
+//! batches, bit-identical to the serial [`crate::replay`] loop.
+//!
+//! The serial core walks one record at a time, bouncing between the
+//! metadata server, the fabric and a *random* storage server per
+//! sub-request. At 1000+ servers that walk is cache-hostile: every
+//! sub-request misses on the server struct, its device state and both NIC
+//! queues. This core restructures one barrier phase into passes over
+//! structure-of-arrays sub-request columns, so each pass touches only the
+//! state it owns:
+//!
+//! 1. **front** (serial, replay order) — resolve records, charge MDS
+//!    opens, decompose extents into sub-request columns; on fault-free
+//!    runs the write-fabric hop is fused in here (pass 3 would visit the
+//!    same subs in the same order);
+//! 2. **admit** (lane-parallel, fault runs only) — fault admission
+//!    against per-server [`crate::fault::ServerFaultState`]s, one lane
+//!    per server;
+//! 3. **write fabric** (serial, sub order, fault runs only) —
+//!    client→server transfers after admission (shared client egress NICs
+//!    force this pass serial);
+//! 4. **device** (lane-parallel) — each server serves its lane's
+//!    sub-requests in order against its own queue and device;
+//! 5. **read fabric + reduce** (serial, replay order) — server→client
+//!    transfers fused with the per-request max-completion, latency
+//!    statistics and the phase barrier (global sub order is replay
+//!    order × sub order, so one sweep covers both).
+//!
+//! Write transfers use client-egress + server-ingress NICs; read
+//! transfers use server-egress + client-ingress. Client and server node
+//! ids are disjoint, so passes 3 and 5 share no FIFO and their relative
+//! order cannot matter. Within every FIFO, sub-requests arrive in exactly
+//! the serial replay order (lanes are stable partitions of the global
+//! order), and all cross-lane merges are order-independent reductions
+//! (max for times, sums for counters) — which is why the result is
+//! bit-for-bit identical to the serial core, not merely close. See
+//! DESIGN.md §14 for the invariant argument.
+
+use crate::cluster::Cluster;
+use crate::error::ReplayError;
+use crate::fault::{Admission, FaultRuntime};
+use crate::layout::LayoutSpec;
+use crate::replay::{assemble_report, file_device_base, ReplayReport, Resolver, RunTotals};
+use crate::replay::FileSet;
+use crate::layout::SubExtent;
+use crate::replay::PhysExtent;
+use iotrace::{BatchSource, FileId, RecordBatch};
+use rand::seq::SliceRandom;
+use rayon::prelude::*;
+use simrt::stats::OnlineStats;
+use simrt::{DisjointSlice, LanePartition, SeedSeq, SimDuration, SimTime};
+use storage_model::IoOp;
+
+/// Reusable buffers of the sharded core. All columns are per-phase: they
+/// are cleared and refilled for each barrier phase, so peak memory is one
+/// phase's sub-requests regardless of trace length — a 10 M-record
+/// streaming run holds only its widest phase.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedScratch {
+    /// Current phase's records (columnar).
+    batch: RecordBatch,
+    /// Shuffled local record indices (the deterministic replay order).
+    shuffle: Vec<u32>,
+    /// Resolved extents of the record in flight.
+    extents: Vec<PhysExtent>,
+    /// Decomposition buffer of the extent in flight.
+    subs: Vec<SubExtent>,
+    /// Physical files already opened (metadata lookup paid) — per run.
+    opened: FileSet,
+    /// Per-record: issue floor (`phase_start + overhead`), in replay order.
+    rec_base: Vec<SimTime>,
+    /// Per-record: one-past-the-end index into the sub columns.
+    rec_sub_end: Vec<u32>,
+    // Sub-request columns, in replay (global) order:
+    /// Target server.
+    sub_server: Vec<u32>,
+    /// Issuing client node.
+    sub_client: Vec<u32>,
+    /// Length in bytes.
+    sub_len: Vec<u64>,
+    /// Device-space offset (slot base + server offset).
+    sub_dev_off: Vec<u64>,
+    /// Operation.
+    sub_op: Vec<IoOp>,
+    /// Issue time after MDS opens (immutable once the front pass ran).
+    sub_issue: Vec<SimTime>,
+    /// Evolving start time: issue → admitted → device arrival.
+    sub_start: Vec<SimTime>,
+    /// Final completion per sub-request.
+    sub_done: Vec<SimTime>,
+    /// Abandoned by fault admission (skips fabric and device).
+    sub_timed_out: Vec<bool>,
+    /// Per-server lanes over the sub columns.
+    partition: LanePartition,
+    /// Fabric node of each server, cached per run so the fabric passes
+    /// never touch the (cache-cold) server structs.
+    server_nodes: Vec<netsim::NodeId>,
+}
+
+impl ShardedScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Replay every phase of `source` against `cluster` — the engine behind
+/// [`crate::ReplaySession::run_sharded`] and
+/// [`crate::ReplaySession::run_stream`].
+pub(crate) fn sharded_core(
+    cluster: &mut Cluster,
+    source: &mut dyn BatchSource,
+    resolver: &mut dyn Resolver,
+    scratch: &mut ShardedScratch,
+    mut faults: Option<&mut FaultRuntime>,
+) -> Result<ReplayReport, ReplayError> {
+    cluster.reset();
+    let n_servers = cluster.servers().len();
+    let clients = cluster.config().clients;
+    let device_slots = cluster.config().device_slots;
+    let shuffle_seed = SeedSeq::new(0x5EED_0F0F);
+
+    let ShardedScratch {
+        batch,
+        shuffle,
+        extents,
+        subs,
+        opened,
+        rec_base,
+        rec_sub_end,
+        sub_server,
+        sub_client,
+        sub_len,
+        sub_dev_off,
+        sub_op,
+        sub_issue,
+        sub_start,
+        sub_done,
+        sub_timed_out,
+        partition,
+        server_nodes,
+    } = scratch;
+    opened.clear();
+    server_nodes.clear();
+    server_nodes.extend(cluster.servers().iter().map(|s| s.node()));
+
+    let mut latencies = OnlineStats::new();
+    let mut read_bytes = 0u64;
+    let mut write_bytes = 0u64;
+    let mut resolve_overhead = SimDuration::ZERO;
+    let mut phase_end = SimTime::ZERO;
+    let mut phases = 0u32;
+    let mut requests = 0usize;
+
+    while source.next_phase(batch) {
+        let n = batch.len();
+        if n == 0 {
+            // A generator may announce an empty phase; the materialized
+            // trace would have no span for it, so neither do we.
+            continue;
+        }
+        let phase_start = phase_end;
+        phases += 1;
+        requests += n;
+
+        // The deterministic replay order: shuffling local indices with
+        // the per-phase seed produces exactly the permutation
+        // ReplaySchedule applies to this phase's global index span
+        // (Fisher–Yates is position-based, so local and global shuffles
+        // coincide up to the span offset).
+        shuffle.clear();
+        shuffle.extend(0..n as u32);
+        let mut rng = shuffle_seed.derive_idx("phase", u64::from(batch.phase())).rng();
+        shuffle.shuffle(&mut rng);
+
+        rec_base.clear();
+        rec_sub_end.clear();
+        sub_server.clear();
+        sub_client.clear();
+        sub_len.clear();
+        sub_dev_off.clear();
+        sub_op.clear();
+        sub_issue.clear();
+        sub_start.clear();
+        sub_done.clear();
+        sub_timed_out.clear();
+
+        // Pass 1 — front: resolve, open, decompose (serial; owns the MDS
+        // queue and the opened-file set). On fault-free runs the write
+        // fabric hop is fused in here: with nothing between issue and the
+        // client→server transfer, pass 3 would visit the very same subs
+        // in the very same order, so doing it inline saves a full sweep
+        // over the columns.
+        let fused_write_fabric = faults.is_none();
+        {
+            let (_, fabric, mds) = cluster.parts_mut();
+            // `file_device_base` costs a division by the (runtime) slot
+            // count; consecutive records overwhelmingly hit the same
+            // file, so a one-entry memo removes it from the hot path.
+            let mut dev_base_memo: Option<(FileId, u64)> = None;
+            for &li in shuffle.iter() {
+                let rec = batch.record(li as usize);
+                let overhead = resolver.resolve_into(&rec, extents);
+                debug_assert_eq!(
+                    extents.iter().map(|e| e.len).sum::<u64>(),
+                    rec.len,
+                    "resolution must cover the request exactly"
+                );
+                resolve_overhead += overhead;
+                match rec.op {
+                    IoOp::Read => read_bytes += rec.len,
+                    IoOp::Write => write_bytes += rec.len,
+                }
+                let client = (rec.rank.0 as usize % clients) as u32;
+                let mut issue = phase_start + overhead;
+                rec_base.push(issue);
+                for ext in extents.iter() {
+                    let layout: &LayoutSpec = if opened.insert(ext.file) {
+                        let (layout, open_done) = mds.lookup_ref(issue, ext.file);
+                        issue = open_done;
+                        layout
+                    } else {
+                        mds.layout(ext.file)
+                    };
+                    let dev_base = match dev_base_memo {
+                        Some((f, b)) if f == ext.file => b,
+                        _ => {
+                            let b = file_device_base(ext.file, device_slots);
+                            dev_base_memo = Some((ext.file, b));
+                            b
+                        }
+                    };
+                    layout.map_extent_into(ext.offset, ext.len, subs);
+                    for sub in subs.iter() {
+                        if sub.server.0 >= n_servers {
+                            return Err(ReplayError::UnknownServer {
+                                server: sub.server.0,
+                                servers: n_servers,
+                            });
+                        }
+                        let start = if fused_write_fabric && rec.op == IoOp::Write {
+                            fabric.transfer(
+                                issue,
+                                netsim::NodeId(client as usize),
+                                server_nodes[sub.server.0],
+                                sub.len,
+                            )
+                        } else {
+                            issue
+                        };
+                        sub_server.push(sub.server.0 as u32);
+                        sub_client.push(client);
+                        sub_len.push(sub.len);
+                        sub_dev_off.push(dev_base + sub.server_offset);
+                        sub_op.push(rec.op);
+                        sub_issue.push(issue);
+                        sub_start.push(start);
+                        sub_done.push(start);
+                        sub_timed_out.push(false);
+                    }
+                }
+                rec_sub_end.push(sub_server.len() as u32);
+            }
+        }
+
+        partition.build(n_servers, sub_server);
+
+        // Pass 2 — admit: per-server fault state machines, one lane per
+        // server. Admission decisions depend only on the sub-request's
+        // issue time and the server's static outage windows; counters are
+        // integer sums, so lanes merge deterministically. Iterates only
+        // the active spans — idle servers cost nothing.
+        if let Some(rt) = faults.as_deref_mut() {
+            let timeout = rt.timeout();
+            let (params, states) = rt.lanes();
+            let start_w = DisjointSlice::new(sub_start);
+            let done_w = DisjointSlice::new(sub_done);
+            let timed_w = DisjointSlice::new(sub_timed_out);
+            let states_w = DisjointSlice::new(states);
+            let issue_r: &[SimTime] = sub_issue;
+            let lanes: &LanePartition = partition;
+            lanes.spans().par_iter().for_each(|span| {
+                // SAFETY: spans carry unique lanes; this lane's state is
+                // touched by no other span.
+                let state = unsafe { states_w.get_mut(span.lane as usize) };
+                for &i in lanes.items(span) {
+                    let i = i as usize;
+                    match params.admit(state, issue_r[i]) {
+                        // SAFETY: each sub index lives in exactly one
+                        // lane; no reads until the pass joins.
+                        Admission::At(at) => unsafe { start_w.write(i, at) },
+                        Admission::TimedOut => unsafe {
+                            timed_w.write(i, true);
+                            done_w.write(i, issue_r[i] + timeout);
+                        },
+                    }
+                }
+            });
+        }
+
+        // Pass 3 — write fabric (serial, global sub order): data flows
+        // client → server before hitting the device. Client egress NICs
+        // are shared across lanes, so this pass cannot shard; it touches
+        // only the dense FIFO arrays and the cached node ids, never the
+        // server structs. Fault-free runs did this inline in the front
+        // pass; under faults the hop must wait for admission.
+        if !fused_write_fabric {
+            let (_, fabric, _) = cluster.parts_mut();
+            for i in 0..sub_server.len() {
+                if sub_op[i] == IoOp::Write && !sub_timed_out[i] {
+                    sub_start[i] = fabric.transfer(
+                        sub_start[i],
+                        netsim::NodeId(sub_client[i] as usize),
+                        server_nodes[sub_server[i] as usize],
+                        sub_len[i],
+                    );
+                }
+            }
+        }
+
+        // Pass 4 — device (lane-parallel): each server owns its queue and
+        // device state exclusively and serves its lane in global order —
+        // exactly the arrival sequence the serial loop would feed it.
+        // Only active spans run: a phase touching 200 of 1024 servers
+        // loads 200 server structs, once each.
+        {
+            let (servers, _, _) = cluster.parts_mut();
+            let servers_w = DisjointSlice::new(servers);
+            let done_w = DisjointSlice::new(sub_done);
+            let lanes: &LanePartition = partition;
+            let starts: &[SimTime] = sub_start;
+            let ops: &[IoOp] = sub_op;
+            let dev_offs: &[u64] = sub_dev_off;
+            let lens: &[u64] = sub_len;
+            let timed: &[bool] = sub_timed_out;
+            lanes.spans().par_iter().for_each(|span| {
+                // SAFETY: spans carry unique lanes; this server is
+                // touched by no other span.
+                let server = unsafe { servers_w.get_mut(span.lane as usize) };
+                for &i in lanes.items(span) {
+                    let i = i as usize;
+                    if !timed[i] {
+                        let done = server.serve(starts[i], ops[i], dev_offs[i], lens[i]);
+                        // SAFETY: disjoint lanes, no reads until join.
+                        unsafe { done_w.write(i, done) };
+                    }
+                }
+            });
+        }
+
+        // Pass 5 — read fabric + reduce (serial, replay order): read
+        // payloads flow server → client after the device pass; the global
+        // sub order IS replay order × sub order, so the fabric hop and
+        // the per-request max-completion reduce share one sweep. Read
+        // FIFOs (server egress + client ingress) are disjoint from the
+        // write-fabric ones, so running after pass 4 preserves the serial
+        // arrival order everywhere. Latencies accumulate in replay order
+        // so the float statistics match the serial core bit for bit; the
+        // phase barrier is the max over completions.
+        {
+            let (_, fabric, _) = cluster.parts_mut();
+            let mut sub_cursor = 0usize;
+            for (r, &base) in rec_base.iter().enumerate() {
+                let end = rec_sub_end[r] as usize;
+                let mut completion = base;
+                for i in sub_cursor..end {
+                    if sub_op[i] == IoOp::Read && !sub_timed_out[i] {
+                        sub_done[i] = fabric.transfer(
+                            sub_done[i],
+                            server_nodes[sub_server[i] as usize],
+                            netsim::NodeId(sub_client[i] as usize),
+                            sub_len[i],
+                        );
+                    }
+                    completion = completion.max(sub_done[i]);
+                }
+                sub_cursor = end;
+                latencies.push(completion.since(base).as_secs_f64());
+                phase_end = phase_end.max(completion);
+            }
+        }
+    }
+
+    Ok(assemble_report(
+        cluster,
+        faults.as_deref(),
+        RunTotals {
+            read_bytes,
+            write_bytes,
+            requests,
+            phases,
+            resolve_overhead,
+            request_latency: latencies,
+            phase_end,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cluster::{Cluster, ClusterConfig};
+    use crate::replay::{IdentityResolver, ReplayReport};
+    use crate::session::ReplaySession;
+    use iotrace::gen::ior::{generate, IorConfig};
+    use iotrace::Trace;
+    use simrt::FaultPlan;
+    use storage_model::IoOp;
+
+    fn small_ior(op: IoOp) -> Trace {
+        let mut cfg = IorConfig::default_run(op);
+        cfg.reqs_per_proc = 8;
+        cfg.proc_mix = vec![8];
+        generate(&cfg)
+    }
+
+    /// Every observable of the two reports, compared bit for bit.
+    fn assert_identical(serial: &ReplayReport, sharded: &ReplayReport) {
+        assert_eq!(serial.makespan, sharded.makespan);
+        assert_eq!(serial.total_bytes, sharded.total_bytes);
+        assert_eq!(serial.read_bytes, sharded.read_bytes);
+        assert_eq!(serial.write_bytes, sharded.write_bytes);
+        assert_eq!(serial.requests, sharded.requests);
+        assert_eq!(serial.phases, sharded.phases);
+        assert_eq!(serial.resolve_overhead, sharded.resolve_overhead);
+        assert_eq!(serial.mds_lookups, sharded.mds_lookups);
+        assert_eq!(serial.retries, sharded.retries);
+        assert_eq!(serial.timeouts, sharded.timeouts);
+        assert_eq!(serial.fault_wait, sharded.fault_wait);
+        assert_eq!(
+            serial.request_latency.sum().to_bits(),
+            sharded.request_latency.sum().to_bits()
+        );
+        assert_eq!(
+            serial.request_latency.max().to_bits(),
+            sharded.request_latency.max().to_bits()
+        );
+        assert_eq!(serial.per_server.len(), sharded.per_server.len());
+        for (a, b) in serial.per_server.iter().zip(sharded.per_server.iter()) {
+            assert_eq!(a.busy, b.busy, "server {} busy", a.server);
+            assert_eq!(a.bytes_read, b.bytes_read);
+            assert_eq!(a.bytes_written, b.bytes_written);
+            assert_eq!(a.served, b.served);
+            assert_eq!(a.retries, b.retries, "server {} retries", a.server);
+            assert_eq!(a.timeouts, b.timeouts, "server {} timeouts", a.server);
+            assert_eq!(a.down, b.down);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_fault_free() {
+        for t in [small_ior(IoOp::Write), small_ior(IoOp::Read)] {
+            let mut c1 = Cluster::new(ClusterConfig::paper_default());
+            let serial = ReplaySession::new().run(&mut c1, &t, &mut IdentityResolver).unwrap();
+            let mut c2 = Cluster::new(ClusterConfig::paper_default());
+            let sharded =
+                ReplaySession::new().run_sharded(&mut c2, &t, &mut IdentityResolver).unwrap();
+            assert_identical(&serial, &sharded);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_under_faults() {
+        // Outage on one server, permanent loss of another, a straggler on
+        // a third: the sharded admission lanes must reproduce the serial
+        // retry/timeout accounting exactly, per server.
+        let t = small_ior(IoOp::Write);
+        let plan = FaultPlan::none().outage(0, 0.0, 0.05).down(1, 0.0).slow_server(2, 3.0);
+        let mut c1 = Cluster::new(ClusterConfig::paper_default());
+        let serial = ReplaySession::new()
+            .with_fault_plan(plan.clone())
+            .run(&mut c1, &t, &mut IdentityResolver)
+            .unwrap();
+        assert!(serial.retries > 0 && serial.timeouts > 0, "plan must bite");
+        let mut c2 = Cluster::new(ClusterConfig::paper_default());
+        let sharded = ReplaySession::new()
+            .with_fault_plan(plan)
+            .run_sharded(&mut c2, &t, &mut IdentityResolver)
+            .unwrap();
+        assert_identical(&serial, &sharded);
+    }
+
+    #[test]
+    fn streaming_generator_matches_materialized_replay() {
+        // Replaying straight off the generator (never materializing the
+        // trace) must equal replaying the materialized trace.
+        let cfg = {
+            let mut c = IorConfig::default_run(IoOp::Write);
+            c.reqs_per_proc = 6;
+            c.proc_mix = vec![8];
+            c
+        };
+        let t = generate(&cfg);
+        let mut c1 = Cluster::new(ClusterConfig::paper_default());
+        let serial = ReplaySession::new().run(&mut c1, &t, &mut IdentityResolver).unwrap();
+        let mut c2 = Cluster::new(ClusterConfig::paper_default());
+        let streamed = ReplaySession::new()
+            .run_stream(&mut c2, &mut iotrace::gen::ior::stream(&cfg), &mut IdentityResolver)
+            .unwrap();
+        assert_identical(&serial, &streamed);
+    }
+
+    #[test]
+    fn sharded_scratch_reuse_is_report_identical() {
+        let mut session = ReplaySession::new();
+        let mut reports = Vec::new();
+        for t in [small_ior(IoOp::Write), small_ior(IoOp::Read), small_ior(IoOp::Write)] {
+            let mut c = Cluster::new(ClusterConfig::paper_default());
+            reports.push(session.run_sharded(&mut c, &t, &mut IdentityResolver).unwrap());
+        }
+        assert_identical(&reports[0], &reports[2]);
+    }
+
+    #[test]
+    fn empty_trace_reports_zero_through_sharded_core() {
+        let mut c = Cluster::new(ClusterConfig::paper_default());
+        let r = ReplaySession::new()
+            .run_sharded(&mut c, &Trace::new(), &mut IdentityResolver)
+            .unwrap();
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.phases, 0);
+        assert_eq!(r.bandwidth_mbps(), 0.0);
+    }
+}

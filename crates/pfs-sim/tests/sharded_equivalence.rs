@@ -1,0 +1,225 @@
+//! Property-style equivalence suite: the sharded per-server-lane core
+//! must be bit-for-bit identical to the serial replay loop — makespan,
+//! per-server statistics, fault accounting and the request-latency
+//! stream — across randomized traces, cluster shapes, layout schemes,
+//! device-slot counts and fault plans.
+//!
+//! Cases are generated from a fixed seed (the same cases every run, in
+//! every environment), which keeps failures reproducible: a failing
+//! trial prints its number, and re-running the test replays it exactly.
+
+use iotrace::gen::{ior, skewed};
+use iotrace::{FileId, Rank, RecordBatch, Trace, TraceRecord};
+use pfs_sim::{
+    Cluster, ClusterConfig, FaultPlan, IdentityResolver, LayoutSpec, ReplayReport, ReplaySession,
+    ServerId,
+};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simrt::{SeedSeq, SimDuration, SimTime};
+use storage_model::IoOp;
+
+/// Compare every observable of two reports bit for bit.
+fn assert_identical(serial: &ReplayReport, sharded: &ReplayReport, trial: usize) {
+    assert_eq!(serial.makespan, sharded.makespan, "trial {trial}: makespan");
+    assert_eq!(serial.total_bytes, sharded.total_bytes, "trial {trial}");
+    assert_eq!(serial.read_bytes, sharded.read_bytes, "trial {trial}");
+    assert_eq!(serial.write_bytes, sharded.write_bytes, "trial {trial}");
+    assert_eq!(serial.requests, sharded.requests, "trial {trial}");
+    assert_eq!(serial.phases, sharded.phases, "trial {trial}");
+    assert_eq!(serial.resolve_overhead, sharded.resolve_overhead, "trial {trial}");
+    assert_eq!(serial.mds_lookups, sharded.mds_lookups, "trial {trial}");
+    assert_eq!(serial.retries, sharded.retries, "trial {trial}: retries");
+    assert_eq!(serial.timeouts, sharded.timeouts, "trial {trial}: timeouts");
+    assert_eq!(serial.fault_wait, sharded.fault_wait, "trial {trial}: fault_wait");
+    assert_eq!(
+        serial.request_latency.sum().to_bits(),
+        sharded.request_latency.sum().to_bits(),
+        "trial {trial}: latency sum"
+    );
+    assert_eq!(
+        serial.request_latency.max().to_bits(),
+        sharded.request_latency.max().to_bits(),
+        "trial {trial}: latency max"
+    );
+    assert_eq!(serial.per_server.len(), sharded.per_server.len());
+    for (a, b) in serial.per_server.iter().zip(sharded.per_server.iter()) {
+        let s = a.server;
+        assert_eq!(a.busy, b.busy, "trial {trial}: server {s} busy");
+        assert_eq!(a.bytes_read, b.bytes_read, "trial {trial}: server {s}");
+        assert_eq!(a.bytes_written, b.bytes_written, "trial {trial}: server {s}");
+        assert_eq!(a.served, b.served, "trial {trial}: server {s} served");
+        assert_eq!(a.retries, b.retries, "trial {trial}: server {s} retries");
+        assert_eq!(a.timeouts, b.timeouts, "trial {trial}: server {s} timeouts");
+        assert_eq!(a.down, b.down, "trial {trial}: server {s} down");
+    }
+}
+
+/// A random barrier-phased trace: 1–6 phases, 1–12 records each, ranks,
+/// files, ops, offsets and sizes all drawn at random.
+fn random_trace(rng: &mut SmallRng) -> Trace {
+    let phases = rng.gen_range(1..=6u32);
+    let mut records = Vec::new();
+    for phase in 0..phases {
+        let ts = SimTime::ZERO + SimDuration::from_millis(10) * u64::from(phase);
+        for _ in 0..rng.gen_range(1..=12) {
+            let len = rng.gen_range(1..=256u64) * 4096;
+            records.push(TraceRecord {
+                pid: rng.gen_range(0..1000),
+                rank: Rank(rng.gen_range(0..16)),
+                file: FileId(rng.gen_range(0..6)),
+                op: if rng.gen_bool(0.5) { IoOp::Write } else { IoOp::Read },
+                offset: rng.gen_range(0..4096u64) * 4096,
+                len,
+                ts,
+                phase,
+            });
+        }
+    }
+    Trace::from_records(records)
+}
+
+/// A random cluster: 1–6 HServers, 1–4 SServers, 2–8 clients, and a
+/// device-slot count from the extremes the satellite made configurable.
+fn random_config(rng: &mut SmallRng) -> ClusterConfig {
+    ClusterConfig {
+        hservers: rng.gen_range(1..=6),
+        sservers: rng.gen_range(1..=4),
+        clients: rng.gen_range(2..=8),
+        device_slots: [1u64, 8, 40, 160][rng.gen_range(0..4usize)],
+        ..ClusterConfig::paper_default()
+    }
+}
+
+/// Install a random layout scheme for a few files: fixed striping over
+/// all servers or a hybrid H/S split, with stripes from 16 KiB to 1 MiB
+/// (zero on one side of the hybrid sometimes — SServer-only placement).
+fn random_layouts(rng: &mut SmallRng, cluster: &mut Cluster) {
+    let h: Vec<ServerId> = cluster.hserver_ids();
+    let s: Vec<ServerId> = cluster.sserver_ids();
+    let all: Vec<ServerId> = h.iter().chain(s.iter()).copied().collect();
+    for f in 0..rng.gen_range(0..4u32) {
+        let stripe = 16u64 << (10 + rng.gen_range(0..7u32));
+        let spec = match rng.gen_range(0..3) {
+            0 => LayoutSpec::fixed(&all, stripe),
+            1 => LayoutSpec::hybrid(&h, stripe, &s, stripe * 2),
+            _ => LayoutSpec::hybrid(&h, 0, &s, stripe),
+        };
+        cluster.mds_mut().set_layout(FileId(f), spec);
+    }
+}
+
+/// A random fault plan over `servers` servers; empty about a third of
+/// the time so the fault-free path stays covered.
+fn random_fault_plan(rng: &mut SmallRng, servers: usize) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    if rng.gen_bool(1.0 / 3.0) {
+        return plan;
+    }
+    for _ in 0..rng.gen_range(1..=3) {
+        let server = rng.gen_range(0..servers);
+        plan = match rng.gen_range(0..4) {
+            0 => plan.outage(server, rng.gen_range(0.0..0.02), rng.gen_range(0.01..0.2)),
+            1 => plan.down(server, rng.gen_range(0.0..0.05)),
+            2 => plan.slow_server(server, rng.gen_range(1.5..4.0)),
+            _ => plan.slow_link(server, rng.gen_range(1.5..3.0)),
+        };
+    }
+    plan
+}
+
+#[test]
+fn sharded_replay_is_bit_identical_to_serial_across_random_scenarios() {
+    let mut rng = SeedSeq::new(0x5A_D0E5).derive("equivalence").rng();
+    for trial in 0..32 {
+        let trace = random_trace(&mut rng);
+        let config = random_config(&mut rng);
+        let plan = random_fault_plan(&mut rng, config.servers());
+
+        let mut c1 = Cluster::new(config.clone());
+        random_layouts(&mut rng.clone(), &mut c1);
+        let serial = ReplaySession::new()
+            .with_fault_plan(plan.clone())
+            .run(&mut c1, &trace, &mut IdentityResolver)
+            .unwrap();
+
+        let mut c2 = Cluster::new(config);
+        random_layouts(&mut rng.clone(), &mut c2);
+        let sharded = ReplaySession::new()
+            .with_fault_plan(plan)
+            .run_sharded(&mut c2, &trace, &mut IdentityResolver)
+            .unwrap();
+
+        assert_identical(&serial, &sharded, trial);
+    }
+}
+
+#[test]
+fn one_warmed_session_stays_identical_across_random_scenarios() {
+    // Scratch reuse across wildly different traces and cluster shapes
+    // must never leak state between runs.
+    let mut rng = SeedSeq::new(0x5A_D0E5).derive("warm").rng();
+    let mut session = ReplaySession::new();
+    for trial in 0..16 {
+        let trace = random_trace(&mut rng);
+        let config = random_config(&mut rng);
+        let mut c1 = Cluster::new(config.clone());
+        let serial =
+            ReplaySession::new().run(&mut c1, &trace, &mut IdentityResolver).unwrap();
+        let mut c2 = Cluster::new(config);
+        let sharded = session.run_sharded(&mut c2, &trace, &mut IdentityResolver).unwrap();
+        assert_identical(&serial, &sharded, trial);
+    }
+}
+
+#[test]
+fn streaming_generators_match_their_materialized_traces() {
+    // Random generator configs: the phase-streamed records must equal the
+    // materialized trace record for record, and replaying the stream must
+    // equal replaying the trace serially.
+    let mut rng = SeedSeq::new(0x5A_D0E5).derive("stream").rng();
+    for trial in 0..8 {
+        let mut cfg = ior::IorConfig::default_run(if rng.gen_bool(0.5) {
+            IoOp::Write
+        } else {
+            IoOp::Read
+        });
+        cfg.reqs_per_proc = rng.gen_range(1..=6);
+        cfg.proc_mix = vec![rng.gen_range(1..=8)];
+        let trace = ior::generate(&cfg);
+
+        let mut batch = RecordBatch::new();
+        let mut src = ior::stream(&cfg);
+        let mut cursor = 0;
+        while iotrace::BatchSource::next_phase(&mut src, &mut batch) {
+            for i in 0..batch.len() {
+                assert_eq!(batch.record(i), trace.records()[cursor], "trial {trial}");
+                cursor += 1;
+            }
+        }
+        assert_eq!(cursor, trace.len(), "trial {trial}: stream covers the trace");
+
+        let mut c1 = Cluster::new(ClusterConfig::paper_default());
+        let serial =
+            ReplaySession::new().run(&mut c1, &trace, &mut IdentityResolver).unwrap();
+        let mut c2 = Cluster::new(ClusterConfig::paper_default());
+        let streamed = ReplaySession::new()
+            .run_stream(&mut c2, &mut ior::stream(&cfg), &mut IdentityResolver)
+            .unwrap();
+        assert_identical(&serial, &streamed, trial);
+    }
+}
+
+#[test]
+fn skewed_stream_replays_identically_to_its_trace() {
+    let mut cfg = skewed::SkewedConfig::default_run(IoOp::Write);
+    cfg.phases = 24;
+    let trace = skewed::generate(&cfg);
+    let mut c1 = Cluster::new(ClusterConfig::paper_default());
+    let serial = ReplaySession::new().run(&mut c1, &trace, &mut IdentityResolver).unwrap();
+    let mut c2 = Cluster::new(ClusterConfig::paper_default());
+    let streamed = ReplaySession::new()
+        .run_stream(&mut c2, &mut skewed::stream(&cfg), &mut IdentityResolver)
+        .unwrap();
+    assert_identical(&serial, &streamed, 0);
+}

@@ -9,7 +9,9 @@
 //! * [`resource`] — analytic FIFO resources (server queues) that avoid
 //!   per-byte event churn,
 //! * [`stats`] — online statistics, histograms and percentile helpers,
-//! * [`rng`] — deterministic, splittable seeding for reproducible workloads.
+//! * [`rng`] — deterministic, splittable seeding for reproducible workloads,
+//! * [`lanes`] — stable lane partitioning and disjoint-write scatter for
+//!   sharded (per-server) simulation passes.
 //!
 //! Determinism is a hard requirement: two runs with the same seed must
 //! produce bit-identical results, so the event calendar breaks timestamp
@@ -17,6 +19,7 @@
 
 pub mod engine;
 pub mod fault;
+pub mod lanes;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -24,6 +27,7 @@ pub mod time;
 
 pub use engine::{Engine, Model, Scheduler};
 pub use fault::{DeviceProfile, FaultKind, FaultPlan, RetryPolicy, ServerFault, ServerHealth};
+pub use lanes::{DisjointSlice, LanePartition, LaneSpan};
 pub use resource::FifoResource;
 pub use rng::SeedSeq;
 pub use time::{SimDuration, SimTime};

@@ -32,6 +32,17 @@ cargo test -q -p mha --test properties persisted_tables
 # inside `cargo test -q`; naming them pins the PR 5 contract).
 cargo test -q -p mha-core grouping_serial_matches_parallel
 cargo test -q -p mha-core drt_builder_equivalence
+# Sharded-replay identity gate, explicitly: the per-server-lane core
+# and the streaming-generator path must stay bit-identical to the
+# serial replay loop across randomized traces, cluster shapes, layouts
+# and fault plans (also inside `cargo test -q`; named to pin the PR 6
+# contract).
+cargo test -q -p pfs-sim --test sharded_equivalence
+# Scale smoke: a 1024-server, ~1M-record streaming run with a
+# serial == sharded == streamed identity assertion on a materialized
+# prefix — catches panics, identity drift and memory blow-ups at the
+# cluster sizes the full grid exercises.
+cargo run -p mha-bench --release --bin scale -- --smoke
 # Fault-matrix smoke: the degraded-cluster experiment must run end to
 # end (empty-plan bit-identity and replanning wins are asserted by the
 # test suite; this catches panics in the full figure path).
