@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ef02521ad6c44ce9.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-ef02521ad6c44ce9.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

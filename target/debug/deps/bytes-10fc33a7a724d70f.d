@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-10fc33a7a724d70f.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-10fc33a7a724d70f.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-10fc33a7a724d70f.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

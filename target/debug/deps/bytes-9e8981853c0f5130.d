@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-9e8981853c0f5130.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9e8981853c0f5130.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

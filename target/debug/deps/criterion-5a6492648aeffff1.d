@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-5a6492648aeffff1.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-5a6492648aeffff1.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

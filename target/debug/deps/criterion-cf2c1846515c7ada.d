@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-cf2c1846515c7ada.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-cf2c1846515c7ada.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-cf2c1846515c7ada.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_session-792c45882b0f8a1d.d: crates/bench/tests/fault_session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_session-792c45882b0f8a1d.rmeta: crates/bench/tests/fault_session.rs Cargo.toml
+
+crates/bench/tests/fault_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

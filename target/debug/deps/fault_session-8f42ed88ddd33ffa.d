@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_session-8f42ed88ddd33ffa.d: crates/bench/tests/fault_session.rs
+
+/root/repo/target/debug/deps/libfault_session-8f42ed88ddd33ffa.rmeta: crates/bench/tests/fault_session.rs
+
+crates/bench/tests/fault_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_session-d45a927ff35c21d8.d: crates/bench/tests/fault_session.rs
+
+/root/repo/target/debug/deps/fault_session-d45a927ff35c21d8: crates/bench/tests/fault_session.rs
+
+crates/bench/tests/fault_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-5268de7b46fce929.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-5268de7b46fce929: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-7447a4de32072ecc.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-7447a4de32072ecc: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-92d5b338e3270619.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-92d5b338e3270619.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

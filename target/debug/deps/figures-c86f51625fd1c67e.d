@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-c86f51625fd1c67e.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-c86f51625fd1c67e.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

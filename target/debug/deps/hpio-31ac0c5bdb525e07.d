@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpio-31ac0c5bdb525e07.d: crates/bench/benches/hpio.rs
+
+/root/repo/target/debug/deps/libhpio-31ac0c5bdb525e07.rmeta: crates/bench/benches/hpio.rs
+
+crates/bench/benches/hpio.rs:

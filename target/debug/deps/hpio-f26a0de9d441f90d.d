@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpio-f26a0de9d441f90d.d: crates/bench/benches/hpio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpio-f26a0de9d441f90d.rmeta: crates/bench/benches/hpio.rs Cargo.toml
+
+crates/bench/benches/hpio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ior_mixed_procs-3f7910d3f20da1d9.d: crates/bench/benches/ior_mixed_procs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libior_mixed_procs-3f7910d3f20da1d9.rmeta: crates/bench/benches/ior_mixed_procs.rs Cargo.toml
+
+crates/bench/benches/ior_mixed_procs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

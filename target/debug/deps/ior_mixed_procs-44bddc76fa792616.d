@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ior_mixed_procs-44bddc76fa792616.d: crates/bench/benches/ior_mixed_procs.rs
+
+/root/repo/target/debug/deps/libior_mixed_procs-44bddc76fa792616.rmeta: crates/bench/benches/ior_mixed_procs.rs
+
+crates/bench/benches/ior_mixed_procs.rs:

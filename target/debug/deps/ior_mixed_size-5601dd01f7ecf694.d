@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ior_mixed_size-5601dd01f7ecf694.d: crates/bench/benches/ior_mixed_size.rs
+
+/root/repo/target/debug/deps/libior_mixed_size-5601dd01f7ecf694.rmeta: crates/bench/benches/ior_mixed_size.rs
+
+crates/bench/benches/ior_mixed_size.rs:

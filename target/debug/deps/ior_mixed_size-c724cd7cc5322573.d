@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ior_mixed_size-c724cd7cc5322573.d: crates/bench/benches/ior_mixed_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libior_mixed_size-c724cd7cc5322573.rmeta: crates/bench/benches/ior_mixed_size.rs Cargo.toml
+
+crates/bench/benches/ior_mixed_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

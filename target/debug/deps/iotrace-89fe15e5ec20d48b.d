@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/iotrace-89fe15e5ec20d48b.d: crates/iotrace/src/lib.rs crates/iotrace/src/analyze.rs crates/iotrace/src/batch.rs crates/iotrace/src/collector.rs crates/iotrace/src/error.rs crates/iotrace/src/gen/mod.rs crates/iotrace/src/gen/btio.rs crates/iotrace/src/gen/cholesky.rs crates/iotrace/src/gen/hpio.rs crates/iotrace/src/gen/ior.rs crates/iotrace/src/gen/lanl.rs crates/iotrace/src/gen/lu.rs crates/iotrace/src/gen/skewed.rs crates/iotrace/src/record.rs crates/iotrace/src/stats.rs crates/iotrace/src/trace.rs crates/iotrace/src/tsv.rs
+
+/root/repo/target/debug/deps/iotrace-89fe15e5ec20d48b: crates/iotrace/src/lib.rs crates/iotrace/src/analyze.rs crates/iotrace/src/batch.rs crates/iotrace/src/collector.rs crates/iotrace/src/error.rs crates/iotrace/src/gen/mod.rs crates/iotrace/src/gen/btio.rs crates/iotrace/src/gen/cholesky.rs crates/iotrace/src/gen/hpio.rs crates/iotrace/src/gen/ior.rs crates/iotrace/src/gen/lanl.rs crates/iotrace/src/gen/lu.rs crates/iotrace/src/gen/skewed.rs crates/iotrace/src/record.rs crates/iotrace/src/stats.rs crates/iotrace/src/trace.rs crates/iotrace/src/tsv.rs
+
+crates/iotrace/src/lib.rs:
+crates/iotrace/src/analyze.rs:
+crates/iotrace/src/batch.rs:
+crates/iotrace/src/collector.rs:
+crates/iotrace/src/error.rs:
+crates/iotrace/src/gen/mod.rs:
+crates/iotrace/src/gen/btio.rs:
+crates/iotrace/src/gen/cholesky.rs:
+crates/iotrace/src/gen/hpio.rs:
+crates/iotrace/src/gen/ior.rs:
+crates/iotrace/src/gen/lanl.rs:
+crates/iotrace/src/gen/lu.rs:
+crates/iotrace/src/gen/skewed.rs:
+crates/iotrace/src/record.rs:
+crates/iotrace/src/stats.rs:
+crates/iotrace/src/trace.rs:
+crates/iotrace/src/tsv.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kvstore-0a0c0c44a6aa3020.d: crates/kvstore/src/lib.rs crates/kvstore/src/codec.rs crates/kvstore/src/error.rs crates/kvstore/src/lru.rs crates/kvstore/src/store.rs crates/kvstore/src/wal.rs
+
+/root/repo/target/debug/deps/libkvstore-0a0c0c44a6aa3020.rlib: crates/kvstore/src/lib.rs crates/kvstore/src/codec.rs crates/kvstore/src/error.rs crates/kvstore/src/lru.rs crates/kvstore/src/store.rs crates/kvstore/src/wal.rs
+
+/root/repo/target/debug/deps/libkvstore-0a0c0c44a6aa3020.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/codec.rs crates/kvstore/src/error.rs crates/kvstore/src/lru.rs crates/kvstore/src/store.rs crates/kvstore/src/wal.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/codec.rs:
+crates/kvstore/src/error.rs:
+crates/kvstore/src/lru.rs:
+crates/kvstore/src/store.rs:
+crates/kvstore/src/wal.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/kvstore-3e85e1dc7b62ffc2.d: crates/kvstore/src/lib.rs crates/kvstore/src/codec.rs crates/kvstore/src/error.rs crates/kvstore/src/lru.rs crates/kvstore/src/store.rs crates/kvstore/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvstore-3e85e1dc7b62ffc2.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/codec.rs crates/kvstore/src/error.rs crates/kvstore/src/lru.rs crates/kvstore/src/store.rs crates/kvstore/src/wal.rs Cargo.toml
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/codec.rs:
+crates/kvstore/src/error.rs:
+crates/kvstore/src/lru.rs:
+crates/kvstore/src/store.rs:
+crates/kvstore/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

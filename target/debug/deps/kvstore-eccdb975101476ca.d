@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kvstore-eccdb975101476ca.d: crates/kvstore/src/lib.rs crates/kvstore/src/codec.rs crates/kvstore/src/error.rs crates/kvstore/src/lru.rs crates/kvstore/src/store.rs crates/kvstore/src/wal.rs
+
+/root/repo/target/debug/deps/libkvstore-eccdb975101476ca.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/codec.rs crates/kvstore/src/error.rs crates/kvstore/src/lru.rs crates/kvstore/src/store.rs crates/kvstore/src/wal.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/codec.rs:
+crates/kvstore/src/error.rs:
+crates/kvstore/src/lru.rs:
+crates/kvstore/src/store.rs:
+crates/kvstore/src/wal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mha-0e4acbb56fa5e4cb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmha-0e4acbb56fa5e4cb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mha-122279cc840edc4d.d: src/lib.rs
+
+/root/repo/target/debug/deps/mha-122279cc840edc4d: src/lib.rs
+
+src/lib.rs:

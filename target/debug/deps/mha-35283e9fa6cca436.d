@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mha-35283e9fa6cca436.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmha-35283e9fa6cca436.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmha-35283e9fa6cca436.rmeta: src/lib.rs
+
+src/lib.rs:

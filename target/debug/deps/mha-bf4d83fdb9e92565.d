@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mha-bf4d83fdb9e92565.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmha-bf4d83fdb9e92565.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mha_bench-25f21e40d18bfa84.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libmha_bench-25f21e40d18bfa84.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mha_core-49ce793ade783266.d: crates/mha-core/src/lib.rs crates/mha-core/src/cost.rs crates/mha-core/src/dynamic.rs crates/mha-core/src/grouping.rs crates/mha-core/src/pattern.rs crates/mha-core/src/persist.rs crates/mha-core/src/redirect.rs crates/mha-core/src/region.rs crates/mha-core/src/rssd.rs crates/mha-core/src/schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmha_core-49ce793ade783266.rmeta: crates/mha-core/src/lib.rs crates/mha-core/src/cost.rs crates/mha-core/src/dynamic.rs crates/mha-core/src/grouping.rs crates/mha-core/src/pattern.rs crates/mha-core/src/persist.rs crates/mha-core/src/redirect.rs crates/mha-core/src/region.rs crates/mha-core/src/rssd.rs crates/mha-core/src/schemes.rs Cargo.toml
+
+crates/mha-core/src/lib.rs:
+crates/mha-core/src/cost.rs:
+crates/mha-core/src/dynamic.rs:
+crates/mha-core/src/grouping.rs:
+crates/mha-core/src/pattern.rs:
+crates/mha-core/src/persist.rs:
+crates/mha-core/src/redirect.rs:
+crates/mha-core/src/region.rs:
+crates/mha-core/src/rssd.rs:
+crates/mha-core/src/schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpiio_sim-5a7e07fc61b45038.d: crates/mpiio-sim/src/lib.rs crates/mpiio-sim/src/collective.rs crates/mpiio-sim/src/hints.rs crates/mpiio-sim/src/job.rs crates/mpiio-sim/src/middleware.rs
+
+/root/repo/target/debug/deps/libmpiio_sim-5a7e07fc61b45038.rmeta: crates/mpiio-sim/src/lib.rs crates/mpiio-sim/src/collective.rs crates/mpiio-sim/src/hints.rs crates/mpiio-sim/src/job.rs crates/mpiio-sim/src/middleware.rs
+
+crates/mpiio-sim/src/lib.rs:
+crates/mpiio-sim/src/collective.rs:
+crates/mpiio-sim/src/hints.rs:
+crates/mpiio-sim/src/job.rs:
+crates/mpiio-sim/src/middleware.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpiio_sim-99df2c6cd28e7b46.d: crates/mpiio-sim/src/lib.rs crates/mpiio-sim/src/collective.rs crates/mpiio-sim/src/hints.rs crates/mpiio-sim/src/job.rs crates/mpiio-sim/src/middleware.rs
+
+/root/repo/target/debug/deps/libmpiio_sim-99df2c6cd28e7b46.rlib: crates/mpiio-sim/src/lib.rs crates/mpiio-sim/src/collective.rs crates/mpiio-sim/src/hints.rs crates/mpiio-sim/src/job.rs crates/mpiio-sim/src/middleware.rs
+
+/root/repo/target/debug/deps/libmpiio_sim-99df2c6cd28e7b46.rmeta: crates/mpiio-sim/src/lib.rs crates/mpiio-sim/src/collective.rs crates/mpiio-sim/src/hints.rs crates/mpiio-sim/src/job.rs crates/mpiio-sim/src/middleware.rs
+
+crates/mpiio-sim/src/lib.rs:
+crates/mpiio-sim/src/collective.rs:
+crates/mpiio-sim/src/hints.rs:
+crates/mpiio-sim/src/job.rs:
+crates/mpiio-sim/src/middleware.rs:

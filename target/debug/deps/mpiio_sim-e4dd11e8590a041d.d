@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpiio_sim-e4dd11e8590a041d.d: crates/mpiio-sim/src/lib.rs crates/mpiio-sim/src/collective.rs crates/mpiio-sim/src/hints.rs crates/mpiio-sim/src/job.rs crates/mpiio-sim/src/middleware.rs
+
+/root/repo/target/debug/deps/libmpiio_sim-e4dd11e8590a041d.rmeta: crates/mpiio-sim/src/lib.rs crates/mpiio-sim/src/collective.rs crates/mpiio-sim/src/hints.rs crates/mpiio-sim/src/job.rs crates/mpiio-sim/src/middleware.rs
+
+crates/mpiio-sim/src/lib.rs:
+crates/mpiio-sim/src/collective.rs:
+crates/mpiio-sim/src/hints.rs:
+crates/mpiio-sim/src/job.rs:
+crates/mpiio-sim/src/middleware.rs:

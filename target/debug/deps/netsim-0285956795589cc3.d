@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netsim-0285956795589cc3.d: crates/netsim/src/lib.rs
+
+/root/repo/target/debug/deps/netsim-0285956795589cc3: crates/netsim/src/lib.rs
+
+crates/netsim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netsim-2e7c7cedf94472a0.d: crates/netsim/src/lib.rs
+
+/root/repo/target/debug/deps/libnetsim-2e7c7cedf94472a0.rmeta: crates/netsim/src/lib.rs
+
+crates/netsim/src/lib.rs:

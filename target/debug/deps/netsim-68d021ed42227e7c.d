@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netsim-68d021ed42227e7c.d: crates/netsim/src/lib.rs
+
+/root/repo/target/debug/deps/libnetsim-68d021ed42227e7c.rmeta: crates/netsim/src/lib.rs
+
+crates/netsim/src/lib.rs:

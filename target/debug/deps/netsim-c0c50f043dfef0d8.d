@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netsim-c0c50f043dfef0d8.d: crates/netsim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-c0c50f043dfef0d8.rmeta: crates/netsim/src/lib.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netsim-d93984bde5b3b5e3.d: crates/netsim/src/lib.rs
+
+/root/repo/target/debug/deps/libnetsim-d93984bde5b3b5e3.rlib: crates/netsim/src/lib.rs
+
+/root/repo/target/debug/deps/libnetsim-d93984bde5b3b5e3.rmeta: crates/netsim/src/lib.rs
+
+crates/netsim/src/lib.rs:

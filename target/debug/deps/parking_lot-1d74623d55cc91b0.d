@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-1d74623d55cc91b0.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-1d74623d55cc91b0.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-1d74623d55cc91b0.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-52f92ef048588f5e.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-52f92ef048588f5e.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persist_roundtrip-13854cb7d79dd1a7.d: crates/bench/tests/persist_roundtrip.rs
+
+/root/repo/target/debug/deps/libpersist_roundtrip-13854cb7d79dd1a7.rmeta: crates/bench/tests/persist_roundtrip.rs
+
+crates/bench/tests/persist_roundtrip.rs:

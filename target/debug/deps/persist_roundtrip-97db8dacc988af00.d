@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persist_roundtrip-97db8dacc988af00.d: crates/bench/tests/persist_roundtrip.rs
+
+/root/repo/target/debug/deps/persist_roundtrip-97db8dacc988af00: crates/bench/tests/persist_roundtrip.rs
+
+crates/bench/tests/persist_roundtrip.rs:

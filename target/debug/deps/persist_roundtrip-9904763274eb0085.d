@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/persist_roundtrip-9904763274eb0085.d: crates/bench/tests/persist_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpersist_roundtrip-9904763274eb0085.rmeta: crates/bench/tests/persist_roundtrip.rs Cargo.toml
+
+crates/bench/tests/persist_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pfs_sim-a8b72139e7c311df.d: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs crates/pfs-sim/src/sharded.rs
+
+/root/repo/target/debug/deps/libpfs_sim-a8b72139e7c311df.rlib: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs crates/pfs-sim/src/sharded.rs
+
+/root/repo/target/debug/deps/libpfs_sim-a8b72139e7c311df.rmeta: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs crates/pfs-sim/src/sharded.rs
+
+crates/pfs-sim/src/lib.rs:
+crates/pfs-sim/src/cluster.rs:
+crates/pfs-sim/src/error.rs:
+crates/pfs-sim/src/fault.rs:
+crates/pfs-sim/src/layout.rs:
+crates/pfs-sim/src/mds.rs:
+crates/pfs-sim/src/replay.rs:
+crates/pfs-sim/src/server.rs:
+crates/pfs-sim/src/session.rs:
+crates/pfs-sim/src/sharded.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pfs_sim-b71467a72d31dafe.d: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs
+
+/root/repo/target/debug/deps/libpfs_sim-b71467a72d31dafe.rmeta: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs
+
+crates/pfs-sim/src/lib.rs:
+crates/pfs-sim/src/cluster.rs:
+crates/pfs-sim/src/error.rs:
+crates/pfs-sim/src/fault.rs:
+crates/pfs-sim/src/layout.rs:
+crates/pfs-sim/src/mds.rs:
+crates/pfs-sim/src/replay.rs:
+crates/pfs-sim/src/server.rs:
+crates/pfs-sim/src/session.rs:

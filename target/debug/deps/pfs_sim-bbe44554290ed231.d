@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pfs_sim-bbe44554290ed231.d: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs crates/pfs-sim/src/sharded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfs_sim-bbe44554290ed231.rmeta: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs crates/pfs-sim/src/sharded.rs Cargo.toml
+
+crates/pfs-sim/src/lib.rs:
+crates/pfs-sim/src/cluster.rs:
+crates/pfs-sim/src/error.rs:
+crates/pfs-sim/src/fault.rs:
+crates/pfs-sim/src/layout.rs:
+crates/pfs-sim/src/mds.rs:
+crates/pfs-sim/src/replay.rs:
+crates/pfs-sim/src/server.rs:
+crates/pfs-sim/src/session.rs:
+crates/pfs-sim/src/sharded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-0df193539775cbe5.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-0df193539775cbe5: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-e83bf844a62305c2.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-e83bf844a62305c2.rmeta: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan-23fcdf63f13867c9.d: crates/bench/benches/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan-23fcdf63f13867c9.rmeta: crates/bench/benches/plan.rs Cargo.toml
+
+crates/bench/benches/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

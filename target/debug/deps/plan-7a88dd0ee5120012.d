@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan-7a88dd0ee5120012.d: crates/bench/benches/plan.rs
+
+/root/repo/target/debug/deps/libplan-7a88dd0ee5120012.rmeta: crates/bench/benches/plan.rs
+
+crates/bench/benches/plan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planner-6d1af4add4fdb1ec.d: crates/bench/benches/planner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanner-6d1af4add4fdb1ec.rmeta: crates/bench/benches/planner.rs Cargo.toml
+
+crates/bench/benches/planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner-b9c9cc00654a09b3.d: crates/bench/benches/planner.rs
+
+/root/repo/target/debug/deps/libplanner-b9c9cc00654a09b3.rmeta: crates/bench/benches/planner.rs
+
+crates/bench/benches/planner.rs:

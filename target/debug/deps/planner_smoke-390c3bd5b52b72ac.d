@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planner_smoke-390c3bd5b52b72ac.d: crates/bench/tests/planner_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanner_smoke-390c3bd5b52b72ac.rmeta: crates/bench/tests/planner_smoke.rs Cargo.toml
+
+crates/bench/tests/planner_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

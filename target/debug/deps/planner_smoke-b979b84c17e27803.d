@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_smoke-b979b84c17e27803.d: crates/bench/tests/planner_smoke.rs
+
+/root/repo/target/debug/deps/planner_smoke-b979b84c17e27803: crates/bench/tests/planner_smoke.rs
+
+crates/bench/tests/planner_smoke.rs:

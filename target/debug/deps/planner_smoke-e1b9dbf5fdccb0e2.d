@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_smoke-e1b9dbf5fdccb0e2.d: crates/bench/tests/planner_smoke.rs
+
+/root/repo/target/debug/deps/libplanner_smoke-e1b9dbf5fdccb0e2.rmeta: crates/bench/tests/planner_smoke.rs
+
+crates/bench/tests/planner_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile_scale-5f1ee6d26bc41bdb.d: crates/bench/src/bin/profile_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile_scale-5f1ee6d26bc41bdb.rmeta: crates/bench/src/bin/profile_scale.rs Cargo.toml
+
+crates/bench/src/bin/profile_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile_scale-9c8e561875588c02.d: crates/bench/src/bin/profile_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile_scale-9c8e561875588c02.rmeta: crates/bench/src/bin/profile_scale.rs Cargo.toml
+
+crates/bench/src/bin/profile_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

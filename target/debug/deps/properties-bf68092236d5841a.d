@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bf68092236d5841a.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-bf68092236d5841a.rmeta: tests/properties.rs
+
+tests/properties.rs:

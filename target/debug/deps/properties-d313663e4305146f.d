@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d313663e4305146f.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d313663e4305146f: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-337830a0a90e67cc.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-337830a0a90e67cc.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-337830a0a90e67cc.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-5442d23b7c1eeae1.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5442d23b7c1eeae1.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-06829faf734ee1d5.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-06829faf734ee1d5: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

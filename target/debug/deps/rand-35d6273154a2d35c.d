@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-35d6273154a2d35c.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-35d6273154a2d35c.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-35d6273154a2d35c.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

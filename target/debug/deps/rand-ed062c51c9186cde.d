@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ed062c51c9186cde.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ed062c51c9186cde.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-2d4a69d93d286d42.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-2d4a69d93d286d42.rlib: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-2d4a69d93d286d42.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

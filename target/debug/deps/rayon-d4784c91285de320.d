@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-d4784c91285de320.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-d4784c91285de320.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

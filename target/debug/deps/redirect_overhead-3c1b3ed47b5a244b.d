@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/redirect_overhead-3c1b3ed47b5a244b.d: crates/bench/benches/redirect_overhead.rs
+
+/root/repo/target/debug/deps/libredirect_overhead-3c1b3ed47b5a244b.rmeta: crates/bench/benches/redirect_overhead.rs
+
+crates/bench/benches/redirect_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/redirect_overhead-e3f112f014ecf2a1.d: crates/bench/benches/redirect_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libredirect_overhead-e3f112f014ecf2a1.rmeta: crates/bench/benches/redirect_overhead.rs Cargo.toml
+
+crates/bench/benches/redirect_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay-4915ed9b62beda39.d: crates/bench/benches/replay.rs
+
+/root/repo/target/debug/deps/libreplay-4915ed9b62beda39.rmeta: crates/bench/benches/replay.rs
+
+crates/bench/benches/replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay-527525692b53868a.d: crates/bench/benches/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay-527525692b53868a.rmeta: crates/bench/benches/replay.rs Cargo.toml
+
+crates/bench/benches/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

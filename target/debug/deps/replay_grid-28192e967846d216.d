@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay_grid-28192e967846d216.d: crates/bench/tests/replay_grid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay_grid-28192e967846d216.rmeta: crates/bench/tests/replay_grid.rs Cargo.toml
+
+crates/bench/tests/replay_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_grid-57517466b7997b00.d: crates/bench/tests/replay_grid.rs
+
+/root/repo/target/debug/deps/libreplay_grid-57517466b7997b00.rmeta: crates/bench/tests/replay_grid.rs
+
+crates/bench/tests/replay_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_grid-b8be94293a197803.d: crates/bench/tests/replay_grid.rs
+
+/root/repo/target/debug/deps/replay_grid-b8be94293a197803: crates/bench/tests/replay_grid.rs
+
+crates/bench/tests/replay_grid.rs:

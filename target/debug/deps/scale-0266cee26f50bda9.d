@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale-0266cee26f50bda9.d: crates/bench/src/bin/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale-0266cee26f50bda9.rmeta: crates/bench/src/bin/scale.rs Cargo.toml
+
+crates/bench/src/bin/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale-cc4bb8ead3afe2d0.d: crates/bench/src/bin/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale-cc4bb8ead3afe2d0.rmeta: crates/bench/src/bin/scale.rs Cargo.toml
+
+crates/bench/src/bin/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

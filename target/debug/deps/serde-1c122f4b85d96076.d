@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-1c122f4b85d96076.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-1c122f4b85d96076.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-1c122f4b85d96076.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-dbf8bfedd568faa3.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-dbf8bfedd568faa3.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

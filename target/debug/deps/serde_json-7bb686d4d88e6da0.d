@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-7bb686d4d88e6da0.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7bb686d4d88e6da0.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-82737f3691c9abdb.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-82737f3691c9abdb.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-82737f3691c9abdb.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sharded_equivalence-5b690957ad28bf03.d: crates/pfs-sim/tests/sharded_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsharded_equivalence-5b690957ad28bf03.rmeta: crates/pfs-sim/tests/sharded_equivalence.rs Cargo.toml
+
+crates/pfs-sim/tests/sharded_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharded_equivalence-f288bf375b3ae0cc.d: crates/pfs-sim/tests/sharded_equivalence.rs
+
+/root/repo/target/debug/deps/sharded_equivalence-f288bf375b3ae0cc: crates/pfs-sim/tests/sharded_equivalence.rs
+
+crates/pfs-sim/tests/sharded_equivalence.rs:

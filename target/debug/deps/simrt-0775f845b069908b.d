@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/simrt-0775f845b069908b.d: crates/simrt/src/lib.rs crates/simrt/src/engine.rs crates/simrt/src/fault.rs crates/simrt/src/lanes.rs crates/simrt/src/resource.rs crates/simrt/src/rng.rs crates/simrt/src/stats.rs crates/simrt/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimrt-0775f845b069908b.rmeta: crates/simrt/src/lib.rs crates/simrt/src/engine.rs crates/simrt/src/fault.rs crates/simrt/src/lanes.rs crates/simrt/src/resource.rs crates/simrt/src/rng.rs crates/simrt/src/stats.rs crates/simrt/src/time.rs Cargo.toml
+
+crates/simrt/src/lib.rs:
+crates/simrt/src/engine.rs:
+crates/simrt/src/fault.rs:
+crates/simrt/src/lanes.rs:
+crates/simrt/src/resource.rs:
+crates/simrt/src/rng.rs:
+crates/simrt/src/stats.rs:
+crates/simrt/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/simrt-4bd11b7dfba35786.d: crates/simrt/src/lib.rs crates/simrt/src/engine.rs crates/simrt/src/fault.rs crates/simrt/src/lanes.rs crates/simrt/src/resource.rs crates/simrt/src/rng.rs crates/simrt/src/stats.rs crates/simrt/src/time.rs
+
+/root/repo/target/debug/deps/libsimrt-4bd11b7dfba35786.rlib: crates/simrt/src/lib.rs crates/simrt/src/engine.rs crates/simrt/src/fault.rs crates/simrt/src/lanes.rs crates/simrt/src/resource.rs crates/simrt/src/rng.rs crates/simrt/src/stats.rs crates/simrt/src/time.rs
+
+/root/repo/target/debug/deps/libsimrt-4bd11b7dfba35786.rmeta: crates/simrt/src/lib.rs crates/simrt/src/engine.rs crates/simrt/src/fault.rs crates/simrt/src/lanes.rs crates/simrt/src/resource.rs crates/simrt/src/rng.rs crates/simrt/src/stats.rs crates/simrt/src/time.rs
+
+crates/simrt/src/lib.rs:
+crates/simrt/src/engine.rs:
+crates/simrt/src/fault.rs:
+crates/simrt/src/lanes.rs:
+crates/simrt/src/resource.rs:
+crates/simrt/src/rng.rs:
+crates/simrt/src/stats.rs:
+crates/simrt/src/time.rs:

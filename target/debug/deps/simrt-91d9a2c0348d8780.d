@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simrt-91d9a2c0348d8780.d: crates/simrt/src/lib.rs crates/simrt/src/engine.rs crates/simrt/src/fault.rs crates/simrt/src/resource.rs crates/simrt/src/rng.rs crates/simrt/src/stats.rs crates/simrt/src/time.rs
+
+/root/repo/target/debug/deps/libsimrt-91d9a2c0348d8780.rmeta: crates/simrt/src/lib.rs crates/simrt/src/engine.rs crates/simrt/src/fault.rs crates/simrt/src/resource.rs crates/simrt/src/rng.rs crates/simrt/src/stats.rs crates/simrt/src/time.rs
+
+crates/simrt/src/lib.rs:
+crates/simrt/src/engine.rs:
+crates/simrt/src/fault.rs:
+crates/simrt/src/resource.rs:
+crates/simrt/src/rng.rs:
+crates/simrt/src/stats.rs:
+crates/simrt/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/storage_model-46ce2fef522602dc.d: crates/storage-model/src/lib.rs crates/storage-model/src/calibrate.rs crates/storage-model/src/degrade.rs crates/storage-model/src/device.rs crates/storage-model/src/hdd.rs crates/storage-model/src/ssd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_model-46ce2fef522602dc.rmeta: crates/storage-model/src/lib.rs crates/storage-model/src/calibrate.rs crates/storage-model/src/degrade.rs crates/storage-model/src/device.rs crates/storage-model/src/hdd.rs crates/storage-model/src/ssd.rs Cargo.toml
+
+crates/storage-model/src/lib.rs:
+crates/storage-model/src/calibrate.rs:
+crates/storage-model/src/degrade.rs:
+crates/storage-model/src/device.rs:
+crates/storage-model/src/hdd.rs:
+crates/storage-model/src/ssd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

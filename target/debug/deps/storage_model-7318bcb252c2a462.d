@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/storage_model-7318bcb252c2a462.d: crates/storage-model/src/lib.rs crates/storage-model/src/calibrate.rs crates/storage-model/src/degrade.rs crates/storage-model/src/device.rs crates/storage-model/src/hdd.rs crates/storage-model/src/ssd.rs
+
+/root/repo/target/debug/deps/libstorage_model-7318bcb252c2a462.rmeta: crates/storage-model/src/lib.rs crates/storage-model/src/calibrate.rs crates/storage-model/src/degrade.rs crates/storage-model/src/device.rs crates/storage-model/src/hdd.rs crates/storage-model/src/ssd.rs
+
+crates/storage-model/src/lib.rs:
+crates/storage-model/src/calibrate.rs:
+crates/storage-model/src/degrade.rs:
+crates/storage-model/src/device.rs:
+crates/storage-model/src/hdd.rs:
+crates/storage-model/src/ssd.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/storage_model-7ae2bfeca1776449.d: crates/storage-model/src/lib.rs crates/storage-model/src/calibrate.rs crates/storage-model/src/degrade.rs crates/storage-model/src/device.rs crates/storage-model/src/hdd.rs crates/storage-model/src/ssd.rs
+
+/root/repo/target/debug/deps/libstorage_model-7ae2bfeca1776449.rlib: crates/storage-model/src/lib.rs crates/storage-model/src/calibrate.rs crates/storage-model/src/degrade.rs crates/storage-model/src/device.rs crates/storage-model/src/hdd.rs crates/storage-model/src/ssd.rs
+
+/root/repo/target/debug/deps/libstorage_model-7ae2bfeca1776449.rmeta: crates/storage-model/src/lib.rs crates/storage-model/src/calibrate.rs crates/storage-model/src/degrade.rs crates/storage-model/src/device.rs crates/storage-model/src/hdd.rs crates/storage-model/src/ssd.rs
+
+crates/storage-model/src/lib.rs:
+crates/storage-model/src/calibrate.rs:
+crates/storage-model/src/degrade.rs:
+crates/storage-model/src/device.rs:
+crates/storage-model/src/hdd.rs:
+crates/storage-model/src/ssd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-000a5619f909c3af.d: crates/iotrace/src/bin/trace-tool.rs
+
+/root/repo/target/debug/deps/libtrace_tool-000a5619f909c3af.rmeta: crates/iotrace/src/bin/trace-tool.rs
+
+crates/iotrace/src/bin/trace-tool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-03ae89e61919fa7b.d: crates/iotrace/src/bin/trace-tool.rs
+
+/root/repo/target/debug/deps/trace_tool-03ae89e61919fa7b: crates/iotrace/src/bin/trace-tool.rs
+
+crates/iotrace/src/bin/trace-tool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-f410d8f4f5f19b03.d: crates/iotrace/src/bin/trace-tool.rs
+
+/root/repo/target/debug/deps/libtrace_tool-f410d8f4f5f19b03.rmeta: crates/iotrace/src/bin/trace-tool.rs
+
+crates/iotrace/src/bin/trace-tool.rs:

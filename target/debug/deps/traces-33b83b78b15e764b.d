@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/traces-33b83b78b15e764b.d: crates/bench/benches/traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraces-33b83b78b15e764b.rmeta: crates/bench/benches/traces.rs Cargo.toml
+
+crates/bench/benches/traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

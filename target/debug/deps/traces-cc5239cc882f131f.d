@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traces-cc5239cc882f131f.d: crates/bench/benches/traces.rs
+
+/root/repo/target/debug/deps/libtraces-cc5239cc882f131f.rmeta: crates/bench/benches/traces.rs
+
+crates/bench/benches/traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_online-b7a2aaeb48c3be20.d: examples/adaptive_online.rs
+
+/root/repo/target/debug/examples/adaptive_online-b7a2aaeb48c3be20: examples/adaptive_online.rs
+
+examples/adaptive_online.rs:

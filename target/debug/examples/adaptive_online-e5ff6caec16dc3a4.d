@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_online-e5ff6caec16dc3a4.d: examples/adaptive_online.rs
+
+/root/repo/target/debug/examples/libadaptive_online-e5ff6caec16dc3a4.rmeta: examples/adaptive_online.rs
+
+examples/adaptive_online.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_restart-1b510709f443b900.d: examples/checkpoint_restart.rs
+
+/root/repo/target/debug/examples/libcheckpoint_restart-1b510709f443b900.rmeta: examples/checkpoint_restart.rs
+
+examples/checkpoint_restart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_restart-9c66ce55b450de89.d: examples/checkpoint_restart.rs
+
+/root/repo/target/debug/examples/checkpoint_restart-9c66ce55b450de89: examples/checkpoint_restart.rs
+
+examples/checkpoint_restart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/durable_pipeline-3bdbae42fca3cc4e.d: examples/durable_pipeline.rs
+
+/root/repo/target/debug/examples/durable_pipeline-3bdbae42fca3cc4e: examples/durable_pipeline.rs
+
+examples/durable_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/durable_pipeline-e21d7b583d174f3f.d: examples/durable_pipeline.rs
+
+/root/repo/target/debug/examples/libdurable_pipeline-e21d7b583d174f3f.rmeta: examples/durable_pipeline.rs
+
+examples/durable_pipeline.rs:

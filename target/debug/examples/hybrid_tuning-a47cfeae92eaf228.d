@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_tuning-a47cfeae92eaf228.d: examples/hybrid_tuning.rs
+
+/root/repo/target/debug/examples/hybrid_tuning-a47cfeae92eaf228: examples/hybrid_tuning.rs
+
+examples/hybrid_tuning.rs:

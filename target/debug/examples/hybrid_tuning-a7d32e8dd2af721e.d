@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_tuning-a7d32e8dd2af721e.d: examples/hybrid_tuning.rs
+
+/root/repo/target/debug/examples/libhybrid_tuning-a7d32e8dd2af721e.rmeta: examples/hybrid_tuning.rs
+
+examples/hybrid_tuning.rs:

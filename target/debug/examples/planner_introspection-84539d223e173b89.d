@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/planner_introspection-84539d223e173b89.d: crates/mha-core/examples/planner_introspection.rs
+
+/root/repo/target/debug/examples/planner_introspection-84539d223e173b89: crates/mha-core/examples/planner_introspection.rs
+
+crates/mha-core/examples/planner_introspection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/planner_introspection-cf0df0b656351766.d: crates/mha-core/examples/planner_introspection.rs
+
+/root/repo/target/debug/examples/planner_introspection-cf0df0b656351766: crates/mha-core/examples/planner_introspection.rs
+
+crates/mha-core/examples/planner_introspection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/planner_introspection-eead8f0c07edc0ce.d: crates/mha-core/examples/planner_introspection.rs
+
+/root/repo/target/debug/examples/libplanner_introspection-eead8f0c07edc0ce.rmeta: crates/mha-core/examples/planner_introspection.rs
+
+crates/mha-core/examples/planner_introspection.rs:

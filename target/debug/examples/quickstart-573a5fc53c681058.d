@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-573a5fc53c681058.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-573a5fc53c681058.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-91e893ffafedfc4c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-91e893ffafedfc4c: examples/quickstart.rs
+
+examples/quickstart.rs:

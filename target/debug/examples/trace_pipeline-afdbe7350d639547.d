@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_pipeline-afdbe7350d639547.d: examples/trace_pipeline.rs
+
+/root/repo/target/debug/examples/trace_pipeline-afdbe7350d639547: examples/trace_pipeline.rs
+
+examples/trace_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_pipeline-e0e26f2ea7afe6b4.d: examples/trace_pipeline.rs
+
+/root/repo/target/debug/examples/libtrace_pipeline-e0e26f2ea7afe6b4.rmeta: examples/trace_pipeline.rs
+
+examples/trace_pipeline.rs:

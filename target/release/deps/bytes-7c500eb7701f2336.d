@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-7c500eb7701f2336.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-7c500eb7701f2336.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-7c500eb7701f2336.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

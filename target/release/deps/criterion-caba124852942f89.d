@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-caba124852942f89.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-caba124852942f89.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-caba124852942f89.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_session-f82241a470bb8679.d: crates/bench/tests/fault_session.rs
+
+/root/repo/target/release/deps/fault_session-f82241a470bb8679: crates/bench/tests/fault_session.rs
+
+crates/bench/tests/fault_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-140b675460fe306c.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-140b675460fe306c: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

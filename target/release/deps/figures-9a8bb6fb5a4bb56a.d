@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-9a8bb6fb5a4bb56a.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-9a8bb6fb5a4bb56a: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/kvstore-234f6e940f4e993d.d: crates/kvstore/src/lib.rs crates/kvstore/src/codec.rs crates/kvstore/src/error.rs crates/kvstore/src/lru.rs crates/kvstore/src/store.rs crates/kvstore/src/wal.rs
+
+/root/repo/target/release/deps/kvstore-234f6e940f4e993d: crates/kvstore/src/lib.rs crates/kvstore/src/codec.rs crates/kvstore/src/error.rs crates/kvstore/src/lru.rs crates/kvstore/src/store.rs crates/kvstore/src/wal.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/codec.rs:
+crates/kvstore/src/error.rs:
+crates/kvstore/src/lru.rs:
+crates/kvstore/src/store.rs:
+crates/kvstore/src/wal.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/kvstore-8752d0d5845ed880.d: crates/kvstore/src/lib.rs crates/kvstore/src/codec.rs crates/kvstore/src/error.rs crates/kvstore/src/lru.rs crates/kvstore/src/store.rs crates/kvstore/src/wal.rs
+
+/root/repo/target/release/deps/libkvstore-8752d0d5845ed880.rlib: crates/kvstore/src/lib.rs crates/kvstore/src/codec.rs crates/kvstore/src/error.rs crates/kvstore/src/lru.rs crates/kvstore/src/store.rs crates/kvstore/src/wal.rs
+
+/root/repo/target/release/deps/libkvstore-8752d0d5845ed880.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/codec.rs crates/kvstore/src/error.rs crates/kvstore/src/lru.rs crates/kvstore/src/store.rs crates/kvstore/src/wal.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/codec.rs:
+crates/kvstore/src/error.rs:
+crates/kvstore/src/lru.rs:
+crates/kvstore/src/store.rs:
+crates/kvstore/src/wal.rs:

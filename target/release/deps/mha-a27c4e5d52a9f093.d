@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mha-a27c4e5d52a9f093.d: src/lib.rs
+
+/root/repo/target/release/deps/mha-a27c4e5d52a9f093: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mha-f3ff3475cd6bfc7c.d: src/lib.rs
+
+/root/repo/target/release/deps/libmha-f3ff3475cd6bfc7c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmha-f3ff3475cd6bfc7c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mha_core-9f89ce76d5e351fe.d: crates/mha-core/src/lib.rs crates/mha-core/src/cost.rs crates/mha-core/src/dynamic.rs crates/mha-core/src/grouping.rs crates/mha-core/src/pattern.rs crates/mha-core/src/persist.rs crates/mha-core/src/redirect.rs crates/mha-core/src/region.rs crates/mha-core/src/rssd.rs crates/mha-core/src/schemes.rs
+
+/root/repo/target/release/deps/mha_core-9f89ce76d5e351fe: crates/mha-core/src/lib.rs crates/mha-core/src/cost.rs crates/mha-core/src/dynamic.rs crates/mha-core/src/grouping.rs crates/mha-core/src/pattern.rs crates/mha-core/src/persist.rs crates/mha-core/src/redirect.rs crates/mha-core/src/region.rs crates/mha-core/src/rssd.rs crates/mha-core/src/schemes.rs
+
+crates/mha-core/src/lib.rs:
+crates/mha-core/src/cost.rs:
+crates/mha-core/src/dynamic.rs:
+crates/mha-core/src/grouping.rs:
+crates/mha-core/src/pattern.rs:
+crates/mha-core/src/persist.rs:
+crates/mha-core/src/redirect.rs:
+crates/mha-core/src/region.rs:
+crates/mha-core/src/rssd.rs:
+crates/mha-core/src/schemes.rs:

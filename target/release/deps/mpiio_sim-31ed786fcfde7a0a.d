@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mpiio_sim-31ed786fcfde7a0a.d: crates/mpiio-sim/src/lib.rs crates/mpiio-sim/src/collective.rs crates/mpiio-sim/src/hints.rs crates/mpiio-sim/src/job.rs crates/mpiio-sim/src/middleware.rs
+
+/root/repo/target/release/deps/mpiio_sim-31ed786fcfde7a0a: crates/mpiio-sim/src/lib.rs crates/mpiio-sim/src/collective.rs crates/mpiio-sim/src/hints.rs crates/mpiio-sim/src/job.rs crates/mpiio-sim/src/middleware.rs
+
+crates/mpiio-sim/src/lib.rs:
+crates/mpiio-sim/src/collective.rs:
+crates/mpiio-sim/src/hints.rs:
+crates/mpiio-sim/src/job.rs:
+crates/mpiio-sim/src/middleware.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mpiio_sim-4aab81c9e43afba2.d: crates/mpiio-sim/src/lib.rs crates/mpiio-sim/src/collective.rs crates/mpiio-sim/src/hints.rs crates/mpiio-sim/src/job.rs crates/mpiio-sim/src/middleware.rs
+
+/root/repo/target/release/deps/libmpiio_sim-4aab81c9e43afba2.rlib: crates/mpiio-sim/src/lib.rs crates/mpiio-sim/src/collective.rs crates/mpiio-sim/src/hints.rs crates/mpiio-sim/src/job.rs crates/mpiio-sim/src/middleware.rs
+
+/root/repo/target/release/deps/libmpiio_sim-4aab81c9e43afba2.rmeta: crates/mpiio-sim/src/lib.rs crates/mpiio-sim/src/collective.rs crates/mpiio-sim/src/hints.rs crates/mpiio-sim/src/job.rs crates/mpiio-sim/src/middleware.rs
+
+crates/mpiio-sim/src/lib.rs:
+crates/mpiio-sim/src/collective.rs:
+crates/mpiio-sim/src/hints.rs:
+crates/mpiio-sim/src/job.rs:
+crates/mpiio-sim/src/middleware.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netsim-3a833a6540f72d1d.d: crates/netsim/src/lib.rs
+
+/root/repo/target/release/deps/libnetsim-3a833a6540f72d1d.rlib: crates/netsim/src/lib.rs
+
+/root/repo/target/release/deps/libnetsim-3a833a6540f72d1d.rmeta: crates/netsim/src/lib.rs
+
+crates/netsim/src/lib.rs:

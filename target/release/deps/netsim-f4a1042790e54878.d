@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/netsim-f4a1042790e54878.d: crates/netsim/src/lib.rs
+
+/root/repo/target/release/deps/netsim-f4a1042790e54878: crates/netsim/src/lib.rs
+
+crates/netsim/src/lib.rs:

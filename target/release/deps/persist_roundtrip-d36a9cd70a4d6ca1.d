@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/persist_roundtrip-d36a9cd70a4d6ca1.d: crates/bench/tests/persist_roundtrip.rs
+
+/root/repo/target/release/deps/persist_roundtrip-d36a9cd70a4d6ca1: crates/bench/tests/persist_roundtrip.rs
+
+crates/bench/tests/persist_roundtrip.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pfs_sim-18f54fadc8fa2009.d: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs crates/pfs-sim/src/sharded.rs
+
+/root/repo/target/release/deps/libpfs_sim-18f54fadc8fa2009.rlib: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs crates/pfs-sim/src/sharded.rs
+
+/root/repo/target/release/deps/libpfs_sim-18f54fadc8fa2009.rmeta: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs crates/pfs-sim/src/sharded.rs
+
+crates/pfs-sim/src/lib.rs:
+crates/pfs-sim/src/cluster.rs:
+crates/pfs-sim/src/error.rs:
+crates/pfs-sim/src/fault.rs:
+crates/pfs-sim/src/layout.rs:
+crates/pfs-sim/src/mds.rs:
+crates/pfs-sim/src/replay.rs:
+crates/pfs-sim/src/server.rs:
+crates/pfs-sim/src/session.rs:
+crates/pfs-sim/src/sharded.rs:

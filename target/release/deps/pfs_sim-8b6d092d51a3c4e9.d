@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pfs_sim-8b6d092d51a3c4e9.d: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs
+
+/root/repo/target/release/deps/libpfs_sim-8b6d092d51a3c4e9.rlib: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs
+
+/root/repo/target/release/deps/libpfs_sim-8b6d092d51a3c4e9.rmeta: crates/pfs-sim/src/lib.rs crates/pfs-sim/src/cluster.rs crates/pfs-sim/src/error.rs crates/pfs-sim/src/fault.rs crates/pfs-sim/src/layout.rs crates/pfs-sim/src/mds.rs crates/pfs-sim/src/replay.rs crates/pfs-sim/src/server.rs crates/pfs-sim/src/session.rs
+
+crates/pfs-sim/src/lib.rs:
+crates/pfs-sim/src/cluster.rs:
+crates/pfs-sim/src/error.rs:
+crates/pfs-sim/src/fault.rs:
+crates/pfs-sim/src/layout.rs:
+crates/pfs-sim/src/mds.rs:
+crates/pfs-sim/src/replay.rs:
+crates/pfs-sim/src/server.rs:
+crates/pfs-sim/src/session.rs:

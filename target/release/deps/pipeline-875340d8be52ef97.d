@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-875340d8be52ef97.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-875340d8be52ef97: tests/pipeline.rs
+
+tests/pipeline.rs:

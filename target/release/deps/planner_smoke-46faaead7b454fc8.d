@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/planner_smoke-46faaead7b454fc8.d: crates/bench/tests/planner_smoke.rs
+
+/root/repo/target/release/deps/planner_smoke-46faaead7b454fc8: crates/bench/tests/planner_smoke.rs
+
+crates/bench/tests/planner_smoke.rs:

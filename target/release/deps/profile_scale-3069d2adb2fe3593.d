@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_scale-3069d2adb2fe3593.d: crates/bench/src/bin/profile_scale.rs
+
+/root/repo/target/release/deps/profile_scale-3069d2adb2fe3593: crates/bench/src/bin/profile_scale.rs
+
+crates/bench/src/bin/profile_scale.rs:

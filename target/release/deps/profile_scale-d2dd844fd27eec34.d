@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_scale-d2dd844fd27eec34.d: crates/bench/src/bin/profile_scale.rs
+
+/root/repo/target/release/deps/profile_scale-d2dd844fd27eec34: crates/bench/src/bin/profile_scale.rs
+
+crates/bench/src/bin/profile_scale.rs:

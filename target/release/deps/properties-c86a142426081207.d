@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-c86a142426081207.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-c86a142426081207: tests/properties.rs
+
+tests/properties.rs:

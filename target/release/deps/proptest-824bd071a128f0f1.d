@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-824bd071a128f0f1.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-824bd071a128f0f1.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-824bd071a128f0f1.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b268fb39d27f3335.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b268fb39d27f3335.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b268fb39d27f3335.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

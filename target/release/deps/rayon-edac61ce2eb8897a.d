@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-edac61ce2eb8897a.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-edac61ce2eb8897a.rlib: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-edac61ce2eb8897a.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

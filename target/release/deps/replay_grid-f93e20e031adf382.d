@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replay_grid-f93e20e031adf382.d: crates/bench/tests/replay_grid.rs
+
+/root/repo/target/release/deps/replay_grid-f93e20e031adf382: crates/bench/tests/replay_grid.rs
+
+crates/bench/tests/replay_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale-32aaf45a516a04c2.d: crates/bench/src/bin/scale.rs
+
+/root/repo/target/release/deps/scale-32aaf45a516a04c2: crates/bench/src/bin/scale.rs
+
+crates/bench/src/bin/scale.rs:

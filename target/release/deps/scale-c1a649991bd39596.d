@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale-c1a649991bd39596.d: crates/bench/src/bin/scale.rs
+
+/root/repo/target/release/deps/scale-c1a649991bd39596: crates/bench/src/bin/scale.rs
+
+crates/bench/src/bin/scale.rs:

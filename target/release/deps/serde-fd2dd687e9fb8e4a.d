@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-fd2dd687e9fb8e4a.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-fd2dd687e9fb8e4a.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-fd2dd687e9fb8e4a.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-da33bb1502b8f1cf.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-da33bb1502b8f1cf.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-da33bb1502b8f1cf.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

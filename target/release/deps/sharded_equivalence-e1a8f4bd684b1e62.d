@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sharded_equivalence-e1a8f4bd684b1e62.d: crates/pfs-sim/tests/sharded_equivalence.rs
+
+/root/repo/target/release/deps/sharded_equivalence-e1a8f4bd684b1e62: crates/pfs-sim/tests/sharded_equivalence.rs
+
+crates/pfs-sim/tests/sharded_equivalence.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/simrt-2092eaf02cfbc432.d: crates/simrt/src/lib.rs crates/simrt/src/engine.rs crates/simrt/src/fault.rs crates/simrt/src/lanes.rs crates/simrt/src/resource.rs crates/simrt/src/rng.rs crates/simrt/src/stats.rs crates/simrt/src/time.rs
+
+/root/repo/target/release/deps/simrt-2092eaf02cfbc432: crates/simrt/src/lib.rs crates/simrt/src/engine.rs crates/simrt/src/fault.rs crates/simrt/src/lanes.rs crates/simrt/src/resource.rs crates/simrt/src/rng.rs crates/simrt/src/stats.rs crates/simrt/src/time.rs
+
+crates/simrt/src/lib.rs:
+crates/simrt/src/engine.rs:
+crates/simrt/src/fault.rs:
+crates/simrt/src/lanes.rs:
+crates/simrt/src/resource.rs:
+crates/simrt/src/rng.rs:
+crates/simrt/src/stats.rs:
+crates/simrt/src/time.rs:

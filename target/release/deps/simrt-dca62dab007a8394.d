@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/simrt-dca62dab007a8394.d: crates/simrt/src/lib.rs crates/simrt/src/engine.rs crates/simrt/src/fault.rs crates/simrt/src/lanes.rs crates/simrt/src/resource.rs crates/simrt/src/rng.rs crates/simrt/src/stats.rs crates/simrt/src/time.rs
+
+/root/repo/target/release/deps/libsimrt-dca62dab007a8394.rlib: crates/simrt/src/lib.rs crates/simrt/src/engine.rs crates/simrt/src/fault.rs crates/simrt/src/lanes.rs crates/simrt/src/resource.rs crates/simrt/src/rng.rs crates/simrt/src/stats.rs crates/simrt/src/time.rs
+
+/root/repo/target/release/deps/libsimrt-dca62dab007a8394.rmeta: crates/simrt/src/lib.rs crates/simrt/src/engine.rs crates/simrt/src/fault.rs crates/simrt/src/lanes.rs crates/simrt/src/resource.rs crates/simrt/src/rng.rs crates/simrt/src/stats.rs crates/simrt/src/time.rs
+
+crates/simrt/src/lib.rs:
+crates/simrt/src/engine.rs:
+crates/simrt/src/fault.rs:
+crates/simrt/src/lanes.rs:
+crates/simrt/src/resource.rs:
+crates/simrt/src/rng.rs:
+crates/simrt/src/stats.rs:
+crates/simrt/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/storage_model-d025fe95960a0864.d: crates/storage-model/src/lib.rs crates/storage-model/src/calibrate.rs crates/storage-model/src/degrade.rs crates/storage-model/src/device.rs crates/storage-model/src/hdd.rs crates/storage-model/src/ssd.rs
+
+/root/repo/target/release/deps/libstorage_model-d025fe95960a0864.rlib: crates/storage-model/src/lib.rs crates/storage-model/src/calibrate.rs crates/storage-model/src/degrade.rs crates/storage-model/src/device.rs crates/storage-model/src/hdd.rs crates/storage-model/src/ssd.rs
+
+/root/repo/target/release/deps/libstorage_model-d025fe95960a0864.rmeta: crates/storage-model/src/lib.rs crates/storage-model/src/calibrate.rs crates/storage-model/src/degrade.rs crates/storage-model/src/device.rs crates/storage-model/src/hdd.rs crates/storage-model/src/ssd.rs
+
+crates/storage-model/src/lib.rs:
+crates/storage-model/src/calibrate.rs:
+crates/storage-model/src/degrade.rs:
+crates/storage-model/src/device.rs:
+crates/storage-model/src/hdd.rs:
+crates/storage-model/src/ssd.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/storage_model-d75acc27e30d284d.d: crates/storage-model/src/lib.rs crates/storage-model/src/calibrate.rs crates/storage-model/src/degrade.rs crates/storage-model/src/device.rs crates/storage-model/src/hdd.rs crates/storage-model/src/ssd.rs
+
+/root/repo/target/release/deps/storage_model-d75acc27e30d284d: crates/storage-model/src/lib.rs crates/storage-model/src/calibrate.rs crates/storage-model/src/degrade.rs crates/storage-model/src/device.rs crates/storage-model/src/hdd.rs crates/storage-model/src/ssd.rs
+
+crates/storage-model/src/lib.rs:
+crates/storage-model/src/calibrate.rs:
+crates/storage-model/src/degrade.rs:
+crates/storage-model/src/device.rs:
+crates/storage-model/src/hdd.rs:
+crates/storage-model/src/ssd.rs:

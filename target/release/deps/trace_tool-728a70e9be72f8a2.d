@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_tool-728a70e9be72f8a2.d: crates/iotrace/src/bin/trace-tool.rs
+
+/root/repo/target/release/deps/trace_tool-728a70e9be72f8a2: crates/iotrace/src/bin/trace-tool.rs
+
+crates/iotrace/src/bin/trace-tool.rs:

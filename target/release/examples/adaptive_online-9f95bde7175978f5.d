@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_online-9f95bde7175978f5.d: examples/adaptive_online.rs
+
+/root/repo/target/release/examples/adaptive_online-9f95bde7175978f5: examples/adaptive_online.rs
+
+examples/adaptive_online.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/checkpoint_restart-5185c75816cbe9cb.d: examples/checkpoint_restart.rs
+
+/root/repo/target/release/examples/checkpoint_restart-5185c75816cbe9cb: examples/checkpoint_restart.rs
+
+examples/checkpoint_restart.rs:

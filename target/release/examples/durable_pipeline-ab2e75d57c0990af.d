@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/durable_pipeline-ab2e75d57c0990af.d: examples/durable_pipeline.rs
+
+/root/repo/target/release/examples/durable_pipeline-ab2e75d57c0990af: examples/durable_pipeline.rs
+
+examples/durable_pipeline.rs:

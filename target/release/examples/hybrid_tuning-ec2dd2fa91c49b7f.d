@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hybrid_tuning-ec2dd2fa91c49b7f.d: examples/hybrid_tuning.rs
+
+/root/repo/target/release/examples/hybrid_tuning-ec2dd2fa91c49b7f: examples/hybrid_tuning.rs
+
+examples/hybrid_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/planner_introspection-24365b12755aced8.d: crates/mha-core/examples/planner_introspection.rs
+
+/root/repo/target/release/examples/planner_introspection-24365b12755aced8: crates/mha-core/examples/planner_introspection.rs
+
+crates/mha-core/examples/planner_introspection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-296c9973a6a9fe98.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-296c9973a6a9fe98: examples/quickstart.rs
+
+examples/quickstart.rs:

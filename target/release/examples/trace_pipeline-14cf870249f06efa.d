@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_pipeline-14cf870249f06efa.d: examples/trace_pipeline.rs
+
+/root/repo/target/release/examples/trace_pipeline-14cf870249f06efa: examples/trace_pipeline.rs
+
+examples/trace_pipeline.rs:
