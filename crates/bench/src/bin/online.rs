@@ -1,0 +1,55 @@
+//! The online re-planning study: plan-while-running (windowed
+//! incremental replans + lazy on-access migration) versus the offline
+//! plan-then-rerun flow on a phase-shifting workload.
+//!
+//! ```text
+//! cargo run --release -p mha-bench --bin online            # full study
+//! cargo run --release -p mha-bench --bin online -- --smoke # CI gate
+//! ```
+//!
+//! The full study prints the three figures and writes
+//! `results/BENCH_online.json`. Both modes assert the acceptance bars:
+//! the online loop must recover to 80% of its post-shift steady
+//! bandwidth at least 2x sooner than plan-then-rerun, a quiet window
+//! must cost under 10% of a cold plan, and the recovered bandwidth must
+//! clearly beat the unplanned default layout.
+
+use mha_bench::online::{figures_json, study};
+use mha_bench::workloads::Scale;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Quick } else { Scale::Full };
+    let s = study(scale);
+    for fig in &s.figures {
+        println!("{fig}");
+    }
+    println!(
+        "recovery speedup {:.2}x | quiet check {:.4}% of a cold plan | \
+         steady {:.1} MB/s vs DEF {:.1} MB/s",
+        s.recovery_speedup, s.quiet_cost_pct, s.online_steady_mbps, s.def_post_shift_mbps
+    );
+    assert!(
+        s.recovery_speedup >= 2.0,
+        "online must recover at least 2x sooner than plan-then-rerun: {:.2}x",
+        s.recovery_speedup
+    );
+    assert!(
+        s.quiet_cost_pct < 10.0,
+        "a quiet window must cost <10% of a cold plan: {:.4}%",
+        s.quiet_cost_pct
+    );
+    assert!(
+        s.online_steady_mbps > 1.2 * s.def_post_shift_mbps,
+        "recovered online bandwidth {:.1} must clearly beat unplanned {:.1}",
+        s.online_steady_mbps,
+        s.def_post_shift_mbps
+    );
+    if smoke {
+        println!("smoke ok");
+    } else {
+        let path = "results/BENCH_online.json";
+        std::fs::write(path, figures_json(&s.figures)).expect("write results");
+        println!("wrote {path}");
+    }
+}

@@ -73,16 +73,20 @@ pub fn run(id: &str, scale: Scale) -> Vec<Figure> {
     if all || id == "fault" {
         figs.push(fault(scale));
     }
+    if all || id == "online" {
+        figs.extend(crate::online::study(scale).figures);
+    }
     assert!(!figs.is_empty(), "unknown experiment id: {id}");
     figs
 }
 
 /// All experiment ids, in paper order (plus the ablation, sensitivity,
-/// collective-I/O, dynamic-controller and fault-injection studies).
+/// collective-I/O, dynamic-controller, fault-injection and online
+/// re-planning studies).
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "fig3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13a",
-        "fig13b", "fig14", "tab1", "ovh", "ablations", "sens", "coll", "dyn", "fault",
+        "fig13b", "fig14", "tab1", "ovh", "ablations", "sens", "coll", "dyn", "fault", "online",
     ]
 }
 

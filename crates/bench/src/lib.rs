@@ -19,12 +19,14 @@
 //! | `tab1` | calibrated cost-model parameters (Table I) |
 //! | `ovh` | DRT meta-data space overhead (§V-E.2) |
 //! | `fault` | degraded-cluster robustness: schemes × fault scenarios |
+//! | `online` | plan-while-running vs plan-then-rerun on a phase shift |
 //!
 //! Run `cargo run -p mha-bench --release --bin figures -- all` (add
 //! `--quick` for smaller workloads). Criterion micro-benches live in
 //! `benches/`.
 
 pub mod experiments;
+pub mod online;
 pub mod report;
 pub mod workloads;
 

@@ -224,6 +224,32 @@ mod tests {
     }
 
     #[test]
+    fn zipf_top_k_regions_hold_the_bulk_of_the_mass() {
+        // The headline property the online experiments lean on: a small
+        // top-k of regions carries most of the traffic, and the mass
+        // profile is monotone in rank.
+        let mut cfg = SkewedConfig::default_run(IoOp::Write);
+        cfg.shift_every = 0;
+        cfg.phases = 256;
+        let t = generate(&cfg);
+        let mut hist = region_histogram(&t, &cfg, 0, cfg.phases as u32);
+        let total: u64 = hist.iter().sum();
+        hist.sort_unstable_by(|a, b| b.cmp(a));
+        let top = |k: usize| -> f64 {
+            hist[..k].iter().sum::<u64>() as f64 / total as f64
+        };
+        // θ = 0.99 over 64 regions: H ≈ 14.6, so the analytic shares are
+        // ~32% for the top 4 and ~55% for the top 16. Assert loose
+        // sampled bounds around them, plus dominance over uniform.
+        assert!(top(4) > 0.25, "top-4 share {:.3} too flat", top(4));
+        assert!(top(16) > 0.45, "top-16 share {:.3} too flat", top(16));
+        assert!(top(16) < 0.95, "top-16 share {:.3} too peaked for θ<1", top(16));
+        let uniform_top16 = 16.0 / cfg.regions as f64;
+        assert!(top(16) > 2.0 * uniform_top16, "must dwarf the uniform share");
+        assert!(hist.windows(2).all(|w| w[0] >= w[1]), "sorted view is monotone");
+    }
+
+    #[test]
     fn hot_set_shifts_between_epochs() {
         let mut cfg = SkewedConfig::default_run(IoOp::Write);
         cfg.phases = 32;

@@ -11,6 +11,9 @@
 //! * [`RecordBatch`] / [`BatchSource`] — columnar (SoA) phase batches and
 //!   streaming trace sources, so huge synthetic grids never materialize a
 //!   full record vector,
+//! * [`WindowedSource`] — fixed-phase/fixed-count windows over a batch
+//!   stream with incrementally maintained per-window statistics, feeding
+//!   the online re-planner,
 //! * [`Collector`] — the online profiler the middleware drives,
 //! * [`gen`] — six workload generators standing in for the paper's
 //!   benchmarks and application traces (IOR, HPIO, BTIO, LANL App2,
@@ -27,6 +30,7 @@ pub mod record;
 pub mod stats;
 pub mod trace;
 pub mod tsv;
+pub mod window;
 
 pub use analyze::{analyze, is_predictable, SpatialPattern, StreamPattern};
 pub use batch::{materialize, BatchSource, RecordBatch, TraceBatches};
@@ -35,5 +39,6 @@ pub use error::TraceError;
 pub use record::{FileId, Rank, TraceRecord};
 pub use stats::TraceStats;
 pub use trace::Trace;
+pub use window::{Window, WindowConfig, WindowStats, WindowedSource};
 
 pub use storage_model::IoOp;

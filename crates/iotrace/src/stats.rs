@@ -33,6 +33,13 @@ pub struct TraceStats {
     pub phases: u32,
     /// Maximum per-phase concurrency.
     pub max_concurrency: u32,
+    /// Mean request start offset, bytes — the cheap spatial signature
+    /// online drift detection compares across windows (a hot-spot move
+    /// shifts it even when the size mix is unchanged).
+    pub mean_offset: f64,
+    /// Largest request start offset, bytes — the span that normalizes
+    /// spatial drift comparisons.
+    pub max_offset: u64,
     /// log2 histogram of request sizes.
     pub size_histogram: Log2Histogram,
     /// Number of distinct request sizes.
@@ -43,12 +50,14 @@ impl TraceStats {
     /// Compute statistics for `trace`.
     pub fn of(trace: &Trace) -> TraceStats {
         let mut sizes = OnlineStats::new();
+        let mut offsets = OnlineStats::new();
         let mut hist = Log2Histogram::new();
         let mut distinct: Vec<u64> = Vec::new();
         let mut reads = 0usize;
         let mut writes = 0usize;
         for r in trace.records() {
             sizes.push(r.len as f64);
+            offsets.push(r.offset as f64);
             hist.record(r.len);
             distinct.push(r.len);
             match r.op {
@@ -72,6 +81,8 @@ impl TraceStats {
             size_cv: if mean > 0.0 { sizes.stddev() / mean } else { 0.0 },
             phases: trace.phase_count(),
             max_concurrency: trace.concurrency().into_iter().max().unwrap_or(0),
+            mean_offset: offsets.mean(),
+            max_offset: trace.records().iter().map(|r| r.offset).max().unwrap_or(0),
             size_histogram: hist,
             distinct_sizes: distinct.len(),
         }

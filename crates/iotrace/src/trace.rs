@@ -34,7 +34,7 @@ impl Trace {
     /// Append one record (must not be earlier than the last — issue order).
     pub fn push(&mut self, rec: TraceRecord) {
         debug_assert!(
-            self.records.last().map_or(true, |l| rec.ts >= l.ts),
+            self.records.last().is_none_or(|l| rec.ts >= l.ts),
             "trace records must be appended in issue order"
         );
         self.records.push(rec);

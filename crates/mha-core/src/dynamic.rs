@@ -683,6 +683,319 @@ fn migrate_durable(
     Ok((bytes, time))
 }
 
+// ------------------------------------------------------------------
+// Lazy on-access migration
+// ------------------------------------------------------------------
+
+/// A DRT entry journaled for migration whose bytes have not moved yet.
+///
+/// The entry's write-ahead intent (`mig:`) is already on disk; the copy
+/// itself is deferred to the first replayed access of the extent (or to
+/// [`LazyMigrator::drain`]). Until the copy's commit record (`migc:`)
+/// is written, lookups keep resolving to the old — still valid — home.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRedirect {
+    /// The planned mapping this extent will adopt.
+    pub entry: DrtEntry,
+    /// Journal batch carrying this entry's write-ahead intent (one
+    /// batch per entry: an extent either migrated atomically or not at
+    /// all — there is no half-migrated region).
+    pub batch: u32,
+    /// Whether the first-access copy happened (entry is published).
+    pub migrated: bool,
+    /// Whether a newer plan superseded this redirect before it moved
+    /// (its intent never commits; recovery discards it).
+    pub cancelled: bool,
+}
+
+/// Resolver that migrates pending extents on first access instead of in
+/// an eager stop-the-world batch.
+///
+/// State machine per extent (see DESIGN.md §15):
+///
+/// 1. `add_pending` journals the intent (`mig:` record, fsynced by the
+///    store's WAL) — the extent keeps resolving to its old home;
+/// 2. the first replayed access that overlaps the extent pays the copy:
+///    its resolution overhead is charged the modeled read-old +
+///    write-new time, the batch's commit record (`migc:`) is written,
+///    and the entry is published into the live DRT;
+/// 3. every later access resolves through the published mapping at
+///    plain lookup cost.
+///
+/// A crash between the copy and the commit record leaves an uncommitted
+/// journal batch that [`crate::persist::recover`] discards — the copy
+/// is non-destructive, so the old mapping still resolves to valid
+/// bytes and a retry simply re-migrates. A crash after the commit
+/// record rolls the entry forward. Store errors (including injected
+/// kills) are stashed and surfaced by [`LazyMigrator::check`]; after an
+/// error the resolver stops touching the store, mimicking a killed
+/// process.
+pub struct LazyMigrator<'a> {
+    store: &'a PipelineStore,
+    published: Drt,
+    pending: Vec<PendingRedirect>,
+    /// Per original file: `o_offset -> (length, index into pending)`
+    /// for unmigrated entries. Pending extents never overlap.
+    index: std::collections::HashMap<u32, std::collections::BTreeMap<u64, (u64, usize)>>,
+    lookup: SimDuration,
+    /// Fixed per-copy setup time (two network round trips).
+    copy_latency: SimDuration,
+    /// Modeled copy cost per byte (read old home + transfer + write new).
+    copy_secs_per_byte: f64,
+    next_batch: u32,
+    on_access_migrations: usize,
+    migrated_bytes: u64,
+    err: Option<PersistError>,
+}
+
+impl<'a> LazyMigrator<'a> {
+    /// Start from the committed `base` mapping. The copy-cost model is
+    /// derived from `cluster`: a migrated byte pays a read from the old
+    /// home (HDD sustained rate — the conservative case), a transfer,
+    /// and a write to the new home (SSD peak rate), plus two link
+    /// round trips of setup per extent.
+    pub fn new(
+        store: &'a PipelineStore,
+        base: Drt,
+        cluster: &ClusterConfig,
+        lookup: SimDuration,
+    ) -> Self {
+        let per_byte = 1.0 / cluster.hdd.transfer_bps
+            + 1.0 / cluster.link.bandwidth_bps
+            + 1.0 / cluster.ssd.write_bps;
+        LazyMigrator {
+            store,
+            published: base,
+            pending: Vec::new(),
+            index: std::collections::HashMap::new(),
+            lookup,
+            copy_latency: SimDuration::from_nanos((4.0 * cluster.link.latency_s * 1e9) as u64),
+            copy_secs_per_byte: per_byte,
+            next_batch: 0,
+            on_access_migrations: 0,
+            migrated_bytes: 0,
+            err: None,
+        }
+    }
+
+    /// Journal `entries` as pending redirects (the write-ahead step).
+    ///
+    /// Entries any part of whose extent already resolves away from the
+    /// original file in the published mapping are skipped (they carry
+    /// forward — re-homing published data would need a second move,
+    /// and a partially-published range must never be re-journaled: the
+    /// published mapping is append-only within a migrator's lifetime).
+    /// An entry overlapping a still-unmigrated pending redirect
+    /// *cancels* the older one: its intent never commits, so recovery
+    /// discards it.
+    pub fn add_pending(&mut self, entries: &[DrtEntry]) -> Result<(), PersistError> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        for entry in entries {
+            let already_redirected = self
+                .published
+                .translate(entry.o_file, entry.o_offset, entry.length)
+                .iter()
+                .any(|p| p.file != entry.o_file);
+            if already_redirected {
+                continue;
+            }
+            self.cancel_overlapping(entry.o_file.0, entry.o_offset, entry.length);
+            let batch = self.next_batch;
+            self.next_batch += 1;
+            self.store.journal_batch(batch, std::slice::from_ref(entry))?;
+            let idx = self.pending.len();
+            self.pending.push(PendingRedirect {
+                entry: *entry,
+                batch,
+                migrated: false,
+                cancelled: false,
+            });
+            self.index
+                .entry(entry.o_file.0)
+                .or_default()
+                .insert(entry.o_offset, (entry.length, idx));
+        }
+        Ok(())
+    }
+
+    /// The live mapping: base plus every migrated entry.
+    pub fn published(&self) -> &Drt {
+        &self.published
+    }
+
+    /// Redirects still waiting for their first access.
+    pub fn pending_len(&self) -> usize {
+        self.pending.iter().filter(|p| !p.migrated && !p.cancelled).count()
+    }
+
+    /// Extents migrated by an access (not by [`LazyMigrator::drain`]).
+    pub fn on_access_migrations(&self) -> usize {
+        self.on_access_migrations
+    }
+
+    /// Bytes moved so far (on-access and drained).
+    pub fn migrated_bytes(&self) -> u64 {
+        self.migrated_bytes
+    }
+
+    /// Surface a store error stashed during replay (the [`Resolver`]
+    /// interface cannot fail, so a mid-replay kill parks here).
+    pub fn check(&mut self) -> Result<(), PersistError> {
+        match self.err.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Migrate every remaining pending redirect (end-of-run drain), so
+    /// the final mapping matches what eager migration would have
+    /// produced. Returns the bytes moved and the modeled copy time.
+    pub fn drain(&mut self) -> Result<(u64, SimDuration), PersistError> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        let mut bytes = 0u64;
+        let mut time = SimDuration::ZERO;
+        for i in 0..self.pending.len() {
+            if self.pending[i].migrated || self.pending[i].cancelled {
+                continue;
+            }
+            let p = self.pending[i];
+            self.store.commit_batch(p.batch)?;
+            self.publish(i);
+            bytes += p.entry.length;
+            time += self.copy_cost(p.entry.length);
+        }
+        self.index.clear();
+        Ok((bytes, time))
+    }
+
+    /// Modeled service time of copying `len` bytes old-home → new-home.
+    fn copy_cost(&self, len: u64) -> SimDuration {
+        self.copy_latency
+            + SimDuration::from_nanos((len as f64 * self.copy_secs_per_byte * 1e9) as u64)
+    }
+
+    /// Drop unmigrated pendings overlapping `[offset, offset + len)` of
+    /// file `file` (their journal intents stay uncommitted and are
+    /// discarded by recovery / retired with the journal).
+    fn cancel_overlapping(&mut self, file: u32, offset: u64, len: u64) {
+        let Some(map) = self.index.get_mut(&file) else {
+            return;
+        };
+        let end = offset + len;
+        let hits: Vec<(u64, usize)> = map
+            .range(..end)
+            .rev()
+            .take_while(|(&off, &(elen, _))| off + elen > offset)
+            .map(|(&off, &(_, idx))| (off, idx))
+            .collect();
+        for (off, idx) in hits {
+            map.remove(&off);
+            self.pending[idx].cancelled = true;
+        }
+    }
+
+    /// Mark pending `i` migrated and publish its entry into the live
+    /// mapping.
+    fn publish(&mut self, i: usize) {
+        self.pending[i].migrated = true;
+        let entry = self.pending[i].entry;
+        let inserted = self.published.insert(entry);
+        debug_assert!(inserted, "pending redirects never overlap the published mapping");
+        if let Some(map) = self.index.get_mut(&entry.o_file.0) {
+            map.remove(&entry.o_offset);
+        }
+    }
+
+    /// First-access hook: migrate every unmigrated pending redirect
+    /// overlapping the accessed range, returning the copy time charged
+    /// to this request.
+    fn touch(&mut self, file: u32, offset: u64, len: u64) -> SimDuration {
+        let mut charged = SimDuration::ZERO;
+        let end = offset + len;
+        let hits: Vec<usize> = match self.index.get(&file) {
+            None => return charged,
+            Some(map) => map
+                .range(..end)
+                .rev()
+                .take_while(|(&off, &(elen, _))| off + elen > offset)
+                .map(|(_, &(_, idx))| idx)
+                .collect(),
+        };
+        for i in hits {
+            let p = self.pending[i];
+            match self.store.commit_batch(p.batch) {
+                Ok(()) => {
+                    self.publish(i);
+                    self.on_access_migrations += 1;
+                    self.migrated_bytes += p.entry.length;
+                    charged += self.copy_cost(p.entry.length);
+                }
+                Err(e) => {
+                    self.err = Some(e);
+                    break;
+                }
+            }
+        }
+        charged
+    }
+}
+
+impl Resolver for LazyMigrator<'_> {
+    fn resolve(&mut self, rec: &TraceRecord) -> Resolution {
+        let mut overhead = self.lookup;
+        if self.err.is_none() {
+            overhead += self.touch(rec.file.0, rec.offset, rec.len);
+        }
+        Resolution {
+            extents: self.published.translate(rec.file, rec.offset, rec.len),
+            overhead,
+        }
+    }
+}
+
+/// Lazy counterpart of the eager journaled migration flow: commit the
+/// base mapping, journal every pending entry up front (write-ahead),
+/// replay `trace` through the on-access migrator, drain the untouched
+/// remainder, publish the full mapping and retire the journal.
+///
+/// After a full replay + drain the published DRT is **bit-identical**
+/// to what the eager [`migrate_durable`] flow produces for the same
+/// entries (the `lazy_drain_matches_eager_migration` property test),
+/// and a crash at any commit boundary recovers to a committed
+/// generation (the lazy kill-matrix test).
+#[allow(clippy::too_many_arguments)]
+pub fn run_lazy_durable(
+    cluster_cfg: &ClusterConfig,
+    layout_book: &[(iotrace::FileId, pfs_sim::LayoutSpec)],
+    base: &Drt,
+    rst: &Rst,
+    to_migrate: &[DrtEntry],
+    trace: &Trace,
+    lookup: SimDuration,
+    store: &PipelineStore,
+) -> Result<(Drt, ReplayReport), PersistError> {
+    store.save_tables(base, rst)?;
+    let mut migrator = LazyMigrator::new(store, base.clone(), cluster_cfg, lookup);
+    migrator.add_pending(to_migrate)?;
+    let mut cluster = Cluster::new(cluster_cfg.clone());
+    for (file, layout) in layout_book {
+        cluster.mds_mut().set_layout(*file, layout.clone());
+    }
+    let report = ReplaySession::new()
+        .run(&mut cluster, trace, &mut migrator)
+        .expect("unscheduled fault-free replay cannot fail");
+    migrator.check()?;
+    migrator.drain()?;
+    let published = migrator.published().clone();
+    store.save_tables(&published, rst)?;
+    store.clear_journal()?;
+    Ok((published, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -947,6 +1260,258 @@ mod tests {
                 run_flow(&store, &cluster, &base, &rst, &to_migrate, &cfg).expect("resume");
             let (final_drt, final_rst) =
                 store.load_tables().expect("load").expect("committed");
+            assert_eq!(final_drt, published, "boundary {k}");
+            assert_eq!(final_rst, rst, "boundary {k}");
+            assert_eq!(final_drt.len(), base.len() + to_migrate.len(), "boundary {k}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    // ------------------------------------------- lazy migration --
+
+    /// One read per pending extent, each in its own phase — a replay
+    /// that touches (and therefore lazily migrates) every entry.
+    fn access_trace(entries: &[DrtEntry]) -> Trace {
+        Trace::from_records(
+            entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| TraceRecord {
+                    pid: 1,
+                    rank: Rank(i as u32 % 4),
+                    file: e.o_file,
+                    op: IoOp::Read,
+                    offset: e.o_offset,
+                    len: e.length,
+                    ts: SimTime::ZERO + SimDuration::from_millis(10) * i as u64,
+                    phase: i as u32,
+                })
+                .collect(),
+        )
+    }
+
+    /// The acceptance property: a full replay drains every pending
+    /// redirect, and the resulting DRT is bit-identical to what the
+    /// eager journaled flow publishes for the same plan — on disk too.
+    #[test]
+    fn lazy_drain_matches_eager_migration() {
+        let cluster = ClusterConfig::paper_default();
+        let cfg = DynamicConfig { migration_batch: 3, ..DynamicConfig::default() };
+        let (base, rst) = base_tables();
+        let to_migrate = to_migrate_entries();
+
+        let eager_path = tmp_store("lazy-eager");
+        let eager = {
+            let store = PipelineStore::open(&eager_path).expect("open");
+            let published =
+                run_flow(&store, &cluster, &base, &rst, &to_migrate, &cfg).expect("eager");
+            let on_disk = store.load_tables().expect("load").expect("committed");
+            assert_eq!(on_disk.0, published);
+            published
+        };
+        let _ = std::fs::remove_file(&eager_path);
+
+        let lazy_path = tmp_store("lazy-lazy");
+        let store = PipelineStore::open(&lazy_path).expect("open");
+        let trace = access_trace(&to_migrate);
+        let (lazy, report) = run_lazy_durable(
+            &cluster,
+            &[],
+            &base,
+            &rst,
+            &to_migrate,
+            &trace,
+            SimDuration::from_micros(5),
+            &store,
+        )
+        .expect("lazy");
+        assert_eq!(lazy, eager, "drained lazy mapping == eager mapping");
+        let (disk_drt, disk_rst) = store.load_tables().expect("load").expect("committed");
+        assert_eq!(disk_drt, eager, "on-disk mapping matches too");
+        assert_eq!(disk_rst, rst);
+        assert!(store.journal().expect("journal").is_empty(), "journal retired");
+        // Every access after the first resolves to the new home, and the
+        // copies were charged to request service time.
+        assert_eq!(report.requests, to_migrate.len());
+        assert!(
+            report.resolve_overhead > SimDuration::from_micros(5) * to_migrate.len() as u64,
+            "copy time must be charged on top of lookups: {:?}",
+            report.resolve_overhead
+        );
+        let _ = std::fs::remove_file(&lazy_path);
+    }
+
+    #[test]
+    fn lazy_migration_moves_extents_on_first_access_only() {
+        let cluster = ClusterConfig::paper_default();
+        let (base, rst) = base_tables();
+        let to_migrate = to_migrate_entries();
+        let path = tmp_store("lazy-partial");
+        let store = PipelineStore::open(&path).expect("open");
+        store.save_tables(&base, &rst).expect("save base");
+        let mut mig =
+            LazyMigrator::new(&store, base.clone(), &cluster, SimDuration::from_micros(5));
+        mig.add_pending(&to_migrate).expect("journal intents");
+        assert_eq!(mig.pending_len(), to_migrate.len());
+
+        // Replay touches only the first four extents.
+        let touched = &to_migrate[..4];
+        let mut cluster_sim = Cluster::new(cluster.clone());
+        ReplaySession::new()
+            .run(&mut cluster_sim, &access_trace(touched), &mut mig)
+            .expect("replay");
+        mig.check().expect("no store error");
+        assert_eq!(mig.on_access_migrations(), 4);
+        assert_eq!(mig.pending_len(), to_migrate.len() - 4);
+        // Touched extents are committed and published; untouched ones
+        // still resolve to their old home and stay uncommitted.
+        let journal = store.journal().expect("journal");
+        for p in journal {
+            let touched_entry = touched.iter().any(|e| e.o_offset == p.entries[0].o_offset);
+            assert_eq!(p.committed, touched_entry, "batch {}", p.batch);
+        }
+        for e in touched {
+            assert_eq!(
+                mig.published().lookup_exact(e.o_file, e.o_offset, e.length),
+                Some((e.r_file, e.r_offset))
+            );
+        }
+        for e in &to_migrate[4..] {
+            assert_eq!(mig.published().lookup_exact(e.o_file, e.o_offset, e.length), None);
+        }
+        // Drain completes the generation.
+        let (bytes, _) = mig.drain().expect("drain");
+        assert_eq!(bytes, to_migrate[4..].iter().map(|e| e.length).sum::<u64>());
+        assert_eq!(mig.pending_len(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn superseded_pending_redirects_are_cancelled_not_committed() {
+        let cluster = ClusterConfig::paper_default();
+        let (base, rst) = base_tables();
+        let path = tmp_store("lazy-cancel");
+        let store = PipelineStore::open(&path).expect("open");
+        store.save_tables(&base, &rst).expect("save base");
+        let mut mig =
+            LazyMigrator::new(&store, base.clone(), &cluster, SimDuration::from_micros(5));
+        let first = to_migrate_entries();
+        mig.add_pending(&first).expect("journal first plan");
+        // A newer plan re-homes the same extents to region file 70 002.
+        let second: Vec<DrtEntry> = first
+            .iter()
+            .map(|e| DrtEntry { r_file: FileId(70_002), r_offset: e.o_offset, ..*e })
+            .collect();
+        mig.add_pending(&second).expect("journal second plan");
+        assert_eq!(mig.pending_len(), second.len(), "old redirects cancelled");
+        let (bytes, _) = mig.drain().expect("drain");
+        assert_eq!(bytes, second.iter().map(|e| e.length).sum::<u64>());
+        for e in &second {
+            assert_eq!(
+                mig.published().lookup_exact(e.o_file, e.o_offset, e.length),
+                Some((e.r_file, e.r_offset)),
+                "the newer plan's mapping wins"
+            );
+        }
+        // Only the second plan's batches ever commit.
+        let journal = store.journal().expect("journal");
+        let (committed, discarded): (Vec<_>, Vec<_>) =
+            journal.iter().partition(|b| b.committed);
+        assert_eq!(committed.len(), second.len());
+        assert_eq!(discarded.len(), first.len());
+        assert!(committed.iter().all(|b| b.entries[0].r_file == FileId(70_002)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite: the lazy-migration kill matrix. Crash at every commit
+    /// boundary of the lazy flow — including between a first-access
+    /// copy and its `migc:` record — and check that recovery lands on a
+    /// committed generation, never exposes a half-migrated region, and
+    /// that the retried flow replays idempotently to the full mapping.
+    #[test]
+    fn kill_matrix_over_lazy_migration_recovers_consistently() {
+        let cluster = ClusterConfig::paper_default();
+        let (base, rst) = base_tables();
+        let to_migrate = to_migrate_entries();
+        let lookup = SimDuration::from_micros(5);
+        let trace = access_trace(&to_migrate);
+
+        let run = |store: &PipelineStore| {
+            run_lazy_durable(&cluster, &[], &base, &rst, &to_migrate, &trace, lookup, store)
+        };
+
+        let path = tmp_store("lazy-matrix-record");
+        let boundaries = {
+            let store = PipelineStore::open(&path).expect("open");
+            run(&store).expect("flow");
+            store.kill_switch().boundaries()
+        };
+        let _ = std::fs::remove_file(&path);
+        assert!(boundaries > 30, "expected a wide matrix, got {boundaries} boundaries");
+
+        for k in 0..boundaries {
+            let path = tmp_store(&format!("lazy-matrix-{k}"));
+            {
+                let store = PipelineStore::open(&path).expect("open");
+                store.kill_switch().arm(k);
+                match run(&store) {
+                    Err(PersistError::Killed(_)) => {}
+                    other => panic!("boundary {k}: expected Killed, got {other:?}"),
+                }
+            }
+            let store = PipelineStore::open(&path).expect("reopen");
+            let journal = store.journal().expect("journal");
+            let committed: std::collections::HashSet<(u32, u64)> = journal
+                .iter()
+                .filter(|b| b.committed)
+                .flat_map(|b| b.entries.iter().map(|e| (e.o_file.0, e.o_offset)))
+                .collect();
+            let out = recover(&store).expect("recover");
+            match &out.tables {
+                None => assert!(
+                    journal.is_empty(),
+                    "boundary {k}: the base commits before any journaling"
+                ),
+                Some((drt, got_rst)) => {
+                    assert_eq!(*got_rst, rst, "boundary {k}: RST must survive");
+                    for e in drt.entries() {
+                        let in_base = base.lookup_exact(e.o_file, e.o_offset, e.length)
+                            == Some((e.r_file, e.r_offset));
+                        assert!(
+                            in_base || committed.contains(&(e.o_file.0, e.o_offset)),
+                            "boundary {k}: {e:?} resolves to unmigrated data"
+                        );
+                    }
+                    // No half-migrated region: each pending extent is
+                    // atomically old-home or new-home.
+                    for e in &to_migrate {
+                        let pieces = drt.translate(e.o_file, e.o_offset, e.length);
+                        assert_eq!(pieces.len(), 1, "boundary {k}: extent split {pieces:?}");
+                        let p = &pieces[0];
+                        let old = (p.file, p.offset) == (e.o_file, e.o_offset);
+                        let new = (p.file, p.offset) == (e.r_file, e.r_offset);
+                        assert!(
+                            old || new,
+                            "boundary {k}: {e:?} resolves to a third location {p:?}"
+                        );
+                        assert_eq!(p.len, e.length, "boundary {k}");
+                    }
+                    for b in journal.iter().filter(|b| b.committed) {
+                        for e in &b.entries {
+                            assert_eq!(
+                                drt.lookup_exact(e.o_file, e.o_offset, e.length),
+                                Some((e.r_file, e.r_offset)),
+                                "boundary {k}: committed batch entry lost"
+                            );
+                        }
+                    }
+                }
+            }
+            let again = recover(&store).expect("recover again");
+            assert_eq!(again.rolled_forward, 0, "boundary {k}: second recovery must be a no-op");
+            // The retried flow replays idempotently to the full mapping.
+            let (published, _) = run(&store).expect("resume");
+            let (final_drt, final_rst) = store.load_tables().expect("load").expect("committed");
             assert_eq!(final_drt, published, "boundary {k}");
             assert_eq!(final_rst, rst, "boundary {k}");
             assert_eq!(final_drt.len(), base.len() + to_migrate.len(), "boundary {k}");

@@ -144,7 +144,35 @@ pub fn group_requests_parallel(points: &[ReqFeature], cfg: &GroupingConfig) -> G
     run(points, cfg, true)
 }
 
+/// Algorithm 1 re-seeded from a previous window's centers — the
+/// incremental path of the online re-planner.
+///
+/// Instead of the k-means++-style farthest-point seeding, refinement
+/// starts from `seeds` (a previous [`Grouping::centers`]), extended by
+/// farthest-point selection up to `cfg.k` when the seed set is smaller
+/// (so a workload that grows a new feature cluster can still claim a
+/// fresh group). On a quiet window the seeds are already converged for
+/// the new points, the first update step changes nothing, and the loop
+/// exits after a single assignment pass — that is what makes a quiet
+/// window cost near zero. Empty `seeds` falls back to the cold path.
+pub fn group_requests_seeded(
+    points: &[ReqFeature],
+    cfg: &GroupingConfig,
+    seeds: &[ReqFeature],
+) -> Grouping {
+    run_from(points, cfg, seeds, points.len() >= PAR_MIN_POINTS)
+}
+
 fn run(points: &[ReqFeature], cfg: &GroupingConfig, parallel: bool) -> Grouping {
+    run_from(points, cfg, &[], parallel)
+}
+
+fn run_from(
+    points: &[ReqFeature],
+    cfg: &GroupingConfig,
+    seeds: &[ReqFeature],
+    parallel: bool,
+) -> Grouping {
     assert!(cfg.k > 0, "need at least one group");
     if points.is_empty() {
         return Grouping { assignment: Vec::new(), centers: Vec::new(), iterations: 0 };
@@ -159,7 +187,11 @@ fn run(points: &[ReqFeature], cfg: &GroupingConfig, parallel: bool) -> Grouping 
         };
     }
 
-    let mut centers = initial_centers(points, cfg.k, cfg.seed, &space, parallel);
+    let mut centers = if seeds.is_empty() {
+        initial_centers(points, cfg.k, cfg.seed, &space, parallel)
+    } else {
+        extend_centers(points, seeds.to_vec(), cfg.k, &space, parallel)
+    };
     let k = centers.len();
     let mut assignment = vec![0usize; points.len()];
     let n_chunks = points.len().div_ceil(CHUNK);
@@ -252,9 +284,34 @@ fn initial_centers(
 ) -> Vec<ReqFeature> {
     use rand::Rng;
     let mut rng = SeedSeq::new(seed).derive("grouping").rng();
-    let mut centers = Vec::with_capacity(k);
-    centers.push(points[rng.gen_range(0..points.len())]);
+    extend_centers(points, vec![points[rng.gen_range(0..points.len())]], k, space, parallel)
+}
+
+/// Grow a nonempty center set to `k` by farthest-point selection (the
+/// loop of [`initial_centers`], shared with the seeded path). Centers
+/// beyond `k` are dropped; with one starting center this is exactly the
+/// original seeding loop, bit for bit.
+fn extend_centers(
+    points: &[ReqFeature],
+    mut centers: Vec<ReqFeature>,
+    k: usize,
+    space: &FeatureSpace,
+    parallel: bool,
+) -> Vec<ReqFeature> {
+    debug_assert!(!centers.is_empty(), "extension needs a starting center");
+    centers.truncate(k.max(1));
     let mut min_sq = vec![f64::INFINITY; points.len()];
+    // Fold all but the newest center into the maintained minimum (a
+    // no-op for the cold single-center start); the loop below folds the
+    // newest one exactly as the original seeding did.
+    for c in &centers[..centers.len() - 1] {
+        for (p, m) in points.iter().zip(min_sq.iter_mut()) {
+            let d = space.distance_sq(p, c);
+            if d < *m {
+                *m = d;
+            }
+        }
+    }
     while centers.len() < k {
         let newest = *centers.last().expect("centers nonempty");
         let scan = |(ci, (p_chunk, m_chunk)): (usize, (&[ReqFeature], &mut [f64]))| {
@@ -650,6 +707,72 @@ mod tests {
             let got = group_requests(&pts, &cfg);
             assert_groupings_bit_identical(&want, &got, &format!("trial {trial} (n={n}, k={k})"));
         }
+    }
+
+    #[test]
+    fn seeded_with_empty_seeds_is_the_cold_path() {
+        let pts = lanl_points(30);
+        let cfg = GroupingConfig::default();
+        let cold = group_requests(&pts, &cfg);
+        let seeded = group_requests_seeded(&pts, &cfg, &[]);
+        assert_groupings_bit_identical(&cold, &seeded, "empty seeds");
+    }
+
+    #[test]
+    fn reseeding_from_converged_centers_converges_in_one_pass() {
+        let pts = lanl_points(40);
+        let cfg = GroupingConfig { k: 3, ..Default::default() };
+        let cold = group_requests(&pts, &cfg);
+        let warm = group_requests_seeded(&pts, &cfg, &cold.centers);
+        assert_eq!(warm.iterations, 1, "converged seeds stop after one assignment pass");
+        assert_eq!(warm.assignment, cold.assignment);
+        assert_eq!(warm.groups(), cold.groups());
+    }
+
+    #[test]
+    fn seeded_centers_extend_to_claim_new_clusters() {
+        // Seed with one center near the small-size cluster; the data has
+        // a second far cluster, so the extension must claim it.
+        let mut pts = vec![f(16.0, 8.0); 40];
+        pts.extend(vec![f(1_048_576.0, 8.0); 40]);
+        let cfg = GroupingConfig { k: 2, ..Default::default() };
+        let warm = group_requests_seeded(&pts, &cfg, &[f(20.0, 8.0)]);
+        assert_eq!(warm.groups(), 2, "farthest-point extension finds the far cluster");
+        assert_ne!(warm.assignment[0], warm.assignment[79]);
+    }
+
+    #[test]
+    fn seeded_group_count_never_exceeds_k() {
+        use rand::Rng;
+        let mut rng = SeedSeq::new(77).rng();
+        let pts: Vec<ReqFeature> = (0..400)
+            .map(|_| f(rng.gen_range(1.0..1e7), rng.gen_range(1.0..64.0)))
+            .collect();
+        // More seeds than k: the seed set must be truncated, not grown.
+        let seeds: Vec<ReqFeature> =
+            (0..8).map(|i| f(1e6 * (i + 1) as f64, 4.0 * (i + 1) as f64)).collect();
+        for k in [1, 2, 4] {
+            let g = group_requests_seeded(&pts, &GroupingConfig { k, ..Default::default() }, &seeds);
+            assert!(g.groups() <= k, "k={k} got {}", g.groups());
+            assert_eq!(g.assignment.len(), pts.len());
+        }
+    }
+
+    #[test]
+    fn seeded_grouping_tracks_a_drifted_workload() {
+        // Window 1: two clusters. Window 2: the clusters moved. The
+        // seeded grouping must still separate them cleanly.
+        let mut w1 = vec![f(4096.0, 4.0); 50];
+        w1.extend(vec![f(262_144.0, 16.0); 50]);
+        let cfg = GroupingConfig { k: 2, ..Default::default() };
+        let g1 = group_requests(&w1, &cfg);
+        let mut w2 = vec![f(8192.0, 6.0); 50];
+        w2.extend(vec![f(524_288.0, 24.0); 50]);
+        let g2 = group_requests_seeded(&w2, &cfg, &g1.centers);
+        assert_eq!(g2.groups(), 2);
+        assert_ne!(g2.assignment[0], g2.assignment[99]);
+        assert!(g2.assignment[..50].iter().all(|&a| a == g2.assignment[0]));
+        assert!(g2.assignment[50..].iter().all(|&a| a == g2.assignment[99]));
     }
 
     #[test]

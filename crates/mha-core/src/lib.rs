@@ -18,7 +18,12 @@
 //!   HARL and MHA, behind one [`schemes::LayoutPlanner`] trait,
 //! * [`persist`] — crash-consistent pipeline persistence: versioned
 //!   checksummed DRT/RST/plan generations with atomic commit, the
-//!   write-ahead migration journal, and [`persist::recover`].
+//!   write-ahead migration journal, and [`persist::recover`],
+//! * [`online`] — the online loop: windowed drift detection,
+//!   centroid-seeded incremental regrouping with per-group RSSD reuse,
+//! * [`dynamic`] — epoch-driven dynamic optimization and the lazy
+//!   on-access migrator ([`dynamic::LazyMigrator`]) that defers each
+//!   journaled extent copy to its first replayed access.
 //!
 //! The intended flow (the paper's five phases):
 //!
@@ -36,6 +41,7 @@
 pub mod cost;
 pub mod dynamic;
 pub mod grouping;
+pub mod online;
 pub mod pattern;
 pub mod persist;
 pub mod redirect;
@@ -44,13 +50,17 @@ pub mod rssd;
 pub mod schemes;
 
 pub use cost::{CostParams, ReqView};
-pub use dynamic::{run_dynamic, run_dynamic_durable, DynamicConfig, DynamicReport};
+pub use dynamic::{
+    run_dynamic, run_dynamic_durable, run_lazy_durable, DynamicConfig, DynamicReport,
+    LazyMigrator, PendingRedirect,
+};
+pub use online::{OnlineConfig, OnlinePlanner, Replan, ReplanStats, WindowSig};
 pub use persist::{
     recover, CommitPoint, KillSwitch, PersistError, PipelineStore, RecoveryOutcome,
 };
 pub use grouping::{
-    group_requests, group_requests_parallel, group_requests_serial, GroupIndex, Grouping,
-    GroupingConfig,
+    group_requests, group_requests_parallel, group_requests_seeded, group_requests_serial,
+    GroupIndex, Grouping, GroupingConfig,
 };
 pub use pattern::{FeatureSpace, ReqFeature};
 pub use redirect::DrtResolver;

@@ -1335,7 +1335,7 @@ mod tests {
                         pid: 0,
                         rank: Rank((xorshift(&mut s) % 8) as u32),
                         file: FileId((xorshift(&mut s) % 4) as u32),
-                        op: if xorshift(&mut s) % 2 == 0 { IoOp::Read } else { IoOp::Write },
+                        op: if xorshift(&mut s).is_multiple_of(2) { IoOp::Read } else { IoOp::Write },
                         offset: (xorshift(&mut s) % 1000) * 512,
                         len: 1 + xorshift(&mut s) % 65_536,
                         ts: SimTime::from_nanos(ts),
@@ -1353,7 +1353,7 @@ mod tests {
             };
             let aligns: Vec<u64> =
                 (0..k).map(|_| [1u64, 512, 4096][(xorshift(&mut s) % 3) as usize]).collect();
-            let include: Vec<bool> = (0..k).map(|_| xorshift(&mut s) % 4 != 0).collect();
+            let include: Vec<bool> = (0..k).map(|_| !xorshift(&mut s).is_multiple_of(4)).collect();
             let want = build_oracle(&trace, &grouping, 1000, &aligns, &include);
             let got = build_regions_filtered(&trace, &grouping, 1000, &aligns, &include);
             assert_builds_equal(&got, &want, &format!("trial {trial} (n={n}, k={k})"));

@@ -82,6 +82,9 @@ pub struct RssdConfig {
     pub pruning: bool,
 }
 
+// Referenced only through the `serde(default)` attribute string; the
+// offline derive stub drops that reference, so the lint must be silenced.
+#[allow(dead_code)]
 fn default_true() -> bool {
     true
 }

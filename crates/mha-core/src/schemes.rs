@@ -147,7 +147,7 @@ impl PlannerContext {
     pub fn server_usable(&self, i: usize) -> bool {
         self.health
             .get(i)
-            .map_or(true, |h| !h.down && h.speed_factor < self.exclude_slowdown)
+            .is_none_or(|h| !h.down && h.speed_factor < self.exclude_slowdown)
     }
 
     /// The cost parameters the planners should optimize against: with no
@@ -348,7 +348,7 @@ impl LayoutPlanner for AalPlanner {
                     &mut scratch,
                 )
                 .expect("an infinite cutoff is never exceeded");
-                if best.map_or(true, |(c, _)| cost < c) {
+                if best.is_none_or(|(c, _)| cost < c) {
                     best = Some((cost, st));
                 }
                 if st >= r_max {

@@ -77,7 +77,7 @@ impl RetryParams {
                 state.timeouts += 1;
                 return Admission::TimedOut;
             }
-            t = t + self.backoff * (1u64 << tries.min(32));
+            t += self.backoff * (1u64 << tries.min(32));
             tries += 1;
         }
         if tries > 0 {

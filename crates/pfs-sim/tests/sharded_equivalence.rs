@@ -223,3 +223,39 @@ fn skewed_stream_replays_identically_to_its_trace() {
         .unwrap();
     assert_identical(&serial, &streamed, 0);
 }
+
+#[test]
+fn skewed_stream_replays_identically_under_active_fault_plans() {
+    // Temporal faults gate sub-request admission by simulated time, so
+    // any drift between the streamed and materialized phase order would
+    // surface as diverging retry/timeout accounting.
+    let mut rng = SeedSeq::new(0x5A_D0E5).derive("skewed-faults").rng();
+    for trial in 0..8 {
+        let mut cfg = skewed::SkewedConfig::default_run(if rng.gen_bool(0.5) {
+            IoOp::Write
+        } else {
+            IoOp::Read
+        });
+        cfg.phases = 12;
+        cfg.procs = rng.gen_range(2..=8);
+        cfg.seed = rng.gen();
+        let config = random_config(&mut rng);
+        let mut plan = random_fault_plan(&mut rng, config.servers());
+        if plan.is_empty() {
+            // This test is about the faulted path; force at least one.
+            plan = plan.slow_server(0, 2.0);
+        }
+        let trace = skewed::generate(&cfg);
+        let mut c1 = Cluster::new(config.clone());
+        let serial = ReplaySession::new()
+            .with_fault_plan(plan.clone())
+            .run(&mut c1, &trace, &mut IdentityResolver)
+            .unwrap();
+        let mut c2 = Cluster::new(config);
+        let streamed = ReplaySession::new()
+            .with_fault_plan(plan)
+            .run_stream(&mut c2, &mut skewed::stream(&cfg), &mut IdentityResolver)
+            .unwrap();
+        assert_identical(&serial, &streamed, trial);
+    }
+}

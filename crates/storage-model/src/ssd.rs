@@ -175,7 +175,7 @@ mod tests {
     fn startup_dominates_tiny_requests() {
         let mut m = SsdModel::pcie_100gb();
         let t = svc(&mut m, IoOp::Read, 16);
-        assert!(t >= 60.0e-6 && t < 100.0e-6);
+        assert!((60.0e-6..100.0e-6).contains(&t));
     }
 
     #[test]

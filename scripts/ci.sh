@@ -7,6 +7,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Build artifacts must never be tracked: a committed target/ bloats the
+# history and makes every local build dirty the working tree.
+if git ls-files target | grep -q .; then
+    echo "error: files under target/ are tracked in git" >&2
+    exit 1
+fi
+
 cargo build --release
 cargo test -q
 # --all-targets lints tests, benches and examples too; the pre-0.3
@@ -47,3 +54,8 @@ cargo run -p mha-bench --release --bin scale -- --smoke
 # end (empty-plan bit-identity and replanning wins are asserted by the
 # test suite; this catches panics in the full figure path).
 cargo run -p mha-bench --release --bin figures -- fault --quick
+# Online smoke: the plan-while-running loop (windowed replans + lazy
+# on-access migration) must still recover from a phase shift at least
+# 2x sooner than plan-then-rerun, with quiet windows costing <10% of a
+# cold plan — the acceptance bars are asserted inside the binary.
+cargo run -p mha-bench --release --bin online -- --smoke
