@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use iotrace::Trace;
 use mha_bench::workloads::{self, Scale};
 use mha_core::schemes::{apply_plan, Scheme};
-use pfs_sim::{Cluster, IdentityResolver, ReplaySchedule, ReplaySession};
+use pfs_sim::{Cluster, CoreSel, IdentityResolver, ReplayInput, ReplaySchedule, ReplaySession};
 use storage_model::IoOp;
 
 fn bench(c: &mut Criterion) {
@@ -34,7 +34,7 @@ fn bench(c: &mut Criterion) {
             let mut cl = Cluster::new(cluster_cfg.clone());
             b.iter(|| {
                 session
-                    .run(&mut cl, trace, &mut IdentityResolver)
+                    .run(ReplayInput::trace(&mut cl, trace, &mut IdentityResolver), CoreSel::Auto)
                     .expect("fault-free replay cannot fail")
                     .total_bytes
             })
@@ -48,7 +48,7 @@ fn bench(c: &mut Criterion) {
             let mut resolver = plan.make_resolver(ctx.lookup_cost);
             b.iter(|| {
                 session
-                    .run(&mut cl, trace, resolver.as_mut())
+                    .run(ReplayInput::trace(&mut cl, trace, resolver.as_mut()), CoreSel::Auto)
                     .expect("fault-free replay cannot fail")
                     .total_bytes
             })
@@ -62,7 +62,7 @@ fn bench(c: &mut Criterion) {
                 apply_plan(&mut cl, &plan);
                 let mut resolver = plan.make_resolver(ctx.lookup_cost);
                 ReplaySession::new()
-                    .run(&mut cl, trace, resolver.as_mut())
+                    .run(ReplayInput::trace(&mut cl, trace, resolver.as_mut()), CoreSel::Auto)
                     .expect("fault-free replay cannot fail")
                     .total_bytes
             })

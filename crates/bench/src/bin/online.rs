@@ -49,7 +49,8 @@ fn main() {
         println!("smoke ok");
     } else {
         let path = "results/BENCH_online.json";
-        std::fs::write(path, figures_json(&s.figures)).expect("write results");
+        let json = figures_json(&s.figures).expect("study figures are finite");
+        std::fs::write(path, json).expect("write results");
         println!("wrote {path}");
     }
 }

@@ -26,7 +26,9 @@
 //! minute, without the full grid's runtime.
 
 use iotrace::gen::ior::{self, generate, IorConfig};
-use pfs_sim::{Cluster, ClusterConfig, IdentityResolver, ReplayReport, ReplaySession};
+use pfs_sim::{
+    Cluster, ClusterConfig, CoreSel, IdentityResolver, ReplayInput, ReplayReport, ReplaySession,
+};
 use std::time::Instant;
 use storage_model::IoOp;
 
@@ -92,18 +94,18 @@ fn grid_row(servers: usize, procs: u32, reqs: usize) {
     let mut cluster = cluster_of(servers, (procs / 4) as usize);
     let mut session = ReplaySession::new();
 
-    let serial = session.run(&mut cluster, &trace, &mut IdentityResolver).unwrap();
-    let sharded = session.run_sharded(&mut cluster, &trace, &mut IdentityResolver).unwrap();
+    let serial = session.run(ReplayInput::trace(&mut cluster, &trace, &mut IdentityResolver), CoreSel::Auto).unwrap();
+    let sharded = session.run(ReplayInput::trace(&mut cluster, &trace, &mut IdentityResolver), CoreSel::Sharded).unwrap();
     assert_identical(&serial, &sharded, "grid");
 
     let mut dt_serial = f64::MAX;
     let mut dt_sharded = f64::MAX;
     for _ in 0..10 {
         let t = Instant::now();
-        session.run(&mut cluster, &trace, &mut IdentityResolver).unwrap();
+        session.run(ReplayInput::trace(&mut cluster, &trace, &mut IdentityResolver), CoreSel::Auto).unwrap();
         dt_serial = dt_serial.min(t.elapsed().as_secs_f64());
         let t = Instant::now();
-        session.run_sharded(&mut cluster, &trace, &mut IdentityResolver).unwrap();
+        session.run(ReplayInput::trace(&mut cluster, &trace, &mut IdentityResolver), CoreSel::Sharded).unwrap();
         dt_sharded = dt_sharded.min(t.elapsed().as_secs_f64());
     }
     let n = trace.len() as f64;
@@ -126,7 +128,7 @@ fn streaming_case(servers: usize, procs: u32, reqs: usize, iters: usize) {
     for _ in 0..iters {
         let t = Instant::now();
         let r = session
-            .run_stream(&mut cluster, &mut ior::stream(&cfg), &mut IdentityResolver)
+            .run(ReplayInput::stream(&mut cluster, &mut ior::stream(&cfg), &mut IdentityResolver), CoreSel::Auto)
             .unwrap();
         dt = dt.min(t.elapsed().as_secs_f64());
         n = r.requests;
@@ -150,11 +152,11 @@ fn smoke() {
     let trace = generate(&cfg);
     let mut cluster = cluster_of(servers, (procs / 4) as usize);
     let mut session = ReplaySession::new();
-    let serial = session.run(&mut cluster, &trace, &mut IdentityResolver).unwrap();
-    let sharded = session.run_sharded(&mut cluster, &trace, &mut IdentityResolver).unwrap();
+    let serial = session.run(ReplayInput::trace(&mut cluster, &trace, &mut IdentityResolver), CoreSel::Auto).unwrap();
+    let sharded = session.run(ReplayInput::trace(&mut cluster, &trace, &mut IdentityResolver), CoreSel::Sharded).unwrap();
     assert_identical(&serial, &sharded, "smoke");
     let streamed = session
-        .run_stream(&mut cluster, &mut ior::stream(&cfg), &mut IdentityResolver)
+        .run(ReplayInput::stream(&mut cluster, &mut ior::stream(&cfg), &mut IdentityResolver), CoreSel::Auto)
         .unwrap();
     assert_identical(&serial, &streamed, "smoke stream");
     println!("[smoke] identity: serial == sharded == streamed on {} records", trace.len());

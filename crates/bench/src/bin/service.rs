@@ -1,0 +1,42 @@
+//! The multi-tenant layout-service study: eight tenants, each with its
+//! own online planner and lazy migrator over one shared store, under
+//! seeded open-loop arrivals on one shared cluster.
+//!
+//! ```text
+//! cargo run --release -p mha-bench --bin service            # full study
+//! cargo run --release -p mha-bench --bin service -- --smoke # CI gate
+//! ```
+//!
+//! The full study writes `results/BENCH_service.json` (sustained
+//! aggregate MB/s plus p50/p95/p99 completion latency per tenant over
+//! 64 interleaved jobs). Both modes assert the service's properties:
+//! the same seed reproduces the run bit-for-bit, co-tenants never
+//! perturb a tenant's replay reports, and a 1-tenant service is
+//! bit-identical to a plain streaming replay.
+
+use mha_bench::online::figures_json;
+use mha_bench::service::study;
+use mha_bench::workloads::Scale;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Quick } else { Scale::Full };
+    let s = study(scale);
+    for fig in &s.figures {
+        println!("{fig}");
+    }
+    println!(
+        "{} tenants | {} jobs completed, {} rejected | {:.1} MB/s aggregate",
+        s.tenants, s.jobs, s.rejected, s.aggregate_mbps
+    );
+    if smoke {
+        println!("smoke ok");
+    } else {
+        assert!(s.jobs >= 64, "full study must complete >= 64 jobs, got {}", s.jobs);
+        std::fs::create_dir_all("results").expect("create results dir");
+        let path = "results/BENCH_service.json";
+        let json = figures_json(&s.figures).expect("study figures are finite");
+        std::fs::write(path, json).expect("write results");
+        println!("wrote {path}");
+    }
+}

@@ -8,8 +8,8 @@ use mha_core::redirect::NullRedirectResolver;
 use mha_core::schemes::{Evaluation, PlannerContext, Scheme};
 use mha_core::CostParams;
 use pfs_sim::{
-    Cluster, ClusterConfig, DeviceProfile, FaultPlan, IdentityResolver, ReplayReport,
-    ReplaySchedule, ReplaySession,
+    Cluster, ClusterConfig, CoreSel, DeviceProfile, FaultPlan, IdentityResolver, ReplayInput,
+    ReplayReport, ReplaySchedule, ReplaySession,
 };
 use rayon::prelude::*;
 use storage_model::IoOp;
@@ -373,12 +373,12 @@ pub fn fig14(scale: Scale) -> Figure {
         let trace = workloads::ior_overhead(procs, IoOp::Write, scale);
         let mut c1 = Cluster::new(cluster.clone());
         let direct = session
-            .run(&mut c1, &trace, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c1, &trace, &mut IdentityResolver), CoreSel::Auto)
             .expect("fault-free replay cannot fail");
         let mut c2 = Cluster::new(cluster.clone());
         let mut null = NullRedirectResolver::with_default_cost();
         let redirect = session
-            .run(&mut c2, &trace, &mut null)
+            .run(ReplayInput::trace(&mut c2, &trace, &mut null), CoreSel::Auto)
             .expect("fault-free replay cannot fail");
         let d = direct.bandwidth_mbps();
         let r = redirect.bandwidth_mbps();
@@ -559,7 +559,7 @@ pub fn ablations(scale: Scale) -> Vec<Figure> {
             ctx.lookup_cost = simrt::SimDuration::from_micros(5);
             let mut resolver = plan.make_resolver(ctx.lookup_cost);
             ReplaySession::new()
-                .run(&mut c, trace, resolver.as_mut())
+                .run(ReplayInput::trace(&mut c, trace, resolver.as_mut()), CoreSel::Auto)
                 .expect("fault-free replay cannot fail")
                 .bandwidth_mbps()
         };

@@ -20,6 +20,7 @@
 //! | `ovh` | DRT meta-data space overhead (§V-E.2) |
 //! | `fault` | degraded-cluster robustness: schemes × fault scenarios |
 //! | `online` | plan-while-running vs plan-then-rerun on a phase shift |
+//! | `service` | multi-tenant layout service under open-loop arrivals |
 //!
 //! Run `cargo run -p mha-bench --release --bin figures -- all` (add
 //! `--quick` for smaller workloads). Criterion micro-benches live in
@@ -28,6 +29,7 @@
 pub mod experiments;
 pub mod online;
 pub mod report;
+pub mod service;
 pub mod workloads;
 
 pub use report::{FigRow, Figure};

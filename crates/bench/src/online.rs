@@ -35,7 +35,10 @@ use iotrace::gen::skewed::{self, SkewedConfig};
 use iotrace::{Trace, TraceBatches, TraceRecord, WindowConfig, WindowedSource};
 use mha_core::schemes::{LayoutPlanner, MhaPlanner, PlanResolver};
 use mha_core::{DrtResolver, LazyMigrator, OnlineConfig, OnlinePlanner, PipelineStore, Replan};
-use pfs_sim::{Cluster, ClusterConfig, IdentityResolver, LayoutSpec, ReplaySession, Resolver};
+use pfs_sim::{
+    Cluster, ClusterConfig, CoreSel, IdentityResolver, LayoutSpec, ReplayInput, ReplaySession,
+    Resolver,
+};
 use simrt::SimDuration;
 use std::time::Instant;
 use storage_model::IoOp;
@@ -117,7 +120,7 @@ fn replay_windows(
             cluster.mds_mut().set_layout(*file, layout.clone());
         }
         let report = session
-            .run(&mut cluster, &wtrace, resolver)
+            .run(ReplayInput::trace(&mut cluster, &wtrace, resolver), CoreSel::Auto)
             .expect("fault-free replay cannot fail");
         clock += report.makespan.as_secs_f64();
         points.push(WindowPoint { end_s: clock, mbps: report.bandwidth_mbps(), first_phase });
@@ -189,17 +192,17 @@ pub fn study(scale: Scale) -> OnlineStudy {
         std::env::temp_dir().join(format!("mha-online-{}", std::process::id()));
     let _ = std::fs::remove_file(&store_path);
     let store = PipelineStore::open(&store_path).expect("open online store");
-    let online_cfg = OnlineConfig {
+    let online_cfg = OnlineConfig::builder()
         // Migrate 16 MiB neighborhoods — the workload's region size:
         // each rank's hot region is one block, so a couple of profiled
         // hits cover the whole span the rank keeps sampling, while the
         // Zipf tail never clears the heat gate.
-        coverage_block: 16 << 20,
+        .coverage_block(16 << 20)
         // A block has to earn its copy: one-hit Zipf-tail blocks stay
         // in the original file at the default layout.
-        coverage_min_hits: 2,
-        ..OnlineConfig::default()
-    };
+        .coverage_min_hits(2)
+        .build()
+        .expect("static online config is valid");
     let mut planner = OnlinePlanner::new(ctx.clone(), online_cfg);
     let mut migrator =
         LazyMigrator::new(&store, mha_core::Drt::new(), &cluster_cfg, LOOKUP);
@@ -227,7 +230,7 @@ pub fn study(scale: Scale) -> OnlineStudy {
                 cluster.mds_mut().set_layout(*file, layout.clone());
             }
             let report = session
-                .run(&mut cluster, &wtrace, &mut migrator)
+                .run(ReplayInput::trace(&mut cluster, &wtrace, &mut migrator), CoreSel::Auto)
                 .expect("fault-free replay cannot fail");
             migrator.check().expect("online store never killed");
             clock += report.makespan.as_secs_f64();
@@ -389,13 +392,51 @@ fn time_to_threshold(points: &[WindowPoint], threshold: f64, t0: f64) -> f64 {
         .unwrap_or_else(|| points.last().expect("nonempty trajectory").end_s - t0)
 }
 
+/// A figure the hand-rolled JSON encoder cannot represent (a NaN or
+/// infinite value — JSON has no spelling for either).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiguresJsonError {
+    /// The offending figure's id.
+    pub figure: String,
+    /// The row label holding the bad value.
+    pub row: String,
+    /// The value itself.
+    pub value: f64,
+}
+
+impl std::fmt::Display for FiguresJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "figure {:?} row {:?} holds {}, which JSON cannot represent",
+            self.figure, self.row, self.value
+        )
+    }
+}
+
+impl std::error::Error for FiguresJsonError {}
+
 /// Hand-rolled JSON for the results file: the offline build links a
 /// typecheck-only serde_json stand-in whose encoder errors at runtime,
-/// so [`Figure::to_json`] is unavailable here. Labels and titles are
-/// ASCII we control; only quotes and backslashes are escaped.
-pub fn figures_json(figs: &[Figure]) -> String {
+/// so [`Figure::to_json`] is unavailable here. Strings are escaped per
+/// RFC 8259 (quotes, backslashes, and control characters); non-finite
+/// values are rejected rather than emitted as the invalid tokens
+/// `NaN` / `inf`.
+pub fn figures_json(figs: &[Figure]) -> Result<String, FiguresJsonError> {
     fn esc(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"")
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
     }
     let mut out = String::from("[\n");
     for (fi, f) in figs.iter().enumerate() {
@@ -408,7 +449,17 @@ pub fn figures_json(figs: &[Figure]) -> String {
         out.push_str(&format!("    \"unit\": \"{}\",\n", esc(&f.unit)));
         out.push_str("    \"rows\": [\n");
         for (ri, row) in f.rows.iter().enumerate() {
-            let vals: Vec<String> = row.values.iter().map(|v| format!("{v}")).collect();
+            let mut vals = Vec::with_capacity(row.values.len());
+            for &v in &row.values {
+                if !v.is_finite() {
+                    return Err(FiguresJsonError {
+                        figure: f.id.clone(),
+                        row: row.label.clone(),
+                        value: v,
+                    });
+                }
+                vals.push(format!("{v}"));
+            }
             out.push_str(&format!(
                 "      {{ \"label\": \"{}\", \"values\": [{}] }}{}\n",
                 esc(&row.label),
@@ -420,7 +471,7 @@ pub fn figures_json(figs: &[Figure]) -> String {
         out.push_str(if fi + 1 < figs.len() { "  },\n" } else { "  }\n" });
     }
     out.push_str("]\n");
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -456,10 +507,33 @@ mod tests {
     fn figures_json_is_wellformed_enough_to_round_trip_counts() {
         let mut f = Figure::new("x", "a \"quoted\" title", &["s1", "s2"], "MB/s");
         f.push_row("r1", vec![1.0, 2.5]);
-        let json = figures_json(&[f]);
+        let json = figures_json(&[f]).expect("finite values encode");
         assert!(json.contains("\\\"quoted\\\""));
         assert_eq!(json.matches("\"label\"").count(), 1);
         assert_eq!(json.matches("\"id\"").count(), 1);
+    }
+
+    #[test]
+    fn figures_json_escapes_control_characters() {
+        let mut f = Figure::new("x", "line\nbreak\ttab", &["s\\1"], "MB/s");
+        f.push_row("ctrl\u{1}", vec![1.0]);
+        let json = figures_json(&[f]).expect("encodes");
+        assert!(json.contains("line\\nbreak\\ttab"), "{json}");
+        assert!(json.contains("s\\\\1"), "{json}");
+        assert!(json.contains("ctrl\\u0001"), "{json}");
+        assert!(!json.contains('\u{1}'), "raw control byte leaked: {json}");
+    }
+
+    #[test]
+    fn figures_json_rejects_non_finite_values() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut f = Figure::new("fig", "t", &["s1", "s2"], "MB/s");
+            f.push_row("row", vec![1.0, bad]);
+            let err = figures_json(&[f]).expect_err("non-finite must not encode");
+            assert_eq!(err.figure, "fig");
+            assert_eq!(err.row, "row");
+            assert!(err.to_string().contains("JSON cannot represent"), "{err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! The multi-tenant layout-service study (`BENCH_service`).
+//!
+//! Drives a [`pfs_sim::LayoutService`] hosting eight tenants, each
+//! running the full per-tenant MHA stack ([`mha_core::TenantPipeline`]:
+//! online planner + lazy migrator over one shared [`PipelineStore`]),
+//! under seeded open-loop arrivals on one shared cluster. The study
+//! reports sustained aggregate bandwidth and per-tenant completion
+//! latency percentiles, and asserts the service's three headline
+//! properties on every run:
+//!
+//! 1. **Determinism** — the same seed reproduces the whole schedule and
+//!    every job report bit-for-bit.
+//! 2. **Isolation** — a tenant's per-job replay reports are identical
+//!    whether it runs alone or among seven co-tenants.
+//! 3. **Degeneracy** — a 1-tenant service run of a single job is
+//!    bit-identical to a plain streaming replay of the same trace.
+
+use crate::report::Figure;
+use crate::workloads::Scale;
+use iotrace::gen::skewed::{self, SkewedConfig};
+use iotrace::{TenantId, Trace, TraceBatches};
+use mha_core::{OnlineConfig, PipelineStore, TenantPipeline};
+use pfs_sim::{
+    Cluster, ClusterConfig, CoreSel, IdentityResolver, LayoutService, NullRuntime, ReplayInput,
+    ReplayReport, ReplaySession, ServiceConfig, ServiceReport,
+};
+use storage_model::IoOp;
+
+/// Arrival-process seed for the published figures.
+const SEED: u64 = 0x5e71_1ce5;
+
+/// Tenants in the service run (the acceptance floor).
+const TENANTS: u32 = 8;
+
+/// What the study measured, plus the acceptance facts the smoke gate
+/// asserts (the property assertions themselves run inside [`study`]).
+pub struct ServiceStudy {
+    /// The figures written to `results/BENCH_service.json`.
+    pub figures: Vec<Figure>,
+    /// Jobs admitted and completed across all tenants.
+    pub jobs: usize,
+    /// Jobs shed by the per-tenant admission bound.
+    pub rejected: usize,
+    /// Tenants served.
+    pub tenants: usize,
+    /// Sustained aggregate bandwidth over the service makespan, MB/s.
+    pub aggregate_mbps: f64,
+}
+
+/// Tenant `t`'s `job`-th trace: a skewed workload whose request size
+/// cycles with the tenant (so co-tenants genuinely differ) and whose
+/// hot set drifts across a tenant's own jobs (so pipelines replan).
+fn tenant_trace(t: u32, job: u32, scale: Scale) -> Trace {
+    let mut cfg =
+        SkewedConfig::default_run(if t.is_multiple_of(2) { IoOp::Read } else { IoOp::Write });
+    cfg.procs = 8;
+    cfg.phases = scale.reqs(8);
+    cfg.request_size = match (t + job) % 3 {
+        0 => 16 << 10,
+        1 => 64 << 10,
+        _ => 512 << 10,
+    };
+    cfg.seed = u64::from(t) * 1000 + u64::from(job) + 1;
+    skewed::generate(&cfg)
+}
+
+fn fresh_store(tag: &str) -> PipelineStore {
+    let p = std::env::temp_dir().join(format!("mha-bench-service-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    PipelineStore::open(p).expect("open service store")
+}
+
+/// One full service run: `tenants` pipelines over `store`, each
+/// submitting `jobs_per_tenant` jobs. The queue depth covers the whole
+/// submission so the published figures cover every job.
+fn run_service(
+    store: &PipelineStore,
+    tenants: &[u32],
+    jobs_per_tenant: u32,
+    scale: Scale,
+) -> ServiceReport {
+    let cluster_cfg = ClusterConfig::paper_default();
+    let mut cluster = Cluster::new(cluster_cfg.clone());
+    let cfg = ServiceConfig::new(SEED).queue_depth(jobs_per_tenant as usize);
+    let mut svc = LayoutService::new(&mut cluster, cfg);
+    for &t in tenants {
+        let pipe = TenantPipeline::new(store, TenantId(t), &cluster_cfg, OnlineConfig::default());
+        svc.add_tenant(TenantId(t), Box::new(pipe));
+        for job in 0..jobs_per_tenant {
+            svc.submit(TenantId(t), tenant_trace(t, job, scale));
+        }
+    }
+    svc.run().expect("fault-free service cannot fail")
+}
+
+/// One job's observable outcome as raw bits: tenant, seq, the three
+/// timestamps, bytes, requests, makespan.
+type JobBits = (u32, u32, u64, u64, u64, u64, usize, u64);
+
+/// Everything observable about one job, as raw bits: any divergence
+/// between two runs shows up here.
+fn fingerprint(r: &ServiceReport) -> Vec<JobBits> {
+    r.jobs
+        .iter()
+        .map(|j| {
+            (
+                j.tenant.0,
+                j.seq,
+                j.arrival.as_secs_f64().to_bits(),
+                j.start.as_secs_f64().to_bits(),
+                j.completion.as_secs_f64().to_bits(),
+                j.report.total_bytes,
+                j.report.requests,
+                j.report.makespan.as_secs_f64().to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn report_bits(r: &ReplayReport) -> (u64, u64, usize, u64, u64) {
+    (
+        r.makespan.as_secs_f64().to_bits(),
+        r.total_bytes,
+        r.requests,
+        r.mds_lookups,
+        r.resolve_overhead.as_secs_f64().to_bits(),
+    )
+}
+
+/// Run the study. Asserts the determinism, isolation, and degeneracy
+/// properties (panicking on violation — the CI smoke gate), then
+/// summarizes the full-service run into figures.
+pub fn study(scale: Scale) -> ServiceStudy {
+    let jobs_per_tenant: u32 = match scale {
+        Scale::Full => 8,
+        Scale::Quick => 2,
+    };
+    let all: Vec<u32> = (1..=TENANTS).collect();
+
+    // -- determinism: same seed, fresh stores, bit-identical service --
+    let store_a = fresh_store("a");
+    let report = run_service(&store_a, &all, jobs_per_tenant, scale);
+    let store_b = fresh_store("b");
+    let rerun = run_service(&store_b, &all, jobs_per_tenant, scale);
+    assert_eq!(
+        fingerprint(&report),
+        fingerprint(&rerun),
+        "same seed must reproduce the service bit-for-bit"
+    );
+
+    // -- isolation: tenant 1 solo == tenant 1 among co-tenants --------
+    let store_solo = fresh_store("solo");
+    let solo = run_service(&store_solo, &[1], jobs_per_tenant, scale);
+    let solo_reports: Vec<_> = solo.jobs.iter().map(|j| (j.seq, report_bits(&j.report))).collect();
+    let with_cotenants: Vec<_> = report
+        .jobs
+        .iter()
+        .filter(|j| j.tenant == TenantId(1))
+        .map(|j| (j.seq, report_bits(&j.report)))
+        .collect();
+    assert_eq!(
+        solo_reports, with_cotenants,
+        "co-tenants must not perturb a tenant's replay reports"
+    );
+
+    // -- degeneracy: 1-tenant service == plain streaming replay -------
+    let trace = tenant_trace(0, 0, scale);
+    let service_run = {
+        let mut cluster = Cluster::new(ClusterConfig::paper_default());
+        let mut svc = LayoutService::new(&mut cluster, ServiceConfig::new(SEED));
+        svc.add_tenant(TenantId(0), Box::new(NullRuntime::new()));
+        svc.submit(TenantId(0), trace.clone());
+        let r = svc.run().expect("fault-free service cannot fail");
+        report_bits(&r.jobs[0].report)
+    };
+    let plain_run = {
+        let mut cluster = Cluster::new(ClusterConfig::paper_default());
+        let r = ReplaySession::new()
+            .run(
+                ReplayInput::stream(
+                    &mut cluster,
+                    &mut TraceBatches::new(&trace),
+                    &mut IdentityResolver,
+                ),
+                CoreSel::Sharded,
+            )
+            .expect("fault-free replay cannot fail");
+        report_bits(&r)
+    };
+    assert_eq!(
+        service_run, plain_run,
+        "a 1-tenant service must degenerate to a plain streaming replay"
+    );
+
+    // -- figures ------------------------------------------------------
+    let mut latency = Figure::new(
+        "service_latency",
+        "Per-tenant completion latency under open-loop arrivals",
+        &["p50", "p95", "p99"],
+        "s",
+    );
+    for t in &report.tenants {
+        latency.push_row(
+            format!("tenant {}", t.tenant.0),
+            vec![t.p50_latency, t.p95_latency, t.p99_latency],
+        );
+    }
+    let mut agg = Figure::new(
+        "service_aggregate",
+        "Service-wide totals",
+        &["value"],
+        "mixed",
+    );
+    let aggregate_mbps = report.aggregate_mbps();
+    agg.push_row("aggregate MB/s", vec![aggregate_mbps]);
+    agg.push_row("jobs completed", vec![report.jobs.len() as f64]);
+    agg.push_row("jobs rejected", vec![report.rejected as f64]);
+    agg.push_row("makespan s", vec![report.makespan.as_secs_f64()]);
+
+    ServiceStudy {
+        figures: vec![latency, agg],
+        jobs: report.jobs.len(),
+        rejected: report.rejected,
+        tenants: report.tenants.len(),
+        aggregate_mbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_study_smoke_holds_its_properties_and_shape() {
+        let s = study(Scale::Quick);
+        assert_eq!(s.tenants, TENANTS as usize);
+        assert_eq!(s.jobs, (TENANTS * 2) as usize, "quick run admits every job");
+        assert!(s.aggregate_mbps > 0.0);
+        assert_eq!(s.figures.len(), 2);
+        assert_eq!(s.figures[0].rows.len(), TENANTS as usize);
+    }
+}

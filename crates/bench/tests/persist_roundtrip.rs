@@ -9,7 +9,7 @@
 use mha_bench::workloads::{self, Scale};
 use mha_core::persist::PipelineStore;
 use mha_core::schemes::{apply_plan, Plan, PlannerContext, Scheme};
-use pfs_sim::{Cluster, ClusterConfig, ReplayReport, ReplaySession};
+use pfs_sim::{Cluster, ClusterConfig, CoreSel, ReplayInput, ReplayReport, ReplaySession};
 use std::path::PathBuf;
 use storage_model::IoOp;
 
@@ -69,7 +69,7 @@ fn replay_plan(
     apply_plan(&mut cluster, plan);
     let mut resolver = plan.make_resolver(ctx.lookup_cost);
     ReplaySession::new()
-        .run(&mut cluster, trace, resolver.as_mut())
+        .run(ReplayInput::trace(&mut cluster, trace, resolver.as_mut()), CoreSel::Auto)
         .expect("fault-free replay cannot fail")
 }
 

@@ -26,6 +26,7 @@ pub mod batch;
 pub mod collector;
 pub mod error;
 pub mod gen;
+pub mod mux;
 pub mod record;
 pub mod stats;
 pub mod trace;
@@ -36,7 +37,8 @@ pub use analyze::{analyze, is_predictable, SpatialPattern, StreamPattern};
 pub use batch::{materialize, BatchSource, RecordBatch, TraceBatches};
 pub use collector::Collector;
 pub use error::TraceError;
-pub use record::{FileId, Rank, TraceRecord};
+pub use mux::{window_in_namespace, WindowMux};
+pub use record::{FileId, Rank, TenantId, TraceRecord};
 pub use stats::TraceStats;
 pub use trace::Trace;
 pub use window::{Window, WindowConfig, WindowStats, WindowedSource};

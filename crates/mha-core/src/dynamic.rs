@@ -41,7 +41,8 @@ use crate::schemes::{apply_plan, LayoutPlanner, MhaPlanner, Plan, PlanResolver, 
 use iotrace::record::Rank;
 use iotrace::{Trace, TraceRecord, TraceStats};
 use pfs_sim::{
-    Cluster, ClusterConfig, IdentityResolver, ReplayReport, ReplaySession, Resolution, Resolver,
+    Cluster, ClusterConfig, CoreSel, IdentityResolver, ReplayInput, ReplayReport, ReplaySession,
+    Resolution, Resolver,
 };
 use simrt::{SimDuration, SimTime};
 use storage_model::IoOp;
@@ -260,9 +261,9 @@ fn run_dynamic_inner(
             Some(st) => {
                 let mut resolver =
                     OnlineResolver { state: st, lookup: ctx.lookup_cost, appended_bytes: 0 };
-                session.run(&mut cluster, epoch_trace, &mut resolver)
+                session.run(ReplayInput::trace(&mut cluster, epoch_trace, &mut resolver), CoreSel::Auto)
             }
-            None => session.run(&mut cluster, epoch_trace, &mut IdentityResolver),
+            None => session.run(ReplayInput::trace(&mut cluster, epoch_trace, &mut IdentityResolver), CoreSel::Auto),
         }
         .expect("unscheduled fault-free replay cannot fail");
         observed.extend_from_slice(epoch_trace.records());
@@ -581,7 +582,7 @@ fn migrate(
     apply_plan(&mut cluster, new_plan);
 
     let rep = ReplaySession::new()
-        .run(&mut cluster, &migration_trace, &mut IdentityResolver)
+        .run(ReplayInput::trace(&mut cluster, &migration_trace, &mut IdentityResolver), CoreSel::Auto)
         .expect("unscheduled fault-free replay cannot fail");
     (bytes, rep.makespan)
 }
@@ -664,7 +665,7 @@ fn migrate_durable(
             }
             apply_plan(&mut cluster, new_plan);
             let rep = ReplaySession::new()
-                .run(&mut cluster, &migration_trace, &mut IdentityResolver)
+                .run(ReplayInput::trace(&mut cluster, &migration_trace, &mut IdentityResolver), CoreSel::Auto)
                 .expect("unscheduled fault-free replay cannot fail");
             time += rep.makespan;
         }
@@ -731,7 +732,7 @@ pub struct PendingRedirect {
 /// error the resolver stops touching the store, mimicking a killed
 /// process.
 pub struct LazyMigrator<'a> {
-    store: &'a PipelineStore,
+    store: crate::persist::TenantStore<'a>,
     published: Drt,
     pending: Vec<PendingRedirect>,
     /// Per original file: `o_offset -> (length, index into pending)`
@@ -760,11 +761,26 @@ impl<'a> LazyMigrator<'a> {
         cluster: &ClusterConfig,
         lookup: SimDuration,
     ) -> Self {
+        Self::for_tenant(store, iotrace::TenantId(0), base, cluster, lookup)
+    }
+
+    /// [`LazyMigrator::new`], journaling into `tenant`'s namespace of a
+    /// shared store. Each tenant's intents and commits live under their
+    /// own journal keys, so concurrent tenants on one WAL recover
+    /// independently ([`crate::persist::recover_tenant`]). Tenant 0 is
+    /// byte-identical to [`LazyMigrator::new`].
+    pub fn for_tenant(
+        store: &'a PipelineStore,
+        tenant: iotrace::TenantId,
+        base: Drt,
+        cluster: &ClusterConfig,
+        lookup: SimDuration,
+    ) -> Self {
         let per_byte = 1.0 / cluster.hdd.transfer_bps
             + 1.0 / cluster.link.bandwidth_bps
             + 1.0 / cluster.ssd.write_bps;
         LazyMigrator {
-            store,
+            store: store.tenant(tenant),
             published: base,
             pending: Vec::new(),
             index: std::collections::HashMap::new(),
@@ -986,7 +1002,7 @@ pub fn run_lazy_durable(
         cluster.mds_mut().set_layout(*file, layout.clone());
     }
     let report = ReplaySession::new()
-        .run(&mut cluster, trace, &mut migrator)
+        .run(ReplayInput::trace(&mut cluster, trace, &mut migrator), CoreSel::Auto)
         .expect("unscheduled fault-free replay cannot fail");
     migrator.check()?;
     migrator.drain()?;
@@ -1358,7 +1374,7 @@ mod tests {
         let touched = &to_migrate[..4];
         let mut cluster_sim = Cluster::new(cluster.clone());
         ReplaySession::new()
-            .run(&mut cluster_sim, &access_trace(touched), &mut mig)
+            .run(ReplayInput::trace(&mut cluster_sim, &access_trace(touched), &mut mig), CoreSel::Auto)
             .expect("replay");
         mig.check().expect("no store error");
         assert_eq!(mig.on_access_migrations(), 4);

@@ -23,7 +23,10 @@
 //!   centroid-seeded incremental regrouping with per-group RSSD reuse,
 //! * [`dynamic`] — epoch-driven dynamic optimization and the lazy
 //!   on-access migrator ([`dynamic::LazyMigrator`]) that defers each
-//!   journaled extent copy to its first replayed access.
+//!   journaled extent copy to its first replayed access,
+//! * [`tenant`] — the per-tenant pipeline ([`tenant::TenantPipeline`])
+//!   packaging planner + migrator as a [`pfs_sim::TenantRuntime`] for
+//!   the multi-tenant [`pfs_sim::LayoutService`].
 //!
 //! The intended flow (the paper's five phases):
 //!
@@ -48,15 +51,20 @@ pub mod redirect;
 pub mod region;
 pub mod rssd;
 pub mod schemes;
+pub mod tenant;
 
 pub use cost::{CostParams, ReqView};
 pub use dynamic::{
     run_dynamic, run_dynamic_durable, run_lazy_durable, DynamicConfig, DynamicReport,
     LazyMigrator, PendingRedirect,
 };
-pub use online::{OnlineConfig, OnlinePlanner, Replan, ReplanStats, WindowSig};
+pub use online::{
+    OnlineConfig, OnlineConfigBuilder, OnlineConfigError, OnlinePlanner, Replan, ReplanStats,
+    WindowSig,
+};
 pub use persist::{
-    recover, CommitPoint, KillSwitch, PersistError, PipelineStore, RecoveryOutcome,
+    recover, recover_tenant, CommitPoint, KillSwitch, PersistError, PipelineStore,
+    RecoveryOutcome, TenantStore,
 };
 pub use grouping::{
     group_requests, group_requests_parallel, group_requests_seeded, group_requests_serial,
@@ -69,3 +77,4 @@ pub use rssd::{
     region_cost, region_cost_bounded, rssd, CostScratch, RssdConfig, RssdResult, StripePair,
 };
 pub use schemes::{apply_plan, Evaluation, LayoutPlanner, Plan, PlanResolver, PlannerContext, Scheme};
+pub use tenant::TenantPipeline;

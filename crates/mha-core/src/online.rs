@@ -44,17 +44,22 @@ use crate::schemes::{Plan, PlanResolver, PlannerContext, Scheme};
 use iotrace::{Trace, TraceStats, WindowStats};
 
 /// Thresholds steering the online loop.
+///
+/// Construct with [`OnlineConfig::builder`]; the defaults
+/// ([`OnlineConfig::default`]) match the dynamic optimizer's. Fields
+/// are validated at [`OnlineConfigBuilder::build`] so a planner never
+/// sees a NaN threshold or a zero-byte coverage block.
 #[derive(Debug, Clone)]
 pub struct OnlineConfig {
     /// Relative movement of any signature component (mean request,
     /// size CV, peak concurrency) past which a window is *drifted* and
     /// triggers a replan. Matches the dynamic optimizer's default.
-    pub drift_threshold: f64,
+    drift_threshold: f64,
     /// Normalized Eq. 1 distance below which a group's centroid is
     /// considered unmoved and its cached stripe pair is reused.
-    pub center_tolerance: f64,
+    center_tolerance: f64,
     /// Relative byte-load change below which pair reuse is allowed.
-    pub load_tolerance: f64,
+    load_tolerance: f64,
     /// Unit of lazy migration, bytes: every migrated extent is rounded
     /// outward to this block in the *original* file, so a plan built
     /// from one window's sample redirects the whole spatial
@@ -63,13 +68,13 @@ pub struct OnlineConfig {
     /// `1` migrates exactly the profiled byte ranges (the offline
     /// planner's behavior, appropriate when the replayed trace is the
     /// profiled trace).
-    pub coverage_block: u64,
+    coverage_block: u64,
     /// Minimum profiled accesses a coverage block needs before it is
     /// migrated (only meaningful with `coverage_block > 1`). Zipf-tail
     /// blocks seen once in a window rarely earn their copy back —
     /// leaving them in place keeps lazy-migration traffic proportional
     /// to the *hot* set. `1` migrates every profiled block.
-    pub coverage_min_hits: u32,
+    coverage_min_hits: u32,
 }
 
 impl Default for OnlineConfig {
@@ -81,6 +86,128 @@ impl Default for OnlineConfig {
             coverage_block: 1,
             coverage_min_hits: 1,
         }
+    }
+}
+
+impl OnlineConfig {
+    /// A builder seeded with the validated defaults.
+    pub fn builder() -> OnlineConfigBuilder {
+        OnlineConfigBuilder { cfg: OnlineConfig::default() }
+    }
+
+    /// Drift-trigger threshold (relative signature movement).
+    pub fn drift_threshold(&self) -> f64 {
+        self.drift_threshold
+    }
+
+    /// Centroid-distance tolerance for stripe-pair reuse.
+    pub fn center_tolerance(&self) -> f64 {
+        self.center_tolerance
+    }
+
+    /// Byte-load change tolerance for stripe-pair reuse.
+    pub fn load_tolerance(&self) -> f64 {
+        self.load_tolerance
+    }
+
+    /// Lazy-migration coverage block, bytes.
+    pub fn coverage_block(&self) -> u64 {
+        self.coverage_block
+    }
+
+    /// Minimum profiled hits before a coverage block migrates.
+    pub fn coverage_min_hits(&self) -> u32 {
+        self.coverage_min_hits
+    }
+}
+
+/// Rejected [`OnlineConfigBuilder`] input, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OnlineConfigError(String);
+
+impl std::fmt::Display for OnlineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid online config: {}", self.0)
+    }
+}
+
+impl std::error::Error for OnlineConfigError {}
+
+/// Builder for [`OnlineConfig`]. Every setter overwrites a default;
+/// [`build`](OnlineConfigBuilder::build) validates the combination.
+#[derive(Debug, Clone)]
+pub struct OnlineConfigBuilder {
+    cfg: OnlineConfig,
+}
+
+impl OnlineConfigBuilder {
+    /// Relative signature movement past which a window replans.
+    #[must_use]
+    pub fn drift_threshold(mut self, v: f64) -> Self {
+        self.cfg.drift_threshold = v;
+        self
+    }
+
+    /// Normalized centroid distance below which pairs are reused.
+    #[must_use]
+    pub fn center_tolerance(mut self, v: f64) -> Self {
+        self.cfg.center_tolerance = v;
+        self
+    }
+
+    /// Relative byte-load change below which pairs are reused.
+    #[must_use]
+    pub fn load_tolerance(mut self, v: f64) -> Self {
+        self.cfg.load_tolerance = v;
+        self
+    }
+
+    /// Lazy-migration coverage block, bytes (`1` = exact extents).
+    #[must_use]
+    pub fn coverage_block(mut self, v: u64) -> Self {
+        self.cfg.coverage_block = v;
+        self
+    }
+
+    /// Minimum profiled hits before a coverage block migrates.
+    #[must_use]
+    pub fn coverage_min_hits(mut self, v: u32) -> Self {
+        self.cfg.coverage_min_hits = v;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<OnlineConfig, OnlineConfigError> {
+        let c = self.cfg;
+        if !(c.drift_threshold.is_finite() && c.drift_threshold > 0.0) {
+            return Err(OnlineConfigError(format!(
+                "drift_threshold must be finite and positive, got {}",
+                c.drift_threshold
+            )));
+        }
+        if !(c.center_tolerance.is_finite() && c.center_tolerance >= 0.0) {
+            return Err(OnlineConfigError(format!(
+                "center_tolerance must be finite and non-negative, got {}",
+                c.center_tolerance
+            )));
+        }
+        if !(c.load_tolerance.is_finite() && c.load_tolerance >= 0.0) {
+            return Err(OnlineConfigError(format!(
+                "load_tolerance must be finite and non-negative, got {}",
+                c.load_tolerance
+            )));
+        }
+        if c.coverage_block == 0 {
+            return Err(OnlineConfigError(
+                "coverage_block must be at least 1 byte (1 = exact extents)".into(),
+            ));
+        }
+        if c.coverage_min_hits == 0 {
+            return Err(OnlineConfigError(
+                "coverage_min_hits must be at least 1 (1 = migrate every profiled block)".into(),
+            ));
+        }
+        Ok(c)
     }
 }
 
@@ -495,7 +622,7 @@ mod tests {
     #[test]
     fn coverage_block_widens_migrated_extents_without_distorting_regions() {
         let exact = OnlineConfig::default();
-        let block = OnlineConfig { coverage_block: 1 << 20, ..OnlineConfig::default() };
+        let block = OnlineConfig::builder().coverage_block(1 << 20).build().unwrap();
         let t = skewed_trace(64 << 10, 8, 5);
         let sig = WindowSig::from(&TraceStats::of(&t));
         let plan_of = |cfg: OnlineConfig| {
@@ -540,6 +667,43 @@ mod tests {
             }
         }
         assert!(planner.stats.replans >= 2);
+    }
+
+    #[test]
+    fn builder_defaults_round_trip_and_bad_inputs_are_rejected() {
+        let built = OnlineConfig::builder().build().unwrap();
+        let dflt = OnlineConfig::default();
+        assert_eq!(built.drift_threshold(), dflt.drift_threshold());
+        assert_eq!(built.center_tolerance(), dflt.center_tolerance());
+        assert_eq!(built.load_tolerance(), dflt.load_tolerance());
+        assert_eq!(built.coverage_block(), dflt.coverage_block());
+        assert_eq!(built.coverage_min_hits(), dflt.coverage_min_hits());
+
+        let custom = OnlineConfig::builder()
+            .drift_threshold(0.1)
+            .center_tolerance(0.2)
+            .load_tolerance(0.3)
+            .coverage_block(16 << 20)
+            .coverage_min_hits(2)
+            .build()
+            .unwrap();
+        assert_eq!(custom.drift_threshold(), 0.1);
+        assert_eq!(custom.coverage_block(), 16 << 20);
+        assert_eq!(custom.coverage_min_hits(), 2);
+
+        for bad in [
+            OnlineConfig::builder().drift_threshold(0.0),
+            OnlineConfig::builder().drift_threshold(f64::NAN),
+            OnlineConfig::builder().drift_threshold(f64::INFINITY),
+            OnlineConfig::builder().center_tolerance(-0.1),
+            OnlineConfig::builder().center_tolerance(f64::NAN),
+            OnlineConfig::builder().load_tolerance(-1.0),
+            OnlineConfig::builder().coverage_block(0),
+            OnlineConfig::builder().coverage_min_hits(0),
+        ] {
+            let err = bad.build().expect_err("invalid config must not build");
+            assert!(err.to_string().starts_with("invalid online config: "), "{err}");
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@
 
 use crate::region::{Drt, DrtEntry, Rst};
 use crate::schemes::{Plan, PlanResolver, Scheme};
-use iotrace::FileId;
+use iotrace::{FileId, TenantId};
 use kvstore::codec::crc32;
 use kvstore::{Store, StoreOptions};
 use pfs_sim::{FaultPlan, LayoutSpec};
@@ -264,40 +264,70 @@ fn le_u64(b: &[u8]) -> Option<u64> {
 }
 
 // ---------------------------------------------------------------- keys --
+//
+// Every pipeline key optionally carries a tenant namespace prefix
+// `t<ns-le32>:`. Namespace 0 (the legacy / single-tenant namespace)
+// writes the pre-tenancy key bytes verbatim, so stores written before
+// tenancy existed keep loading unchanged, and a tenant-0 store stays
+// byte-identical to a legacy one. No legacy key starts with `t`, so the
+// namespaces can never collide with the flat key space.
 
-fn drt_gen_prefix(gen: u64) -> Vec<u8> {
-    let mut k = Vec::with_capacity(14);
+fn ns_prefix(ns: u32) -> Vec<u8> {
+    if ns == 0 {
+        return Vec::new();
+    }
+    let mut k = Vec::with_capacity(6);
+    k.push(b't');
+    k.extend_from_slice(&ns.to_le_bytes());
+    k.push(b':');
+    k
+}
+
+fn commit_key(ns: u32) -> Vec<u8> {
+    let mut k = ns_prefix(ns);
+    k.extend_from_slice(COMMIT_KEY);
+    k
+}
+
+fn drt_gen_prefix(ns: u32, gen: u64) -> Vec<u8> {
+    let mut k = ns_prefix(ns);
     k.extend_from_slice(b"pdrt:");
     k.extend_from_slice(&gen.to_le_bytes());
     k.push(b':');
     k
 }
 
-fn drt_entry_key(gen: u64, o_file: FileId, o_offset: u64) -> Vec<u8> {
-    let mut k = drt_gen_prefix(gen);
+fn drt_entry_key(ns: u32, gen: u64, o_file: FileId, o_offset: u64) -> Vec<u8> {
+    let mut k = drt_gen_prefix(ns, gen);
     k.extend_from_slice(&o_file.0.to_le_bytes());
     k.extend_from_slice(&o_offset.to_le_bytes());
     k
 }
 
-fn rst_gen_prefix(gen: u64) -> Vec<u8> {
-    let mut k = Vec::with_capacity(14);
+fn rst_gen_prefix(ns: u32, gen: u64) -> Vec<u8> {
+    let mut k = ns_prefix(ns);
     k.extend_from_slice(b"prst:");
     k.extend_from_slice(&gen.to_le_bytes());
     k.push(b':');
     k
 }
 
-fn rst_entry_key(gen: u64, file: FileId) -> Vec<u8> {
-    let mut k = rst_gen_prefix(gen);
+fn rst_entry_key(ns: u32, gen: u64, file: FileId) -> Vec<u8> {
+    let mut k = rst_gen_prefix(ns, gen);
     k.extend_from_slice(&file.0.to_le_bytes());
     k
 }
 
-fn meta_key(gen: u64) -> Vec<u8> {
-    let mut k = Vec::with_capacity(14);
+fn meta_key(ns: u32, gen: u64) -> Vec<u8> {
+    let mut k = ns_prefix(ns);
     k.extend_from_slice(b"pmeta:");
     k.extend_from_slice(&gen.to_le_bytes());
+    k
+}
+
+fn table_prefix(ns: u32, table: &[u8]) -> Vec<u8> {
+    let mut k = ns_prefix(ns);
+    k.extend_from_slice(table);
     k
 }
 
@@ -308,8 +338,8 @@ fn fault_key(name: &str) -> Vec<u8> {
     k
 }
 
-fn journal_key(batch: u32, idx: u32) -> Vec<u8> {
-    let mut k = Vec::with_capacity(13);
+fn journal_key(ns: u32, batch: u32, idx: u32) -> Vec<u8> {
+    let mut k = ns_prefix(ns);
     k.extend_from_slice(b"mig:");
     k.extend_from_slice(&batch.to_le_bytes());
     k.push(b':');
@@ -317,8 +347,8 @@ fn journal_key(batch: u32, idx: u32) -> Vec<u8> {
     k
 }
 
-fn journal_commit_key(batch: u32) -> Vec<u8> {
-    let mut k = Vec::with_capacity(9);
+fn journal_commit_key(ns: u32, batch: u32) -> Vec<u8> {
+    let mut k = ns_prefix(ns);
     k.extend_from_slice(b"migc:");
     k.extend_from_slice(&batch.to_le_bytes());
     k
@@ -424,13 +454,21 @@ impl PipelineStore {
         Ok(())
     }
 
+    /// The view of `tenant`'s namespace within this store. Tenant 0 is
+    /// the legacy namespace: its view reads and writes exactly the keys
+    /// the un-namespaced methods on `PipelineStore` do.
+    pub fn tenant(&self, tenant: TenantId) -> TenantStore<'_> {
+        TenantStore { store: self, ns: tenant.0 }
+    }
+
     // ------------------------------------------------------ generations --
 
-    fn committed(&self) -> Result<Option<Committed>, PersistError> {
-        let Some(raw) = self.store.get(COMMIT_KEY)? else { return Ok(None) };
-        let payload = unseal(COMMIT_KEY, TAG_COMMIT, &raw)?;
+    fn committed(&self, ns: u32) -> Result<Option<Committed>, PersistError> {
+        let ck = commit_key(ns);
+        let Some(raw) = self.store.get(&ck)? else { return Ok(None) };
+        let payload = unseal(&ck, TAG_COMMIT, &raw)?;
         if payload.len() != 25 {
-            return Err(corrupt(COMMIT_KEY, format!("commit record is {} bytes", payload.len())));
+            return Err(corrupt(&ck, format!("commit record is {} bytes", payload.len())));
         }
         Ok(Some(Committed {
             gen: le_u64(&payload[..8]).expect("8 bytes"),
@@ -442,16 +480,17 @@ impl PipelineStore {
 
     /// Generation the commit record points at, if any save ever committed.
     pub fn committed_generation(&self) -> Result<Option<u64>, PersistError> {
-        Ok(self.committed()?.map(|c| c.gen))
+        Ok(self.committed(0)?.map(|c| c.gen))
     }
 
     /// First generation index with no records at all: past the committed
     /// generation *and* past any half-written generation a crash left
     /// behind, so a new save never mixes records with a dead one.
-    fn next_generation(&self) -> Result<u64, PersistError> {
-        let mut max = self.committed()?.map(|c| c.gen);
-        for prefix in [&b"pdrt:"[..], b"prst:", b"pmeta:"] {
-            for key in self.store.keys_with_prefix(prefix) {
+    fn next_generation(&self, ns: u32) -> Result<u64, PersistError> {
+        let mut max = self.committed(ns)?.map(|c| c.gen);
+        for table in [&b"pdrt:"[..], b"prst:", b"pmeta:"] {
+            let prefix = table_prefix(ns, table);
+            for key in self.store.keys_with_prefix(&prefix) {
                 if let Some(g) = le_u64(&key[prefix.len()..]) {
                     max = Some(max.map_or(g, |m: u64| m.max(g)));
                 }
@@ -462,22 +501,24 @@ impl PipelineStore {
 
     fn save_generation(
         &self,
+        ns: u32,
         drt: &Drt,
         rst: &Rst,
         meta_json: Option<&[u8]>,
     ) -> Result<u64, PersistError> {
-        let gen = self.next_generation()?;
+        let gen = self.next_generation(ns)?;
         for e in drt.entries() {
             self.kill.check(CommitPoint::TableEntry)?;
-            self.store.put(&drt_entry_key(gen, e.o_file, e.o_offset), &seal(TAG_DRT, &Drt::value(&e)))?;
+            self.store
+                .put(&drt_entry_key(ns, gen, e.o_file, e.o_offset), &seal(TAG_DRT, &Drt::value(&e)))?;
         }
         for (file, pair) in rst.iter() {
             self.kill.check(CommitPoint::TableEntry)?;
-            self.store.put(&rst_entry_key(gen, file), &seal(TAG_RST, &Rst::pair_value(pair)))?;
+            self.store.put(&rst_entry_key(ns, gen, file), &seal(TAG_RST, &Rst::pair_value(pair)))?;
         }
         if let Some(json) = meta_json {
             self.kill.check(CommitPoint::TableEntry)?;
-            self.store.put(&meta_key(gen), &seal(TAG_META, json))?;
+            self.store.put(&meta_key(ns, gen), &seal(TAG_META, json))?;
         }
         self.kill.check(CommitPoint::TableCommit)?;
         let mut payload = Vec::with_capacity(25);
@@ -485,21 +526,12 @@ impl PipelineStore {
         payload.extend_from_slice(&(drt.len() as u64).to_le_bytes());
         payload.extend_from_slice(&(rst.len() as u64).to_le_bytes());
         payload.push(u8::from(meta_json.is_some()));
-        self.store.put(COMMIT_KEY, &seal(TAG_COMMIT, &payload))?;
+        self.store.put(&commit_key(ns), &seal(TAG_COMMIT, &payload))?;
         self.store.sync()?;
         Ok(gen)
     }
 
-    /// Atomically commit a new generation holding `drt` and `rst`.
-    /// Returns the committed generation index. A crash at any point
-    /// before the commit record leaves the previous generation intact.
-    pub fn save_tables(&self, drt: &Drt, rst: &Rst) -> Result<u64, PersistError> {
-        self.save_generation(drt, rst, None)
-    }
-
-    /// Atomically commit a new generation holding a whole planner output:
-    /// its tables plus scheme, layouts and region descriptors.
-    pub fn save_plan(&self, plan: &Plan) -> Result<u64, PersistError> {
+    fn save_plan_ns(&self, ns: u32, plan: &Plan) -> Result<u64, PersistError> {
         let empty = Drt::new();
         let (drt, has_drt) = match &plan.resolver {
             PlanResolver::Drt(d) => (d, true),
@@ -512,20 +544,37 @@ impl PipelineStore {
             has_drt,
         };
         let json = serde_json::to_vec(&meta).map_err(|e| PersistError::Encode(e.to_string()))?;
-        self.save_generation(drt, &plan.rst, Some(&json))
+        self.save_generation(ns, drt, &plan.rst, Some(&json))
+    }
+
+    /// Atomically commit a new generation holding `drt` and `rst`.
+    /// Returns the committed generation index. A crash at any point
+    /// before the commit record leaves the previous generation intact.
+    pub fn save_tables(&self, drt: &Drt, rst: &Rst) -> Result<u64, PersistError> {
+        self.save_generation(0, drt, rst, None)
+    }
+
+    /// Atomically commit a new generation holding a whole planner output:
+    /// its tables plus scheme, layouts and region descriptors.
+    pub fn save_plan(&self, plan: &Plan) -> Result<u64, PersistError> {
+        self.save_plan_ns(0, plan)
     }
 
     /// Load the committed generation's tables, verifying every envelope
     /// and the committed entry counts. `Ok(None)` when nothing has ever
     /// committed; a structured error when anything on disk is damaged.
     pub fn load_tables(&self) -> Result<Option<(Drt, Rst)>, PersistError> {
-        let Some(c) = self.committed()? else { return Ok(None) };
-        Ok(Some(self.tables_at(&c)?))
+        self.load_tables_ns(0)
     }
 
-    fn tables_at(&self, c: &Committed) -> Result<(Drt, Rst), PersistError> {
+    fn load_tables_ns(&self, ns: u32) -> Result<Option<(Drt, Rst)>, PersistError> {
+        let Some(c) = self.committed(ns)? else { return Ok(None) };
+        Ok(Some(self.tables_at(ns, &c)?))
+    }
+
+    fn tables_at(&self, ns: u32, c: &Committed) -> Result<(Drt, Rst), PersistError> {
         let mut drt = Drt::new();
-        let dp = drt_gen_prefix(c.gen);
+        let dp = drt_gen_prefix(ns, c.gen);
         let mut n = 0u64;
         for key in self.store.keys_with_prefix(&dp) {
             let rest = &key[dp.len()..];
@@ -548,12 +597,12 @@ impl PipelineStore {
         }
         if n != c.drt_count {
             return Err(corrupt(
-                COMMIT_KEY,
+                &commit_key(ns),
                 format!("{} DRT entries on disk, commit record expects {}", n, c.drt_count),
             ));
         }
         let mut rst = Rst::new();
-        let rp = rst_gen_prefix(c.gen);
+        let rp = rst_gen_prefix(ns, c.gen);
         let mut m = 0u64;
         for key in self.store.keys_with_prefix(&rp) {
             let rest = &key[rp.len()..];
@@ -573,7 +622,7 @@ impl PipelineStore {
         }
         if m != c.rst_count {
             return Err(corrupt(
-                COMMIT_KEY,
+                &commit_key(ns),
                 format!("{} RST entries on disk, commit record expects {}", m, c.rst_count),
             ));
         }
@@ -584,12 +633,16 @@ impl PipelineStore {
     /// by [`PipelineStore::save_plan`] (table-only generations return
     /// `Ok(None)`).
     pub fn load_plan(&self) -> Result<Option<Plan>, PersistError> {
-        let Some(c) = self.committed()? else { return Ok(None) };
+        self.load_plan_ns(0)
+    }
+
+    fn load_plan_ns(&self, ns: u32) -> Result<Option<Plan>, PersistError> {
+        let Some(c) = self.committed(ns)? else { return Ok(None) };
         if !c.has_meta {
             return Ok(None);
         }
-        let (drt, rst) = self.tables_at(&c)?;
-        let mk = meta_key(c.gen);
+        let (drt, rst) = self.tables_at(ns, &c)?;
+        let mk = meta_key(ns, c.gen);
         let raw =
             self.store.get(&mk)?.ok_or_else(|| PersistError::Missing { key: key_name(&mk) })?;
         let payload = unseal(&mk, TAG_META, &raw)?;
@@ -608,23 +661,22 @@ impl PipelineStore {
 
     /// Raw (validated) plan-metadata JSON of the committed generation,
     /// so recovery can carry it into the generation it commits.
-    fn committed_meta_raw(&self) -> Result<Option<Vec<u8>>, PersistError> {
-        let Some(c) = self.committed()? else { return Ok(None) };
+    fn committed_meta_raw(&self, ns: u32) -> Result<Option<Vec<u8>>, PersistError> {
+        let Some(c) = self.committed(ns)? else { return Ok(None) };
         if !c.has_meta {
             return Ok(None);
         }
-        let mk = meta_key(c.gen);
+        let mk = meta_key(ns, c.gen);
         let raw =
             self.store.get(&mk)?.ok_or_else(|| PersistError::Missing { key: key_name(&mk) })?;
         Ok(Some(unseal(&mk, TAG_META, &raw)?.to_vec()))
     }
 
-    /// Drop every record of non-committed generations and compact the
-    /// log (old generations, dead journal tombstones, superseded puts).
-    pub fn gc(&self) -> Result<(), PersistError> {
-        let committed = self.committed()?.map(|c| c.gen);
-        for prefix in [&b"pdrt:"[..], b"prst:", b"pmeta:"] {
-            for key in self.store.keys_with_prefix(prefix) {
+    fn gc_ns(&self, ns: u32) -> Result<(), PersistError> {
+        let committed = self.committed(ns)?.map(|c| c.gen);
+        for table in [&b"pdrt:"[..], b"prst:", b"pmeta:"] {
+            let prefix = table_prefix(ns, table);
+            for key in self.store.keys_with_prefix(&prefix) {
                 if le_u64(&key[prefix.len()..]) != committed {
                     self.store.delete(&key)?;
                 }
@@ -632,6 +684,13 @@ impl PipelineStore {
         }
         self.store.compact()?;
         Ok(())
+    }
+
+    /// Drop every record of non-committed generations and compact the
+    /// log (old generations, dead journal tombstones, superseded puts).
+    /// Namespace-0 only; use [`TenantStore::gc`] for a tenant's view.
+    pub fn gc(&self) -> Result<(), PersistError> {
+        self.gc_ns(0)
     }
 
     // ------------------------------------------------------ fault plans --
@@ -658,13 +717,25 @@ impl PipelineStore {
 
     // ---------------------------------------------------------- journal --
 
+    fn journal_batch_ns(&self, ns: u32, batch: u32, entries: &[DrtEntry]) -> Result<(), PersistError> {
+        for (i, e) in entries.iter().enumerate() {
+            self.kill.check(CommitPoint::BatchIntent)?;
+            self.store
+                .put(&journal_key(ns, batch, i as u32), &seal(TAG_JOURNAL, &entry_bytes(e)))?;
+        }
+        Ok(())
+    }
+
     /// Journal a migration batch's intended DRT entries *before* any
     /// data moves (the write-ahead half of the invariant).
     pub fn journal_batch(&self, batch: u32, entries: &[DrtEntry]) -> Result<(), PersistError> {
-        for (i, e) in entries.iter().enumerate() {
-            self.kill.check(CommitPoint::BatchIntent)?;
-            self.store.put(&journal_key(batch, i as u32), &seal(TAG_JOURNAL, &entry_bytes(e)))?;
-        }
+        self.journal_batch_ns(0, batch, entries)
+    }
+
+    fn commit_batch_ns(&self, ns: u32, batch: u32) -> Result<(), PersistError> {
+        self.kill.check(CommitPoint::BatchCommit)?;
+        self.store.put(&journal_commit_key(ns, batch), &seal(TAG_COMMIT, &[]))?;
+        self.store.sync()?;
         Ok(())
     }
 
@@ -673,19 +744,15 @@ impl PipelineStore {
     /// record on, recovery rolls the batch forward instead of
     /// discarding it.
     pub fn commit_batch(&self, batch: u32) -> Result<(), PersistError> {
-        self.kill.check(CommitPoint::BatchCommit)?;
-        self.store.put(&journal_commit_key(batch), &seal(TAG_COMMIT, &[]))?;
-        self.store.sync()?;
-        Ok(())
+        self.commit_batch_ns(0, batch)
     }
 
-    /// Read the journal back: every batch with intent records, in batch
-    /// order, with its committed flag.
-    pub fn journal(&self) -> Result<Vec<JournalBatch>, PersistError> {
+    fn journal_ns(&self, ns: u32) -> Result<Vec<JournalBatch>, PersistError> {
         let mut batches: std::collections::BTreeMap<u32, Vec<(u32, DrtEntry)>> =
             std::collections::BTreeMap::new();
-        for key in self.store.keys_with_prefix(b"mig:") {
-            let rest = &key[4..];
+        let prefix = table_prefix(ns, b"mig:");
+        for key in self.store.keys_with_prefix(&prefix) {
+            let rest = &key[prefix.len()..];
             if rest.len() != 9 || rest[4] != b':' {
                 return Err(corrupt(&key, "malformed journal key"));
             }
@@ -701,7 +768,7 @@ impl PipelineStore {
         let mut out = Vec::with_capacity(batches.len());
         for (batch, mut v) in batches {
             v.sort_by_key(|(i, _)| *i);
-            let ck = journal_commit_key(batch);
+            let ck = journal_commit_key(ns, batch);
             let committed = match self.store.get(&ck)? {
                 Some(raw) => {
                     unseal(&ck, TAG_COMMIT, &raw)?;
@@ -718,20 +785,109 @@ impl PipelineStore {
         Ok(out)
     }
 
+    /// Read the journal back: every batch with intent records, in batch
+    /// order, with its committed flag.
+    pub fn journal(&self) -> Result<Vec<JournalBatch>, PersistError> {
+        self.journal_ns(0)
+    }
+
+    fn clear_journal_ns(&self, ns: u32) -> Result<(), PersistError> {
+        self.kill.check(CommitPoint::JournalClear)?;
+        for key in self.store.keys_with_prefix(&table_prefix(ns, b"mig:")) {
+            self.store.delete(&key)?;
+        }
+        for key in self.store.keys_with_prefix(&table_prefix(ns, b"migc:")) {
+            self.store.delete(&key)?;
+        }
+        self.store.sync()?;
+        Ok(())
+    }
+
     /// Delete every journal record (intents first, then commit markers:
     /// a crash mid-clear leaves either already-published committed
     /// batches or intent-less markers, both of which recovery ignores
     /// or re-skips harmlessly).
     pub fn clear_journal(&self) -> Result<(), PersistError> {
-        self.kill.check(CommitPoint::JournalClear)?;
-        for key in self.store.keys_with_prefix(b"mig:") {
-            self.store.delete(&key)?;
-        }
-        for key in self.store.keys_with_prefix(b"migc:") {
-            self.store.delete(&key)?;
-        }
-        self.store.sync()?;
-        Ok(())
+        self.clear_journal_ns(0)
+    }
+}
+
+// ------------------------------------------------------- tenant views --
+
+/// One tenant's namespaced view of a shared [`PipelineStore`]: the same
+/// generation/journal machinery, with every key living under the
+/// tenant's prefix. Namespace 0 reads and writes the legacy flat keys,
+/// so `store.tenant(TenantId(0))` is interchangeable with the direct
+/// `PipelineStore` methods byte for byte.
+///
+/// Obtained from [`PipelineStore::tenant`]; the borrow keeps every
+/// tenant view on the same WAL, so cross-tenant write ordering is still
+/// physical and one fsync covers all tenants.
+#[derive(Clone, Copy)]
+pub struct TenantStore<'a> {
+    store: &'a PipelineStore,
+    ns: u32,
+}
+
+impl TenantStore<'_> {
+    /// The tenant this view belongs to.
+    pub fn tenant(&self) -> TenantId {
+        TenantId(self.ns)
+    }
+
+    /// Generation the tenant's commit record points at, if any.
+    pub fn committed_generation(&self) -> Result<Option<u64>, PersistError> {
+        Ok(self.store.committed(self.ns)?.map(|c| c.gen))
+    }
+
+    /// Atomically commit a new generation of this tenant's tables
+    /// (see [`PipelineStore::save_tables`]).
+    pub fn save_tables(&self, drt: &Drt, rst: &Rst) -> Result<u64, PersistError> {
+        self.store.save_generation(self.ns, drt, rst, None)
+    }
+
+    /// Atomically commit a whole planner output for this tenant
+    /// (see [`PipelineStore::save_plan`]).
+    pub fn save_plan(&self, plan: &Plan) -> Result<u64, PersistError> {
+        self.store.save_plan_ns(self.ns, plan)
+    }
+
+    /// Load this tenant's committed tables
+    /// (see [`PipelineStore::load_tables`]).
+    pub fn load_tables(&self) -> Result<Option<(Drt, Rst)>, PersistError> {
+        self.store.load_tables_ns(self.ns)
+    }
+
+    /// Load this tenant's committed plan
+    /// (see [`PipelineStore::load_plan`]).
+    pub fn load_plan(&self) -> Result<Option<Plan>, PersistError> {
+        self.store.load_plan_ns(self.ns)
+    }
+
+    /// Journal a migration batch intent in this tenant's journal
+    /// (see [`PipelineStore::journal_batch`]).
+    pub fn journal_batch(&self, batch: u32, entries: &[DrtEntry]) -> Result<(), PersistError> {
+        self.store.journal_batch_ns(self.ns, batch, entries)
+    }
+
+    /// Commit a journaled batch (see [`PipelineStore::commit_batch`]).
+    pub fn commit_batch(&self, batch: u32) -> Result<(), PersistError> {
+        self.store.commit_batch_ns(self.ns, batch)
+    }
+
+    /// Read this tenant's journal (see [`PipelineStore::journal`]).
+    pub fn journal(&self) -> Result<Vec<JournalBatch>, PersistError> {
+        self.store.journal_ns(self.ns)
+    }
+
+    /// Clear this tenant's journal (see [`PipelineStore::clear_journal`]).
+    pub fn clear_journal(&self) -> Result<(), PersistError> {
+        self.store.clear_journal_ns(self.ns)
+    }
+
+    /// Drop this tenant's non-committed generations and compact the log.
+    pub fn gc(&self) -> Result<(), PersistError> {
+        self.store.gc_ns(self.ns)
     }
 }
 
@@ -765,17 +921,34 @@ pub struct RecoveryOutcome {
 /// Recovering an already-recovered store is a no-op: the journal is
 /// empty, nothing rolls forward — recovery is idempotent.
 pub fn recover(store: &PipelineStore) -> Result<RecoveryOutcome, PersistError> {
-    let journal = store.journal()?;
+    recover_ns(store, 0)
+}
+
+/// [`recover`] for one tenant's namespace of a shared store. Tenants
+/// recover independently: rolling tenant A forward never reads or
+/// clears tenant B's journal, so a service restart can recover each
+/// registered tenant in any order (and skip tenants it no longer
+/// serves) without cross-contamination. `recover_tenant(s, TenantId(0))`
+/// is exactly [`recover`].
+pub fn recover_tenant(
+    store: &PipelineStore,
+    tenant: TenantId,
+) -> Result<RecoveryOutcome, PersistError> {
+    recover_ns(store, tenant.0)
+}
+
+fn recover_ns(store: &PipelineStore, ns: u32) -> Result<RecoveryOutcome, PersistError> {
+    let journal = store.journal_ns(ns)?;
     if journal.is_empty() {
         return Ok(RecoveryOutcome {
-            tables: store.load_tables()?,
+            tables: store.load_tables_ns(ns)?,
             rolled_forward: 0,
             discarded_batches: 0,
         });
     }
-    let Some((mut drt, rst)) = store.load_tables()? else {
+    let Some((mut drt, rst)) = store.load_tables_ns(ns)? else {
         let discarded = journal.len();
-        store.clear_journal()?;
+        store.clear_journal_ns(ns)?;
         return Ok(RecoveryOutcome { tables: None, rolled_forward: 0, discarded_batches: discarded });
     };
     let mut rolled = 0usize;
@@ -798,10 +971,10 @@ pub fn recover(store: &PipelineStore) -> Result<RecoveryOutcome, PersistError> {
         }
     }
     if rolled > 0 {
-        let meta = store.committed_meta_raw()?;
-        store.save_generation(&drt, &rst, meta.as_deref())?;
+        let meta = store.committed_meta_raw(ns)?;
+        store.save_generation(ns, &drt, &rst, meta.as_deref())?;
     }
-    store.clear_journal()?;
+    store.clear_journal_ns(ns)?;
     Ok(RecoveryOutcome { tables: Some((drt, rst)), rolled_forward: rolled, discarded_batches: discarded })
 }
 
@@ -963,7 +1136,7 @@ mod tests {
         store.save_tables(&drt, &rst).expect("save");
         // Flip one payload bit of a committed DRT record, in place.
         let gen = store.committed_generation().expect("gen").expect("committed");
-        let key = drt_entry_key(gen, FileId(0), 0);
+        let key = drt_entry_key(0, gen, FileId(0), 0);
         let mut raw = store.store().get(&key).expect("get").expect("present");
         let last = raw.len() - 1;
         raw[last] ^= 0x01;
@@ -985,7 +1158,7 @@ mod tests {
         let store = PipelineStore::open(&path).expect("open");
         store.save_tables(&drt, &rst).expect("save");
         let gen = store.committed_generation().expect("gen").expect("committed");
-        let key = drt_entry_key(gen, FileId(0), 0);
+        let key = drt_entry_key(0, gen, FileId(0), 0);
         let mut raw = store.store().get(&key).expect("get").expect("present");
         raw[3] = VERSION + 1;
         store.store().put(&key, &raw).expect("tamper");
@@ -1004,7 +1177,7 @@ mod tests {
         let store = PipelineStore::open(&path).expect("open");
         store.save_tables(&drt, &rst).expect("save");
         let gen = store.committed_generation().expect("gen").expect("committed");
-        store.store().delete(&drt_entry_key(gen, FileId(0), 0)).expect("delete");
+        store.store().delete(&drt_entry_key(0, gen, FileId(0), 0)).expect("delete");
         assert!(
             matches!(store.load_tables(), Err(PersistError::Corrupt { .. })),
             "count mismatch must be corrupt, not a silently shorter table"
@@ -1152,6 +1325,118 @@ mod tests {
             let store = PipelineStore::open(&path).expect("reopen");
             store.save_tables(&drt, &rst).expect("resave");
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn tenant_tables(tag: u64) -> (Drt, Rst) {
+        let mut drt = Drt::new();
+        for i in 0..4u64 {
+            assert!(drt.insert(DrtEntry {
+                o_file: FileId(tag as u32),
+                o_offset: i * 8192,
+                r_file: FileId(80_000 + tag as u32),
+                r_offset: i * 4096 + tag * 1_000_000,
+                length: 4096,
+            }));
+        }
+        let mut rst = Rst::new();
+        rst.set(FileId(80_000 + tag as u32), StripePair { h: 0, s: (64 << 10) * (tag + 1) });
+        (drt, rst)
+    }
+
+    #[test]
+    fn tenant_zero_view_is_the_legacy_store_verbatim() {
+        let path = tmp_path("tenant-zero");
+        let store = PipelineStore::open(&path).expect("open");
+        let (drt, rst) = sample_tables();
+        // Written through the namespaced view, readable through the
+        // legacy API (and vice versa): namespace 0 adds no prefix.
+        let g = store.tenant(TenantId(0)).save_tables(&drt, &rst).expect("ns save");
+        assert_eq!(store.committed_generation().expect("legacy gen"), Some(g));
+        let (d, r) = store.load_tables().expect("legacy load").expect("committed");
+        assert_eq!((d, r), (drt.clone(), rst.clone()));
+        let g2 = store.save_tables(&drt, &rst).expect("legacy save");
+        assert_eq!(store.tenant(TenantId(0)).committed_generation().expect("ns gen"), Some(g2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn co_tenants_on_one_store_never_observe_each_other() {
+        let path = tmp_path("tenant-iso");
+        let store = PipelineStore::open(&path).expect("open");
+        let (d0, r0) = sample_tables();
+        store.save_tables(&d0, &r0).expect("legacy save");
+        for t in 1..=3u32 {
+            let (d, r) = tenant_tables(u64::from(t));
+            store.tenant(TenantId(t)).save_tables(&d, &r).expect("tenant save");
+        }
+        // Each view loads exactly what it saved.
+        let (ld, lr) = store.load_tables().expect("legacy").expect("committed");
+        assert_eq!((ld, lr), (d0, r0));
+        for t in 1..=3u32 {
+            let (d, r) = tenant_tables(u64::from(t));
+            let (td, tr) = store.tenant(TenantId(t)).load_tables().expect("load").expect("committed");
+            assert_eq!((td, tr), (d, r), "tenant {t} sees foreign tables");
+        }
+        // Re-saving one tenant advances only that tenant's generation.
+        let before: Vec<_> = (0..=3u32)
+            .map(|t| store.tenant(TenantId(t)).committed_generation().unwrap())
+            .collect();
+        let (d2, r2) = tenant_tables(2);
+        store.tenant(TenantId(2)).save_tables(&d2, &r2).expect("resave");
+        for t in 0..=3u32 {
+            let now = store.tenant(TenantId(t)).committed_generation().unwrap();
+            if t == 2 {
+                assert_eq!(now, before[t as usize].map(|g| g + 1));
+            } else {
+                assert_eq!(now, before[t as usize], "tenant {t}'s generation moved");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recover_tenant_rolls_forward_and_discards_per_namespace_only() {
+        let path = tmp_path("tenant-recover");
+        let store = PipelineStore::open(&path).expect("open");
+        for t in 1..=2u32 {
+            let (d, r) = tenant_tables(u64::from(t));
+            store.tenant(TenantId(t)).save_tables(&d, &r).expect("save");
+        }
+        // Tenant 1: a committed journal batch recovery must roll forward.
+        let extra1 = DrtEntry {
+            o_file: FileId(1),
+            o_offset: 1 << 30,
+            r_file: FileId(80_001),
+            r_offset: 1 << 30,
+            length: 4096,
+        };
+        let t1 = store.tenant(TenantId(1));
+        t1.journal_batch(0, std::slice::from_ref(&extra1)).expect("journal");
+        t1.commit_batch(0).expect("commit");
+        // Tenant 2: an uncommitted batch recovery must discard.
+        let extra2 = DrtEntry { o_file: FileId(2), ..extra1 };
+        store.tenant(TenantId(2)).journal_batch(0, std::slice::from_ref(&extra2)).expect("journal");
+
+        let o1 = recover_tenant(&store, TenantId(1)).expect("recover t1");
+        assert_eq!(o1.rolled_forward, 1);
+        assert_eq!(o1.discarded_batches, 0);
+        let (d1, _) = o1.tables.expect("tables");
+        assert_eq!(
+            d1.lookup_exact(extra1.o_file, extra1.o_offset, extra1.length),
+            Some((extra1.r_file, extra1.r_offset))
+        );
+
+        // Tenant 2's journal was untouched by tenant 1's recovery.
+        let o2 = recover_tenant(&store, TenantId(2)).expect("recover t2");
+        assert_eq!(o2.rolled_forward, 0);
+        assert_eq!(o2.discarded_batches, 1);
+        let (d2, _) = o2.tables.expect("tables");
+        assert_eq!(d2.lookup_exact(extra2.o_file, extra2.o_offset, extra2.length), None);
+
+        // The legacy namespace never had state and still does not.
+        let o0 = recover(&store).expect("recover legacy");
+        assert!(o0.tables.is_none());
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -30,8 +30,8 @@ use crate::region::{Drt, DrtEntry, RegionInfo, Rst};
 use crate::rssd::{region_cost, rssd, RssdConfig, StripePair};
 use iotrace::{FileId, Trace};
 use pfs_sim::{
-    Cluster, ClusterConfig, FaultPlan, IdentityResolver, LayoutSpec, ReplayError, ReplayReport,
-    ReplaySession, Resolver, ServerHealth, ServerId,
+    Cluster, ClusterConfig, CoreSel, FaultPlan, IdentityResolver, LayoutSpec, ReplayError,
+    ReplayInput, ReplayReport, ReplaySession, Resolver, ServerHealth, ServerId,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -657,7 +657,7 @@ impl<'a> Evaluation<'a> {
         if let Some(faults) = self.fault {
             session.set_fault_plan(faults.clone());
         }
-        session.run(&mut cluster, self.trace, resolver.as_mut())
+        session.run(ReplayInput::trace(&mut cluster, self.trace, resolver.as_mut()), CoreSel::Auto)
     }
 
     /// Run in a fresh session.

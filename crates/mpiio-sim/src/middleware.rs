@@ -20,7 +20,9 @@ use mha_core::persist::PipelineStore;
 use mha_core::region::{Drt, Rst};
 use mha_core::schemes::{apply_plan, Plan, PlanResolver, PlannerContext, Scheme};
 use mha_core::{DrtResolver, GroupingConfig, RssdConfig};
-use pfs_sim::{Cluster, ClusterConfig, IdentityResolver, ReplayReport, ReplaySession};
+use pfs_sim::{
+    Cluster, ClusterConfig, CoreSel, IdentityResolver, ReplayInput, ReplayReport, ReplaySession,
+};
 use simrt::SimDuration;
 use std::path::{Path, PathBuf};
 
@@ -86,7 +88,7 @@ impl Middleware {
             collector.record(r.pid, r.rank, r.file, r.op, r.offset, r.len, r.ts);
         }
         let report = ReplaySession::new()
-            .run(&mut cluster, trace, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut cluster, trace, &mut IdentityResolver), CoreSel::Auto)
             .expect("fault-free replay cannot fail");
         self.profile = Some(collector.finish());
         RunOutcome { report, scheme: Scheme::Def, redirected: 0 }
@@ -116,14 +118,14 @@ impl Middleware {
         match &plan.resolver {
             PlanResolver::Identity => {
                 let report = ReplaySession::new()
-                    .run(&mut cluster, trace, &mut IdentityResolver)
+                    .run(ReplayInput::trace(&mut cluster, trace, &mut IdentityResolver), CoreSel::Auto)
                     .expect("fault-free replay cannot fail");
                 RunOutcome { report, scheme: plan.scheme, redirected: 0 }
             }
             PlanResolver::Drt(drt) => {
                 let mut resolver = DrtResolver::new(drt.clone(), lookup);
                 let report = ReplaySession::new()
-                    .run(&mut cluster, trace, &mut resolver)
+                    .run(ReplayInput::trace(&mut cluster, trace, &mut resolver), CoreSel::Auto)
                     .expect("fault-free replay cannot fail");
                 RunOutcome { report, scheme: plan.scheme, redirected: resolver.redirected() }
             }

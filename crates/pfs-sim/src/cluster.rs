@@ -2,7 +2,7 @@
 
 use crate::error::ReplayError;
 use crate::layout::{LayoutSpec, ServerId};
-use crate::mds::MetadataServer;
+use crate::mds::{MdsConfig, MetadataServer};
 use crate::server::StorageServer;
 use netsim::{LinkParams, NetFabric, NodeId};
 use simrt::{DeviceProfile, FaultKind, FaultPlan, SimDuration};
@@ -115,10 +115,9 @@ impl Cluster {
             servers.push(StorageServer::new(ServerId(i), node, device));
         }
         let all: Vec<ServerId> = (0..config.servers()).map(ServerId).collect();
-        let mds = MetadataServer::new(
-            LayoutSpec::fixed(&all, config.default_stripe),
-            config.mds_lookup,
-        );
+        let mds = MdsConfig::new(LayoutSpec::fixed(&all, config.default_stripe))
+            .lookup_cost(config.mds_lookup)
+            .build()?;
         Ok(Cluster { config, servers, fabric, mds, faulted: false })
     }
 

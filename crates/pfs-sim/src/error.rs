@@ -41,6 +41,10 @@ pub enum ReplayError {
         /// The medium actually backing the server.
         kind: DeviceKind,
     },
+    /// A streaming payload was paired with the serial core: the serial
+    /// replay loop needs the whole trace materialized, so streams can
+    /// only run on the sharded core (`CoreSel::Auto` picks it).
+    StreamRequiresSharded,
 }
 
 impl std::fmt::Display for ReplayError {
@@ -61,6 +65,10 @@ impl std::fmt::Display for ReplayError {
             ReplayError::ProfileMismatch { server, profile, kind } => write!(
                 f,
                 "device profile {profile} does not fit server {server} (backed by {kind:?})"
+            ),
+            ReplayError::StreamRequiresSharded => write!(
+                f,
+                "a streaming payload cannot run on the serial core; use CoreSel::Sharded or Auto"
             ),
         }
     }

@@ -27,7 +27,14 @@
 //!
 //! [`ReplaySession`] is the only replay entry point (the pre-0.3 free
 //! functions `replay` / `replay_with_scratch` / `replay_scheduled` have
-//! been removed).
+//! been removed). Since 0.8 a session takes a [`ReplayInput`] (trace or
+//! stream) plus a [`CoreSel`]; the old `run_sharded` / `run_stream`
+//! names remain as deprecated shims for one release.
+//!
+//! On top of single replays, [`service::LayoutService`] runs a
+//! long-lived multi-tenant service over one shared cluster: seeded
+//! open-loop arrivals, bounded per-tenant admission, and per-tenant
+//! layout feedback through [`service::TenantRuntime`].
 
 pub mod cluster;
 pub mod error;
@@ -36,20 +43,28 @@ pub mod layout;
 pub mod mds;
 pub mod replay;
 pub mod server;
+pub mod service;
 pub mod session;
 pub mod sharded;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use error::ReplayError;
 pub use layout::{LayoutSpec, LoadScratch, ServerId, SubExtent};
-pub use mds::MetadataServer;
+pub use mds::{MdsConfig, MetadataServer};
 pub use replay::{
     FileSet, IdentityResolver, PhysExtent, ReplayReport, ReplaySchedule, ReplayScratch,
     Resolution, Resolver, ServerIoStat,
 };
 pub use server::StorageServer;
-pub use session::ReplaySession;
+pub use service::{
+    JobRecord, LayoutService, NullRuntime, ServiceConfig, ServiceReport, TenantRuntime,
+    TenantSummary,
+};
+pub use session::{CoreSel, ReplayInput, ReplayPayload, ReplaySession};
 pub use sharded::ShardedScratch;
+// Tenancy vocabulary, re-exported so service callers don't need a direct
+// iotrace dependency for ids alone.
+pub use iotrace::TenantId;
 // Fault-plan vocabulary, re-exported so callers describing fault
 // scenarios against a cluster don't need a direct simrt dependency.
 pub use simrt::{DeviceProfile, FaultKind, FaultPlan, RetryPolicy, ServerFault, ServerHealth};

@@ -509,7 +509,7 @@ mod tests {
     use super::*;
     use crate::cluster::ClusterConfig;
     use crate::layout::{LayoutSpec, ServerId};
-    use crate::session::ReplaySession;
+    use crate::session::{CoreSel, ReplayInput, ReplaySession};
     use iotrace::gen::ior::{generate, IorConfig};
     use iotrace::record::Rank;
 
@@ -521,7 +521,7 @@ mod tests {
     }
 
     fn run(c: &mut Cluster, t: &Trace, r: &mut dyn Resolver) -> ReplayReport {
-        ReplaySession::new().run(c, t, r).unwrap()
+        ReplaySession::new().run(ReplayInput::trace(c, t, r), CoreSel::Auto).unwrap()
     }
 
     #[test]
@@ -584,9 +584,9 @@ mod tests {
         let mut session = ReplaySession::new();
         for t in [small_ior(IoOp::Write), small_ior(IoOp::Read)] {
             let mut c1 = Cluster::new(ClusterConfig::paper_default());
-            let fresh = ReplaySession::new().run(&mut c1, &t, &mut IdentityResolver).unwrap();
+            let fresh = ReplaySession::new().run(ReplayInput::trace(&mut c1, &t, &mut IdentityResolver), CoreSel::Auto).unwrap();
             let mut c2 = Cluster::new(ClusterConfig::paper_default());
-            let reused = session.run(&mut c2, &t, &mut IdentityResolver).unwrap();
+            let reused = session.run(ReplayInput::trace(&mut c2, &t, &mut IdentityResolver), CoreSel::Auto).unwrap();
             assert_eq!(fresh.makespan, reused.makespan);
             assert_eq!(fresh.total_bytes, reused.total_bytes);
             assert_eq!(fresh.server_busy_secs(), reused.server_busy_secs());
@@ -643,10 +643,10 @@ mod tests {
             assert_eq!(schedule.phases(), 8);
             let mut pinned = ReplaySession::new().with_schedule(schedule);
             let mut c1 = Cluster::new(ClusterConfig::paper_default());
-            let inline = ReplaySession::new().run(&mut c1, &t, &mut IdentityResolver).unwrap();
+            let inline = ReplaySession::new().run(ReplayInput::trace(&mut c1, &t, &mut IdentityResolver), CoreSel::Auto).unwrap();
             for round in 0..3 {
                 let mut c2 = Cluster::new(ClusterConfig::paper_default());
-                let hoisted = pinned.run(&mut c2, &t, &mut IdentityResolver).unwrap();
+                let hoisted = pinned.run(ReplayInput::trace(&mut c2, &t, &mut IdentityResolver), CoreSel::Auto).unwrap();
                 assert_eq!(inline.makespan, hoisted.makespan, "round {round}");
                 assert_eq!(inline.server_busy_secs(), hoisted.server_busy_secs());
                 assert_eq!(inline.mds_lookups, hoisted.mds_lookups);
@@ -665,7 +665,7 @@ mod tests {
         let mut c = Cluster::new(ClusterConfig::paper_default());
         let err = ReplaySession::new()
             .with_schedule(schedule)
-            .run(&mut c, &t, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c, &t, &mut IdentityResolver), CoreSel::Auto)
             .unwrap_err();
         assert!(
             matches!(err, crate::ReplayError::ScheduleMismatch { schedule: 0, trace } if trace == t.len()),

@@ -5,6 +5,14 @@
 //! ([`simrt::FaultPlan`]). One session replayed across a whole
 //! experiment grid keeps the per-request path allocation-free, and
 //! every failure mode surfaces as a [`ReplayError`] instead of a panic.
+//!
+//! Since 0.8 there is one `run` method: the payload (a materialized
+//! [`Trace`] or a streaming [`BatchSource`]) travels inside a
+//! [`ReplayInput`], and the replay core is picked by [`CoreSel`].
+//! `CoreSel::Auto` reproduces the pre-0.8 defaults exactly: traces run
+//! on the serial core, streams on the sharded per-server-lane core.
+//! The two cores are bit-for-bit identical, so the selector is a
+//! performance knob, never a semantics knob.
 
 use crate::cluster::Cluster;
 use crate::error::ReplayError;
@@ -14,16 +22,73 @@ use crate::sharded::{sharded_core, ShardedScratch};
 use iotrace::{BatchSource, Trace, TraceBatches};
 use simrt::FaultPlan;
 
+/// What a replay consumes: a materialized trace or a phase stream.
+pub enum ReplayPayload<'a> {
+    /// A fully materialized trace (replayable by either core).
+    Trace(&'a Trace),
+    /// A streaming phase source (sharded core only; the full trace
+    /// never materializes, peak memory is the widest single phase).
+    Stream(&'a mut dyn BatchSource),
+}
+
+/// Everything one replay needs: the cluster, the payload, and the
+/// resolver translating logical requests to physical extents.
+pub struct ReplayInput<'a> {
+    cluster: &'a mut Cluster,
+    payload: ReplayPayload<'a>,
+    resolver: &'a mut dyn Resolver,
+}
+
+impl<'a> ReplayInput<'a> {
+    /// Replay a materialized `trace` against `cluster` through `resolver`.
+    pub fn trace(
+        cluster: &'a mut Cluster,
+        trace: &'a Trace,
+        resolver: &'a mut dyn Resolver,
+    ) -> Self {
+        ReplayInput { cluster, payload: ReplayPayload::Trace(trace), resolver }
+    }
+
+    /// Replay a streaming `source` against `cluster` through `resolver`.
+    pub fn stream(
+        cluster: &'a mut Cluster,
+        source: &'a mut dyn BatchSource,
+        resolver: &'a mut dyn Resolver,
+    ) -> Self {
+        ReplayInput { cluster, payload: ReplayPayload::Stream(source), resolver }
+    }
+}
+
+/// Which replay core executes a [`ReplayInput`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreSel {
+    /// Pick per payload: serial for traces, sharded for streams (the
+    /// pre-0.8 behavior of `run` / `run_stream`).
+    #[default]
+    Auto,
+    /// The serial replay loop. Requires a materialized trace; honors a
+    /// pinned [`ReplaySchedule`].
+    Serial,
+    /// The per-server-lane core ([`crate::sharded`]): bit-identical to
+    /// serial and several times faster at scale. A pinned schedule is
+    /// ignored — the sharded core derives the same deterministic order
+    /// from the phases themselves.
+    Sharded,
+}
+
 /// Reusable replay context: scratch buffers, an optional pinned
 /// [`ReplaySchedule`], and an optional [`FaultPlan`].
 ///
 /// ```
-/// use pfs_sim::{Cluster, ClusterConfig, IdentityResolver, ReplaySession};
+/// use pfs_sim::{Cluster, ClusterConfig, CoreSel, IdentityResolver, ReplayInput, ReplaySession};
 /// # use iotrace::Trace;
 /// let mut cluster = Cluster::new(ClusterConfig::paper_default());
 /// let mut session = ReplaySession::new();
 /// let report = session
-///     .run(&mut cluster, &Trace::new(), &mut IdentityResolver)
+///     .run(
+///         ReplayInput::trace(&mut cluster, &Trace::new(), &mut IdentityResolver),
+///         CoreSel::Auto,
+///     )
 ///     .unwrap();
 /// assert_eq!(report.requests, 0);
 /// ```
@@ -43,8 +108,8 @@ impl ReplaySession {
         Self::default()
     }
 
-    /// Pin a prebuilt schedule. Every subsequent run replays in exactly
-    /// this order and rejects traces of a different shape with
+    /// Pin a prebuilt schedule. Every subsequent serial run replays in
+    /// exactly this order and rejects traces of a different shape with
     /// [`ReplayError::ScheduleMismatch`].
     #[must_use]
     pub fn with_schedule(mut self, schedule: ReplaySchedule) -> Self {
@@ -76,7 +141,7 @@ impl ReplaySession {
         self.schedule.as_ref()
     }
 
-    /// Replay `trace` against `cluster` through `resolver`.
+    /// Replay `input` on the core picked by `core`.
     ///
     /// When the session carries a non-empty fault plan, the plan's
     /// device/link faults are materialized into the cluster first (once —
@@ -85,12 +150,16 @@ impl ReplaySession {
     /// faults drive per-sub-request admission during the run. Retry,
     /// timeout and health accounting land in the returned
     /// [`ReplayReport`].
+    ///
+    /// A streaming payload on [`CoreSel::Serial`] fails with
+    /// [`ReplayError::StreamRequiresSharded`]; every other combination
+    /// produces bit-identical reports across cores.
     pub fn run(
         &mut self,
-        cluster: &mut Cluster,
-        trace: &Trace,
-        resolver: &mut dyn Resolver,
+        input: ReplayInput<'_>,
+        core: CoreSel,
     ) -> Result<ReplayReport, ReplayError> {
+        let ReplayInput { cluster, payload, resolver } = input;
         let mut runtime = if self.fault.is_empty() {
             None
         } else {
@@ -99,73 +168,78 @@ impl ReplaySession {
             }
             Some(FaultRuntime::new(&self.fault, cluster.servers().len()))
         };
-        match &self.schedule {
-            Some(schedule) => replay_core(
+        match (payload, core) {
+            (ReplayPayload::Trace(trace), CoreSel::Auto | CoreSel::Serial) => {
+                match &self.schedule {
+                    Some(schedule) => replay_core(
+                        cluster,
+                        trace,
+                        schedule,
+                        resolver,
+                        &mut self.scratch,
+                        runtime.as_mut(),
+                    ),
+                    None => {
+                        // Borrow dance: the schedule buffers live inside
+                        // the scratch, so take them out while the scratch
+                        // is mutably borrowed by the core.
+                        let mut schedule = self.scratch.take_schedule();
+                        schedule.rebuild(trace);
+                        let report = replay_core(
+                            cluster,
+                            trace,
+                            &schedule,
+                            resolver,
+                            &mut self.scratch,
+                            runtime.as_mut(),
+                        );
+                        self.scratch.put_schedule(schedule);
+                        report
+                    }
+                }
+            }
+            (ReplayPayload::Trace(trace), CoreSel::Sharded) => sharded_core(
                 cluster,
-                trace,
-                schedule,
+                &mut TraceBatches::new(trace),
                 resolver,
-                &mut self.scratch,
+                &mut self.sharded,
                 runtime.as_mut(),
             ),
-            None => {
-                // Borrow dance: the schedule buffers live inside the
-                // scratch, so take them out while the scratch is mutably
-                // borrowed by the core.
-                let mut schedule = self.scratch.take_schedule();
-                schedule.rebuild(trace);
-                let report = replay_core(
-                    cluster,
-                    trace,
-                    &schedule,
-                    resolver,
-                    &mut self.scratch,
-                    runtime.as_mut(),
-                );
-                self.scratch.put_schedule(schedule);
-                report
+            (ReplayPayload::Stream(source), CoreSel::Auto | CoreSel::Sharded) => {
+                sharded_core(cluster, source, resolver, &mut self.sharded, runtime.as_mut())
+            }
+            (ReplayPayload::Stream(_), CoreSel::Serial) => {
+                Err(ReplayError::StreamRequiresSharded)
             }
         }
     }
 
-    /// Replay `trace` through the sharded per-server-lane core
-    /// ([`crate::sharded`]). Reports are bit-for-bit identical to
-    /// [`Self::run`]; at scale (hundreds of servers) this core is several
-    /// times faster because each pass touches only the state it owns.
-    ///
-    /// A pinned schedule is ignored: the sharded core derives the same
-    /// deterministic order directly from the trace's phases, so there is
-    /// nothing to hoist.
+    /// Replay `trace` through the sharded core.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use run(ReplayInput::trace(..), CoreSel::Sharded); removed next release"
+    )]
     pub fn run_sharded(
         &mut self,
         cluster: &mut Cluster,
         trace: &Trace,
         resolver: &mut dyn Resolver,
     ) -> Result<ReplayReport, ReplayError> {
-        self.run_stream(cluster, &mut TraceBatches::new(trace), resolver)
+        self.run(ReplayInput::trace(cluster, trace, resolver), CoreSel::Sharded)
     }
 
-    /// Replay a streaming [`BatchSource`] phase by phase — the 10 M-record
-    /// path: the full trace never materializes; peak memory is the widest
-    /// single phase. Fault plans apply exactly as in [`Self::run`], and
-    /// for a source wrapping a materialized trace the report is
-    /// bit-for-bit identical to both [`Self::run`] and
-    /// [`Self::run_sharded`].
+    /// Replay a streaming [`BatchSource`] phase by phase.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use run(ReplayInput::stream(..), CoreSel::Auto); removed next release"
+    )]
     pub fn run_stream(
         &mut self,
         cluster: &mut Cluster,
         source: &mut dyn BatchSource,
         resolver: &mut dyn Resolver,
     ) -> Result<ReplayReport, ReplayError> {
-        let mut runtime = if self.fault.is_empty() {
-            None
-        } else {
-            if !cluster.faults_applied() {
-                cluster.apply_fault_plan(&self.fault)?;
-            }
-            Some(FaultRuntime::new(&self.fault, cluster.servers().len()))
-        };
-        sharded_core(cluster, source, resolver, &mut self.sharded, runtime.as_mut())
+        self.run(ReplayInput::stream(cluster, source, resolver), CoreSel::Auto)
     }
 }
 
@@ -184,16 +258,21 @@ mod tests {
         generate(&cfg)
     }
 
+    fn run_serial(t: &Trace) -> ReplayReport {
+        let mut c = Cluster::new(ClusterConfig::paper_default());
+        ReplaySession::new()
+            .run(ReplayInput::trace(&mut c, t, &mut IdentityResolver), CoreSel::Auto)
+            .unwrap()
+    }
+
     #[test]
     fn independent_sessions_are_bit_identical() {
         // Two fresh sessions over the same trace must agree bit for bit
         // on the fault-free path (the replay order depends only on the
         // trace, never on session history).
         for t in [small_ior(IoOp::Write), small_ior(IoOp::Read)] {
-            let mut c1 = Cluster::new(ClusterConfig::paper_default());
-            let a = ReplaySession::new().run(&mut c1, &t, &mut IdentityResolver).unwrap();
-            let mut c2 = Cluster::new(ClusterConfig::paper_default());
-            let b = ReplaySession::new().run(&mut c2, &t, &mut IdentityResolver).unwrap();
+            let a = run_serial(&t);
+            let b = run_serial(&t);
             assert_eq!(a.makespan, b.makespan);
             assert_eq!(a.server_busy_secs(), b.server_busy_secs());
             assert_eq!(a.mds_lookups, b.mds_lookups);
@@ -207,16 +286,71 @@ mod tests {
     }
 
     #[test]
+    fn explicit_core_selection_is_bit_identical_to_auto() {
+        let t = small_ior(IoOp::Write);
+        let auto = run_serial(&t);
+        for core in [CoreSel::Serial, CoreSel::Sharded] {
+            let mut c = Cluster::new(ClusterConfig::paper_default());
+            let r = ReplaySession::new()
+                .run(ReplayInput::trace(&mut c, &t, &mut IdentityResolver), core)
+                .unwrap();
+            assert_eq!(r.makespan, auto.makespan, "{core:?}");
+            assert_eq!(r.server_busy_secs(), auto.server_busy_secs(), "{core:?}");
+            assert_eq!(
+                r.request_latency.sum().to_bits(),
+                auto.request_latency.sum().to_bits(),
+                "{core:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_on_serial_core_is_rejected() {
+        let t = small_ior(IoOp::Write);
+        let mut c = Cluster::new(ClusterConfig::paper_default());
+        let err = ReplaySession::new()
+            .run(
+                ReplayInput::stream(&mut c, &mut TraceBatches::new(&t), &mut IdentityResolver),
+                CoreSel::Serial,
+            )
+            .unwrap_err();
+        assert_eq!(err, ReplayError::StreamRequiresSharded);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_compile_and_match() {
+        // One-release compatibility contract: the pre-0.8 entry points
+        // keep working and stay bit-identical to the unified `run`.
+        let t = small_ior(IoOp::Read);
+        let unified = {
+            let mut c = Cluster::new(ClusterConfig::paper_default());
+            ReplaySession::new()
+                .run(ReplayInput::trace(&mut c, &t, &mut IdentityResolver), CoreSel::Sharded)
+                .unwrap()
+        };
+        let mut c1 = Cluster::new(ClusterConfig::paper_default());
+        let sharded = ReplaySession::new()
+            .run_sharded(&mut c1, &t, &mut IdentityResolver)
+            .unwrap();
+        let mut c2 = Cluster::new(ClusterConfig::paper_default());
+        let streamed = ReplaySession::new()
+            .run_stream(&mut c2, &mut TraceBatches::new(&t), &mut IdentityResolver)
+            .unwrap();
+        assert_eq!(sharded.makespan, unified.makespan);
+        assert_eq!(streamed.makespan, unified.makespan);
+        assert_eq!(sharded.server_busy_secs(), unified.server_busy_secs());
+        assert_eq!(streamed.server_busy_secs(), unified.server_busy_secs());
+    }
+
+    #[test]
     fn empty_fault_plan_is_bit_identical() {
         let t = small_ior(IoOp::Write);
-        let mut c1 = Cluster::new(ClusterConfig::paper_default());
-        let plain = ReplaySession::new()
-            .run(&mut c1, &t, &mut IdentityResolver)
-            .unwrap();
+        let plain = run_serial(&t);
         let mut c2 = Cluster::new(ClusterConfig::paper_default());
         let faultless = ReplaySession::new()
             .with_fault_plan(FaultPlan::none())
-            .run(&mut c2, &t, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c2, &t, &mut IdentityResolver), CoreSel::Auto)
             .unwrap();
         assert_eq!(plain.makespan, faultless.makespan);
         assert_eq!(plain.server_busy_secs(), faultless.server_busy_secs());
@@ -229,7 +363,7 @@ mod tests {
         let mut c = Cluster::new(ClusterConfig::paper_default());
         let err = ReplaySession::new()
             .with_schedule(ReplaySchedule::for_trace(&Trace::new()))
-            .run(&mut c, &t, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c, &t, &mut IdentityResolver), CoreSel::Auto)
             .unwrap_err();
         assert_eq!(err, ReplayError::ScheduleMismatch { schedule: 0, trace: t.len() });
     }
@@ -237,16 +371,13 @@ mod tests {
     #[test]
     fn straggler_plan_slows_the_run_deterministically() {
         let t = small_ior(IoOp::Write);
-        let mut base_cluster = Cluster::new(ClusterConfig::paper_default());
-        let base = ReplaySession::new()
-            .run(&mut base_cluster, &t, &mut IdentityResolver)
-            .unwrap();
+        let base = run_serial(&t);
         let plan = FaultPlan::none().slow_server(0, 4.0);
         let run = |plan: FaultPlan| {
             let mut c = Cluster::new(ClusterConfig::paper_default());
             ReplaySession::new()
                 .with_fault_plan(plan)
-                .run(&mut c, &t, &mut IdentityResolver)
+                .run(ReplayInput::trace(&mut c, &t, &mut IdentityResolver), CoreSel::Auto)
                 .unwrap()
         };
         let r1 = run(plan.clone());
@@ -266,7 +397,7 @@ mod tests {
         let mut c = Cluster::new(ClusterConfig::paper_default());
         let r = ReplaySession::new()
             .with_fault_plan(plan)
-            .run(&mut c, &t, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c, &t, &mut IdentityResolver), CoreSel::Auto)
             .unwrap();
         assert!(r.retries > 0, "outage must force retries");
         assert!(r.timeouts > 0, "down server must time out");
@@ -290,8 +421,12 @@ mod tests {
         let t = small_ior(IoOp::Write);
         let mut c = Cluster::new(ClusterConfig::paper_default());
         let mut session = ReplaySession::new().with_fault_plan(FaultPlan::none().slow_server(0, 3.0));
-        let r1 = session.run(&mut c, &t, &mut IdentityResolver).unwrap();
-        let r2 = session.run(&mut c, &t, &mut IdentityResolver).unwrap();
+        let r1 = session
+            .run(ReplayInput::trace(&mut c, &t, &mut IdentityResolver), CoreSel::Auto)
+            .unwrap();
+        let r2 = session
+            .run(ReplayInput::trace(&mut c, &t, &mut IdentityResolver), CoreSel::Auto)
+            .unwrap();
         assert_eq!(
             r1.makespan, r2.makespan,
             "second run must not re-wrap the device"
@@ -305,7 +440,7 @@ mod tests {
         let servers = c.servers().len();
         let err = ReplaySession::new()
             .with_fault_plan(FaultPlan::none().slow_server(servers, 2.0))
-            .run(&mut c, &t, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c, &t, &mut IdentityResolver), CoreSel::Auto)
             .unwrap_err();
         assert_eq!(err, ReplayError::FaultTargetOutOfRange { server: servers, servers });
     }

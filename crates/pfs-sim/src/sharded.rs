@@ -105,8 +105,8 @@ impl ShardedScratch {
 }
 
 /// Replay every phase of `source` against `cluster` — the engine behind
-/// [`crate::ReplaySession::run_sharded`] and
-/// [`crate::ReplaySession::run_stream`].
+/// [`crate::ReplaySession::run`] with [`crate::CoreSel::Sharded`] (and
+/// the `Auto` pick for streaming payloads).
 pub(crate) fn sharded_core(
     cluster: &mut Cluster,
     source: &mut dyn BatchSource,
@@ -400,7 +400,7 @@ pub(crate) fn sharded_core(
 mod tests {
     use crate::cluster::{Cluster, ClusterConfig};
     use crate::replay::{IdentityResolver, ReplayReport};
-    use crate::session::ReplaySession;
+    use crate::session::{CoreSel, ReplayInput, ReplaySession};
     use iotrace::gen::ior::{generate, IorConfig};
     use iotrace::Trace;
     use simrt::FaultPlan;
@@ -450,10 +450,10 @@ mod tests {
     fn sharded_matches_serial_fault_free() {
         for t in [small_ior(IoOp::Write), small_ior(IoOp::Read)] {
             let mut c1 = Cluster::new(ClusterConfig::paper_default());
-            let serial = ReplaySession::new().run(&mut c1, &t, &mut IdentityResolver).unwrap();
+            let serial = ReplaySession::new().run(ReplayInput::trace(&mut c1, &t, &mut IdentityResolver), CoreSel::Auto).unwrap();
             let mut c2 = Cluster::new(ClusterConfig::paper_default());
             let sharded =
-                ReplaySession::new().run_sharded(&mut c2, &t, &mut IdentityResolver).unwrap();
+                ReplaySession::new().run(ReplayInput::trace(&mut c2, &t, &mut IdentityResolver), CoreSel::Sharded).unwrap();
             assert_identical(&serial, &sharded);
         }
     }
@@ -468,13 +468,13 @@ mod tests {
         let mut c1 = Cluster::new(ClusterConfig::paper_default());
         let serial = ReplaySession::new()
             .with_fault_plan(plan.clone())
-            .run(&mut c1, &t, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c1, &t, &mut IdentityResolver), CoreSel::Auto)
             .unwrap();
         assert!(serial.retries > 0 && serial.timeouts > 0, "plan must bite");
         let mut c2 = Cluster::new(ClusterConfig::paper_default());
         let sharded = ReplaySession::new()
             .with_fault_plan(plan)
-            .run_sharded(&mut c2, &t, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c2, &t, &mut IdentityResolver), CoreSel::Sharded)
             .unwrap();
         assert_identical(&serial, &sharded);
     }
@@ -491,10 +491,10 @@ mod tests {
         };
         let t = generate(&cfg);
         let mut c1 = Cluster::new(ClusterConfig::paper_default());
-        let serial = ReplaySession::new().run(&mut c1, &t, &mut IdentityResolver).unwrap();
+        let serial = ReplaySession::new().run(ReplayInput::trace(&mut c1, &t, &mut IdentityResolver), CoreSel::Auto).unwrap();
         let mut c2 = Cluster::new(ClusterConfig::paper_default());
         let streamed = ReplaySession::new()
-            .run_stream(&mut c2, &mut iotrace::gen::ior::stream(&cfg), &mut IdentityResolver)
+            .run(ReplayInput::stream(&mut c2, &mut iotrace::gen::ior::stream(&cfg), &mut IdentityResolver), CoreSel::Auto)
             .unwrap();
         assert_identical(&serial, &streamed);
     }
@@ -505,7 +505,7 @@ mod tests {
         let mut reports = Vec::new();
         for t in [small_ior(IoOp::Write), small_ior(IoOp::Read), small_ior(IoOp::Write)] {
             let mut c = Cluster::new(ClusterConfig::paper_default());
-            reports.push(session.run_sharded(&mut c, &t, &mut IdentityResolver).unwrap());
+            reports.push(session.run(ReplayInput::trace(&mut c, &t, &mut IdentityResolver), CoreSel::Sharded).unwrap());
         }
         assert_identical(&reports[0], &reports[2]);
     }
@@ -514,7 +514,7 @@ mod tests {
     fn empty_trace_reports_zero_through_sharded_core() {
         let mut c = Cluster::new(ClusterConfig::paper_default());
         let r = ReplaySession::new()
-            .run_sharded(&mut c, &Trace::new(), &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c, &Trace::new(), &mut IdentityResolver), CoreSel::Sharded)
             .unwrap();
         assert_eq!(r.requests, 0);
         assert_eq!(r.phases, 0);

@@ -11,8 +11,8 @@
 use iotrace::gen::{ior, skewed};
 use iotrace::{FileId, Rank, RecordBatch, Trace, TraceRecord};
 use pfs_sim::{
-    Cluster, ClusterConfig, FaultPlan, IdentityResolver, LayoutSpec, ReplayReport, ReplaySession,
-    ServerId,
+    Cluster, ClusterConfig, CoreSel, FaultPlan, IdentityResolver, LayoutSpec, ReplayInput,
+    ReplayReport, ReplaySession, ServerId,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -140,14 +140,14 @@ fn sharded_replay_is_bit_identical_to_serial_across_random_scenarios() {
         random_layouts(&mut rng.clone(), &mut c1);
         let serial = ReplaySession::new()
             .with_fault_plan(plan.clone())
-            .run(&mut c1, &trace, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c1, &trace, &mut IdentityResolver), CoreSel::Auto)
             .unwrap();
 
         let mut c2 = Cluster::new(config);
         random_layouts(&mut rng.clone(), &mut c2);
         let sharded = ReplaySession::new()
             .with_fault_plan(plan)
-            .run_sharded(&mut c2, &trace, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c2, &trace, &mut IdentityResolver), CoreSel::Sharded)
             .unwrap();
 
         assert_identical(&serial, &sharded, trial);
@@ -165,9 +165,9 @@ fn one_warmed_session_stays_identical_across_random_scenarios() {
         let config = random_config(&mut rng);
         let mut c1 = Cluster::new(config.clone());
         let serial =
-            ReplaySession::new().run(&mut c1, &trace, &mut IdentityResolver).unwrap();
+            ReplaySession::new().run(ReplayInput::trace(&mut c1, &trace, &mut IdentityResolver), CoreSel::Auto).unwrap();
         let mut c2 = Cluster::new(config);
-        let sharded = session.run_sharded(&mut c2, &trace, &mut IdentityResolver).unwrap();
+        let sharded = session.run(ReplayInput::trace(&mut c2, &trace, &mut IdentityResolver), CoreSel::Sharded).unwrap();
         assert_identical(&serial, &sharded, trial);
     }
 }
@@ -201,10 +201,10 @@ fn streaming_generators_match_their_materialized_traces() {
 
         let mut c1 = Cluster::new(ClusterConfig::paper_default());
         let serial =
-            ReplaySession::new().run(&mut c1, &trace, &mut IdentityResolver).unwrap();
+            ReplaySession::new().run(ReplayInput::trace(&mut c1, &trace, &mut IdentityResolver), CoreSel::Auto).unwrap();
         let mut c2 = Cluster::new(ClusterConfig::paper_default());
         let streamed = ReplaySession::new()
-            .run_stream(&mut c2, &mut ior::stream(&cfg), &mut IdentityResolver)
+            .run(ReplayInput::stream(&mut c2, &mut ior::stream(&cfg), &mut IdentityResolver), CoreSel::Auto)
             .unwrap();
         assert_identical(&serial, &streamed, trial);
     }
@@ -216,10 +216,10 @@ fn skewed_stream_replays_identically_to_its_trace() {
     cfg.phases = 24;
     let trace = skewed::generate(&cfg);
     let mut c1 = Cluster::new(ClusterConfig::paper_default());
-    let serial = ReplaySession::new().run(&mut c1, &trace, &mut IdentityResolver).unwrap();
+    let serial = ReplaySession::new().run(ReplayInput::trace(&mut c1, &trace, &mut IdentityResolver), CoreSel::Auto).unwrap();
     let mut c2 = Cluster::new(ClusterConfig::paper_default());
     let streamed = ReplaySession::new()
-        .run_stream(&mut c2, &mut skewed::stream(&cfg), &mut IdentityResolver)
+        .run(ReplayInput::stream(&mut c2, &mut skewed::stream(&cfg), &mut IdentityResolver), CoreSel::Auto)
         .unwrap();
     assert_identical(&serial, &streamed, 0);
 }
@@ -249,12 +249,12 @@ fn skewed_stream_replays_identically_under_active_fault_plans() {
         let mut c1 = Cluster::new(config.clone());
         let serial = ReplaySession::new()
             .with_fault_plan(plan.clone())
-            .run(&mut c1, &trace, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c1, &trace, &mut IdentityResolver), CoreSel::Auto)
             .unwrap();
         let mut c2 = Cluster::new(config);
         let streamed = ReplaySession::new()
             .with_fault_plan(plan)
-            .run_stream(&mut c2, &mut skewed::stream(&cfg), &mut IdentityResolver)
+            .run(ReplayInput::stream(&mut c2, &mut skewed::stream(&cfg), &mut IdentityResolver), CoreSel::Auto)
             .unwrap();
         assert_identical(&serial, &streamed, trial);
     }

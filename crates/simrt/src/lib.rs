@@ -10,6 +10,7 @@
 //!   per-byte event churn,
 //! * [`stats`] — online statistics, histograms and percentile helpers,
 //! * [`rng`] — deterministic, splittable seeding for reproducible workloads,
+//! * [`arrival`] — seeded open-loop (Poisson) arrival processes,
 //! * [`lanes`] — stable lane partitioning and disjoint-write scatter for
 //!   sharded (per-server) simulation passes.
 //!
@@ -17,6 +18,7 @@
 //! produce bit-identical results, so the event calendar breaks timestamp
 //! ties by insertion sequence number, never by pointer or hash order.
 
+pub mod arrival;
 pub mod engine;
 pub mod fault;
 pub mod lanes;
@@ -25,6 +27,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use arrival::ArrivalProcess;
 pub use engine::{Engine, Model, Scheduler};
 pub use fault::{DeviceProfile, FaultKind, FaultPlan, RetryPolicy, ServerFault, ServerHealth};
 pub use lanes::{DisjointSlice, LanePartition, LaneSpan};

@@ -82,7 +82,7 @@ fn main() {
         apply_plan(&mut c, &plan);
         let mut resolver = plan.make_resolver(SimDuration::from_micros(5));
         let mha = ReplaySession::new()
-            .run(&mut c, trace, resolver.as_mut())
+            .run(ReplayInput::trace(&mut c, trace, resolver.as_mut()), CoreSel::Auto)
             .expect("fault-free replay cannot fail");
         println!(
             "{:<12} {:>12.1} {:>12.1} {:>+9.1}%",

@@ -18,7 +18,7 @@ fn replay_under(plan: &Plan, trace: &Trace, cluster: &ClusterConfig) -> pfs_sim:
     apply_plan(&mut c, plan);
     let mut resolver = plan.make_resolver(SimDuration::from_micros(5));
     ReplaySession::new()
-        .run(&mut c, trace, resolver.as_mut())
+        .run(ReplayInput::trace(&mut c, trace, resolver.as_mut()), CoreSel::Auto)
         .expect("fault-free replay cannot fail")
 }
 

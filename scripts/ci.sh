@@ -59,3 +59,15 @@ cargo run -p mha-bench --release --bin figures -- fault --quick
 # 2x sooner than plan-then-rerun, with quiet windows costing <10% of a
 # cold plan — the acceptance bars are asserted inside the binary.
 cargo run -p mha-bench --release --bin online -- --smoke
+# Service smoke: the multi-tenant layout service must stay seeded-
+# deterministic (same seed => bit-identical schedule and job reports),
+# keep co-tenants from perturbing each other's replay reports, and
+# degenerate to a plain streaming replay for one tenant — all asserted
+# inside the binary. The kill-matrix resume test does the same for a
+# crash mid-service on the shared store.
+cargo run -p mha-bench --release --bin service -- --smoke
+cargo test -q -p mha-bench --test service_resume
+# Deprecation-shim gate: the pre-0.8 `run_sharded`/`run_stream` entry
+# points must keep compiling and stay bit-identical to the unified
+# `run(input, core)` API for one release.
+cargo test -q -p pfs-sim deprecated_shims

@@ -57,12 +57,17 @@ pub mod prelude {
         apply_plan, Evaluation, LayoutPlanner, Plan, PlannerContext, Scheme,
     };
     pub use mha_core::dynamic::{run_dynamic, run_dynamic_durable, DynamicConfig, DynamicReport};
-    pub use mha_core::persist::{recover, PersistError, PipelineStore};
-    pub use mha_core::{CostParams, DrtResolver, GroupingConfig, RssdConfig};
+    pub use mha_core::persist::{recover, recover_tenant, PersistError, PipelineStore, TenantStore};
+    pub use mha_core::tenant::TenantPipeline;
+    pub use mha_core::{
+        CostParams, DrtResolver, GroupingConfig, OnlineConfig, OnlineConfigBuilder, OnlinePlanner,
+        RssdConfig,
+    };
     pub use mpiio_sim::{Hints, Middleware, MpiJob};
     pub use pfs_sim::{
-        Cluster, ClusterConfig, FaultPlan, IdentityResolver, LayoutSpec, ReplayError,
-        ReplaySession, ServerId,
+        Cluster, ClusterConfig, CoreSel, FaultPlan, IdentityResolver, LayoutService, LayoutSpec,
+        MdsConfig, NullRuntime, ReplayError, ReplayInput, ReplaySession, ServiceConfig,
+        ServiceReport, ServerId, TenantId, TenantRuntime,
     };
     pub use simrt::{SimDuration, SimTime};
     pub use storage_model::IoOp;
@@ -83,7 +88,7 @@ mod tests {
         let trace = job.finish();
         let mut c = Cluster::new(cluster);
         let report = ReplaySession::new()
-            .run(&mut c, &trace, &mut IdentityResolver)
+            .run(ReplayInput::trace(&mut c, &trace, &mut IdentityResolver), CoreSel::Auto)
             .expect("fault-free replay cannot fail");
         assert!(report.bandwidth_mbps() > 0.0);
     }
