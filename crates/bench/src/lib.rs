@@ -28,6 +28,7 @@
 
 pub mod experiments;
 pub mod online;
+pub mod redundancy;
 pub mod report;
 pub mod service;
 pub mod workloads;

@@ -22,7 +22,7 @@
 
 use iotrace::Trace;
 use netsim::LinkParams;
-use pfs_sim::{LayoutSpec, ServerId};
+use pfs_sim::{LayoutSpec, Placement, ServerId};
 use serde::{Deserialize, Serialize};
 use simrt::SeedSeq;
 use storage_model::{calibrate, Device, HddModel, HddParams, IoOp, SsdModel, SsdParams};
@@ -180,6 +180,22 @@ impl CostParams {
         worst
     }
 
+    /// Eq. 2 extended with the layout's redundancy: the base cost of
+    /// [`Self::request_cost_on`] scaled by the placement's per-op factor
+    /// (see [`placement_factors`]). `p_loss` is the probability a read
+    /// finds its home unit permanently lost. Striped layouts (and
+    /// `p_loss = 0` reads) are priced bit-identically to the base model.
+    pub fn request_cost_redundant(&self, layout: &LayoutSpec, req: &ReqView, p_loss: f64) -> f64 {
+        let factors = placement_factors(layout.placement(), p_loss);
+        let factor = factors.for_op(req.op);
+        let base = self.request_cost_on(layout, req);
+        if factor == 1.0 {
+            base
+        } else {
+            base * factor
+        }
+    }
+
     /// Precompute the per-class mate loads for one request: `Some(load)`
     /// for each class whose participating servers share one stripe size,
     /// `None` for a class with mixed stripes (caller falls back to the
@@ -239,6 +255,80 @@ impl CostParams {
         let touch = ((l + stripe / 2.0) / round).min(1.0);
         let bytes = l * stripe / round;
         mates * (touch * self.alpha(hserver, req.op) + bytes * self.unit_time(hserver, req.op))
+    }
+}
+
+/// Per-operation cost multipliers, the planner-side shadow of a layout's
+/// redundancy. Eq. 2 prices one logical request against one physical
+/// copy of its data; redundancy changes how many physical bytes a
+/// logical byte stands for, and these factors carry that into the model:
+///
+/// * **writes** amplify deterministically — `k` full copies under
+///   `k`-way replication, `(k + m)/k` under EC(`k`, `m`) (data plus
+///   parity),
+/// * **reads** amplify only in expectation — a replicated read still
+///   touches one copy (failover swaps *which* copy, not how many), while
+///   a degraded EC read reconstructs from `k` surviving units, so with
+///   loss probability `p` the expected factor is `(1 − p) + p·k`.
+///
+/// Factors below 1 are never produced by [`placement_factors`]; the RSSD
+/// search accepts any positive factors (its pruning floor is scaled by
+/// the same factors, so admissibility is unconditional).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpFactors {
+    /// Multiplier on each read request's Eq. 2 cost.
+    pub read: f64,
+    /// Multiplier on each write request's Eq. 2 cost.
+    pub write: f64,
+}
+
+impl Default for OpFactors {
+    fn default() -> Self {
+        OpFactors { read: 1.0, write: 1.0 }
+    }
+}
+
+impl OpFactors {
+    /// The identity factors (striped layouts, the pre-redundancy model).
+    pub fn neutral() -> Self {
+        Self::default()
+    }
+
+    /// The factor for one operation.
+    pub fn for_op(&self, op: IoOp) -> f64 {
+        match op {
+            IoOp::Read => self.read,
+            IoOp::Write => self.write,
+        }
+    }
+
+    /// Both factors are exactly 1 — scoring with them is bit-identical
+    /// to the unfactored model.
+    pub fn is_neutral(&self) -> bool {
+        self.read == 1.0 && self.write == 1.0
+    }
+}
+
+/// The [`OpFactors`] a placement implies, given the probability `p_loss`
+/// that a read finds its home unit lost (0 = healthy cluster, 1 = every
+/// read of the affected range is degraded). `p_loss` is clamped to
+/// `[0, 1]`.
+pub fn placement_factors(placement: Placement, p_loss: f64) -> OpFactors {
+    let p = p_loss.clamp(0.0, 1.0);
+    match placement {
+        Placement::Striped => OpFactors::neutral(),
+        // Replicated reads hit exactly one copy, healthy or not; writes
+        // fan out to all k copies.
+        Placement::Replicated(k) => OpFactors { read: 1.0, write: k as f64 },
+        // EC writes carry the parity overhead; a degraded read gathers k
+        // surviving units instead of 1.
+        Placement::ErasureCoded(k, m) => {
+            let kf = k.max(1) as f64;
+            OpFactors {
+                read: (1.0 - p) + p * kf,
+                write: (kf + m as f64) / kf,
+            }
+        }
     }
 }
 
@@ -426,6 +516,48 @@ mod tests {
         let layout = p.layout_for(8192, 0).expect("H-only layout");
         assert_eq!(layout.servers().count(), 3);
         assert!(p.layout_for(0, 8192).is_none(), "no SServers to hold s");
+    }
+
+    #[test]
+    fn placement_factors_cover_the_grid() {
+        let f = placement_factors(Placement::Striped, 0.7);
+        assert!(f.is_neutral());
+        let f = placement_factors(Placement::Replicated(3), 0.5);
+        assert_eq!((f.read, f.write), (1.0, 3.0));
+        // EC(4+2): writes always pay 6/4; reads pay k-fold only on the
+        // lost fraction.
+        let healthy = placement_factors(Placement::ErasureCoded(4, 2), 0.0);
+        assert_eq!((healthy.read, healthy.write), (1.0, 1.5));
+        let lost = placement_factors(Placement::ErasureCoded(4, 2), 1.0);
+        assert_eq!((lost.read, lost.write), (4.0, 1.5));
+        let half = placement_factors(Placement::ErasureCoded(4, 2), 0.5);
+        assert_eq!(half.read, 2.5);
+        // p_loss clamps rather than extrapolating.
+        let over = placement_factors(Placement::ErasureCoded(4, 2), 7.0);
+        assert_eq!(over.read, 4.0);
+    }
+
+    #[test]
+    fn redundant_cost_scales_writes_and_degraded_reads() {
+        let p = params();
+        let layout = p.layout_for(64 << 10, 64 << 10).unwrap();
+        let w = req(32 << 10, IoOp::Write, 4);
+        let r = req(32 << 10, IoOp::Read, 4);
+        let base_w = p.request_cost_on(&layout, &w);
+        let base_r = p.request_cost_on(&layout, &r);
+
+        // Striped pricing is bit-identical to the base model.
+        assert_eq!(p.request_cost_redundant(&layout, &w, 0.5).to_bits(), base_w.to_bits());
+
+        let rep = layout.clone().with_placement(Placement::Replicated(3));
+        assert_eq!(p.request_cost_redundant(&rep, &w, 0.0).to_bits(), (base_w * 3.0).to_bits());
+        // Replicated reads never amplify, lost or not.
+        assert_eq!(p.request_cost_redundant(&rep, &r, 1.0).to_bits(), base_r.to_bits());
+
+        let ec = layout.clone().with_placement(Placement::ErasureCoded(2, 2));
+        assert_eq!(p.request_cost_redundant(&ec, &w, 0.0).to_bits(), (base_w * 2.0).to_bits());
+        assert_eq!(p.request_cost_redundant(&ec, &r, 0.0).to_bits(), base_r.to_bits());
+        assert_eq!(p.request_cost_redundant(&ec, &r, 1.0).to_bits(), (base_r * 2.0).to_bits());
     }
 
     #[test]

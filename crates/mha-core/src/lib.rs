@@ -47,13 +47,14 @@ pub mod grouping;
 pub mod online;
 pub mod pattern;
 pub mod persist;
+pub mod rebuild;
 pub mod redirect;
 pub mod region;
 pub mod rssd;
 pub mod schemes;
 pub mod tenant;
 
-pub use cost::{CostParams, ReqView};
+pub use cost::{placement_factors, CostParams, OpFactors, ReqView};
 pub use dynamic::{
     run_dynamic, run_dynamic_durable, run_lazy_durable, DynamicConfig, DynamicReport,
     LazyMigrator, PendingRedirect,
@@ -71,10 +72,12 @@ pub use grouping::{
     GroupIndex, Grouping, GroupingConfig,
 };
 pub use pattern::{FeatureSpace, ReqFeature};
+pub use rebuild::{file_sizes, rebuild_onto_spare, RebuildOutcome};
 pub use redirect::DrtResolver;
 pub use region::{CompactDrt, Drt, DrtEntry, Rst};
 pub use rssd::{
-    region_cost, region_cost_bounded, rssd, CostScratch, RssdConfig, RssdResult, StripePair,
+    region_cost, region_cost_bounded, region_cost_factored, rssd, CostScratch, RssdConfig,
+    RssdResult, StripePair,
 };
 pub use schemes::{apply_plan, Evaluation, LayoutPlanner, Plan, PlanResolver, PlannerContext, Scheme};
 pub use tenant::TenantPipeline;

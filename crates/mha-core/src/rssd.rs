@@ -43,7 +43,7 @@
 //! *exceeds* the incumbent (strict), so it can neither win nor tie — the
 //! returned `(pair, cost)` is bit-identical to the unpruned search.
 
-use crate::cost::{CostParams, ReqView};
+use crate::cost::{CostParams, OpFactors, ReqView};
 use pfs_sim::{LayoutSpec, LoadScratch, ServerId};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -80,6 +80,19 @@ pub struct RssdConfig {
     /// only for A/B verification and benchmarking.
     #[serde(default = "default_true")]
     pub pruning: bool,
+    /// Multiplier on every read request's cost during the search
+    /// (redundancy-aware planning: the expected degraded-read
+    /// amplification of an EC layout, see
+    /// [`crate::cost::placement_factors`]). The pruning floor is scaled
+    /// by the same factor, so any positive value keeps the search exact;
+    /// 1.0 is bit-identical to the unfactored model.
+    #[serde(default = "default_factor")]
+    pub read_factor: f64,
+    /// Multiplier on every write request's cost during the search (the
+    /// k-fold replica fan-out or `(k + m)/k` parity overhead of a
+    /// redundant layout).
+    #[serde(default = "default_factor")]
+    pub write_factor: f64,
 }
 
 // Referenced only through the `serde(default)` attribute string; the
@@ -87,6 +100,11 @@ pub struct RssdConfig {
 #[allow(dead_code)]
 fn default_true() -> bool {
     true
+}
+
+#[allow(dead_code)]
+fn default_factor() -> f64 {
+    1.0
 }
 
 impl Default for RssdConfig {
@@ -97,7 +115,22 @@ impl Default for RssdConfig {
             adaptive_bounds: true,
             bound_override: None,
             pruning: true,
+            read_factor: 1.0,
+            write_factor: 1.0,
         }
+    }
+}
+
+impl RssdConfig {
+    /// The per-op factors this config scores with.
+    pub fn factors(&self) -> OpFactors {
+        OpFactors { read: self.read_factor, write: self.write_factor }
+    }
+
+    /// This config with a placement's factors installed (see
+    /// [`crate::cost::placement_factors`]).
+    pub fn with_factors(self, factors: OpFactors) -> Self {
+        RssdConfig { read_factor: factors.read, write_factor: factors.write, ..self }
     }
 }
 
@@ -158,11 +191,13 @@ pub fn rssd(requests: &[ReqView], params: &CostParams, cfg: &RssdConfig) -> Opti
     // degenerates to <h, 0>, searched the same way with roles flipped.
     let n_h = b_h / step + 1;
 
+    let factors = cfg.factors();
+
     // Region-level floors for branch-and-bound, computed once; the shared
     // incumbent holds the best exact cost seen so far as f64 bits (costs
     // are non-negative, so bit order equals float order and fetch_min on
     // the raw bits is a float min).
-    let lb = RegionLowerBounds::compute(requests, params);
+    let lb = RegionLowerBounds::compute(requests, params, factors);
     let incumbent = AtomicU64::new(f64::INFINITY.to_bits());
 
     let best = (0..n_h)
@@ -182,7 +217,7 @@ pub fn rssd(requests: &[ReqView], params: &CostParams, cfg: &RssdConfig) -> Opti
                     continue;
                 }
                 let cutoff = if cfg.pruning { inc } else { f64::INFINITY };
-                match region_cost_bounded(requests, params, pair, cutoff, scratch) {
+                match region_cost_factored(requests, params, pair, factors, cutoff, scratch) {
                     None => pruned += 1, // running sum exceeded the incumbent
                     Some(cost) => {
                         if cost.is_finite() {
@@ -296,6 +331,21 @@ pub fn region_cost_bounded(
     cutoff: f64,
     scratch: &mut CostScratch,
 ) -> Option<f64> {
+    region_cost_factored(requests, params, pair, OpFactors::neutral(), cutoff, scratch)
+}
+
+/// [`region_cost_bounded`] with per-op redundancy factors: each request's
+/// per-server cost is scaled by `factors.for_op(op)` before the phase
+/// max. Neutral factors multiply by exactly 1.0, which is bit-identical
+/// to the unfactored kernel.
+pub fn region_cost_factored(
+    requests: &[ReqView],
+    params: &CostParams,
+    pair: StripePair,
+    factors: OpFactors,
+    cutoff: f64,
+    scratch: &mut CostScratch,
+) -> Option<f64> {
     // Rebuild the candidate layout in place: HServers 0..m with stripe h,
     // then SServers m..m+n with stripe s (the `CostParams::layout_for`
     // shape, without its allocations).
@@ -318,13 +368,15 @@ pub fn region_cost_bounded(
         scratch.touched.clear();
         while j < requests.len() && j - i < c && requests[j].concurrency.max(1) as usize == c {
             let req = &requests[j];
+            let factor = factors.for_op(req.op);
             scratch
                 .layout
                 .per_server_load_into(req.offset, req.len, &mut scratch.loads);
             for (server, bytes, runs) in scratch.loads.entries() {
                 let hserver = params.is_hserver(server);
-                let cost = f64::from(runs) * params.alpha(hserver, req.op)
-                    + bytes as f64 * params.unit_time(hserver, req.op);
+                let cost = factor
+                    * (f64::from(runs) * params.alpha(hserver, req.op)
+                        + bytes as f64 * params.unit_time(hserver, req.op));
                 if scratch.acc[server.0] == 0.0 {
                     scratch.touched.push(server.0);
                 }
@@ -375,8 +427,11 @@ struct RegionLowerBounds {
 }
 
 impl RegionLowerBounds {
-    fn compute(requests: &[ReqView], params: &CostParams) -> Self {
-        // (participating server count, unit minima, alpha minima) per case.
+    fn compute(requests: &[ReqView], params: &CostParams, factors: OpFactors) -> Self {
+        // (participating server count, unit minima, alpha minima) per
+        // case. The kernel scales each request's per-server cost by its
+        // op factor, so the floors carry the same factor on their per-op
+        // minima — admissible for any positive factors, not just ≥ 1.
         let case = |use_h: bool, use_s: bool, p: usize| -> CaseFloor {
             let unit = |op: IoOp| match (use_h, use_s) {
                 (true, true) => params.unit_time(true, op).min(params.unit_time(false, op)),
@@ -391,10 +446,10 @@ impl RegionLowerBounds {
             CaseFloor {
                 n_part: p.max(1) as f64,
                 usable: p > 0,
-                unit_r: unit(IoOp::Read),
-                unit_w: unit(IoOp::Write),
-                alpha_r: alpha(IoOp::Read),
-                alpha_w: alpha(IoOp::Write),
+                unit_r: unit(IoOp::Read) * factors.read,
+                unit_w: unit(IoOp::Write) * factors.write,
+                alpha_r: alpha(IoOp::Read) * factors.read,
+                alpha_w: alpha(IoOp::Write) * factors.write,
             }
         };
         let cases = [
@@ -638,7 +693,7 @@ mod tests {
                 concurrency: 1 + (i % 6) as u32,
             })
             .collect();
-        let lb = RegionLowerBounds::compute(&rs, &p);
+        let lb = RegionLowerBounds::compute(&rs, &p, OpFactors::neutral());
         for h in [0u64, 4 << 10, 64 << 10] {
             for s in [4u64 << 10, 32 << 10, 128 << 10] {
                 if s <= h {
@@ -653,6 +708,112 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn neutral_factors_are_bit_identical_to_the_unfactored_search() {
+        let p = params();
+        let rs: Vec<ReqView> = (0..48)
+            .map(|i| ReqView {
+                offset: i * 12288,
+                len: 4096 * (1 + i % 11),
+                op: if i % 3 == 0 { IoOp::Read } else { IoOp::Write },
+                concurrency: 1 + (i % 5) as u32,
+            })
+            .collect();
+        let plain = rssd(&rs, &p, &RssdConfig::default()).unwrap();
+        let neutral = rssd(
+            &rs,
+            &p,
+            &RssdConfig::default().with_factors(OpFactors { read: 1.0, write: 1.0 }),
+        )
+        .unwrap();
+        assert_eq!(plain.pair, neutral.pair);
+        assert_eq!(plain.cost.to_bits(), neutral.cost.to_bits());
+    }
+
+    #[test]
+    fn single_op_factors_scale_cost_without_moving_the_winner() {
+        // A uniform factor on a single-op workload multiplies every
+        // candidate's cost by the same constant, so the argmin must not
+        // move and the cost scales (up to fp association).
+        let p = params();
+        let rs = reqs(256 << 10, IoOp::Write, 8, 32);
+        let base = rssd(&rs, &p, &RssdConfig::default()).unwrap();
+        let amp = rssd(
+            &rs,
+            &p,
+            &RssdConfig::default().with_factors(OpFactors { read: 1.0, write: 3.0 }),
+        )
+        .unwrap();
+        assert_eq!(base.pair, amp.pair);
+        let ratio = amp.cost / base.cost;
+        assert!((ratio - 3.0).abs() < 1e-9, "ratio={ratio}");
+        // Read factor is inert on an all-write region.
+        let inert = rssd(
+            &rs,
+            &p,
+            &RssdConfig::default().with_factors(OpFactors { read: 5.0, write: 1.0 }),
+        )
+        .unwrap();
+        assert_eq!(base.pair, inert.pair);
+        assert_eq!(base.cost.to_bits(), inert.cost.to_bits());
+    }
+
+    #[test]
+    fn factored_pruning_stays_exact() {
+        let p = params();
+        let rs: Vec<ReqView> = (0..60)
+            .map(|i| ReqView {
+                offset: i * 8192,
+                len: 4096 * (1 + i % 9),
+                op: if i % 4 == 0 { IoOp::Read } else { IoOp::Write },
+                concurrency: 1 + (i % 8) as u32,
+            })
+            .collect();
+        let factors = OpFactors { read: 2.5, write: 1.5 };
+        let pruned = rssd(&rs, &p, &RssdConfig::default().with_factors(factors)).unwrap();
+        let plain = rssd(
+            &rs,
+            &p,
+            &RssdConfig { pruning: false, ..RssdConfig::default() }.with_factors(factors),
+        )
+        .unwrap();
+        assert_eq!(pruned.pair, plain.pair);
+        assert_eq!(pruned.cost.to_bits(), plain.cost.to_bits());
+        // The scaled floor stays below every scaled exact cost.
+        let lb = RegionLowerBounds::compute(&rs, &p, factors);
+        let mut scratch = CostScratch::new();
+        for h in [0u64, 8 << 10, 32 << 10] {
+            for s in [8u64 << 10, 64 << 10] {
+                if s <= h {
+                    continue;
+                }
+                let pair = StripePair { h, s };
+                let cost =
+                    region_cost_factored(&rs, &p, pair, factors, f64::INFINITY, &mut scratch)
+                        .unwrap();
+                assert!(lb.for_pair(&p, pair) <= cost, "{pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_amplification_steers_mixed_workloads_toward_reads() {
+        // Mixed region: large sequential reads (which like HDDs) plus
+        // small writes. Amplifying writes (a redundant layout's parity
+        // fan-out) must never *lower* the modelled cost.
+        let p = params();
+        let mut rs = reqs(4 << 20, IoOp::Read, 2, 8);
+        rs.extend(reqs(16 << 10, IoOp::Write, 8, 32));
+        let base = rssd(&rs, &p, &RssdConfig::default()).unwrap();
+        let amp = rssd(
+            &rs,
+            &p,
+            &RssdConfig::default().with_factors(OpFactors { read: 1.0, write: 4.0 }),
+        )
+        .unwrap();
+        assert!(amp.cost >= base.cost, "amp={} base={}", amp.cost, base.cost);
     }
 
     #[test]

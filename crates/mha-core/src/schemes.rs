@@ -30,8 +30,8 @@ use crate::region::{Drt, DrtEntry, RegionInfo, Rst};
 use crate::rssd::{region_cost, rssd, RssdConfig, StripePair};
 use iotrace::{FileId, Trace};
 use pfs_sim::{
-    Cluster, ClusterConfig, CoreSel, FaultPlan, IdentityResolver, LayoutSpec, ReplayError,
-    ReplayInput, ReplayReport, ReplaySession, Resolver, ServerHealth, ServerId,
+    Cluster, ClusterConfig, CoreSel, FaultPlan, IdentityResolver, LayoutSpec, Placement,
+    ReplayError, ReplayInput, ReplayReport, ReplaySession, Resolver, ServerHealth, ServerId,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -246,6 +246,24 @@ pub struct Plan {
 }
 
 impl Plan {
+    /// This plan with `placement` attached to every layout wide enough
+    /// to carry it. Layouts with fewer segments than the placement needs
+    /// (a replica per distinct server, `k + m` shards for EC) stay
+    /// striped rather than failing the whole plan — an SServer-only
+    /// region of a mostly-hybrid plan just forgoes redundancy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        for (_, spec) in &mut self.layouts {
+            *spec = spec.clone().try_with_placement(placement).unwrap_or_else(|_| spec.clone());
+        }
+        self
+    }
+
+    /// How many of the plan's layouts carry a non-striped placement.
+    pub fn redundant_layouts(&self) -> usize {
+        self.layouts.iter().filter(|(_, s)| !s.placement().is_striped()).count()
+    }
+
     /// Build the runtime resolver for this plan.
     pub fn make_resolver(&self, lookup_cost: SimDuration) -> Box<dyn Resolver> {
         match &self.resolver {
@@ -700,6 +718,28 @@ mod tests {
         assert!(p.layouts.is_empty());
         assert!(matches!(p.resolver, PlanResolver::Identity));
         assert_eq!(p.scheme.name(), "DEF");
+    }
+
+    #[test]
+    fn plan_with_placement_attaches_where_it_fits() {
+        let t = mixed_ior();
+        let plan = MhaPlanner.plan(&t, &ctx());
+        assert!(!plan.layouts.is_empty());
+        assert_eq!(plan.redundant_layouts(), 0, "plans start striped");
+        let rep = plan.clone().with_placement(Placement::Replicated(3));
+        for ((file, orig), (_, with)) in plan.layouts.iter().zip(&rep.layouts) {
+            if orig.segment_count() >= 3 {
+                assert_eq!(with.placement(), Placement::Replicated(3), "{file:?}");
+            } else {
+                assert!(with.placement().is_striped(), "{file:?} too narrow, stays striped");
+            }
+            // Geometry is untouched either way.
+            assert_eq!(with.round_size(), orig.round_size(), "{file:?}");
+        }
+        // A placement no layout can hold degrades the whole plan to
+        // striped instead of failing it.
+        let huge = plan.clone().with_placement(Placement::ErasureCoded(64, 8));
+        assert_eq!(huge.redundant_layouts(), 0);
     }
 
     #[test]

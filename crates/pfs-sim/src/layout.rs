@@ -14,6 +14,77 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ServerId(pub usize);
 
+/// How a layout places redundancy on top of its striped data path.
+///
+/// `Striped` is the paper's single-copy baseline: every byte lives on
+/// exactly one server and a permanent server loss is fatal to the data
+/// it held. The redundant variants derive their geometry from the
+/// layout's segment list (see DESIGN.md §17):
+///
+/// * `Replicated(k)`: copy `r` of the stripe unit homed on segment `i`
+///   lives on segment `(i + r) mod n` (`n` = segment count), so the
+///   copies of one unit always occupy `k` distinct servers.
+/// * `ErasureCoded(k, m)`: stripe units are numbered in file order
+///   (unit `u` is homed on segment `u mod n`); each run of `k`
+///   consecutive units forms a parity group `g = u / k`, whose `m`
+///   parity units live on segments `(g·k + k + p) mod n` — the `m`
+///   segments immediately after the group's data, rotating with `g`
+///   like RAID-5 parity.
+///
+/// Serialized layouts written before this field existed deserialize as
+/// `Striped` (the historical behavior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Placement {
+    /// One copy of every byte (the historical layouts).
+    #[default]
+    Striped,
+    /// `k` full copies of every stripe unit (`2 ≤ k ≤` segments).
+    Replicated(usize),
+    /// `k` data + `m` parity units per group (`k + m ≤` segments).
+    ErasureCoded(usize, usize),
+}
+
+impl Placement {
+    /// True for the single-copy baseline.
+    pub fn is_striped(&self) -> bool {
+        matches!(self, Placement::Striped)
+    }
+
+    /// Physical bytes written per logical byte: 1 for striping, `k` for
+    /// `k`-way replication, `(k + m)/k` for erasure coding.
+    pub fn write_amplification(&self) -> f64 {
+        match *self {
+            Placement::Striped => 1.0,
+            Placement::Replicated(k) => k as f64,
+            Placement::ErasureCoded(k, m) => (k + m) as f64 / k as f64,
+        }
+    }
+
+    /// Physical bytes stored per logical byte — numerically the same as
+    /// [`Self::write_amplification`], named for the capacity question.
+    pub fn storage_overhead(&self) -> f64 {
+        self.write_amplification()
+    }
+
+    /// Permanent server losses the placement survives without data loss.
+    pub fn loss_tolerance(&self) -> usize {
+        match *self {
+            Placement::Striped => 0,
+            Placement::Replicated(k) => k - 1,
+            Placement::ErasureCoded(_, m) => m,
+        }
+    }
+
+    /// Short label for reports (e.g. `3x`, `EC(4+2)`).
+    pub fn label(&self) -> String {
+        match *self {
+            Placement::Striped => "striped".to_string(),
+            Placement::Replicated(k) => format!("{k}x"),
+            Placement::ErasureCoded(k, m) => format!("EC({k}+{m})"),
+        }
+    }
+}
+
 /// One server's share of a layout round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct Segment {
@@ -47,13 +118,19 @@ pub struct LayoutSpec {
     /// deserialized layouts fall back to plain division until rebuilt.
     #[serde(skip, default)]
     round_magic: u64,
+    /// Redundancy scheme layered over the striped data path. Absent in
+    /// pre-redundancy serialized layouts, which decode as `Striped`.
+    #[serde(default)]
+    placement: Placement,
 }
 
-/// Layout identity is its shape; the cached reciprocal is derived state
-/// (and absent on deserialized specs).
+/// Layout identity is its shape (including placement); the cached
+/// reciprocal is derived state (and absent on deserialized specs).
 impl PartialEq for LayoutSpec {
     fn eq(&self, other: &Self) -> bool {
-        self.segments == other.segments && self.round == other.round
+        self.segments == other.segments
+            && self.round == other.round
+            && self.placement == other.placement
     }
 }
 
@@ -173,7 +250,115 @@ impl LayoutSpec {
             start += stripe;
         }
         assert!(!segments.is_empty(), "layout must include at least one server");
-        LayoutSpec { segments, round: start, round_magic: round_magic_for(start) }
+        LayoutSpec {
+            segments,
+            round: start,
+            round_magic: round_magic_for(start),
+            placement: Placement::Striped,
+        }
+    }
+
+    /// Layer a redundancy placement over this layout. The replay cores
+    /// and cost model consult it; the striped data geometry (rounds,
+    /// stripes, `map_extent`) is unchanged.
+    ///
+    /// # Panics
+    /// If the layout cannot host the placement: replication needs
+    /// `2 ≤ k ≤ segments`, erasure coding needs `k ≥ 1`, `m ≥ 1` and
+    /// `k + m ≤ segments`; both need every segment on a distinct server
+    /// (otherwise "distinct copies" is meaningless). Use
+    /// [`Self::try_with_placement`] for a non-panicking check.
+    #[must_use]
+    pub fn with_placement(self, placement: Placement) -> Self {
+        match self.try_with_placement(placement) {
+            Ok(l) => l,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Fallible [`Self::with_placement`]: returns the reason the layout
+    /// cannot host `placement` instead of panicking.
+    pub fn try_with_placement(mut self, placement: Placement) -> Result<Self, String> {
+        let n = self.segments.len();
+        match placement {
+            Placement::Striped => {}
+            Placement::Replicated(k) => {
+                if k < 2 {
+                    return Err(format!("replication needs k >= 2 copies, got {k}"));
+                }
+                if k > n {
+                    return Err(format!("replication needs k <= segments ({k} > {n})"));
+                }
+                if !self.servers_distinct() {
+                    return Err("replication needs distinct servers per segment".into());
+                }
+            }
+            Placement::ErasureCoded(k, m) => {
+                if k == 0 || m == 0 {
+                    return Err(format!("EC needs k >= 1 data and m >= 1 parity, got ({k},{m})"));
+                }
+                if k + m > n {
+                    return Err(format!("EC needs k+m <= segments ({}+{} > {n})", k, m));
+                }
+                if !self.servers_distinct() {
+                    return Err("EC needs distinct servers per segment".into());
+                }
+            }
+        }
+        self.placement = placement;
+        Ok(self)
+    }
+
+    /// The redundancy placement layered over this layout.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Number of segments (participating servers) in one round.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Server owning segment `idx` (round order).
+    ///
+    /// # Panics
+    /// If `idx` is out of range.
+    pub fn server_at(&self, idx: usize) -> ServerId {
+        self.segments[idx].server
+    }
+
+    /// Stripe size of segment `idx` (round order).
+    ///
+    /// # Panics
+    /// If `idx` is out of range.
+    pub fn stripe_at(&self, idx: usize) -> u64 {
+        self.segments[idx].stripe
+    }
+
+    /// Position of `server` in the segment list, if it participates.
+    pub fn position_of(&self, server: ServerId) -> Option<usize> {
+        self.segments.iter().position(|s| s.server == server)
+    }
+
+    /// Largest stripe size in the layout (the erasure-coding parity unit
+    /// size: one parity unit must cover the widest data unit it protects).
+    pub fn max_stripe(&self) -> u64 {
+        self.segments.iter().map(|s| s.stripe).max().unwrap_or(0)
+    }
+
+    /// Copy of this layout with every occurrence of `from` replaced by
+    /// `to`, preserving stripes, segment order, and placement — the
+    /// layout update a rebuild-onto-spare publishes after reconstructing
+    /// a lost server's data on the spare.
+    #[must_use]
+    pub fn swap_server(&self, from: ServerId, to: ServerId) -> Self {
+        let mut out = self.clone();
+        for seg in &mut out.segments {
+            if seg.server == from {
+                seg.server = to;
+            }
+        }
+        out
     }
 
     /// Bytes covered by one round of the layout.
@@ -366,7 +551,12 @@ impl LayoutSpec {
     /// the next successful rebuild) when no assignment has a positive
     /// stripe; callers must check the return value before using the
     /// layout.
+    ///
+    /// Rebuilding resets the placement to [`Placement::Striped`]: the new
+    /// segment list may not be able to host the old placement, so callers
+    /// re-attach one with [`Self::with_placement`] if they want it.
     pub fn rebuild(&mut self, assigns: impl IntoIterator<Item = (ServerId, u64)>) -> bool {
+        self.placement = Placement::Striped;
         self.segments.clear();
         let mut start = 0u64;
         for (server, stripe) in assigns {
@@ -618,6 +808,67 @@ mod tests {
         // A later successful rebuild restores the layout.
         assert!(l.rebuild([(ServerId(3), 7u64)]));
         assert_eq!(l.stripe_of(ServerId(3)), 7);
+    }
+
+    #[test]
+    fn placement_defaults_to_striped_and_joins_equality() {
+        let base = LayoutSpec::fixed(&ids(0..4), 64 << 10);
+        assert_eq!(base.placement(), Placement::Striped);
+        assert!(base.placement().is_striped());
+        let repl = base.clone().with_placement(Placement::Replicated(3));
+        assert_eq!(repl.placement(), Placement::Replicated(3));
+        assert_ne!(base, repl, "placement is part of layout identity");
+        assert_eq!(repl, base.clone().with_placement(Placement::Replicated(3)));
+        // Geometry is untouched by the placement.
+        assert_eq!(repl.map_extent(7, 533), base.map_extent(7, 533));
+    }
+
+    #[test]
+    fn placement_validation_rejects_misfits() {
+        let narrow = LayoutSpec::fixed(&ids(0..2), 10);
+        assert!(narrow.clone().try_with_placement(Placement::Replicated(3)).is_err());
+        assert!(narrow.clone().try_with_placement(Placement::Replicated(1)).is_err());
+        assert!(narrow.clone().try_with_placement(Placement::ErasureCoded(2, 1)).is_err());
+        assert!(narrow.clone().try_with_placement(Placement::ErasureCoded(0, 2)).is_err());
+        assert!(narrow.try_with_placement(Placement::Replicated(2)).is_ok());
+        // Duplicate-server layouts cannot host redundancy.
+        let dup = LayoutSpec::from_assignments([(ServerId(0), 8u64), (ServerId(0), 8)]);
+        assert!(dup.try_with_placement(Placement::Replicated(2)).is_err());
+        let wide = LayoutSpec::hybrid(&ids(0..6), 32 << 10, &ids(6..8), 96 << 10);
+        assert!(wide.clone().try_with_placement(Placement::ErasureCoded(4, 2)).is_ok());
+        assert!(wide.try_with_placement(Placement::ErasureCoded(7, 2)).is_err());
+    }
+
+    #[test]
+    fn placement_overheads() {
+        assert_eq!(Placement::Striped.write_amplification(), 1.0);
+        assert_eq!(Placement::Replicated(3).write_amplification(), 3.0);
+        assert_eq!(Placement::ErasureCoded(4, 2).write_amplification(), 1.5);
+        assert_eq!(Placement::ErasureCoded(4, 2).storage_overhead(), 1.5);
+        assert_eq!(Placement::Striped.loss_tolerance(), 0);
+        assert_eq!(Placement::Replicated(3).loss_tolerance(), 2);
+        assert_eq!(Placement::ErasureCoded(4, 2).loss_tolerance(), 2);
+        assert_eq!(Placement::ErasureCoded(4, 2).label(), "EC(4+2)");
+    }
+
+    #[test]
+    fn rebuild_resets_placement_and_swap_preserves_it() {
+        let mut l = LayoutSpec::fixed(&ids(0..4), 10).with_placement(Placement::Replicated(2));
+        assert!(l.rebuild([(ServerId(0), 32u64), (ServerId(1), 32)]));
+        assert_eq!(l.placement(), Placement::Striped, "rebuild resets placement");
+
+        let ec = LayoutSpec::hybrid(&ids(0..6), 8, &ids(6..8), 16)
+            .with_placement(Placement::ErasureCoded(4, 2));
+        let swapped = ec.swap_server(ServerId(3), ServerId(9));
+        assert_eq!(swapped.placement(), Placement::ErasureCoded(4, 2));
+        assert_eq!(swapped.position_of(ServerId(9)), Some(3));
+        assert_eq!(swapped.position_of(ServerId(3)), None);
+        assert_eq!(swapped.stripe_at(3), 8);
+        assert_eq!(swapped.round_size(), ec.round_size());
+        // Untouched servers keep their positions.
+        assert_eq!(swapped.server_at(0), ServerId(0));
+        assert_eq!(swapped.server_at(7), ServerId(7));
+        assert_eq!(ec.max_stripe(), 16);
     }
 
     #[test]

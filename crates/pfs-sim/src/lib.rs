@@ -28,8 +28,8 @@
 //! [`ReplaySession`] is the only replay entry point (the pre-0.3 free
 //! functions `replay` / `replay_with_scratch` / `replay_scheduled` have
 //! been removed). Since 0.8 a session takes a [`ReplayInput`] (trace or
-//! stream) plus a [`CoreSel`]; the old `run_sharded` / `run_stream`
-//! names remain as deprecated shims for one release.
+//! stream) plus a [`CoreSel`]; the 0.8-era `run_sharded` / `run_stream`
+//! shims have been removed after their one-release grace period.
 //!
 //! On top of single replays, [`service::LayoutService`] runs a
 //! long-lived multi-tenant service over one shared cluster: seeded
@@ -41,6 +41,7 @@ pub mod error;
 mod fault;
 pub mod layout;
 pub mod mds;
+pub mod redundancy;
 pub mod replay;
 pub mod server;
 pub mod service;
@@ -49,7 +50,8 @@ pub mod sharded;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use error::ReplayError;
-pub use layout::{LayoutSpec, LoadScratch, ServerId, SubExtent};
+pub use layout::{LayoutSpec, LoadScratch, Placement, ServerId, SubExtent};
+pub use redundancy::REDUNDANCY_REGION;
 pub use mds::{MdsConfig, MetadataServer};
 pub use replay::{
     FileSet, IdentityResolver, PhysExtent, ReplayReport, ReplaySchedule, ReplayScratch,

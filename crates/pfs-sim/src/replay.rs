@@ -12,6 +12,7 @@ use crate::cluster::Cluster;
 use crate::error::ReplayError;
 use crate::fault::{Admission, FaultRuntime};
 use crate::layout::{LayoutSpec, SubExtent};
+use crate::redundancy::{decode_penalty, RedundancyState};
 use iotrace::{FileId, Trace, TraceRecord};
 use rand::seq::SliceRandom;
 use simrt::stats::OnlineStats;
@@ -208,6 +209,9 @@ pub struct ReplayScratch {
     /// (sessions pinned with [`crate::ReplaySession::with_schedule`]
     /// leave this empty).
     schedule: ReplaySchedule,
+    /// Redundancy expansion state: sampled health, degraded-mode
+    /// counters, and internal buffers. Reset per run.
+    red: RedundancyState,
 }
 
 impl ReplayScratch {
@@ -251,6 +255,13 @@ pub struct ServerIoStat {
     pub down: bool,
     /// The fault plan's service-time inflation estimate (1.0 = nominal).
     pub slowdown: f64,
+    /// Degraded (erasure-reconstruction) reads caused by losing this
+    /// server (0 without redundancy or faults).
+    pub degraded_reads: u64,
+    /// Bytes reconstructed in degraded reads of this server's lost data.
+    pub reconstructed_bytes: u64,
+    /// Reads this (primary) server lost to a replica failover.
+    pub failovers: u64,
 }
 
 /// Outcome of a replay run.
@@ -283,6 +294,12 @@ pub struct ReplayReport {
     pub timeouts: u64,
     /// Total wall-clock time requests spent backed off in retry loops.
     pub fault_wait: SimDuration,
+    /// Degraded (erasure-reconstruction) reads across all servers.
+    pub degraded_reads: u64,
+    /// Total bytes reconstructed by degraded reads.
+    pub reconstructed_bytes: u64,
+    /// Reads served by a non-primary replica after a failover.
+    pub failovers: u64,
 }
 
 impl ReplayReport {
@@ -323,10 +340,11 @@ pub(crate) fn replay_core(
     cluster.reset();
     let n_servers = cluster.servers().len();
     let device_slots = cluster.config().device_slots;
-    let ReplayScratch { extents, subs, opened, schedule: _ } = scratch;
+    let ReplayScratch { extents, subs, opened, schedule: _, red } = scratch;
     extents.clear();
     subs.clear();
     opened.clear();
+    red.reset(n_servers, faults.as_deref());
     let ReplaySchedule { order, spans } = schedule;
     let mut latencies = OnlineStats::new();
     let mut read_bytes = 0u64;
@@ -359,6 +377,7 @@ pub(crate) fn replay_core(
             let client = cluster.client_node(rec.rank.0);
             let mut issue = phase_start + overhead;
             let mut completion = issue;
+            let mut decode_bytes = 0u64;
             let (servers, fabric, mds) = cluster.parts_mut();
             for ext in extents.iter() {
                 // First touch of a physical file pays a metadata lookup
@@ -379,7 +398,7 @@ pub(crate) fn replay_core(
                         b
                     }
                 };
-                layout.map_extent_into(ext.offset, ext.len, subs);
+                decode_bytes += red.expand(layout, ext.offset, ext.len, rec.op, subs);
                 for sub in subs.iter() {
                     let Some(server) = servers.get_mut(sub.server.0) else {
                         return Err(ReplayError::UnknownServer {
@@ -424,6 +443,11 @@ pub(crate) fn replay_core(
                     completion = completion.max(done);
                 }
             }
+            if decode_bytes > 0 {
+                // Degraded EC reads pay the client-side decode before the
+                // request can complete.
+                completion += decode_penalty(decode_bytes);
+            }
             latencies.push(completion.since(phase_start + overhead).as_secs_f64());
             phase_end = phase_end.max(completion);
         }
@@ -432,6 +456,7 @@ pub(crate) fn replay_core(
     Ok(assemble_report(
         cluster,
         faults.as_deref(),
+        red,
         RunTotals {
             read_bytes,
             write_bytes,
@@ -462,8 +487,12 @@ pub(crate) struct RunTotals {
 pub(crate) fn assemble_report(
     cluster: &Cluster,
     faults: Option<&FaultRuntime>,
+    red: &RedundancyState,
     totals: RunTotals,
 ) -> ReplayReport {
+    let mut degraded_reads = 0u64;
+    let mut reconstructed_bytes = 0u64;
+    let mut failovers = 0u64;
     let per_server = cluster
         .servers()
         .iter()
@@ -472,6 +501,10 @@ pub(crate) fn assemble_report(
                 faults.map_or((0, 0), |rt| rt.server_counters(s.id().0));
             let health =
                 faults.map_or_else(ServerHealth::nominal, |rt| rt.server_health(s.id().0));
+            let (degraded, reconstructed, failed_over) = red.server_counters(s.id().0);
+            degraded_reads += degraded;
+            reconstructed_bytes += reconstructed;
+            failovers += failed_over;
             ServerIoStat {
                 server: s.id().0,
                 kind: s.kind(),
@@ -483,6 +516,9 @@ pub(crate) fn assemble_report(
                 timeouts,
                 down: health.down,
                 slowdown: health.speed_factor,
+                degraded_reads: degraded,
+                reconstructed_bytes: reconstructed,
+                failovers: failed_over,
             }
         })
         .collect();
@@ -501,6 +537,9 @@ pub(crate) fn assemble_report(
         retries: faults.map_or(0, |rt| rt.retries()),
         timeouts: faults.map_or(0, |rt| rt.timeouts()),
         fault_wait: faults.map_or(SimDuration::ZERO, |rt| rt.fault_wait()),
+        degraded_reads,
+        reconstructed_bytes,
+        failovers,
     }
 }
 

@@ -177,6 +177,13 @@ pub struct ServiceReport {
     pub total_bytes: u64,
     /// Per-tenant summaries, in tenant-id order.
     pub tenants: Vec<TenantSummary>,
+    /// Degraded (erasure-reconstruction) reads across all jobs — the
+    /// service-level robustness counter (0 without redundant layouts).
+    pub degraded_reads: u64,
+    /// Bytes reconstructed by degraded reads across all jobs.
+    pub reconstructed_bytes: u64,
+    /// Reads served by a replica failover across all jobs.
+    pub failovers: u64,
 }
 
 impl ServiceReport {
@@ -258,6 +265,12 @@ impl<'a> LayoutService<'a> {
         self.tenants.iter().map(|e| e.tenant).collect()
     }
 
+    /// Inject `plan` into every job replay — degraded-mode service runs
+    /// (lost servers, stragglers) against redundant layouts.
+    pub fn set_fault_plan(&mut self, plan: simrt::FaultPlan) {
+        self.session.set_fault_plan(plan);
+    }
+
     /// Run the service to completion over every submitted job.
     ///
     /// Arrivals are drawn per tenant from the service seed, merged into
@@ -293,6 +306,9 @@ impl<'a> LayoutService<'a> {
         let mut jobs: Vec<JobRecord> = Vec::new();
         let mut rejected_by_tenant = vec![0usize; self.tenants.len()];
         let mut total_bytes = 0u64;
+        let mut degraded_reads = 0u64;
+        let mut reconstructed_bytes = 0u64;
+        let mut failovers = 0u64;
         for p in schedule {
             let backlog = in_flight
                 .iter()
@@ -314,6 +330,9 @@ impl<'a> LayoutService<'a> {
             free_at = completion;
             in_flight.push((p.tenant_ix, completion));
             total_bytes += report.total_bytes;
+            degraded_reads += report.degraded_reads;
+            reconstructed_bytes += report.reconstructed_bytes;
+            failovers += report.failovers;
             for (file, layout) in entry.runtime.after_job(trace) {
                 self.cluster.mds_mut().set_layout(file, layout);
             }
@@ -354,6 +373,9 @@ impl<'a> LayoutService<'a> {
             total_bytes,
             jobs,
             tenants,
+            degraded_reads,
+            reconstructed_bytes,
+            failovers,
         })
     }
 }
@@ -449,6 +471,41 @@ mod tests {
             job.report.request_latency.sum().to_bits(),
             standalone.request_latency.sum().to_bits()
         );
+    }
+
+    #[test]
+    fn degraded_service_run_surfaces_redundancy_accounting() {
+        // A replicated layout, one lost server, a read-heavy tenant: the
+        // service must complete every job via replica failovers and roll
+        // the degraded-mode counters up into the ServiceReport.
+        let t = {
+            let mut cfg = IorConfig::default_run(IoOp::Read);
+            cfg.reqs_per_proc = 4;
+            cfg.proc_mix = vec![4];
+            generate(&cfg)
+        };
+        let mut c = cluster();
+        let all: Vec<ServerId> = (0..8).map(ServerId).collect();
+        c.mds_mut().set_layout(
+            FileId(0),
+            LayoutSpec::fixed(&all, 64 << 10).with_placement(crate::Placement::Replicated(3)),
+        );
+        let mut svc = LayoutService::new(&mut c, ServiceConfig::new(7));
+        svc.set_fault_plan(simrt::FaultPlan::none().down(1, 0.0));
+        svc.add_tenant(TenantId(0), Box::new(NullRuntime::new()));
+        svc.submit(TenantId(0), t.clone());
+        svc.submit(TenantId(0), t);
+        let report = svc.run().unwrap();
+        assert_eq!(report.jobs.len(), 2);
+        assert!(report.failovers > 0, "lost primary must fail over");
+        assert_eq!(
+            report.failovers,
+            report.jobs.iter().map(|j| j.report.failovers).sum::<u64>()
+        );
+        assert_eq!(report.degraded_reads, 0, "replication reconstructs nothing");
+        for j in &report.jobs {
+            assert_eq!(j.report.timeouts, 0, "redundant jobs must complete");
+        }
     }
 
     #[test]

@@ -214,33 +214,6 @@ impl ReplaySession {
         }
     }
 
-    /// Replay `trace` through the sharded core.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use run(ReplayInput::trace(..), CoreSel::Sharded); removed next release"
-    )]
-    pub fn run_sharded(
-        &mut self,
-        cluster: &mut Cluster,
-        trace: &Trace,
-        resolver: &mut dyn Resolver,
-    ) -> Result<ReplayReport, ReplayError> {
-        self.run(ReplayInput::trace(cluster, trace, resolver), CoreSel::Sharded)
-    }
-
-    /// Replay a streaming [`BatchSource`] phase by phase.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use run(ReplayInput::stream(..), CoreSel::Auto); removed next release"
-    )]
-    pub fn run_stream(
-        &mut self,
-        cluster: &mut Cluster,
-        source: &mut dyn BatchSource,
-        resolver: &mut dyn Resolver,
-    ) -> Result<ReplayReport, ReplayError> {
-        self.run(ReplayInput::stream(cluster, source, resolver), CoreSel::Auto)
-    }
 }
 
 #[cfg(test)]
@@ -318,10 +291,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_compile_and_match() {
-        // One-release compatibility contract: the pre-0.8 entry points
-        // keep working and stay bit-identical to the unified `run`.
+    fn deprecated_shims_are_gone_and_run_covers_their_contracts() {
+        // The 0.8 `run_sharded`/`run_stream` shims have been removed
+        // after their one-release grace period; the unified `run` entry
+        // point must deliver both contracts bit-identically: trace on
+        // the sharded core, and a streamed source on the Auto pick.
         let t = small_ior(IoOp::Read);
         let unified = {
             let mut c = Cluster::new(ClusterConfig::paper_default());
@@ -329,18 +303,19 @@ mod tests {
                 .run(ReplayInput::trace(&mut c, &t, &mut IdentityResolver), CoreSel::Sharded)
                 .unwrap()
         };
-        let mut c1 = Cluster::new(ClusterConfig::paper_default());
-        let sharded = ReplaySession::new()
-            .run_sharded(&mut c1, &t, &mut IdentityResolver)
-            .unwrap();
         let mut c2 = Cluster::new(ClusterConfig::paper_default());
         let streamed = ReplaySession::new()
-            .run_stream(&mut c2, &mut TraceBatches::new(&t), &mut IdentityResolver)
+            .run(
+                ReplayInput::stream(&mut c2, &mut TraceBatches::new(&t), &mut IdentityResolver),
+                CoreSel::Auto,
+            )
             .unwrap();
-        assert_eq!(sharded.makespan, unified.makespan);
         assert_eq!(streamed.makespan, unified.makespan);
-        assert_eq!(sharded.server_busy_secs(), unified.server_busy_secs());
         assert_eq!(streamed.server_busy_secs(), unified.server_busy_secs());
+        assert_eq!(
+            streamed.request_latency.sum().to_bits(),
+            unified.request_latency.sum().to_bits()
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::cluster::Cluster;
 use crate::error::ReplayError;
 use crate::fault::{Admission, FaultRuntime};
 use crate::layout::LayoutSpec;
+use crate::redundancy::{decode_penalty, RedundancyState};
 use crate::replay::{assemble_report, file_device_base, ReplayReport, Resolver, RunTotals};
 use crate::replay::FileSet;
 use crate::layout::SubExtent;
@@ -71,6 +72,8 @@ pub struct ShardedScratch {
     rec_base: Vec<SimTime>,
     /// Per-record: one-past-the-end index into the sub columns.
     rec_sub_end: Vec<u32>,
+    /// Per-record: bytes fed through erasure decode (degraded EC reads).
+    rec_decode: Vec<u64>,
     // Sub-request columns, in replay (global) order:
     /// Target server.
     sub_server: Vec<u32>,
@@ -95,6 +98,9 @@ pub struct ShardedScratch {
     /// Fabric node of each server, cached per run so the fabric passes
     /// never touch the (cache-cold) server structs.
     server_nodes: Vec<netsim::NodeId>,
+    /// Redundancy expansion state: sampled health, degraded-mode
+    /// counters, and internal buffers. Reset per run.
+    red: RedundancyState,
 }
 
 impl ShardedScratch {
@@ -128,6 +134,7 @@ pub(crate) fn sharded_core(
         opened,
         rec_base,
         rec_sub_end,
+        rec_decode,
         sub_server,
         sub_client,
         sub_len,
@@ -139,10 +146,12 @@ pub(crate) fn sharded_core(
         sub_timed_out,
         partition,
         server_nodes,
+        red,
     } = scratch;
     opened.clear();
     server_nodes.clear();
     server_nodes.extend(cluster.servers().iter().map(|s| s.node()));
+    red.reset(n_servers, faults.as_deref());
 
     let mut latencies = OnlineStats::new();
     let mut read_bytes = 0u64;
@@ -175,6 +184,7 @@ pub(crate) fn sharded_core(
 
         rec_base.clear();
         rec_sub_end.clear();
+        rec_decode.clear();
         sub_server.clear();
         sub_client.clear();
         sub_len.clear();
@@ -213,6 +223,7 @@ pub(crate) fn sharded_core(
                 }
                 let client = (rec.rank.0 as usize % clients) as u32;
                 let mut issue = phase_start + overhead;
+                let mut decode_bytes = 0u64;
                 rec_base.push(issue);
                 for ext in extents.iter() {
                     let layout: &LayoutSpec = if opened.insert(ext.file) {
@@ -230,7 +241,7 @@ pub(crate) fn sharded_core(
                             b
                         }
                     };
-                    layout.map_extent_into(ext.offset, ext.len, subs);
+                    decode_bytes += red.expand(layout, ext.offset, ext.len, rec.op, subs);
                     for sub in subs.iter() {
                         if sub.server.0 >= n_servers {
                             return Err(ReplayError::UnknownServer {
@@ -260,6 +271,7 @@ pub(crate) fn sharded_core(
                     }
                 }
                 rec_sub_end.push(sub_server.len() as u32);
+                rec_decode.push(decode_bytes);
             }
         }
 
@@ -375,6 +387,10 @@ pub(crate) fn sharded_core(
                     completion = completion.max(sub_done[i]);
                 }
                 sub_cursor = end;
+                if rec_decode[r] > 0 {
+                    // Same degraded-EC decode charge as the serial core.
+                    completion += decode_penalty(rec_decode[r]);
+                }
                 latencies.push(completion.since(base).as_secs_f64());
                 phase_end = phase_end.max(completion);
             }
@@ -384,6 +400,7 @@ pub(crate) fn sharded_core(
     Ok(assemble_report(
         cluster,
         faults.as_deref(),
+        red,
         RunTotals {
             read_bytes,
             write_bytes,
@@ -426,6 +443,9 @@ mod tests {
         assert_eq!(serial.retries, sharded.retries);
         assert_eq!(serial.timeouts, sharded.timeouts);
         assert_eq!(serial.fault_wait, sharded.fault_wait);
+        assert_eq!(serial.degraded_reads, sharded.degraded_reads);
+        assert_eq!(serial.reconstructed_bytes, sharded.reconstructed_bytes);
+        assert_eq!(serial.failovers, sharded.failovers);
         assert_eq!(
             serial.request_latency.sum().to_bits(),
             sharded.request_latency.sum().to_bits()
@@ -443,6 +463,9 @@ mod tests {
             assert_eq!(a.retries, b.retries, "server {} retries", a.server);
             assert_eq!(a.timeouts, b.timeouts, "server {} timeouts", a.server);
             assert_eq!(a.down, b.down);
+            assert_eq!(a.degraded_reads, b.degraded_reads, "server {} degraded", a.server);
+            assert_eq!(a.reconstructed_bytes, b.reconstructed_bytes);
+            assert_eq!(a.failovers, b.failovers, "server {} failovers", a.server);
         }
     }
 
@@ -477,6 +500,47 @@ mod tests {
             .run(ReplayInput::trace(&mut c2, &t, &mut IdentityResolver), CoreSel::Sharded)
             .unwrap();
         assert_identical(&serial, &sharded);
+    }
+
+    #[test]
+    fn redundant_layouts_survive_permanent_loss_in_both_cores() {
+        // Permanent loss of server 1 under 3x replication and EC(4+2):
+        // both cores must complete every request (no timeouts), surface
+        // the degraded accounting, and stay bit-identical.
+        use crate::layout::{LayoutSpec, Placement, ServerId};
+        use iotrace::FileId;
+        let t = small_ior(IoOp::Read);
+        let all: Vec<ServerId> = (0..8).map(ServerId).collect();
+        for placement in [Placement::Replicated(3), Placement::ErasureCoded(4, 2)] {
+            let plan = FaultPlan::none().down(1, 0.0);
+            let spec = LayoutSpec::fixed(&all, 64 << 10).with_placement(placement);
+            let mut c1 = Cluster::new(ClusterConfig::paper_default());
+            c1.mds_mut().set_layout(FileId(0), spec.clone());
+            let serial = ReplaySession::new()
+                .with_fault_plan(plan.clone())
+                .run(ReplayInput::trace(&mut c1, &t, &mut IdentityResolver), CoreSel::Auto)
+                .unwrap();
+            let mut c2 = Cluster::new(ClusterConfig::paper_default());
+            c2.mds_mut().set_layout(FileId(0), spec);
+            let sharded = ReplaySession::new()
+                .with_fault_plan(plan)
+                .run(ReplayInput::trace(&mut c2, &t, &mut IdentityResolver), CoreSel::Sharded)
+                .unwrap();
+            assert_identical(&serial, &sharded);
+            assert_eq!(serial.timeouts, 0, "{placement:?}: degraded replay must complete");
+            assert_eq!(serial.total_bytes, t.total_bytes());
+            match placement {
+                Placement::Replicated(_) => {
+                    assert!(serial.failovers > 0, "replica failovers must be counted");
+                    assert_eq!(serial.per_server[1].failovers, serial.failovers);
+                }
+                _ => {
+                    assert!(serial.degraded_reads > 0, "EC degraded reads must be counted");
+                    assert!(serial.reconstructed_bytes > 0);
+                    assert_eq!(serial.per_server[1].degraded_reads, serial.degraded_reads);
+                }
+            }
+        }
     }
 
     #[test]

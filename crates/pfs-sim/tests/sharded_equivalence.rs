@@ -11,8 +11,8 @@
 use iotrace::gen::{ior, skewed};
 use iotrace::{FileId, Rank, RecordBatch, Trace, TraceRecord};
 use pfs_sim::{
-    Cluster, ClusterConfig, CoreSel, FaultPlan, IdentityResolver, LayoutSpec, ReplayInput,
-    ReplayReport, ReplaySession, ServerId,
+    Cluster, ClusterConfig, CoreSel, FaultPlan, IdentityResolver, LayoutSpec, Placement,
+    ReplayInput, ReplayReport, ReplaySession, ServerId,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -32,6 +32,12 @@ fn assert_identical(serial: &ReplayReport, sharded: &ReplayReport, trial: usize)
     assert_eq!(serial.retries, sharded.retries, "trial {trial}: retries");
     assert_eq!(serial.timeouts, sharded.timeouts, "trial {trial}: timeouts");
     assert_eq!(serial.fault_wait, sharded.fault_wait, "trial {trial}: fault_wait");
+    assert_eq!(serial.degraded_reads, sharded.degraded_reads, "trial {trial}: degraded");
+    assert_eq!(
+        serial.reconstructed_bytes, sharded.reconstructed_bytes,
+        "trial {trial}: reconstructed"
+    );
+    assert_eq!(serial.failovers, sharded.failovers, "trial {trial}: failovers");
     assert_eq!(
         serial.request_latency.sum().to_bits(),
         sharded.request_latency.sum().to_bits(),
@@ -52,6 +58,9 @@ fn assert_identical(serial: &ReplayReport, sharded: &ReplayReport, trial: usize)
         assert_eq!(a.retries, b.retries, "trial {trial}: server {s} retries");
         assert_eq!(a.timeouts, b.timeouts, "trial {trial}: server {s} timeouts");
         assert_eq!(a.down, b.down, "trial {trial}: server {s} down");
+        assert_eq!(a.degraded_reads, b.degraded_reads, "trial {trial}: server {s} degraded");
+        assert_eq!(a.reconstructed_bytes, b.reconstructed_bytes, "trial {trial}: server {s}");
+        assert_eq!(a.failovers, b.failovers, "trial {trial}: server {s} failovers");
     }
 }
 
@@ -93,7 +102,9 @@ fn random_config(rng: &mut SmallRng) -> ClusterConfig {
 
 /// Install a random layout scheme for a few files: fixed striping over
 /// all servers or a hybrid H/S split, with stripes from 16 KiB to 1 MiB
-/// (zero on one side of the hybrid sometimes — SServer-only placement).
+/// (zero on one side of the hybrid sometimes — SServer-only placement),
+/// and a randomly drawn redundancy placement wherever the layout can
+/// host it (misfits — e.g. EC(4+2) on a 2-segment layout — stay striped).
 fn random_layouts(rng: &mut SmallRng, cluster: &mut Cluster) {
     let h: Vec<ServerId> = cluster.hserver_ids();
     let s: Vec<ServerId> = cluster.sserver_ids();
@@ -105,6 +116,13 @@ fn random_layouts(rng: &mut SmallRng, cluster: &mut Cluster) {
             1 => LayoutSpec::hybrid(&h, stripe, &s, stripe * 2),
             _ => LayoutSpec::hybrid(&h, 0, &s, stripe),
         };
+        let placement = match rng.gen_range(0..4) {
+            0 => Placement::Striped,
+            1 => Placement::Replicated(rng.gen_range(2..=3)),
+            2 => Placement::ErasureCoded(2, 1),
+            _ => Placement::ErasureCoded(4, 2),
+        };
+        let spec = spec.clone().try_with_placement(placement).unwrap_or(spec);
         cluster.mds_mut().set_layout(FileId(f), spec);
     }
 }
@@ -151,6 +169,59 @@ fn sharded_replay_is_bit_identical_to_serial_across_random_scenarios() {
             .unwrap();
 
         assert_identical(&serial, &sharded, trial);
+    }
+}
+
+#[test]
+fn degraded_redundant_replay_is_bit_identical_and_completes() {
+    // The redundancy gate: random layouts × placements × fault plans that
+    // always include at least one permanent loss. Redundant layouts must
+    // keep serial == sharded bit for bit while sourcing reads off
+    // replicas / surviving EC shards, and a cluster whose only fault is
+    // one lost server must complete every redundant request without a
+    // single timeout (degraded reads instead of abandoned sub-requests).
+    let mut rng = SeedSeq::new(0x5A_D0E5).derive("degraded").rng();
+    for trial in 0..24 {
+        let trace = random_trace(&mut rng);
+        let config = random_config(&mut rng);
+        let victim = rng.gen_range(0..config.servers());
+        let plan = random_fault_plan(&mut rng, config.servers()).down(victim, 0.0);
+
+        let mut c1 = Cluster::new(config.clone());
+        random_layouts(&mut rng.clone(), &mut c1);
+        let serial = ReplaySession::new()
+            .with_fault_plan(plan.clone())
+            .run(ReplayInput::trace(&mut c1, &trace, &mut IdentityResolver), CoreSel::Auto)
+            .unwrap();
+
+        let mut c2 = Cluster::new(config.clone());
+        random_layouts(&mut rng.clone(), &mut c2);
+        let sharded = ReplaySession::new()
+            .with_fault_plan(plan)
+            .run(ReplayInput::trace(&mut c2, &trace, &mut IdentityResolver), CoreSel::Sharded)
+            .unwrap();
+
+        assert_identical(&serial, &sharded, trial);
+
+        // Completion guarantee: single permanent loss, every file on a
+        // loss-tolerant layout over distinct live servers → no timeouts.
+        let only_loss = FaultPlan::none().down(victim, 0.0);
+        let mut c3 = Cluster::new(config);
+        let all: Vec<ServerId> = c3.hserver_ids().iter().chain(c3.sserver_ids().iter()).copied().collect();
+        if all.len() >= 6 {
+            for f in 0..6u32 {
+                let placement =
+                    if f % 2 == 0 { Placement::Replicated(3) } else { Placement::ErasureCoded(4, 2) };
+                let spec = LayoutSpec::fixed(&all, 64 << 10).with_placement(placement);
+                c3.mds_mut().set_layout(FileId(f), spec);
+            }
+            let degraded = ReplaySession::new()
+                .with_fault_plan(only_loss)
+                .run(ReplayInput::trace(&mut c3, &trace, &mut IdentityResolver), CoreSel::Auto)
+                .unwrap();
+            assert_eq!(degraded.timeouts, 0, "trial {trial}: redundant replay must complete");
+            assert_eq!(degraded.total_bytes, trace.total_bytes(), "trial {trial}");
+        }
     }
 }
 

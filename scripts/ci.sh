@@ -67,7 +67,16 @@ cargo run -p mha-bench --release --bin online -- --smoke
 # crash mid-service on the shared store.
 cargo run -p mha-bench --release --bin service -- --smoke
 cargo test -q -p mha-bench --test service_resume
-# Deprecation-shim gate: the pre-0.8 `run_sharded`/`run_stream` entry
-# points must keep compiling and stay bit-identical to the unified
-# `run(input, core)` API for one release.
-cargo test -q -p pfs-sim deprecated_shims
+# Redundancy smoke: replicated and erasure-coded layouts must survive
+# a permanent server loss end to end — every degraded redundant replay
+# completes with zero timeouts, healthy redundant replays stay
+# bit-identical to striped MHA, and the journaled rebuild swaps every
+# affected layout onto the spare. All bars are asserted inside the
+# binary; its kill-point matrix lives in `mha-core rebuild::`.
+cargo run -p mha-bench --release --bin redundancy -- --smoke
+# Degraded-equivalence gate, explicitly: the serial and sharded cores
+# must agree bit-for-bit (counters included) on randomized *degraded*
+# redundant replays — replica failover and erasure decode included
+# (also inside the sharded_equivalence run above; named to pin the
+# redundancy contract).
+cargo test -q -p pfs-sim --test sharded_equivalence degraded_redundant

@@ -60,13 +60,14 @@ pub mod prelude {
     pub use mha_core::persist::{recover, recover_tenant, PersistError, PipelineStore, TenantStore};
     pub use mha_core::tenant::TenantPipeline;
     pub use mha_core::{
-        CostParams, DrtResolver, GroupingConfig, OnlineConfig, OnlineConfigBuilder, OnlinePlanner,
-        RssdConfig,
+        file_sizes, placement_factors, rebuild_onto_spare, CostParams, DrtResolver,
+        GroupingConfig, OnlineConfig, OnlineConfigBuilder, OnlinePlanner, OpFactors,
+        RebuildOutcome, RssdConfig,
     };
     pub use mpiio_sim::{Hints, Middleware, MpiJob};
     pub use pfs_sim::{
         Cluster, ClusterConfig, CoreSel, FaultPlan, IdentityResolver, LayoutService, LayoutSpec,
-        MdsConfig, NullRuntime, ReplayError, ReplayInput, ReplaySession, ServiceConfig,
+        MdsConfig, NullRuntime, Placement, ReplayError, ReplayInput, ReplaySession, ServiceConfig,
         ServiceReport, ServerId, TenantId, TenantRuntime,
     };
     pub use simrt::{SimDuration, SimTime};
