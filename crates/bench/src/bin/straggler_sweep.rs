@@ -1,0 +1,59 @@
+//! Offline regime sweep for the straggler study (dev tool).
+
+use mha_bench::straggler::{probe, Regime};
+use mha_bench::workloads::Scale;
+use pfs_sim::RetryPolicy;
+
+fn show(tag: &str, scale: Scale, regime: &Regime) -> f64 {
+    let o = probe(scale, regime);
+    let bb = o.base.bandwidth_mbps();
+    let sb = o.sched.bandwidth_mbps();
+    println!(
+        "{tag} P={} duty={} retry=({},{},{}) cap={} alpha={} mig={} per={} \
+         | base {bb:.1} (to={}) sched {sb:.1} (to={} def={}) ratio {:.2}",
+        regime.period_s,
+        regime.duty_down,
+        regime.retry.backoff_s,
+        regime.retry.max_retries,
+        regime.retry.timeout_s,
+        regime.inflight_cap,
+        regime.alpha,
+        regime.migrate_every,
+        regime.periods,
+        o.base.timeouts,
+        o.sched.timeouts,
+        o.sched.deferred_requests,
+        sb / bb
+    );
+    sb / bb
+}
+
+fn main() {
+    let mut ranked: Vec<(f64, Regime)> = Vec::new();
+    for &period_s in &[1.5, 2.0, 2.5, 3.0] {
+        for &duty_down in &[0.4, 0.5, 0.6] {
+            for &inflight_cap in &[32u32, 48, 64] {
+                for &alpha in &[0.2, 0.3, 0.5] {
+                    let regime = Regime {
+                        period_s,
+                        duty_down,
+                        migrate_every: 8,
+                        periods: (480.0 / period_s) as usize,
+                        retry: RetryPolicy { backoff_s: 0.05, max_retries: 4, timeout_s: 4.0 },
+                        alpha,
+                        inflight_cap,
+                        reorder_window: 64,
+                    };
+                    let r = show("Q", Scale::Quick, &regime);
+                    ranked.push((r, regime));
+                }
+            }
+        }
+    }
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+    println!("\n--- top 8 at Full scale ---");
+    for (qr, regime) in ranked.iter().take(8) {
+        print!("(quick {qr:.2}) ");
+        show("F", Scale::Full, regime);
+    }
+}

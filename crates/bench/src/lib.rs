@@ -21,6 +21,7 @@
 //! | `fault` | degraded-cluster robustness: schemes × fault scenarios |
 //! | `online` | plan-while-running vs plan-then-rerun on a phase shift |
 //! | `service` | multi-tenant layout service under open-loop arrivals |
+//! | `straggler` | client-side straggler-aware dispatch vs replanning |
 //!
 //! Run `cargo run -p mha-bench --release --bin figures -- all` (add
 //! `--quick` for smaller workloads). Criterion micro-benches live in
@@ -31,6 +32,7 @@ pub mod online;
 pub mod redundancy;
 pub mod report;
 pub mod service;
+pub mod straggler;
 pub mod workloads;
 
 pub use report::{FigRow, Figure};

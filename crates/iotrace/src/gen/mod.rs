@@ -5,6 +5,7 @@
 //! workload. All generators are deterministic given their seed.
 
 pub mod btio;
+pub mod burst;
 pub mod cholesky;
 pub mod hpio;
 pub mod ior;

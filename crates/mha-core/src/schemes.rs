@@ -35,7 +35,7 @@ use pfs_sim::{
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use simrt::SimDuration;
+use simrt::{SchedPolicy, SimDuration};
 
 /// The schemes compared in the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -608,6 +608,8 @@ pub struct Evaluation<'a> {
     ctx: Option<&'a PlannerContext>,
     fault: Option<&'a FaultPlan>,
     replan: bool,
+    sched: Option<SchedPolicy>,
+    core: CoreSel,
 }
 
 impl<'a> Evaluation<'a> {
@@ -615,7 +617,16 @@ impl<'a> Evaluation<'a> {
     /// `cluster_cfg`. Without further configuration, [`Self::run`]
     /// calibrates a default [`PlannerContext`] and replays fault-free.
     pub fn of(scheme: Scheme, trace: &'a Trace, cluster_cfg: &'a ClusterConfig) -> Self {
-        Evaluation { scheme, trace, cluster_cfg, ctx: None, fault: None, replan: false }
+        Evaluation {
+            scheme,
+            trace,
+            cluster_cfg,
+            ctx: None,
+            fault: None,
+            replan: false,
+            sched: None,
+            core: CoreSel::Auto,
+        }
     }
 
     /// Plan under `ctx` instead of a freshly calibrated default context
@@ -643,6 +654,24 @@ impl<'a> Evaluation<'a> {
     #[must_use]
     pub fn replan_around_faults(mut self, replan: bool) -> Self {
         self.replan = replan;
+        self
+    }
+
+    /// Replay under `policy` instead of whatever the session carries —
+    /// the scheduler axis of the straggler study (client-side dispatch
+    /// vs. layout replanning). An `Evaluation` that never calls this
+    /// leaves the session's policy untouched.
+    #[must_use]
+    pub fn sched_policy(mut self, policy: SchedPolicy) -> Self {
+        self.sched = Some(policy);
+        self
+    }
+
+    /// Pin the replay core (default [`CoreSel::Auto`]) — experiment
+    /// grids use this to assert serial/sharded equivalence per cell.
+    #[must_use]
+    pub fn core(mut self, core: CoreSel) -> Self {
+        self.core = core;
         self
     }
 
@@ -675,7 +704,10 @@ impl<'a> Evaluation<'a> {
         if let Some(faults) = self.fault {
             session.set_fault_plan(faults.clone());
         }
-        session.run(ReplayInput::trace(&mut cluster, self.trace, resolver.as_mut()), CoreSel::Auto)
+        if let Some(policy) = self.sched {
+            session.set_sched_policy(policy);
+        }
+        session.run(ReplayInput::trace(&mut cluster, self.trace, resolver.as_mut()), self.core)
     }
 
     /// Run in a fresh session.

@@ -45,6 +45,9 @@ pub enum ReplayError {
     /// replay loop needs the whole trace materialized, so streams can
     /// only run on the sharded core (`CoreSel::Auto` picks it).
     StreamRequiresSharded,
+    /// The session's [`simrt::SchedPolicy`] carries out-of-range knobs
+    /// (see `SchedPolicy::validate`); the string is the reason.
+    InvalidSchedPolicy(String),
 }
 
 impl std::fmt::Display for ReplayError {
@@ -70,6 +73,9 @@ impl std::fmt::Display for ReplayError {
                 f,
                 "a streaming payload cannot run on the serial core; use CoreSel::Sharded or Auto"
             ),
+            ReplayError::InvalidSchedPolicy(reason) => {
+                write!(f, "invalid scheduling policy: {reason}")
+            }
         }
     }
 }

@@ -43,6 +43,7 @@ pub mod layout;
 pub mod mds;
 pub mod redundancy;
 pub mod replay;
+mod sched;
 pub mod server;
 pub mod service;
 pub mod session;
@@ -67,6 +68,9 @@ pub use sharded::ShardedScratch;
 // Tenancy vocabulary, re-exported so service callers don't need a direct
 // iotrace dependency for ids alone.
 pub use iotrace::TenantId;
-// Fault-plan vocabulary, re-exported so callers describing fault
-// scenarios against a cluster don't need a direct simrt dependency.
-pub use simrt::{DeviceProfile, FaultKind, FaultPlan, RetryPolicy, ServerFault, ServerHealth};
+// Fault-plan and scheduling vocabulary, re-exported so callers
+// describing fault scenarios or dispatch policies against a cluster
+// don't need a direct simrt dependency.
+pub use simrt::{
+    DeviceProfile, FaultKind, FaultPlan, RetryPolicy, SchedPolicy, ServerFault, ServerHealth,
+};

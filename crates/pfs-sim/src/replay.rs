@@ -13,6 +13,7 @@ use crate::error::ReplayError;
 use crate::fault::{Admission, FaultRuntime};
 use crate::layout::{LayoutSpec, SubExtent};
 use crate::redundancy::{decode_penalty, RedundancyState};
+use crate::sched::SchedRuntime;
 use iotrace::{FileId, Trace, TraceRecord};
 use rand::seq::SliceRandom;
 use simrt::stats::OnlineStats;
@@ -300,6 +301,12 @@ pub struct ReplayReport {
     pub reconstructed_bytes: u64,
     /// Reads served by a non-primary replica after a failover.
     pub failovers: u64,
+    /// Requests the straggler-aware scheduler issued with a non-zero
+    /// delay (0 under [`simrt::SchedPolicy::SeededShuffle`]).
+    pub deferred_requests: u64,
+    /// Deepest within-window displacement the scheduler's reorder pass
+    /// applied to the dispatch order (0 when never reordered).
+    pub reorder_depth: u64,
 }
 
 impl ReplayReport {
@@ -329,6 +336,7 @@ pub(crate) fn replay_core(
     resolver: &mut dyn Resolver,
     scratch: &mut ReplayScratch,
     mut faults: Option<&mut FaultRuntime>,
+    sched: &mut SchedRuntime,
 ) -> Result<ReplayReport, ReplayError> {
     let records = trace.records();
     if schedule.order.len() != records.len() {
@@ -345,6 +353,8 @@ pub(crate) fn replay_core(
     subs.clear();
     opened.clear();
     red.reset(n_servers, faults.as_deref());
+    sched.begin_run(n_servers);
+    let observing = sched.observing();
     let ReplaySchedule { order, spans } = schedule;
     let mut latencies = OnlineStats::new();
     let mut read_bytes = 0u64;
@@ -361,7 +371,13 @@ pub(crate) fn replay_core(
         // Barrier: the new phase starts when the previous one drained.
         let phase_start = phase_end;
         phases += 1;
-        for &idx in &order[start..end] {
+        let span = &order[start..end];
+        // Plan the phase from scheduler state frozen at the barrier
+        // (stateless layout lookups only — the resolver may mutate).
+        sched.plan_phase(span.iter().map(|&i| records[i].file), cluster.mds());
+        for k in 0..span.len() {
+            let bp = sched.dispatch(k);
+            let idx = span[bp];
             let rec = &records[idx];
             let overhead = resolver.resolve_into(rec, extents);
             debug_assert_eq!(
@@ -375,8 +391,12 @@ pub(crate) fn replay_core(
                 IoOp::Write => write_bytes += rec.len,
             }
             let client = cluster.client_node(rec.rank.0);
-            let mut issue = phase_start + overhead;
-            let mut completion = issue;
+            // The latency base (and completion floor) excludes the
+            // scheduler's issue delay: a deferred request still waited
+            // from the barrier, so deferral counts as latency.
+            let base = phase_start + overhead;
+            let mut issue = base + sched.delay(bp);
+            let mut completion = base;
             let mut decode_bytes = 0u64;
             let (servers, fabric, mds) = cluster.parts_mut();
             for ext in extents.iter() {
@@ -407,18 +427,23 @@ pub(crate) fn replay_core(
                         });
                     };
                     let dev_off = dev_base + sub.server_offset;
-                    let done = match faults.as_deref_mut() {
+                    // `done` is the sub-request's final completion;
+                    // `dev_done` its device-stage completion (before any
+                    // read fabric hop) — the scheduler's latency
+                    // observation, matching the sharded device pass.
+                    let (done, dev_done) = match faults.as_deref_mut() {
                         None => match rec.op {
                             IoOp::Write => {
                                 // Data flows client → server, then hits the device.
                                 let arrived =
                                     fabric.transfer(issue, client, server.node(), sub.len);
-                                server.serve(arrived, rec.op, dev_off, sub.len)
+                                let d = server.serve(arrived, rec.op, dev_off, sub.len);
+                                (d, d)
                             }
                             IoOp::Read => {
                                 // Device read, then data flows server → client.
                                 let read_done = server.serve(issue, rec.op, dev_off, sub.len);
-                                fabric.transfer(read_done, server.node(), client, sub.len)
+                                (fabric.transfer(read_done, server.node(), client, sub.len), read_done)
                             }
                         },
                         Some(rt) => match rt.admit(sub.server.0, issue) {
@@ -426,20 +451,27 @@ pub(crate) fn replay_core(
                                 IoOp::Write => {
                                     let arrived =
                                         fabric.transfer(admitted, client, server.node(), sub.len);
-                                    server.serve(arrived, rec.op, dev_off, sub.len)
+                                    let d = server.serve(arrived, rec.op, dev_off, sub.len);
+                                    (d, d)
                                 }
                                 IoOp::Read => {
                                     let read_done =
                                         server.serve(admitted, rec.op, dev_off, sub.len);
-                                    fabric.transfer(read_done, server.node(), client, sub.len)
+                                    (fabric.transfer(read_done, server.node(), client, sub.len), read_done)
                                 }
                             },
                             // An abandoned sub-request moves no bytes and
                             // charges no device or fabric time — the
                             // client just burns the timeout waiting.
-                            Admission::TimedOut => issue + rt.timeout(),
+                            Admission::TimedOut => {
+                                let t = issue + rt.timeout();
+                                (t, t)
+                            }
                         },
                     };
+                    if observing {
+                        sched.observe(sub.server.0, dev_done.since(issue).as_secs_f64());
+                    }
                     completion = completion.max(done);
                 }
             }
@@ -448,7 +480,7 @@ pub(crate) fn replay_core(
                 // request can complete.
                 completion += decode_penalty(decode_bytes);
             }
-            latencies.push(completion.since(phase_start + overhead).as_secs_f64());
+            latencies.push(completion.since(base).as_secs_f64());
             phase_end = phase_end.max(completion);
         }
     }
@@ -465,6 +497,8 @@ pub(crate) fn replay_core(
             resolve_overhead,
             request_latency: latencies,
             phase_end,
+            deferred_requests: sched.deferred,
+            reorder_depth: sched.reorder_depth,
         },
     ))
 }
@@ -479,6 +513,8 @@ pub(crate) struct RunTotals {
     pub resolve_overhead: SimDuration,
     pub request_latency: OnlineStats,
     pub phase_end: SimTime,
+    pub deferred_requests: u64,
+    pub reorder_depth: u64,
 }
 
 /// Assemble the final report from the cluster's post-run state — shared
@@ -540,6 +576,8 @@ pub(crate) fn assemble_report(
         degraded_reads,
         reconstructed_bytes,
         failovers,
+        deferred_requests: totals.deferred_requests,
+        reorder_depth: totals.reorder_depth,
     }
 }
 

@@ -1,0 +1,311 @@
+//! Straggler-aware dispatch glue shared by both replay cores.
+//!
+//! [`SchedRuntime`] owns everything the scheduler needs across one run:
+//! the active [`SchedPolicy`], the per-server latency trackers
+//! ([`simrt::sched::SchedState`]), and the per-phase plan (a dispatch
+//! permutation plus per-record issue delays). Both cores drive it the
+//! same way —
+//!
+//! 1. [`SchedRuntime::begin_run`] once per run (cold trackers, so reruns
+//!    are bit-identical);
+//! 2. [`SchedRuntime::plan_phase`] at each phase barrier, from tracker
+//!    state **frozen at phase start** (observations made during a phase
+//!    only influence the *next* phase's plan);
+//! 3. [`SchedRuntime::dispatch`] / [`SchedRuntime::delay`] while issuing
+//!    the phase's records;
+//! 4. one latency observation per sub-request (issue → device-stage
+//!    completion, timeout charges included), fed to the target server's
+//!    tracker.
+//!
+//! Determinism across cores: the plan is a pure function of the shuffled
+//! record order, the MDS layout table and the frozen tracker state, all
+//! of which the cores share; and each server's observation sequence is
+//! identical in both cores (the serial loop visits a server's subs as
+//! the record-order subsequence, the sharded device pass visits the same
+//! subs in lane order, and lanes are stable partitions of the record
+//! order). Per-server EWMAs therefore carry the same f64 bits, phase by
+//! phase.
+//!
+//! Planning looks up record targets with the *stateless*
+//! [`MetadataServer::layout`] on the record's logical file — never the
+//! resolver, which may mutate (lazy migration migrates on resolve) and
+//! never the charged lookup path. The target set is an approximation for
+//! redirected records; it only shapes delays, not correctness.
+
+use crate::mds::MetadataServer;
+use iotrace::FileId;
+use simrt::sched::{SchedPolicy, SchedState, ServerLat};
+use simrt::SimDuration;
+
+/// Per-run scheduling state owned by a [`crate::ReplaySession`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SchedRuntime {
+    policy: SchedPolicy,
+    state: SchedState,
+    /// Per-record issue delay of the current phase, in base (shuffled)
+    /// order.
+    delays: Vec<SimDuration>,
+    /// Dispatch permutation over base positions of the current phase.
+    perm: Vec<u32>,
+    /// Per-server pacing counters, zeroed at each plan.
+    counts: Vec<u32>,
+    /// `(server, fast EWMA)` of the servers suspect at phase start.
+    suspects: Vec<(usize, f64)>,
+    /// True when the current phase dispatches in base order with zero
+    /// delays — `SeededShuffle`, or `StragglerAware` with no suspect.
+    passthrough: bool,
+    /// Records issued with a non-zero delay, run total.
+    pub(crate) deferred: u64,
+    /// Deepest displacement the reorder pass applied, run max.
+    pub(crate) reorder_depth: u64,
+}
+
+impl SchedRuntime {
+    /// Replace the policy (takes effect at the next run).
+    pub(crate) fn set_policy(&mut self, policy: SchedPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active policy.
+    pub(crate) fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Reset for a run over `n_servers`: cold trackers, zero counters.
+    pub(crate) fn begin_run(&mut self, n_servers: usize) {
+        self.state.reset(n_servers);
+        self.counts.clear();
+        self.counts.resize(n_servers, 0);
+        self.deferred = 0;
+        self.reorder_depth = 0;
+        self.passthrough = true;
+    }
+
+    /// True when the cores must feed latency observations (any policy
+    /// that adapts; `SeededShuffle` skips observation entirely).
+    pub(crate) fn observing(&self) -> bool {
+        matches!(self.policy, SchedPolicy::StragglerAware { .. })
+    }
+
+    /// EWMA smoothing factor of the active policy (0 when not observing).
+    pub(crate) fn alpha(&self) -> f64 {
+        match self.policy {
+            SchedPolicy::StragglerAware { alpha, .. } => alpha,
+            SchedPolicy::SeededShuffle => 0.0,
+        }
+    }
+
+    /// Record one sub-request latency observation against `server`.
+    pub(crate) fn observe(&mut self, server: usize, x: f64) {
+        let alpha = self.alpha();
+        self.state.server_mut(server).observe(alpha, x);
+    }
+
+    /// Per-server trackers for the sharded core's lane-parallel device
+    /// pass (one lane per server, scattered via [`simrt::DisjointSlice`]).
+    pub(crate) fn state_lanes(&mut self) -> &mut [ServerLat] {
+        self.state.as_mut_slice()
+    }
+
+    /// Plan one phase from the tracker state frozen at its barrier.
+    /// `files` yields the phase's records in base (shuffled) order.
+    pub(crate) fn plan_phase<I>(&mut self, files: I, mds: &MetadataServer)
+    where
+        I: Iterator<Item = FileId>,
+    {
+        let SchedPolicy::StragglerAware { inflight_cap, reorder_window, .. } = self.policy
+        else {
+            self.passthrough = true;
+            return;
+        };
+        self.suspects.clear();
+        for s in 0..self.state.len() {
+            let lat = self.state.server(s);
+            if lat.is_suspect() {
+                self.suspects.push((s, lat.fast()));
+            }
+        }
+        if self.suspects.is_empty() {
+            // Degenerate to the blind shuffle: identity order, zero
+            // delays — bit-identical arithmetic, not merely equivalent.
+            self.passthrough = true;
+            return;
+        }
+        self.passthrough = false;
+        for &(s, _) in &self.suspects {
+            self.counts[s] = 0;
+        }
+        self.delays.clear();
+        let cap = f64::from(inflight_cap);
+        for file in files {
+            let layout = mds.layout(file);
+            let mut d = 0.0f64;
+            for &(s, fast) in &self.suspects {
+                if layout.servers().any(|id| id.0 == s) {
+                    // Token pacing against the suspect: admit at most
+                    // `inflight_cap` requests per EWMA interval, and
+                    // defer even the first by a fraction of it — under a
+                    // transient outage this pushes issue points past the
+                    // blind-start pile-up whose exponential backoff
+                    // overshoots (or exhausts) the retry budget.
+                    let k = self.counts[s];
+                    self.counts[s] = k + 1;
+                    let step = fast * (f64::from(k) + 1.0) / cap;
+                    if step > d {
+                        d = step;
+                    }
+                }
+            }
+            if d > 0.0 {
+                self.deferred += 1;
+            }
+            self.delays.push(SimDuration::from_secs_f64(d));
+        }
+        // Reorder: within fixed windows of the base order, stable-sort by
+        // delay so undeferred records dispatch (and hit the MDS queue)
+        // first. Stability keeps equal-delay records in shuffle order.
+        self.perm.clear();
+        self.perm.extend(0..self.delays.len() as u32);
+        let delays = &self.delays;
+        for chunk in self.perm.chunks_mut(reorder_window as usize) {
+            chunk.sort_by_key(|&p| delays[p as usize]);
+        }
+        for (k, &p) in self.perm.iter().enumerate() {
+            let depth = (k as i64 - i64::from(p)).unsigned_abs();
+            if depth > self.reorder_depth {
+                self.reorder_depth = depth;
+            }
+        }
+    }
+
+    /// Base position of the `k`-th record to dispatch this phase.
+    #[inline]
+    pub(crate) fn dispatch(&self, k: usize) -> usize {
+        if self.passthrough {
+            k
+        } else {
+            self.perm[k] as usize
+        }
+    }
+
+    /// Issue delay of the record at base position `base_pos`.
+    #[inline]
+    pub(crate) fn delay(&self, base_pos: usize) -> SimDuration {
+        if self.passthrough {
+            SimDuration::ZERO
+        } else {
+            self.delays[base_pos]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{LayoutSpec, ServerId};
+    use crate::mds::{MdsConfig, MetadataServer};
+    use simrt::sched::MIN_OBS;
+
+    fn mds_with(file: FileId, spec: LayoutSpec) -> MetadataServer {
+        let all: Vec<ServerId> = (0..4).map(ServerId).collect();
+        let mut mds =
+            MdsConfig::new(LayoutSpec::fixed(&all, 64 << 10)).build().unwrap();
+        mds.set_layout(file, spec);
+        mds
+    }
+
+    fn aware(cap: u32, window: u32) -> SchedRuntime {
+        let mut rt = SchedRuntime::default();
+        rt.set_policy(SchedPolicy::StragglerAware {
+            alpha: 0.5,
+            inflight_cap: cap,
+            reorder_window: window,
+        });
+        rt.begin_run(4);
+        rt
+    }
+
+    fn make_suspect(rt: &mut SchedRuntime, server: usize) {
+        for _ in 0..(3 * MIN_OBS) {
+            rt.observe(server, 0.001);
+        }
+        for _ in 0..6 {
+            rt.observe(server, 1.0);
+        }
+        assert!(rt.state.server(server).is_suspect());
+    }
+
+    #[test]
+    fn seeded_shuffle_plans_are_passthrough() {
+        let mut rt = SchedRuntime::default();
+        rt.begin_run(4);
+        let mds = mds_with(FileId(0), LayoutSpec::fixed(&[ServerId(0)], 64 << 10));
+        rt.plan_phase([FileId(0); 8].into_iter(), &mds);
+        assert_eq!(rt.dispatch(3), 3);
+        assert_eq!(rt.delay(3), SimDuration::ZERO);
+        assert_eq!(rt.deferred, 0);
+    }
+
+    #[test]
+    fn no_suspect_means_identity_plan() {
+        let mut rt = aware(4, 64);
+        for s in 0..4 {
+            for _ in 0..20 {
+                rt.observe(s, 0.001);
+            }
+        }
+        let mds = mds_with(FileId(0), LayoutSpec::fixed(&[ServerId(0)], 64 << 10));
+        rt.plan_phase([FileId(0); 8].into_iter(), &mds);
+        assert!(rt.passthrough);
+        assert_eq!(rt.deferred, 0);
+        assert_eq!(rt.reorder_depth, 0);
+    }
+
+    #[test]
+    fn suspect_paces_its_requests_and_spares_others() {
+        let mut rt = aware(2, 64);
+        make_suspect(&mut rt, 1);
+        // File 7 targets the suspect, file 8 does not.
+        let mut mds = mds_with(FileId(7), LayoutSpec::fixed(&[ServerId(1)], 64 << 10));
+        mds.set_layout(FileId(8), LayoutSpec::fixed(&[ServerId(2)], 64 << 10));
+        let files = [FileId(7), FileId(8), FileId(7), FileId(7), FileId(8)];
+        rt.plan_phase(files.into_iter(), &mds);
+        assert!(!rt.passthrough);
+        // Suspect-targeting records carry monotonically growing delays.
+        let d: Vec<SimDuration> = (0..5).map(|p| rt.delays[p]).collect();
+        assert!(d[0] > SimDuration::ZERO, "first suspect record is deferred");
+        assert_eq!(d[1], SimDuration::ZERO, "clean record issues at the barrier");
+        assert!(d[2] >= d[0] && d[3] > d[2]);
+        assert_eq!(d[4], SimDuration::ZERO);
+        assert_eq!(rt.deferred, 3);
+        // Reordering moved the clean records ahead of the deferred ones.
+        assert_eq!(rt.dispatch(0), 1);
+        assert_eq!(rt.dispatch(1), 4);
+        assert!(rt.reorder_depth > 0);
+    }
+
+    #[test]
+    fn plans_are_deterministic_across_reruns() {
+        let build = || {
+            let mut rt = aware(2, 4);
+            make_suspect(&mut rt, 0);
+            let mds = mds_with(FileId(3), LayoutSpec::fixed(&[ServerId(0)], 64 << 10));
+            rt.plan_phase([FileId(3); 10].into_iter(), &mds);
+            (rt.delays.clone(), rt.perm.clone(), rt.deferred, rt.reorder_depth)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn begin_run_clears_history_and_counters() {
+        let mut rt = aware(2, 4);
+        make_suspect(&mut rt, 0);
+        rt.deferred = 9;
+        rt.reorder_depth = 5;
+        rt.begin_run(4);
+        assert_eq!(rt.deferred, 0);
+        assert_eq!(rt.reorder_depth, 0);
+        assert_eq!(rt.state.server(0).count(), 0);
+        assert!(rt.passthrough);
+    }
+}

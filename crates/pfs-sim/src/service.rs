@@ -40,7 +40,7 @@ use crate::layout::LayoutSpec;
 use crate::replay::{IdentityResolver, ReplayReport, Resolver};
 use crate::session::{CoreSel, ReplayInput, ReplaySession};
 use iotrace::{FileId, TenantId, Trace, TraceBatches, TraceRecord};
-use simrt::{ArrivalProcess, SeedSeq, SimDuration, SimTime};
+use simrt::{ArrivalProcess, SchedPolicy, SeedSeq, SimDuration, SimTime};
 
 /// Per-tenant planning hook: how a tenant's jobs resolve requests, and
 /// what layout updates each completed job feeds back into the shared
@@ -184,6 +184,11 @@ pub struct ServiceReport {
     pub reconstructed_bytes: u64,
     /// Reads served by a replica failover across all jobs.
     pub failovers: u64,
+    /// Requests issue-deferred by straggler-aware scheduling across all
+    /// jobs (0 when every tenant runs [`SchedPolicy::SeededShuffle`]).
+    pub deferred_requests: u64,
+    /// Deepest dispatch reordering any job's scheduler applied.
+    pub reorder_depth: u64,
 }
 
 impl ServiceReport {
@@ -202,6 +207,7 @@ struct TenantEntry<'a> {
     tenant: TenantId,
     runtime: Box<dyn TenantRuntime + 'a>,
     jobs: Vec<Trace>,
+    policy: SchedPolicy,
 }
 
 /// The multi-tenant layout service (see the module docs for the model).
@@ -227,10 +233,31 @@ impl<'a> LayoutService<'a> {
     pub fn add_tenant(&mut self, tenant: TenantId, runtime: Box<dyn TenantRuntime + 'a>) {
         match self.tenants.binary_search_by_key(&tenant, |e| e.tenant) {
             Ok(_) => panic!("tenant {} registered twice", tenant.0),
-            Err(i) => self
-                .tenants
-                .insert(i, TenantEntry { tenant, runtime, jobs: Vec::new() }),
+            Err(i) => self.tenants.insert(
+                i,
+                TenantEntry {
+                    tenant,
+                    runtime,
+                    jobs: Vec::new(),
+                    policy: SchedPolicy::default(),
+                },
+            ),
         }
+    }
+
+    /// Set the dispatch policy used while replaying `tenant`'s jobs
+    /// (default [`SchedPolicy::SeededShuffle`]). Per-tenant: a latency-
+    /// sensitive tenant can opt into straggler-aware dispatch while its
+    /// neighbours keep the bit-stable blind shuffle.
+    ///
+    /// # Panics
+    /// If the tenant is unknown.
+    pub fn set_tenant_policy(&mut self, tenant: TenantId, policy: SchedPolicy) {
+        let i = self
+            .tenants
+            .binary_search_by_key(&tenant, |e| e.tenant)
+            .unwrap_or_else(|_| panic!("tenant {} not registered", tenant.0));
+        self.tenants[i].policy = policy;
     }
 
     /// Submit one job for `tenant` and return its submission index.
@@ -309,6 +336,8 @@ impl<'a> LayoutService<'a> {
         let mut degraded_reads = 0u64;
         let mut reconstructed_bytes = 0u64;
         let mut failovers = 0u64;
+        let mut deferred_requests = 0u64;
+        let mut reorder_depth = 0u64;
         for p in schedule {
             let backlog = in_flight
                 .iter()
@@ -321,6 +350,7 @@ impl<'a> LayoutService<'a> {
             let entry = &mut self.tenants[p.tenant_ix];
             let trace = &entry.jobs[p.seq as usize];
             let mut batches = TraceBatches::new(trace);
+            self.session.set_sched_policy(entry.policy);
             let report = self.session.run(
                 ReplayInput::stream(self.cluster, &mut batches, entry.runtime.resolver()),
                 CoreSel::Sharded,
@@ -333,6 +363,8 @@ impl<'a> LayoutService<'a> {
             degraded_reads += report.degraded_reads;
             reconstructed_bytes += report.reconstructed_bytes;
             failovers += report.failovers;
+            deferred_requests += report.deferred_requests;
+            reorder_depth = reorder_depth.max(report.reorder_depth);
             for (file, layout) in entry.runtime.after_job(trace) {
                 self.cluster.mds_mut().set_layout(file, layout);
             }
@@ -376,6 +408,8 @@ impl<'a> LayoutService<'a> {
             degraded_reads,
             reconstructed_bytes,
             failovers,
+            deferred_requests,
+            reorder_depth,
         })
     }
 }
@@ -686,6 +720,38 @@ mod tests {
         assert!(s.p50_latency <= s.p95_latency && s.p95_latency <= s.p99_latency);
         assert!(r.aggregate_mbps() > 0.0);
         assert_eq!(r.makespan, r.jobs.last().unwrap().completion);
+    }
+
+    #[test]
+    fn fault_free_straggler_aware_tenant_is_bit_identical_to_default() {
+        // With no fault no server ever turns suspect, so a straggler-
+        // aware tenant replays the exact blind-shuffle schedule and the
+        // scheduler counters stay zero.
+        let run = |aware: bool| {
+            let mut c = cluster();
+            let mut svc = LayoutService::new(&mut c, ServiceConfig::new(13));
+            for t in 0..2u32 {
+                svc.add_tenant(TenantId(t), Box::new(NullRuntime::new()));
+                svc.submit(TenantId(t), small_ior(3));
+            }
+            if aware {
+                svc.set_tenant_policy(TenantId(1), SchedPolicy::straggler_aware());
+            }
+            svc.run().unwrap()
+        };
+        let base = run(false);
+        let aware = run(true);
+        assert_eq!(fingerprint(&base), fingerprint(&aware));
+        assert_eq!(aware.deferred_requests, 0);
+        assert_eq!(aware.reorder_depth, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn policy_for_unknown_tenant_rejected() {
+        let mut c = cluster();
+        let mut svc = LayoutService::new(&mut c, ServiceConfig::new(0));
+        svc.set_tenant_policy(TenantId(3), SchedPolicy::straggler_aware());
     }
 
     #[test]

@@ -18,9 +18,10 @@ use crate::cluster::Cluster;
 use crate::error::ReplayError;
 use crate::fault::FaultRuntime;
 use crate::replay::{replay_core, ReplayReport, ReplaySchedule, ReplayScratch, Resolver};
+use crate::sched::SchedRuntime;
 use crate::sharded::{sharded_core, ShardedScratch};
 use iotrace::{BatchSource, Trace, TraceBatches};
-use simrt::FaultPlan;
+use simrt::{FaultPlan, SchedPolicy};
 
 /// What a replay consumes: a materialized trace or a phase stream.
 pub enum ReplayPayload<'a> {
@@ -100,6 +101,7 @@ pub struct ReplaySession {
     scratch: ReplayScratch,
     sharded: ShardedScratch,
     fault: FaultPlan,
+    sched: SchedRuntime,
 }
 
 impl ReplaySession {
@@ -136,6 +138,29 @@ impl ReplaySession {
         &self.fault
     }
 
+    /// Attach a dispatch policy. The default
+    /// [`SchedPolicy::SeededShuffle`] replays bit-identically to every
+    /// pre-scheduler release; [`SchedPolicy::StragglerAware`] adapts the
+    /// within-phase issue order and pacing to per-server latency EWMAs
+    /// (and still degenerates to the exact blind schedule while no
+    /// server looks suspect).
+    #[must_use]
+    pub fn with_sched_policy(mut self, policy: SchedPolicy) -> Self {
+        self.sched.set_policy(policy);
+        self
+    }
+
+    /// Replace the dispatch policy in place (e.g. per tenant, or to
+    /// sweep policies over one warmed-up session).
+    pub fn set_sched_policy(&mut self, policy: SchedPolicy) {
+        self.sched.set_policy(policy);
+    }
+
+    /// The active dispatch policy.
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.sched.policy()
+    }
+
     /// The pinned schedule, if any.
     pub fn schedule(&self) -> Option<&ReplaySchedule> {
         self.schedule.as_ref()
@@ -160,6 +185,9 @@ impl ReplaySession {
         core: CoreSel,
     ) -> Result<ReplayReport, ReplayError> {
         let ReplayInput { cluster, payload, resolver } = input;
+        if let Err(reason) = self.sched.policy().validate() {
+            return Err(ReplayError::InvalidSchedPolicy(reason));
+        }
         let mut runtime = if self.fault.is_empty() {
             None
         } else {
@@ -178,6 +206,7 @@ impl ReplaySession {
                         resolver,
                         &mut self.scratch,
                         runtime.as_mut(),
+                        &mut self.sched,
                     ),
                     None => {
                         // Borrow dance: the schedule buffers live inside
@@ -192,6 +221,7 @@ impl ReplaySession {
                             resolver,
                             &mut self.scratch,
                             runtime.as_mut(),
+                            &mut self.sched,
                         );
                         self.scratch.put_schedule(schedule);
                         report
@@ -204,10 +234,16 @@ impl ReplaySession {
                 resolver,
                 &mut self.sharded,
                 runtime.as_mut(),
+                &mut self.sched,
             ),
-            (ReplayPayload::Stream(source), CoreSel::Auto | CoreSel::Sharded) => {
-                sharded_core(cluster, source, resolver, &mut self.sharded, runtime.as_mut())
-            }
+            (ReplayPayload::Stream(source), CoreSel::Auto | CoreSel::Sharded) => sharded_core(
+                cluster,
+                source,
+                resolver,
+                &mut self.sharded,
+                runtime.as_mut(),
+                &mut self.sched,
+            ),
             (ReplayPayload::Stream(_), CoreSel::Serial) => {
                 Err(ReplayError::StreamRequiresSharded)
             }

@@ -43,6 +43,7 @@ use crate::layout::LayoutSpec;
 use crate::redundancy::{decode_penalty, RedundancyState};
 use crate::replay::{assemble_report, file_device_base, ReplayReport, Resolver, RunTotals};
 use crate::replay::FileSet;
+use crate::sched::SchedRuntime;
 use crate::layout::SubExtent;
 use crate::replay::PhysExtent;
 use iotrace::{BatchSource, FileId, RecordBatch};
@@ -119,6 +120,7 @@ pub(crate) fn sharded_core(
     resolver: &mut dyn Resolver,
     scratch: &mut ShardedScratch,
     mut faults: Option<&mut FaultRuntime>,
+    sched: &mut SchedRuntime,
 ) -> Result<ReplayReport, ReplayError> {
     cluster.reset();
     let n_servers = cluster.servers().len();
@@ -152,6 +154,13 @@ pub(crate) fn sharded_core(
     server_nodes.clear();
     server_nodes.extend(cluster.servers().iter().map(|s| s.node()));
     red.reset(n_servers, faults.as_deref());
+    sched.begin_run(n_servers);
+    let observing = sched.observing();
+    let sched_alpha = sched.alpha();
+    // Timed-out subs complete at `issue + timeout`; the device pass
+    // recomputes that for its latency observations instead of reading
+    // back through the scatter wrapper.
+    let timeout = faults.as_deref().map(|rt| rt.timeout());
 
     let mut latencies = OnlineStats::new();
     let mut read_bytes = 0u64;
@@ -182,6 +191,15 @@ pub(crate) fn sharded_core(
         let mut rng = shuffle_seed.derive_idx("phase", u64::from(batch.phase())).rng();
         shuffle.shuffle(&mut rng);
 
+        // Plan the phase from scheduler state frozen at the barrier —
+        // the same pure function of (shuffled order, layout table,
+        // tracker state) the serial core computes, so both cores
+        // dispatch the identical permutation with identical delays.
+        sched.plan_phase(
+            shuffle.iter().map(|&li| batch.record(li as usize).file),
+            cluster.mds(),
+        );
+
         rec_base.clear();
         rec_sub_end.clear();
         rec_decode.clear();
@@ -208,8 +226,9 @@ pub(crate) fn sharded_core(
             // count; consecutive records overwhelmingly hit the same
             // file, so a one-entry memo removes it from the hot path.
             let mut dev_base_memo: Option<(FileId, u64)> = None;
-            for &li in shuffle.iter() {
-                let rec = batch.record(li as usize);
+            for k in 0..n {
+                let bp = sched.dispatch(k);
+                let rec = batch.record(shuffle[bp] as usize);
                 let overhead = resolver.resolve_into(&rec, extents);
                 debug_assert_eq!(
                     extents.iter().map(|e| e.len).sum::<u64>(),
@@ -222,9 +241,13 @@ pub(crate) fn sharded_core(
                     IoOp::Write => write_bytes += rec.len,
                 }
                 let client = (rec.rank.0 as usize % clients) as u32;
-                let mut issue = phase_start + overhead;
+                // The latency base (and completion floor) excludes the
+                // scheduler's issue delay — deferral counts as latency,
+                // exactly as in the serial core.
+                let base = phase_start + overhead;
+                let mut issue = base + sched.delay(bp);
                 let mut decode_bytes = 0u64;
-                rec_base.push(issue);
+                rec_base.push(base);
                 for ext in extents.iter() {
                     let layout: &LayoutSpec = if opened.insert(ext.file) {
                         let (layout, open_done) = mds.lookup_ref(issue, ext.file);
@@ -339,22 +362,37 @@ pub(crate) fn sharded_core(
             let (servers, _, _) = cluster.parts_mut();
             let servers_w = DisjointSlice::new(servers);
             let done_w = DisjointSlice::new(sub_done);
+            let lat_w = DisjointSlice::new(sched.state_lanes());
             let lanes: &LanePartition = partition;
             let starts: &[SimTime] = sub_start;
             let ops: &[IoOp] = sub_op;
             let dev_offs: &[u64] = sub_dev_off;
             let lens: &[u64] = sub_len;
             let timed: &[bool] = sub_timed_out;
+            let issues: &[SimTime] = sub_issue;
             lanes.spans().par_iter().for_each(|span| {
                 // SAFETY: spans carry unique lanes; this server is
                 // touched by no other span.
                 let server = unsafe { servers_w.get_mut(span.lane as usize) };
                 for &i in lanes.items(span) {
                     let i = i as usize;
-                    if !timed[i] {
+                    let dev_done = if !timed[i] {
                         let done = server.serve(starts[i], ops[i], dev_offs[i], lens[i]);
                         // SAFETY: disjoint lanes, no reads until join.
                         unsafe { done_w.write(i, done) };
+                        done
+                    } else {
+                        // Pass 2 already scattered this exact value.
+                        issues[i] + timeout.expect("timed-out subs exist only under faults")
+                    };
+                    if observing {
+                        // Lane order is the record-order subsequence of
+                        // this server's subs — the same sequence the
+                        // serial loop feeds its tracker, so the EWMA
+                        // bits agree across cores.
+                        // SAFETY: one tracker per lane, disjoint.
+                        let lat = unsafe { lat_w.get_mut(span.lane as usize) };
+                        lat.observe(sched_alpha, dev_done.since(issues[i]).as_secs_f64());
                     }
                 }
             });
@@ -409,6 +447,8 @@ pub(crate) fn sharded_core(
             resolve_overhead,
             request_latency: latencies,
             phase_end,
+            deferred_requests: sched.deferred,
+            reorder_depth: sched.reorder_depth,
         },
     ))
 }

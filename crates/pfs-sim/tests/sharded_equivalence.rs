@@ -12,7 +12,7 @@ use iotrace::gen::{ior, skewed};
 use iotrace::{FileId, Rank, RecordBatch, Trace, TraceRecord};
 use pfs_sim::{
     Cluster, ClusterConfig, CoreSel, FaultPlan, IdentityResolver, LayoutSpec, Placement,
-    ReplayInput, ReplayReport, ReplaySession, ServerId,
+    ReplayInput, ReplayReport, ReplaySession, SchedPolicy, ServerId,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -38,6 +38,11 @@ fn assert_identical(serial: &ReplayReport, sharded: &ReplayReport, trial: usize)
         "trial {trial}: reconstructed"
     );
     assert_eq!(serial.failovers, sharded.failovers, "trial {trial}: failovers");
+    assert_eq!(
+        serial.deferred_requests, sharded.deferred_requests,
+        "trial {trial}: deferred"
+    );
+    assert_eq!(serial.reorder_depth, sharded.reorder_depth, "trial {trial}: reorder depth");
     assert_eq!(
         serial.request_latency.sum().to_bits(),
         sharded.request_latency.sum().to_bits(),
@@ -144,6 +149,52 @@ fn random_fault_plan(rng: &mut SmallRng, servers: usize) -> FaultPlan {
         };
     }
     plan
+}
+
+/// A random dispatch policy, adaptive three times out of four.
+fn random_sched_policy(rng: &mut SmallRng) -> SchedPolicy {
+    if rng.gen_bool(0.25) {
+        SchedPolicy::SeededShuffle
+    } else {
+        SchedPolicy::StragglerAware {
+            alpha: rng.gen_range(0.05..=1.0),
+            inflight_cap: rng.gen_range(1..=8),
+            reorder_window: rng.gen_range(1..=128),
+        }
+    }
+}
+
+#[test]
+fn sharded_replay_is_bit_identical_under_random_sched_policies() {
+    // The scheduler axis of the equivalence property: random traces ×
+    // clusters × fault plans × dispatch policies. The straggler-aware
+    // path mutates per-server EWMA state on every sub-request, so any
+    // observation-order divergence between the cores shows up here.
+    let mut rng = SeedSeq::new(0x5A_D0E5).derive("sched").rng();
+    for trial in 0..24 {
+        let trace = random_trace(&mut rng);
+        let config = random_config(&mut rng);
+        let plan = random_fault_plan(&mut rng, config.servers());
+        let policy = random_sched_policy(&mut rng);
+
+        let mut c1 = Cluster::new(config.clone());
+        random_layouts(&mut rng.clone(), &mut c1);
+        let serial = ReplaySession::new()
+            .with_fault_plan(plan.clone())
+            .with_sched_policy(policy)
+            .run(ReplayInput::trace(&mut c1, &trace, &mut IdentityResolver), CoreSel::Serial)
+            .unwrap();
+
+        let mut c2 = Cluster::new(config);
+        random_layouts(&mut rng.clone(), &mut c2);
+        let sharded = ReplaySession::new()
+            .with_fault_plan(plan)
+            .with_sched_policy(policy)
+            .run(ReplayInput::trace(&mut c2, &trace, &mut IdentityResolver), CoreSel::Sharded)
+            .unwrap();
+
+        assert_identical(&serial, &sharded, trial);
+    }
 }
 
 #[test]

@@ -12,7 +12,9 @@
 //! * [`rng`] — deterministic, splittable seeding for reproducible workloads,
 //! * [`arrival`] — seeded open-loop (Poisson) arrival processes,
 //! * [`lanes`] — stable lane partitioning and disjoint-write scatter for
-//!   sharded (per-server) simulation passes.
+//!   sharded (per-server) simulation passes,
+//! * [`sched`] — per-server service-latency EWMAs and the dispatch policy
+//!   knob for client-side straggler-aware request scheduling.
 //!
 //! Determinism is a hard requirement: two runs with the same seed must
 //! produce bit-identical results, so the event calendar breaks timestamp
@@ -24,6 +26,7 @@ pub mod fault;
 pub mod lanes;
 pub mod resource;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
@@ -33,4 +36,5 @@ pub use fault::{DeviceProfile, FaultKind, FaultPlan, RetryPolicy, ServerFault, S
 pub use lanes::{DisjointSlice, LanePartition, LaneSpan};
 pub use resource::FifoResource;
 pub use rng::SeedSeq;
+pub use sched::{SchedPolicy, SchedState, ServerLat};
 pub use time::{SimDuration, SimTime};

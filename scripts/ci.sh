@@ -13,6 +13,12 @@ if git ls-files target | grep -q .; then
     echo "error: files under target/ are tracked in git" >&2
     exit 1
 fi
+# Same for logs: run transcripts are local scratch (.gitignore has
+# *.log), never part of the history.
+if git ls-files '*.log' | grep -q .; then
+    echo "error: log files are tracked in git" >&2
+    exit 1
+fi
 
 cargo build --release
 cargo test -q
@@ -80,3 +86,15 @@ cargo run -p mha-bench --release --bin redundancy -- --smoke
 # (also inside the sharded_equivalence run above; named to pin the
 # redundancy contract).
 cargo test -q -p pfs-sim --test sharded_equivalence degraded_redundant
+# Straggler smoke: client-side straggler-aware dispatch must stay a
+# bit-identical no-op fault-free, agree across both replay cores in
+# every cell, and never lose to blind dispatch under the migrating
+# transient straggler — all asserted inside the binary.
+cargo run -p mha-bench --release --bin straggler -- --smoke
+# Scheduler-policy gates, explicitly: SeededShuffle must replay the
+# exact pre-scheduler dispatch order, fault-free StragglerAware must be
+# bit-identical to it, and the cores must agree under random scheduler
+# policies crossed with fault plans (also inside `cargo test -q`;
+# named to pin this PR's contract).
+cargo test -q -p pfs-sim --test sched_policy
+cargo test -q -p pfs-sim --test sharded_equivalence random_sched_policies
